@@ -1,0 +1,117 @@
+package mdworm_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"mdworm"
+)
+
+// The Benchmark functions below regenerate the paper's tables and figures
+// (one benchmark per experiment) in quick mode, so `go test -bench=.`
+// exercises the entire evaluation pipeline. `cmd/mdwbench` produces the
+// full-fidelity versions recorded in EXPERIMENTS.md.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := mdworm.RunExperiment(id, mdworm.ExperimentOptions{Quick: true, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			t.Format(benchWriter{b})
+		}
+	}
+}
+
+type benchWriter struct{ b *testing.B }
+
+func (w benchWriter) Write(p []byte) (int, error) {
+	w.b.Log(string(p))
+	return len(p), nil
+}
+
+func BenchmarkE1MultipleMulticast(b *testing.B) { benchExperiment(b, "e1") }
+func BenchmarkE2Throughput(b *testing.B)        { benchExperiment(b, "e2") }
+func BenchmarkE3BimodalUnicast(b *testing.B)    { benchExperiment(b, "e3") }
+func BenchmarkE4BimodalMulticast(b *testing.B)  { benchExperiment(b, "e4") }
+func BenchmarkE5Degree(b *testing.B)            { benchExperiment(b, "e5") }
+func BenchmarkE6Length(b *testing.B)            { benchExperiment(b, "e6") }
+func BenchmarkE7SystemSize(b *testing.B)        { benchExperiment(b, "e7") }
+func BenchmarkE8SingleMulticast(b *testing.B)   { benchExperiment(b, "e8") }
+func BenchmarkA1CentralBufferSize(b *testing.B) { benchExperiment(b, "a1") }
+func BenchmarkA2ChunkSize(b *testing.B)         { benchExperiment(b, "a2") }
+func BenchmarkA3ReplicateOnUpPath(b *testing.B) { benchExperiment(b, "a3") }
+func BenchmarkA4UpPortPolicy(b *testing.B)      { benchExperiment(b, "a4") }
+func BenchmarkA5Encoding(b *testing.B)          { benchExperiment(b, "a5") }
+func BenchmarkA6SoftwareOverhead(b *testing.B)  { benchExperiment(b, "a6") }
+func BenchmarkA7HotSpot(b *testing.B)           { benchExperiment(b, "a7") }
+func BenchmarkA8Barrier(b *testing.B)           { benchExperiment(b, "a8") }
+func BenchmarkA9Irregular(b *testing.B)         { benchExperiment(b, "a9") }
+func BenchmarkA10SyncReplication(b *testing.B)  { benchExperiment(b, "a10") }
+func BenchmarkA11BufferBandwidth(b *testing.B)  { benchExperiment(b, "a11") }
+
+// BenchmarkSimulationCycles measures raw simulator speed: cycles per second
+// for a loaded 64-node central-buffer system.
+func BenchmarkSimulationCycles(b *testing.B) {
+	for _, arch := range []struct {
+		name string
+		a    mdworm.SwitchArch
+	}{
+		{"central-buffer", mdworm.CentralBuffer},
+		{"input-buffer", mdworm.InputBuffer},
+	} {
+		b.Run(arch.name, func(b *testing.B) {
+			cfg := mdworm.DefaultConfig()
+			cfg.Arch = arch.a
+			cfg.Traffic.OpRate = cfg.Traffic.RateForLoad(0.15)
+			cfg.WarmupCycles = 0
+			cfg.MeasureCycles = int64(b.N)
+			cfg.DrainCycles = 10_000_000
+			sim, err := mdworm.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.Run(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N), "cycles")
+		})
+	}
+}
+
+// BenchmarkSingleOp measures the end-to-end cost of simulating one multicast
+// on an idle network for each scheme.
+func BenchmarkSingleOp(b *testing.B) {
+	for _, sc := range []struct {
+		name   string
+		scheme mdworm.Scheme
+	}{
+		{"hw-bitstring", mdworm.HardwareBitString},
+		{"hw-multiport", mdworm.HardwareMultiport},
+		{"sw-binomial", mdworm.SoftwareBinomial},
+	} {
+		b.Run(sc.name, func(b *testing.B) {
+			cfg := mdworm.DefaultConfig()
+			cfg.Scheme = sc.scheme
+			cfg.Traffic.OpRate = 0
+			sim, err := mdworm.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dests := []int{1, 5, 9, 17, 23, 42, 55, 63}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sim.RunOp(0, dests, true, 64, 1_000_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Example output shape, kept compiling against the public API.
+var _ = fmt.Sprintf
+var _ io.Writer = benchWriter{}

@@ -1,0 +1,105 @@
+// Command mdwbench regenerates the paper's evaluation: every figure/table
+// (e1..e8) and the design-choice ablations (a1..a6).
+//
+// Usage:
+//
+//	mdwbench                 # run the full suite
+//	mdwbench -exp e1,e3      # run selected experiments
+//	mdwbench -exp ablation   # run a1..a6 only
+//	mdwbench -exp paper      # run e1..e8 only
+//	mdwbench -quick          # shrunk windows and point counts
+//	mdwbench -v              # per-point progress on stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mdworm"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiment ids, or all|paper|ablation")
+		quick   = flag.Bool("quick", false, "shrink windows and point counts")
+		format  = flag.String("format", "text", "output format: text, csv, or plot")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		verbose = flag.Bool("v", false, "per-point progress on stderr")
+	)
+	flag.Parse()
+
+	opts := mdworm.ExperimentOptions{Quick: *quick, Seed: *seed}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+
+	ids, err := expand(*expFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		t, err := mdworm.RunExperiment(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdwbench: experiment %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "text":
+			t.Format(os.Stdout)
+			fmt.Println()
+		case "csv":
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "mdwbench:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		case "plot":
+			t.Plot(os.Stdout)
+			fmt.Println()
+		default:
+			fmt.Fprintf(os.Stderr, "mdwbench: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+}
+
+func expand(spec string) ([]string, error) {
+	all := mdworm.ExperimentIDs()
+	switch spec {
+	case "all":
+		return all, nil
+	case "paper", "ablation":
+		var out []string
+		for _, id := range all {
+			if (spec == "paper") == strings.HasPrefix(id, "e") {
+				out = append(out, id)
+			}
+		}
+		return out, nil
+	}
+	var out []string
+	for _, id := range strings.Split(spec, ",") {
+		id = strings.TrimSpace(strings.ToLower(id))
+		if id == "" {
+			continue
+		}
+		found := false
+		for _, known := range all {
+			if id == known {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("mdwbench: unknown experiment %q (have %v)", id, all)
+		}
+		out = append(out, id)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mdwbench: no experiments selected")
+	}
+	return out, nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestExpandGroups(t *testing.T) {
+	all, err := expand("all")
+	if err != nil || len(all) < 16 {
+		t.Fatalf("all: %v %v", all, err)
+	}
+	paper, err := expand("paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range paper {
+		if id[0] != 'e' {
+			t.Fatalf("paper group contains %q", id)
+		}
+	}
+	abl, err := expand("ablation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range abl {
+		if id[0] != 'a' {
+			t.Fatalf("ablation group contains %q", id)
+		}
+	}
+	if len(paper)+len(abl) != len(all) {
+		t.Fatalf("groups do not partition: %d + %d != %d", len(paper), len(abl), len(all))
+	}
+}
+
+func TestExpandExplicitList(t *testing.T) {
+	got, err := expand("e1, E3 ,a8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"e1", "e3", "a8"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	if _, err := expand("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if _, err := expand(" , "); err == nil {
+		t.Error("empty list accepted")
+	}
+}

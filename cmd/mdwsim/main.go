@@ -1,0 +1,155 @@
+// Command mdwsim runs one simulation from command-line flags and prints the
+// measured results — the fine-grained companion to mdwbench.
+//
+// Example: compare hardware and software multicast at one operating point:
+//
+//	mdwsim -arch cb -scheme hw-bitstring -load 0.2 -degree 8
+//	mdwsim -arch cb -scheme sw-binomial  -load 0.2 -degree 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mdworm"
+)
+
+func main() {
+	var (
+		arch     = flag.String("arch", "cb", "switch architecture: cb (central buffer) or ib (input buffer)")
+		scheme   = flag.String("scheme", "hw-bitstring", "multicast scheme: hw-bitstring, hw-multiport, sw-binomial, sw-separate")
+		stages   = flag.Int("stages", 3, "BMIN stages (nodes = 4^stages)")
+		load     = flag.Float64("load", 0.1, "offered load in delivered payload flits per node per cycle")
+		frac     = flag.Float64("mcast-fraction", 1.0, "fraction of operations that are multicasts")
+		degree   = flag.Int("degree", 8, "multicast destinations per op")
+		uniLen   = flag.Int("uni-len", 32, "unicast payload flits")
+		mcastLen = flag.Int("mcast-len", 64, "multicast payload flits")
+		warmup   = flag.Int64("warmup", 4000, "warmup cycles")
+		measure  = flag.Int64("measure", 20000, "measurement cycles")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		sendOv   = flag.Int("send-overhead", 64, "software send overhead in cycles")
+		recvOv   = flag.Int("recv-overhead", 64, "software receive overhead in cycles")
+		trace    = flag.String("trace", "", "write a message-level event trace to this file ('-' for stderr)")
+		swStats  = flag.Bool("switch-stats", false, "print aggregated switch counters after the run")
+	)
+	flag.Parse()
+
+	cfg := mdworm.DefaultConfig()
+	cfg.Stages = *stages
+	cfg.Seed = *seed
+	cfg.WarmupCycles = *warmup
+	cfg.MeasureCycles = *measure
+	cfg.NIC.SendOverhead = *sendOv
+	cfg.NIC.RecvOverhead = *recvOv
+	cfg.Traffic.MulticastFraction = *frac
+	cfg.Traffic.Degree = *degree
+	cfg.Traffic.UniPayloadFlits = *uniLen
+	cfg.Traffic.McastPayloadFlits = *mcastLen
+	cfg.Traffic.OpRate = cfg.Traffic.RateForLoad(*load)
+
+	switch *arch {
+	case "cb":
+		cfg.Arch = mdworm.CentralBuffer
+	case "ib":
+		cfg.Arch = mdworm.InputBuffer
+	default:
+		fmt.Fprintf(os.Stderr, "mdwsim: unknown arch %q\n", *arch)
+		os.Exit(2)
+	}
+	switch *scheme {
+	case "hw-bitstring":
+		cfg.Scheme = mdworm.HardwareBitString
+	case "hw-multiport":
+		cfg.Scheme = mdworm.HardwareMultiport
+	case "sw-binomial":
+		cfg.Scheme = mdworm.SoftwareBinomial
+	case "sw-separate":
+		cfg.Scheme = mdworm.SoftwareSeparate
+	default:
+		fmt.Fprintf(os.Stderr, "mdwsim: unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+
+	sim, err := mdworm.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdwsim:", err)
+		os.Exit(1)
+	}
+	if *trace != "" {
+		out := os.Stderr
+		if *trace != "-" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mdwsim:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		sim.SetTracer(mdworm.NewWriterTracer(out))
+	}
+	res, err := sim.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdwsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("system: %d nodes, %s switches, %s multicast, seed %d\n",
+		cfg.N(), *arch, *scheme, *seed)
+	fmt.Printf("offered load: %.4g delivered payload flits/node/cycle (op rate %.6f)\n",
+		*load, cfg.Traffic.OpRate)
+	fmt.Printf("saturated: %v (max send queue %d)\n\n", res.Saturated, res.MaxSendQueue)
+	fmt.Printf("multicast: ops=%d/%d phases-scheme=%s\n",
+		res.Multicast.OpsCompleted, res.Multicast.OpsGenerated, *scheme)
+	fmt.Printf("  last-arrival latency: %v\n", res.Multicast.LastArrival)
+	fmt.Printf("  mean-arrival latency: %v\n", res.Multicast.MeanArrival)
+	fmt.Printf("  messages per op: %.2f\n", res.Multicast.MessagesPerOp)
+	fmt.Printf("  delivered payload: %.4f flits/node/cycle\n\n", res.Multicast.DeliveredPayloadPerNodeCycle)
+	fmt.Printf("unicast: ops=%d/%d\n", res.Unicast.OpsCompleted, res.Unicast.OpsGenerated)
+	fmt.Printf("  latency: %v\n", res.Unicast.LastArrival)
+	fmt.Printf("  delivered payload: %.4f flits/node/cycle\n\n", res.Unicast.DeliveredPayloadPerNodeCycle)
+	fmt.Printf("raw delivered flits (headers included): %.4f /node/cycle\n", res.DeliveredFlitsPerNodeCycle)
+	fmt.Printf("drain: %d cycles\n", res.DrainCycles)
+
+	if *swStats {
+		printSwitchStats(sim)
+	}
+}
+
+// printSwitchStats aggregates per-switch counters across the fabric.
+func printSwitchStats(sim *mdworm.Simulator) {
+	fmt.Println("\nswitch counters (aggregated):")
+	if cbs := sim.CBStats(); cbs != nil {
+		var bypass, buffer, admits, resWait, uniCB, decodes int64
+		maxChunks := 0
+		for _, st := range cbs {
+			bypass += st.BypassFlits
+			buffer += st.BufferFlits
+			admits += st.AdmittedMcasts
+			resWait += st.ReserveWaitSum
+			uniCB += st.UnicastCBEnters
+			decodes += st.Decodes
+			if st.MaxChunksInUse > maxChunks {
+				maxChunks = st.MaxChunksInUse
+			}
+		}
+		fmt.Printf("  decodes=%d bypass-flits=%d buffer-flits=%d\n", decodes, bypass, buffer)
+		fmt.Printf("  multicast admissions=%d (total reservation wait %d cycles)\n", admits, resWait)
+		fmt.Printf("  unicasts diverted to central buffer=%d; peak chunks in use=%d\n", uniCB, maxChunks)
+	}
+	if ibs := sim.IBStats(); ibs != nil {
+		var grants, hol, decodes int64
+		maxOcc := 0
+		for _, st := range ibs {
+			grants += st.GrantWaitSum
+			hol += st.HOLBlockedSum
+			decodes += st.Decodes
+			if st.MaxBufOccupancy > maxOcc {
+				maxOcc = st.MaxBufOccupancy
+			}
+		}
+		fmt.Printf("  decodes=%d grant-wait=%d cycles, head-of-line stall=%d cycles\n", decodes, grants, hol)
+		fmt.Printf("  peak input-buffer occupancy=%d flits\n", maxOcc)
+	}
+}

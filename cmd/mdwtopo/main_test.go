@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParsePair(t *testing.T) {
+	a, b := parsePair("3:14")
+	if a != 3 || b != 14 {
+		t.Fatalf("got %d:%d", a, b)
+	}
+}
+
+func TestParseMulticast(t *testing.T) {
+	src, dests := parseMulticast("5:1, 2,8")
+	if src != 5 || len(dests) != 3 || dests[0] != 1 || dests[1] != 2 || dests[2] != 8 {
+		t.Fatalf("got %d %v", src, dests)
+	}
+}
+
+func TestParseTreeSpec(t *testing.T) {
+	spec, err := parseTreeSpec("16:4:3:42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Switches != 16 || spec.MaxHosts != 4 || spec.MaxChildren != 3 || spec.Seed != 42 {
+		t.Fatalf("%+v", spec)
+	}
+	if _, err := parseTreeSpec("16:4:3"); err == nil {
+		t.Error("short spec accepted")
+	}
+	if _, err := parseTreeSpec("a:b:c:d"); err == nil {
+		t.Error("non-numeric spec accepted")
+	}
+}

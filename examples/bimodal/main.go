@@ -1,0 +1,91 @@
+// Bimodal: the paper's headline systems question — how much does each
+// multicast implementation perturb the unicast traffic sharing the network?
+//
+// A 64-node system carries 90% unicast background traffic plus 10%
+// 8-destination multicasts. The example runs the same workload three times —
+// hardware multicast on the central-buffer switch, hardware multicast on the
+// input-buffer switch, and U-MIN software multicast — and prints how the
+// background unicast latency degrades under each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mdworm"
+)
+
+func main() {
+	type contender struct {
+		name   string
+		apply  func(*mdworm.Config)
+		result mdworm.Results
+	}
+	contenders := []contender{
+		{name: "cb-hw (central buffer, hardware multicast)", apply: func(c *mdworm.Config) {
+			c.Arch = mdworm.CentralBuffer
+			c.Scheme = mdworm.HardwareBitString
+		}},
+		{name: "ib-hw (input buffer, hardware multicast)", apply: func(c *mdworm.Config) {
+			c.Arch = mdworm.InputBuffer
+			c.Scheme = mdworm.HardwareBitString
+		}},
+		{name: "sw-umin (central buffer, software multicast)", apply: func(c *mdworm.Config) {
+			c.Arch = mdworm.CentralBuffer
+			c.Scheme = mdworm.SoftwareBinomial
+		}},
+	}
+
+	const load = 0.25
+	for i := range contenders {
+		cfg := mdworm.DefaultConfig()
+		cfg.Traffic.MulticastFraction = 0.1
+		cfg.Traffic.Degree = 8
+		cfg.Traffic.UniPayloadFlits = 32
+		cfg.Traffic.McastPayloadFlits = 64
+		cfg.Traffic.OpRate = cfg.Traffic.RateForLoad(load)
+		contenders[i].apply(&cfg)
+
+		sim, err := mdworm.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		contenders[i].result = res
+	}
+
+	// A lightly loaded pure-unicast run gives the undisturbed baseline.
+	base := mdworm.DefaultConfig()
+	base.Traffic.MulticastFraction = 0
+	base.Traffic.UniPayloadFlits = 32
+	base.Traffic.OpRate = base.Traffic.RateForLoad(0.02)
+	sim, err := mdworm.New(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("bimodal traffic at load %.2f (90%% unicast L=32, 10%% multicast d=8 L=64)\n", load)
+	fmt.Printf("undisturbed unicast latency (load 0.02): %.1f cycles\n\n", baseline.Unicast.LastArrival.Mean)
+	fmt.Printf("%-48s %12s %12s %12s\n", "multicast implementation", "uni_lat", "uni_slowdown", "mcast_lat")
+	for _, c := range contenders {
+		u := c.result.Unicast.LastArrival.Mean
+		sat := ""
+		if c.result.Saturated {
+			sat = " (saturated)"
+		}
+		fmt.Printf("%-48s %12.1f %11.2fx %12.1f%s\n",
+			c.name, u, u/baseline.Unicast.LastArrival.Mean,
+			c.result.Multicast.LastArrival.Mean, sat)
+	}
+	fmt.Println("\nthe paper's claim: the hardware multicast implementations leave the")
+	fmt.Println("background unicast traffic nearly undisturbed, while the software scheme")
+	fmt.Println("multiplies every multicast into d unicasts plus host overheads and drags")
+	fmt.Println("the whole network toward saturation.")
+}

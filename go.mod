@@ -1,0 +1,3 @@
+module mdworm
+
+go 1.22

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestBarrierTreeStructure(t *testing.T) {
+	// Rank 0 is the root; parent clears the lowest set bit.
+	if barrierParent(1) != 0 || barrierParent(6) != 4 || barrierParent(12) != 8 {
+		t.Fatal("parents wrong")
+	}
+	// Every rank appears exactly once as someone's child.
+	for _, n := range []int{2, 7, 16, 64} {
+		seen := map[int]bool{}
+		for r := 0; r < n; r++ {
+			for _, c := range barrierChildren(r, n) {
+				if seen[c] {
+					t.Fatalf("n=%d: child %d duplicated", n, c)
+				}
+				if barrierParent(c) != r {
+					t.Fatalf("n=%d: child %d of %d has parent %d", n, c, r, barrierParent(c))
+				}
+				seen[c] = true
+			}
+		}
+		if len(seen) != n-1 {
+			t.Fatalf("n=%d: tree covers %d of %d non-roots", n, len(seen), n-1)
+		}
+	}
+}
+
+func TestBarrierSchemes(t *testing.T) {
+	run := func(scheme BarrierScheme) int64 {
+		cfg := DefaultConfig()
+		cfg.Traffic.OpRate = 0
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat, err := sim.RunBarrier(scheme, 2_000_000)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if !sim.Quiesced() {
+			t.Fatalf("%v: network not drained after barrier", scheme)
+		}
+		return lat
+	}
+	sw := run(BarrierSoftware)
+	hw := run(BarrierHardwareRelease)
+	t.Logf("barrier latency: software=%d hw-release=%d", sw, hw)
+	if hw >= sw {
+		t.Fatalf("hardware release (%d) not faster than software broadcast (%d)", hw, sw)
+	}
+	// Both include a full gather; the release difference is bounded by the
+	// software broadcast cost.
+	if hw <= 0 || sw <= 0 {
+		t.Fatal("non-positive barrier latency")
+	}
+}
+
+func TestBarrierRequiresIdle(t *testing.T) {
+	cfg := DefaultConfig()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.genOn = true
+	if _, err := sim.RunBarrier(BarrierSoftware, 1000); err == nil {
+		t.Fatal("barrier allowed with generation on")
+	}
+}
+
+func TestBarrierRepeatable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Traffic.OpRate = 0
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := sim.RunBarrier(BarrierHardwareRelease, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := sim.RunBarrier(BarrierHardwareRelease, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l2 {
+		t.Fatalf("back-to-back barriers differ on an idle network: %d vs %d", l1, l2)
+	}
+}
+
+// TestBarrierOnIrregularFabric: the barrier driver is topology-agnostic.
+func TestBarrierOnIrregularFabric(t *testing.T) {
+	cfg := irregularCfg(21)
+	cfg.Traffic.OpRate = 0
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := sim.RunBarrier(BarrierHardwareRelease, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim2, _ := New(cfg)
+	sw, err := sim2.RunBarrier(BarrierSoftware, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw <= 0 || sw <= 0 || hw >= sw {
+		t.Fatalf("irregular barrier: hw=%d sw=%d", hw, sw)
+	}
+}
+
+// TestCombiningBarrier: the in-switch combining barrier must beat both
+// NIC-level schemes (no binomial gather, no per-hop software overheads) and
+// scale with tree depth only.
+func TestCombiningBarrier(t *testing.T) {
+	lat := map[int]int64{}
+	for _, stages := range []int{2, 3, 4} {
+		cfg := DefaultConfig()
+		cfg.Stages = stages
+		cfg.Traffic.OpRate = 0
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := sim.RunBarrier(BarrierHardwareCombining, 5_000_000)
+		if err != nil {
+			t.Fatalf("stages=%d: %v", stages, err)
+		}
+		if !sim.Quiesced() {
+			t.Fatalf("stages=%d: not drained", stages)
+		}
+		lat[stages] = l
+		// Repeatable back-to-back (counters reset properly).
+		l2, err := sim.RunBarrier(BarrierHardwareCombining, 5_000_000)
+		if err != nil || l2 != l {
+			t.Fatalf("stages=%d: second barrier %d (err %v), first %d", stages, l2, err, l)
+		}
+	}
+	if !(lat[2] < lat[3] && lat[3] < lat[4]) {
+		t.Fatalf("combining latency not increasing with depth: %v", lat)
+	}
+
+	// Compare all three schemes at N=64.
+	cfg := DefaultConfig()
+	cfg.Traffic.OpRate = 0
+	run := func(bs BarrierScheme) int64 {
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := sim.RunBarrier(bs, 5_000_000)
+		if err != nil {
+			t.Fatalf("%v: %v", bs, err)
+		}
+		return l
+	}
+	comb := run(BarrierHardwareCombining)
+	rel := run(BarrierHardwareRelease)
+	sw := run(BarrierSoftware)
+	t.Logf("barrier N=64: combining=%d release=%d software=%d", comb, rel, sw)
+	if !(comb < rel && rel < sw) {
+		t.Fatalf("ordering violated: combining=%d release=%d software=%d", comb, rel, sw)
+	}
+}
+
+// TestCombiningBarrierOnInputBuffer: the input-buffered switch implements
+// the same combining protocol.
+func TestCombiningBarrierOnInputBuffer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Arch = InputBuffer
+	cfg.Traffic.OpRate = 0
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := sim.RunBarrier(BarrierHardwareCombining, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l <= 0 || !sim.Quiesced() {
+		t.Fatalf("ib combining barrier: lat=%d quiesced=%v", l, sim.Quiesced())
+	}
+	// Tree-depth-dominated: far below the NIC-level schemes.
+	if l > 300 {
+		t.Fatalf("ib combining barrier too slow: %d", l)
+	}
+}
+
+// TestCombiningBarrierIrregular: the combining tree generalizes to
+// irregular fabrics (every switch has at most one parent).
+func TestCombiningBarrierIrregular(t *testing.T) {
+	cfg := irregularCfg(33)
+	cfg.Traffic.OpRate = 0
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := sim.RunBarrier(BarrierHardwareCombining, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l <= 0 || !sim.Quiesced() {
+		t.Fatalf("irregular combining barrier: lat=%d quiesced=%v", l, sim.Quiesced())
+	}
+}
+
+// TestCombiningBarrierUnderTrafficAftermath: a barrier right after a drained
+// data burst works (combining state is independent of data paths).
+func TestCombiningBarrierAfterTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Traffic.OpRate = 0
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sim.RunOp(0, []int{1, 9, 33}, true, 64, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunBarrier(BarrierHardwareCombining, 5_000_000); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,459 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mdworm/internal/collective"
+	"mdworm/internal/routing"
+)
+
+func quickCfg() Config {
+	cfg := DefaultConfig()
+	cfg.WarmupCycles = 1000
+	cfg.MeasureCycles = 6000
+	cfg.Traffic.OpRate = cfg.Traffic.RateForLoad(0.3)
+	return cfg
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, float64) {
+		sim, err := New(quickCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Multicast.OpsCompleted, res.Multicast.LastArrival.Mean
+	}
+	n1, m1 := run()
+	n2, m2 := run()
+	if n1 != n2 || m1 != m2 {
+		t.Fatalf("same config diverged: (%d, %g) vs (%d, %g)", n1, m1, n2, m2)
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	cfg := quickCfg()
+	sim1, _ := New(cfg)
+	r1, err := sim1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 2
+	sim2, _ := New(cfg)
+	r2, err := sim2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Multicast.LastArrival.Mean == r2.Multicast.LastArrival.Mean &&
+		r1.Multicast.OpsCompleted == r2.Multicast.OpsCompleted {
+		t.Fatal("different seeds produced identical results (suspicious)")
+	}
+}
+
+// TestConservation: after a full run with drain, every generated op
+// completed, every NIC-counted message was delivered exactly to its
+// destinations, and the network holds nothing.
+func TestConservation(t *testing.T) {
+	for _, arch := range []SwitchArch{CentralBuffer, InputBuffer} {
+		for _, scheme := range []collective.Scheme{collective.HardwareBitString, collective.SoftwareBinomial} {
+			cfg := quickCfg()
+			cfg.Arch = arch
+			cfg.Scheme = scheme
+			cfg.Traffic.MulticastFraction = 0.5
+			sim, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sim.Run(); err != nil {
+				t.Fatalf("%v/%v: %v", arch, scheme, err)
+			}
+			if !sim.Quiesced() {
+				t.Fatalf("%v/%v: network not empty after drain", arch, scheme)
+			}
+			var sent, delivered, injectedFlits, ejectedFlits int64
+			for _, st := range sim.NICStats() {
+				sent += st.MessagesSent
+				delivered += st.MessagesDelivered
+				injectedFlits += st.FlitsInjected
+				ejectedFlits += st.FlitsEjected
+			}
+			if scheme == collective.HardwareBitString {
+				// Multicast messages deliver one copy per destination.
+				if delivered < sent {
+					t.Fatalf("%v/%v: delivered %d < sent %d", arch, scheme, delivered, sent)
+				}
+				if ejectedFlits < injectedFlits {
+					t.Fatalf("%v/%v: ejected %d < injected %d flits (copies lost)",
+						arch, scheme, ejectedFlits, injectedFlits)
+				}
+			} else {
+				// Software multicast: every message is unicast.
+				if delivered != sent {
+					t.Fatalf("%v/%v: delivered %d != sent %d", arch, scheme, delivered, sent)
+				}
+				if ejectedFlits != injectedFlits {
+					t.Fatalf("%v/%v: flits not conserved: %d in, %d out",
+						arch, scheme, injectedFlits, ejectedFlits)
+				}
+			}
+		}
+	}
+}
+
+// TestPaperOrderingUnloaded: the central result on an idle network — the
+// hardware schemes beat software multicast, and the gap grows with degree.
+func TestPaperOrderingUnloaded(t *testing.T) {
+	lat := func(scheme collective.Scheme, d int) int64 {
+		cfg := DefaultConfig()
+		cfg.Scheme = scheme
+		cfg.Traffic.OpRate = 0
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dests := make([]int, 0, d)
+		for i := 1; i <= d; i++ {
+			dests = append(dests, i)
+		}
+		l, _, err := sim.RunOp(0, dests, true, 64, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	hw8 := lat(collective.HardwareBitString, 8)
+	sw8 := lat(collective.SoftwareBinomial, 8)
+	sep8 := lat(collective.SoftwareSeparate, 8)
+	if !(hw8 < sw8 && sw8 < sep8) {
+		t.Fatalf("unloaded d=8 ordering violated: hw=%d sw=%d sep=%d", hw8, sw8, sep8)
+	}
+	// The paper's companion work reports up to ~4x improvement; allow a
+	// generous band but insist on a clear multiple.
+	if ratio := float64(sw8) / float64(hw8); ratio < 2 || ratio > 8 {
+		t.Fatalf("hw/sw gap at d=8 is %.2fx, expected a clear multiple", ratio)
+	}
+	// Hardware latency grows slowly with degree; software roughly with log d.
+	hw32 := lat(collective.HardwareBitString, 32)
+	sw32 := lat(collective.SoftwareBinomial, 32)
+	if float64(hw32) > 1.6*float64(hw8) {
+		t.Fatalf("hardware latency grew too fast with degree: %d -> %d", hw8, hw32)
+	}
+	if sw32 <= sw8 {
+		t.Fatalf("software latency did not grow with degree: %d -> %d", sw8, sw32)
+	}
+}
+
+// TestPaperOrderingLoaded: under multiple-multicast load, CB-HW completes
+// with lower latency than SW-UMIN, and the software scheme saturates first.
+func TestPaperOrderingLoaded(t *testing.T) {
+	run := func(scheme collective.Scheme) (float64, bool) {
+		cfg := quickCfg()
+		cfg.Scheme = scheme
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Multicast.LastArrival.Mean, res.Saturated
+	}
+	hw, hwSat := run(collective.HardwareBitString)
+	sw, swSat := run(collective.SoftwareBinomial)
+	if hwSat {
+		t.Fatalf("CB-HW saturated at load 0.3 (latency %.0f)", hw)
+	}
+	if !swSat && sw < hw {
+		t.Fatalf("software beat hardware under load: sw=%.0f hw=%.0f", sw, hw)
+	}
+}
+
+// TestHeaderSizeCharged: at N=256 the bit-string header is 16 flits; an
+// unloaded multicast must cost visibly more than a unicast of equal payload,
+// by roughly the extra header serialization.
+func TestHeaderSizeCharged(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Stages = 4
+	cfg.Traffic.OpRate = 0
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Config().CB.InFIFOFlits; got < 16 {
+		t.Fatalf("input FIFO not raised for 16-flit headers: %d", got)
+	}
+	uni, _, err := sim.RunOp(0, []int{255}, false, 64, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, _, err := sim.RunOp(0, []int{255}, true, 64, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := mc - uni
+	if extra < 10 || extra > 200 {
+		t.Fatalf("header cost anomaly: unicast=%d multicast=%d (extra %d)", uni, mc, extra)
+	}
+}
+
+func TestSaturationFlag(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Traffic.OpRate = cfg.Traffic.RateForLoad(3.0) // impossible demand
+	cfg.MeasureCycles = 3000
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Fatal("3x-capacity load not flagged saturated")
+	}
+}
+
+func TestRunOpValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Traffic.OpRate = 0
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.StartOp(0, []int{1, 2}, false, 8); err == nil {
+		t.Error("multi-destination unicast accepted")
+	}
+	if _, err := sim.StartOp(0, []int{0}, true, 8); err == nil {
+		t.Error("self-destination multicast accepted")
+	}
+	if _, _, err := sim.RunOp(0, []int{1}, false, 8, 3); err == nil {
+		t.Error("impossible budget met")
+	}
+	// The timed-out op must still complete given more time.
+	if ok, err := sim.Drain(100_000); !ok || err != nil {
+		t.Fatalf("drain after budget error: %v %v", ok, err)
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CB.Chunks = 1 // absurdly small; must be raised
+	cfg.Traffic.McastPayloadFlits = 200
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := sim.Config()
+	need := (norm.CB.MaxPacketFlits + norm.CB.ChunkFlits - 1) / norm.CB.ChunkFlits
+	if norm.CB.Chunks < 2*need {
+		t.Fatalf("chunks %d below 2x packet need %d", norm.CB.Chunks, need)
+	}
+	if norm.IB.BufFlits < norm.IB.MaxPacketFlits {
+		t.Fatal("input buffer below max packet")
+	}
+}
+
+func TestConfigRejectsBadValues(t *testing.T) {
+	bad := DefaultConfig()
+	bad.LinkLatency = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero link latency accepted")
+	}
+	bad = DefaultConfig()
+	bad.FlitBits = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero flit bits accepted")
+	}
+	bad = DefaultConfig()
+	bad.Arity = 1
+	if _, err := New(bad); err == nil {
+		t.Error("arity 1 accepted")
+	}
+	bad = DefaultConfig()
+	bad.Traffic.Degree = 1000
+	if _, err := New(bad); err == nil {
+		t.Error("impossible degree accepted")
+	}
+}
+
+// TestMeanVsLastArrival: the mean-arrival latency metric is never above the
+// last-arrival latency for multicasts.
+func TestMeanVsLastArrival(t *testing.T) {
+	cfg := quickCfg()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Multicast.OpsCompleted == 0 {
+		t.Fatal("no samples")
+	}
+	if res.Multicast.MeanArrival.Mean > res.Multicast.LastArrival.Mean+1e-9 {
+		t.Fatalf("mean-arrival %.1f above last-arrival %.1f",
+			res.Multicast.MeanArrival.Mean, res.Multicast.LastArrival.Mean)
+	}
+}
+
+// TestUpPolicies: every up-port policy must deliver everything correctly.
+func TestUpPolicies(t *testing.T) {
+	for _, pol := range []routing.UpPolicy{routing.UpHash, routing.UpRandom, routing.UpAdaptive} {
+		cfg := quickCfg()
+		cfg.UpPolicy = pol
+		cfg.MeasureCycles = 3000
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatalf("policy %v: %v", pol, err)
+		}
+		if res.Multicast.OpsCompleted != res.Multicast.OpsGenerated {
+			t.Fatalf("policy %v lost ops", pol)
+		}
+	}
+}
+
+// TestReplicateOnUpPathEquivalence: both replication placements deliver the
+// same op correctly; replicating early should not be slower on an idle net.
+func TestReplicateOnUpPathEquivalence(t *testing.T) {
+	lat := func(rep bool) int64 {
+		cfg := DefaultConfig()
+		cfg.ReplicateOnUpPath = rep
+		cfg.Traffic.OpRate = 0
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, op, err := sim.RunOp(3, []int{0, 1, 2, 17, 35, 60}, true, 64, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !op.Done() {
+			t.Fatal("op incomplete")
+		}
+		return l
+	}
+	early := lat(true)
+	lca := lat(false)
+	if math.Abs(float64(early-lca)) > float64(early) {
+		t.Fatalf("replication placements wildly divergent: early=%d lca=%d", early, lca)
+	}
+}
+
+// TestMultiportScheme: end-to-end multiport multicast delivers everything.
+func TestMultiportScheme(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Scheme = collective.HardwareMultiport
+	cfg.MeasureCycles = 3000
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Multicast.OpsCompleted != res.Multicast.OpsGenerated {
+		t.Fatal("multiport lost ops")
+	}
+	if res.Multicast.MessagesPerOp <= 1.0 {
+		t.Fatalf("multiport messages per op = %.2f; random sets should need several worms",
+			res.Multicast.MessagesPerOp)
+	}
+}
+
+// TestCrossArchWorkloadConsistency: traffic generation is independent of the
+// switch architecture, so both architectures must see the identical op
+// stream and complete all of it.
+func TestCrossArchWorkloadConsistency(t *testing.T) {
+	results := map[SwitchArch]struct{ gen, done int64 }{}
+	for _, arch := range []SwitchArch{CentralBuffer, InputBuffer} {
+		cfg := quickCfg()
+		cfg.Arch = arch
+		cfg.Traffic.MulticastFraction = 0.5
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[arch] = struct{ gen, done int64 }{
+			res.Multicast.OpsGenerated + res.Unicast.OpsGenerated,
+			res.Multicast.OpsCompleted + res.Unicast.OpsCompleted,
+		}
+	}
+	cb, ib := results[CentralBuffer], results[InputBuffer]
+	if cb.gen != ib.gen {
+		t.Fatalf("architectures saw different op streams: cb=%d ib=%d", cb.gen, ib.gen)
+	}
+	if cb.done != cb.gen || ib.done != ib.gen {
+		t.Fatalf("ops lost: cb %d/%d, ib %d/%d", cb.done, cb.gen, ib.done, ib.gen)
+	}
+}
+
+// TestLinkLatencyScaling: doubling wire latency must raise unloaded latency
+// by roughly the extra hops' worth of cycles, and everything still works.
+func TestLinkLatencyScaling(t *testing.T) {
+	lat := func(linkLat int) int64 {
+		cfg := DefaultConfig()
+		cfg.LinkLatency = linkLat
+		cfg.Traffic.OpRate = 0
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, _, err := sim.RunOp(0, []int{63}, false, 32, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	l1, l4 := lat(1), lat(4)
+	if l4 <= l1 {
+		t.Fatalf("longer wires not slower: lat(1)=%d lat(4)=%d", l1, l4)
+	}
+	// 6 links on the path (nic->s0->s1->s2->s1->s0->nic is 6 hops), so +3
+	// cycles each; allow slack for credit-return effects.
+	extra := l4 - l1
+	if extra < 15 || extra > 120 {
+		t.Fatalf("latency delta %d implausible for +3 cycles x ~6 links", extra)
+	}
+}
+
+// TestHotSpotEndToEnd: hot-spot traffic must complete and show elevated
+// latency toward the hot node.
+func TestHotSpotEndToEnd(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Traffic.MulticastFraction = 0
+	cfg.Traffic.UniPayloadFlits = 32
+	cfg.Traffic.HotSpotFraction = 0.3
+	cfg.Traffic.HotSpotNode = 5
+	cfg.Traffic.OpRate = cfg.Traffic.RateForLoad(0.3)
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unicast.OpsCompleted != res.Unicast.OpsGenerated {
+		t.Fatal("hot-spot run lost ops")
+	}
+	// The hot node's ejection link is the bottleneck: 0.3 load with 30%
+	// aimed at one node far exceeds its 1 flit/cycle; expect saturation.
+	if !res.Saturated {
+		t.Log("note: hot-spot run unexpectedly unsaturated (heuristic miss)")
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mdworm/internal/collective"
+	"mdworm/internal/engine"
+	"mdworm/internal/flit"
+	"mdworm/internal/routing"
+)
+
+// TestFuzzConfigurations sweeps randomized small configurations — topology
+// shape, architecture, scheme, replication placement, up policy, traffic mix
+// — and requires every run to drain completely with all operations
+// delivered. This is the broad invariant net under the targeted tests.
+func TestFuzzConfigurations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz sweep skipped in -short mode")
+	}
+	rng := engine.NewRNG(0xF022)
+	archs := []SwitchArch{CentralBuffer, InputBuffer}
+	schemes := []collective.Scheme{
+		collective.HardwareBitString, collective.HardwareMultiport,
+		collective.SoftwareBinomial, collective.SoftwareSeparate,
+	}
+	policies := []routing.UpPolicy{routing.UpHash, routing.UpRandom, routing.UpAdaptive}
+
+	for trial := 0; trial < 40; trial++ {
+		cfg := DefaultConfig()
+		cfg.Seed = rng.Uint64()
+		cfg.Arch = archs[rng.Intn(len(archs))]
+		cfg.Scheme = schemes[rng.Intn(len(schemes))]
+		cfg.UpPolicy = policies[rng.Intn(len(policies))]
+		cfg.ReplicateOnUpPath = rng.Intn(2) == 0
+		cfg.CB.MulticastBypassSingle = rng.Intn(2) == 0
+		// SyncReplication stays off: lock-step replication deadlocks by
+		// design (experiment A10 demonstrates it on purpose).
+		cfg.Arity = 2 + rng.Intn(3)  // 2..4
+		cfg.Stages = 1 + rng.Intn(3) // 1..3
+		cfg.LinkLatency = 1 + rng.Intn(2)
+		cfg.NIC.SendOverhead = rng.Intn(100)
+		cfg.NIC.RecvOverhead = rng.Intn(100)
+		n := cfg.N()
+		cfg.Traffic.MulticastFraction = float64(rng.Intn(11)) / 10
+		if n > 2 {
+			cfg.Traffic.Degree = 1 + rng.Intn(n-2)
+		} else {
+			cfg.Traffic.Degree = 1
+			cfg.Traffic.MulticastFraction = 0
+		}
+		cfg.Traffic.UniPayloadFlits = 1 + rng.Intn(64)
+		cfg.Traffic.McastPayloadFlits = 1 + rng.Intn(128)
+		cfg.Traffic.OpRate = cfg.Traffic.RateForLoad(0.05 + 0.5*rng.Float64())
+		cfg.WarmupCycles = 200
+		cfg.MeasureCycles = 1500
+		cfg.DrainCycles = 3_000_000
+		cfg.WatchdogLimit = 100_000
+
+		name := fmt.Sprintf("trial%d/%v/%v/arity%d/stages%d", trial, cfg.Arch, cfg.Scheme, cfg.Arity, cfg.Stages)
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%s: config rejected: %v", name, err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !sim.Quiesced() {
+			t.Fatalf("%s: network not drained", name)
+		}
+		done := res.Multicast.OpsCompleted + res.Unicast.OpsCompleted
+		gen := res.Multicast.OpsGenerated + res.Unicast.OpsGenerated
+		if done != gen {
+			t.Fatalf("%s: %d of %d ops completed", name, done, gen)
+		}
+	}
+}
+
+// TestDeliveryExactness records every delivery and asserts each message
+// reaches exactly its destination set, once.
+func TestDeliveryExactness(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Traffic.MulticastFraction = 0.5
+	cfg.Traffic.Degree = 8
+	cfg.Traffic.OpRate = 0.001
+	cfg.WarmupCycles = 0
+	cfg.MeasureCycles = 3000
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[*flit.Message][]int{}
+	sim.deliverHook = func(m *flit.Message, proc int, now int64) {
+		got[m] = append(got[m], proc)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := res.Multicast.OpsGenerated + res.Unicast.OpsGenerated
+	if gen == 0 {
+		t.Fatal("no traffic generated")
+	}
+	for m, nodes := range got {
+		want := map[int]bool{}
+		for _, d := range m.Dests {
+			want[d] = true
+		}
+		if len(nodes) != len(m.Dests) {
+			t.Fatalf("message %d delivered %d times for %d destinations",
+				m.ID, len(nodes), len(m.Dests))
+		}
+		seen := map[int]bool{}
+		for _, p := range nodes {
+			if !want[p] {
+				t.Fatalf("message %d delivered to non-destination %d (dests %v)", m.ID, p, m.Dests)
+			}
+			if seen[p] {
+				t.Fatalf("message %d delivered twice to %d", m.ID, p)
+			}
+			seen[p] = true
+		}
+	}
+}

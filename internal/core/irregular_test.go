@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"mdworm/internal/collective"
+	"mdworm/internal/topology"
+)
+
+func irregularCfg(seed uint64) Config {
+	cfg := DefaultConfig()
+	cfg.Topology = IrregularTree
+	cfg.Tree = topology.TreeSpec{
+		Switches:    16,
+		MinHosts:    1,
+		MaxHosts:    4,
+		MaxChildren: 3,
+		Seed:        seed,
+	}
+	cfg.WarmupCycles = 500
+	cfg.MeasureCycles = 4000
+	return cfg
+}
+
+func TestIrregularUnicastAllPairs(t *testing.T) {
+	cfg := irregularCfg(3)
+	cfg.Traffic.OpRate = 0
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sim.Net().N
+	// One unicast between a spread of pairs on the live simulator.
+	for src := 0; src < n; src += 3 {
+		dst := (src + n/2 + 1) % n
+		if dst == src {
+			continue
+		}
+		if _, _, err := sim.RunOp(src, []int{dst}, false, 16, 200_000); err != nil {
+			t.Fatalf("unicast %d->%d: %v", src, dst, err)
+		}
+	}
+}
+
+func TestIrregularMulticastAndBroadcast(t *testing.T) {
+	for _, arch := range []SwitchArch{CentralBuffer, InputBuffer} {
+		cfg := irregularCfg(7)
+		cfg.Arch = arch
+		cfg.Traffic.OpRate = 0
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := sim.Net().N
+		dests := make([]int, 0, n-1)
+		for d := 1; d < n; d++ {
+			dests = append(dests, d)
+		}
+		lat, op, err := sim.RunOp(0, dests, true, 64, 1_000_000)
+		if err != nil {
+			t.Fatalf("%v broadcast: %v", arch, err)
+		}
+		if !op.Done() || op.MessagesSent != 1 {
+			t.Fatalf("%v broadcast: done=%v msgs=%d", arch, op.Done(), op.MessagesSent)
+		}
+		t.Logf("%v irregular broadcast to %d hosts: %d cycles", arch, n-1, lat)
+	}
+}
+
+func TestIrregularLoadedRunBothArchs(t *testing.T) {
+	for _, arch := range []SwitchArch{CentralBuffer, InputBuffer} {
+		for _, scheme := range []collective.Scheme{collective.HardwareBitString, collective.SoftwareBinomial} {
+			cfg := irregularCfg(11)
+			cfg.Arch = arch
+			cfg.Scheme = scheme
+			cfg.Traffic.MulticastFraction = 0.3
+			cfg.Traffic.Degree = 6
+			cfg.Traffic.OpRate = 0.002
+			sim, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run()
+			if err != nil {
+				t.Fatalf("%v/%v: %v", arch, scheme, err)
+			}
+			if !sim.Quiesced() {
+				t.Fatalf("%v/%v: did not drain", arch, scheme)
+			}
+			if res.Multicast.OpsCompleted != res.Multicast.OpsGenerated ||
+				res.Unicast.OpsCompleted != res.Unicast.OpsGenerated {
+				t.Fatalf("%v/%v: lost ops", arch, scheme)
+			}
+		}
+	}
+}
+
+// TestIrregularStress drives an irregular fabric past saturation; the
+// deadlock-freedom argument (per-channel buffers for IB, direction pools for
+// CB) must hold on trees exactly as on BMINs.
+func TestIrregularStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	for _, arch := range []SwitchArch{CentralBuffer, InputBuffer} {
+		cfg := irregularCfg(13)
+		cfg.Arch = arch
+		cfg.Traffic.MulticastFraction = 0.4
+		cfg.Traffic.Degree = 8
+		cfg.Traffic.OpRate = 0.02 // far past saturation
+		cfg.MeasureCycles = 3000
+		cfg.DrainCycles = 2_000_000
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			t.Fatalf("%v: deadlock or protocol failure: %v", arch, err)
+		}
+		if !sim.Quiesced() {
+			t.Fatalf("%v: did not drain", arch)
+		}
+	}
+}
+
+func TestIrregularRejectsMultiport(t *testing.T) {
+	cfg := irregularCfg(1)
+	cfg.Scheme = collective.HardwareMultiport
+	if _, err := New(cfg); err == nil {
+		t.Fatal("multiport encoding accepted on an irregular fabric")
+	}
+}

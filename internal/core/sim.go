@@ -1,0 +1,394 @@
+package core
+
+import (
+	"fmt"
+
+	"mdworm/internal/collective"
+	"mdworm/internal/engine"
+	"mdworm/internal/flit"
+	"mdworm/internal/nic"
+	"mdworm/internal/routing"
+	"mdworm/internal/stats"
+	"mdworm/internal/switches"
+	"mdworm/internal/switches/centralbuf"
+	"mdworm/internal/switches/inputbuf"
+	"mdworm/internal/topology"
+	"mdworm/internal/traffic"
+)
+
+// Simulator owns one fully wired system instance.
+type Simulator struct {
+	cfg    Config
+	net    *topology.Network
+	sim    *engine.Simulation
+	router *routing.Router
+	nics   []*nic.NIC
+	cbs    []*centralbuf.Switch
+	ibs    []*inputbuf.Switch
+	gen    *traffic.Generator
+	col    stats.Collector
+	ids    engine.IDGen
+
+	outstanding int // ops not yet fully delivered
+	genOn       bool
+
+	// deliverHook, when non-nil, observes every message delivery (after
+	// op accounting); barriers and tests use it to sequence phases.
+	deliverHook func(m *flit.Message, proc int, now int64)
+}
+
+// factory builds messages with configuration-derived header sizes.
+type factory struct {
+	cfg *Config
+	net *topology.Network
+	ids *engine.IDGen
+}
+
+// NewMessage implements collective.MessageFactory.
+func (f *factory) NewMessage(src int, dests []int, class flit.Class, payload int,
+	op *flit.Op, fwd *flit.ForwardStep, now int64) *flit.Message {
+
+	return &flit.Message{
+		ID:           f.ids.Next(),
+		Src:          src,
+		Dests:        dests,
+		Class:        class,
+		PayloadFlits: payload,
+		HeaderFlits:  f.cfg.headerFlitsFor(class, f.net),
+		Created:      now,
+		Op:           op,
+		Forward:      fwd,
+	}
+}
+
+// New builds a simulator from the configuration (normalizing buffer sizes to
+// fit the workload on the built fabric).
+func New(cfg Config) (*Simulator, error) {
+	net, err := cfg.buildTopology()
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.normalize(net); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg: cfg,
+		net: net,
+		sim: engine.NewSimulation(cfg.WatchdogLimit),
+		router: &routing.Router{
+			Net:               net,
+			ReplicateOnUpPath: cfg.ReplicateOnUpPath,
+			Policy:            cfg.UpPolicy,
+		},
+	}
+	if cfg.Traffic.OpRate > 0 {
+		g, err := traffic.NewGenerator(cfg.Traffic, net.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s.gen = g
+	}
+	s.build()
+	return s, nil
+}
+
+// switchCredits returns the credit count links into switches grant.
+func (s *Simulator) switchCredits() int {
+	if s.cfg.Arch == CentralBuffer {
+		return s.cfg.CB.InFIFOFlits
+	}
+	return s.cfg.IB.BufFlits
+}
+
+// build instantiates links, switches, and NICs.
+func (s *Simulator) build() {
+	cfg := &s.cfg
+	rootRNG := engine.NewRNG(cfg.Seed ^ 0xabcdef)
+	fac := &factory{cfg: cfg, net: s.net, ids: &s.ids}
+
+	// Per-switch port IO, filled as links are created.
+	ports := make([][]switches.PortIO, len(s.net.Switches))
+	for i, sw := range s.net.Switches {
+		ports[i] = make([]switches.PortIO, sw.NumPorts())
+	}
+
+	// Inter-switch links: one pair per wired connection; create when
+	// scanning the down-port side so each connection is built once.
+	for _, sw := range s.net.Switches {
+		for pn := range sw.Ports {
+			pt := &sw.Ports[pn]
+			if pt.PeerSwitch < 0 || pt.Kind != topology.Down {
+				continue
+			}
+			peer := s.net.Switches[pt.PeerSwitch]
+			down := s.sim.NewLink(
+				fmt.Sprintf("sw%d.p%d->sw%d.p%d", sw.ID, pn, peer.ID, pt.PeerPort),
+				cfg.LinkLatency, s.switchCredits())
+			up := s.sim.NewLink(
+				fmt.Sprintf("sw%d.p%d->sw%d.p%d", peer.ID, pt.PeerPort, sw.ID, pn),
+				cfg.LinkLatency, s.switchCredits())
+			ports[sw.ID][pn].Out = down
+			ports[peer.ID][pt.PeerPort].In = down
+			ports[peer.ID][pt.PeerPort].Out = up
+			ports[sw.ID][pn].In = up
+		}
+	}
+
+	// NIC attachment links.
+	injects := make([]*engine.Link, s.net.N)
+	ejects := make([]*engine.Link, s.net.N)
+	for p := 0; p < s.net.N; p++ {
+		swID, pn := s.net.ProcAttach(p)
+		inj := s.sim.NewLink(fmt.Sprintf("nic%d->sw%d.p%d", p, swID, pn),
+			cfg.LinkLatency, s.switchCredits())
+		ej := s.sim.NewLink(fmt.Sprintf("sw%d.p%d->nic%d", swID, pn, p),
+			cfg.LinkLatency, cfg.NIC.RecvFIFOFlits)
+		ports[swID][pn].In = inj
+		ports[swID][pn].Out = ej
+		injects[p] = inj
+		ejects[p] = ej
+	}
+
+	// Switches.
+	for _, node := range s.net.Switches {
+		rng := rootRNG.Fork(uint64(node.ID))
+		switch cfg.Arch {
+		case CentralBuffer:
+			sw := centralbuf.New(cfg.CB, node, s.router, ports[node.ID], rng, &s.ids, s.sim)
+			s.cbs = append(s.cbs, sw)
+			s.sim.AddComponent(sw)
+		case InputBuffer:
+			sw := inputbuf.New(cfg.IB, node, s.router, ports[node.ID], rng, &s.ids, s.sim)
+			s.ibs = append(s.ibs, sw)
+			s.sim.AddComponent(sw)
+		}
+	}
+
+	// NICs.
+	s.nics = make([]*nic.NIC, s.net.N)
+	for p := 0; p < s.net.N; p++ {
+		n := nic.New(cfg.NIC, p, s.net.N, injects[p], ejects[p], &s.ids, s.sim, fac, s.onDelivered)
+		s.nics[p] = n
+		s.sim.AddComponent(n)
+	}
+}
+
+// Net returns the underlying topology.
+func (s *Simulator) Net() *topology.Network { return s.net }
+
+// SetTracer installs an event tracer (nil removes it). Events cover
+// message-level milestones: op start/completion, injection, delivery,
+// routing decisions, reservations, and grants — never individual flits.
+func (s *Simulator) SetTracer(t engine.Tracer) { s.sim.SetTracer(t) }
+
+// Now returns the current simulation cycle.
+func (s *Simulator) Now() int64 { return s.sim.Now }
+
+// Config returns the normalized configuration in effect.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// NICStats returns per-NIC counters.
+func (s *Simulator) NICStats() []nic.Stats {
+	out := make([]nic.Stats, len(s.nics))
+	for i, n := range s.nics {
+		out[i] = n.Stats()
+	}
+	return out
+}
+
+// CBStats returns per-switch counters for central-buffer runs (nil
+// otherwise).
+func (s *Simulator) CBStats() []centralbuf.Stats {
+	if s.cbs == nil {
+		return nil
+	}
+	out := make([]centralbuf.Stats, len(s.cbs))
+	for i, sw := range s.cbs {
+		out[i] = sw.Stats()
+	}
+	return out
+}
+
+// IBStats returns per-switch counters for input-buffer runs (nil otherwise).
+func (s *Simulator) IBStats() []inputbuf.Stats {
+	if s.ibs == nil {
+		return nil
+	}
+	out := make([]inputbuf.Stats, len(s.ibs))
+	for i, sw := range s.ibs {
+		out[i] = sw.Stats()
+	}
+	return out
+}
+
+// onDelivered records deliveries and op completions.
+func (s *Simulator) onDelivered(m *flit.Message, at *nic.NIC, now int64) {
+	if now >= s.col.WarmupEnd && now < s.col.MeasureEnd {
+		s.col.DeliveredFlits += int64(m.Len())
+		s.col.Class(m.Class == flit.ClassMulticast).DeliveredPayloadFlits += int64(m.PayloadFlits)
+	}
+	op := m.Op
+	if op != nil && op.Deliver(now) {
+		s.outstanding--
+		if s.sim.Tracing() {
+			s.sim.Emit(engine.TraceEvent{Kind: engine.TraceOpDone, Actor: "core", Op: op.ID,
+				Detail: fmt.Sprintf("latency=%d msgs=%d", op.LastLatency(), op.MessagesSent)})
+		}
+		if s.col.InWindow(op.Created) {
+			cc := s.col.Class(op.Class == flit.ClassMulticast)
+			cc.OpsCompleted++
+			cc.LastArrival = append(cc.LastArrival, float64(op.LastLatency()))
+			cc.MeanArrival = append(cc.MeanArrival, op.MeanLatency())
+			cc.MessagesSent += int64(op.MessagesSent)
+		}
+	}
+	if s.deliverHook != nil {
+		s.deliverHook(m, at.Proc(), now)
+	}
+}
+
+// StartOp creates and injects one operation from src to dests at the
+// current cycle, using the configured scheme for multicasts. It returns the
+// op for completion tracking.
+func (s *Simulator) StartOp(src int, dests []int, multicast bool, payload int) (*flit.Op, error) {
+	return s.startOpScheme(s.cfg.Scheme, src, dests, multicast, payload)
+}
+
+// startOpScheme is StartOp with an explicit multicast scheme (barriers mix
+// schemes within one run).
+func (s *Simulator) startOpScheme(scheme collective.Scheme, src int, dests []int, multicast bool, payload int) (*flit.Op, error) {
+	now := s.sim.Now
+	class := flit.ClassUnicast
+	if multicast {
+		class = flit.ClassMulticast
+	}
+	op := flit.NewOp(s.ids.Next(), class, src, len(dests), now)
+	fac := &factory{cfg: &s.cfg, net: s.net, ids: &s.ids}
+	var msgs []*flit.Message
+	var err error
+	if multicast {
+		msgs, err = collective.Plan(scheme, s.net, fac, src, dests, payload, op, now)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if len(dests) != 1 {
+			return nil, fmt.Errorf("core: unicast op needs exactly one destination")
+		}
+		op.Phases = 1
+		msgs = []*flit.Message{fac.NewMessage(src, dests, class, payload, op, nil, now)}
+	}
+	s.nics[src].Submit(msgs...)
+	s.outstanding++
+	if s.col.InWindow(now) {
+		s.col.Class(multicast).OpsGenerated++
+	}
+	if s.sim.Tracing() {
+		s.sim.Emit(engine.TraceEvent{Kind: engine.TraceOpStart, Actor: "core", Op: op.ID,
+			Detail: fmt.Sprintf("src=%d dests=%v scheme=%v", src, dests, scheme)})
+	}
+	return op, nil
+}
+
+// generate draws this cycle's new operations from the traffic generator.
+func (s *Simulator) generate() error {
+	if !s.genOn || s.gen == nil {
+		return nil
+	}
+	for node := 0; node < s.net.N; node++ {
+		req, ok := s.gen.Draw(node)
+		if !ok {
+			continue
+		}
+		if _, err := s.StartOp(req.Src, req.Dests, req.Multicast, req.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the full methodology: warmup and measurement with load on,
+// then a drain with load off until every operation completes. It returns
+// the measured results; the error is non-nil only for protocol failures
+// (deadlock watchdog, invalid configuration interactions).
+func (s *Simulator) Run() (stats.Results, error) {
+	s.col.WarmupEnd = s.sim.Now + s.cfg.WarmupCycles
+	s.col.MeasureEnd = s.col.WarmupEnd + s.cfg.MeasureCycles
+
+	s.genOn = true
+	for s.sim.Now < s.col.MeasureEnd {
+		if err := s.generate(); err != nil {
+			return stats.Results{}, err
+		}
+		s.sim.Step()
+		if err := s.watchdog(); err != nil {
+			return stats.Results{}, err
+		}
+	}
+	backlog := 0
+	for _, n := range s.nics {
+		backlog += n.QueueLen()
+	}
+	s.genOn = false
+
+	drained, err := s.sim.RunUntil(func() bool {
+		return s.outstanding == 0 && s.sim.Quiesced()
+	}, s.cfg.DrainCycles)
+	if err != nil {
+		return stats.Results{}, err
+	}
+
+	maxQ := 0
+	for _, n := range s.nics {
+		if st := n.Stats(); st.SendQueueMax > maxQ {
+			maxQ = st.SendQueueMax
+		}
+	}
+	r := s.col.Finalize(s.net.N, maxQ)
+	r.DrainCycles = s.sim.Now - s.col.MeasureEnd
+	// Saturation: the drain never finishing, or a backlog at measure end
+	// exceeding a couple of ops per node, means generation outran the
+	// network and latencies reflect queue growth.
+	r.Saturated = r.Saturated || !drained || backlog > 2*s.net.N
+	if !drained && s.outstanding > 0 {
+		// Not an error: report the (partial) results flagged saturated.
+		return r, nil
+	}
+	return r, nil
+}
+
+// RunOp injects a single operation on an otherwise idle network and runs
+// until it completes, returning its last-arrival latency. It is the
+// primitive behind the unloaded-latency experiments.
+func (s *Simulator) RunOp(src int, dests []int, multicast bool, payload int, budget int64) (int64, *flit.Op, error) {
+	op, err := s.StartOp(src, dests, multicast, payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	done, err := s.sim.RunUntil(op.Done, budget)
+	if err != nil {
+		return 0, op, err
+	}
+	if !done {
+		return 0, op, fmt.Errorf("core: op from %d to %d destinations incomplete after %d cycles",
+			src, len(dests), budget)
+	}
+	return op.LastLatency(), op, nil
+}
+
+// Step advances the simulation one cycle (generating traffic if a Run is in
+// progress); exposed for fine-grained tests.
+func (s *Simulator) Step() { s.sim.Step() }
+
+// Quiesced reports whether the whole system is idle.
+func (s *Simulator) Quiesced() bool { return s.outstanding == 0 && s.sim.Quiesced() }
+
+// Drain runs with generation off until the system is idle.
+func (s *Simulator) Drain(budget int64) (bool, error) {
+	s.genOn = false
+	return s.sim.RunUntil(s.Quiesced, budget)
+}
+
+func (s *Simulator) watchdog() error {
+	return s.sim.CheckWatchdog()
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"mdworm/internal/collective"
+)
+
+func idleConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Traffic.OpRate = 0
+	return cfg
+}
+
+func TestSmokeSingleUnicast(t *testing.T) {
+	sim, err := New(idleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, op, err := sim.RunOp(0, []int{63}, false, 32, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !op.Done() {
+		t.Fatal("op not done")
+	}
+	t.Logf("unicast 0->63 latency=%d cycles", lat)
+	if lat < 32 || lat > 2000 {
+		t.Fatalf("implausible unicast latency %d", lat)
+	}
+}
+
+func TestSmokeSingleMulticastHW(t *testing.T) {
+	sim, err := New(idleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dests := []int{1, 2, 3, 9, 17, 33, 45, 63}
+	lat, op, err := sim.RunOp(0, dests, true, 64, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Phases != 1 {
+		t.Fatalf("hw bitstring phases = %d, want 1", op.Phases)
+	}
+	t.Logf("hw multicast d=8 latency=%d cycles", lat)
+}
+
+func TestSmokeSingleMulticastSW(t *testing.T) {
+	cfg := idleConfig()
+	cfg.Scheme = collective.SoftwareBinomial
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dests := []int{1, 2, 3, 9, 17, 33, 45, 63}
+	lat, op, err := sim.RunOp(0, dests, true, 64, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Phases != 4 {
+		t.Fatalf("binomial phases = %d, want 4", op.Phases)
+	}
+	t.Logf("sw multicast d=8 latency=%d cycles, messages=%d", lat, op.MessagesSent)
+}
+
+func TestSmokeLoadedRunCB(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmupCycles = 1000
+	cfg.MeasureCycles = 5000
+	cfg.Traffic.OpRate = 0.0005
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("mcast ops=%d/%d lat=%v sat=%v", res.Multicast.OpsCompleted,
+		res.Multicast.OpsGenerated, res.Multicast.LastArrival, res.Saturated)
+	if res.Multicast.OpsCompleted == 0 {
+		t.Fatal("no multicasts completed")
+	}
+}
+
+func TestSmokeLoadedRunIB(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Arch = InputBuffer
+	cfg.WarmupCycles = 1000
+	cfg.MeasureCycles = 5000
+	cfg.Traffic.OpRate = 0.0005
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("mcast ops=%d/%d lat=%v sat=%v", res.Multicast.OpsCompleted,
+		res.Multicast.OpsGenerated, res.Multicast.LastArrival, res.Saturated)
+	if res.Multicast.OpsCompleted == 0 {
+		t.Fatal("no multicasts completed")
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mdworm/internal/collective"
+)
+
+// TestStressNoDeadlock drives each architecture and scheme combination at
+// loads past saturation: the watchdog must stay silent (every op eventually
+// completes once generation stops), which is the paper's deadlock-freedom
+// property under adversarial pressure.
+func TestStressNoDeadlock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	type cas struct {
+		arch   SwitchArch
+		scheme collective.Scheme
+		frac   float64
+		degree int
+	}
+	cases := []cas{
+		{CentralBuffer, collective.HardwareBitString, 1.0, 8},
+		{CentralBuffer, collective.HardwareBitString, 0.2, 16},
+		{CentralBuffer, collective.HardwareMultiport, 1.0, 8},
+		{CentralBuffer, collective.SoftwareBinomial, 0.5, 8},
+		{InputBuffer, collective.HardwareBitString, 1.0, 8},
+		{InputBuffer, collective.HardwareBitString, 0.3, 32},
+		{InputBuffer, collective.SoftwareBinomial, 0.5, 8},
+	}
+	for _, c := range cases {
+		c := c
+		name := fmt.Sprintf("%v-%v-f%.1f-d%d", c.arch, c.scheme, c.frac, c.degree)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig()
+			cfg.Arch = c.arch
+			cfg.Scheme = c.scheme
+			cfg.Traffic.MulticastFraction = c.frac
+			cfg.Traffic.Degree = c.degree
+			cfg.Traffic.OpRate = 0.02 // far past saturation
+			cfg.WarmupCycles = 500
+			cfg.MeasureCycles = 3000
+			cfg.DrainCycles = 2_000_000
+			cfg.WatchdogLimit = 30_000
+			sim, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run()
+			if err != nil {
+				t.Fatalf("deadlock or protocol failure: %v", err)
+			}
+			if !sim.Quiesced() {
+				t.Fatalf("system did not drain; %d ops outstanding", sim.outstanding)
+			}
+			t.Logf("saturated=%v mcastDone=%d uniDone=%d drain=%d cycles",
+				res.Saturated, res.Multicast.OpsCompleted, res.Unicast.OpsCompleted, res.DrainCycles)
+		})
+	}
+}
+
+// TestStressLargeSystem runs the 256-node system (16-flit bit-string
+// headers) under multicast pressure on both architectures.
+func TestStressLargeSystem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	for _, arch := range []SwitchArch{CentralBuffer, InputBuffer} {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig()
+			cfg.Stages = 4 // 256 nodes
+			cfg.Arch = arch
+			cfg.Traffic.OpRate = 0.004
+			cfg.Traffic.Degree = 16
+			cfg.WarmupCycles = 500
+			cfg.MeasureCycles = 2000
+			cfg.DrainCycles = 2_000_000
+			sim, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sim.Run(); err != nil {
+				t.Fatalf("deadlock or protocol failure: %v", err)
+			}
+			if !sim.Quiesced() {
+				t.Fatal("system did not drain")
+			}
+		})
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mdworm/internal/collective"
+	"mdworm/internal/engine"
+)
+
+// TestTraceLifecycle checks the event stream of a software multicast: ops
+// start before they complete, every injection precedes its delivery, and
+// forwarding events appear for the binomial tree.
+func TestTraceLifecycle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = collective.SoftwareBinomial
+	cfg.Traffic.OpRate = 0
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr engine.CollectTracer
+	sim.SetTracer(&tr)
+	if _, _, err := sim.RunOp(0, []int{1, 9, 17, 33}, true, 32, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count(engine.TraceOpStart) != 1 || tr.Count(engine.TraceOpDone) != 1 {
+		t.Fatalf("op events: start=%d done=%d", tr.Count(engine.TraceOpStart), tr.Count(engine.TraceOpDone))
+	}
+	// Binomial to 4 destinations: 4 messages total, each injected and delivered.
+	if got := tr.Count(engine.TraceInject); got != 4 {
+		t.Fatalf("inject events = %d, want 4", got)
+	}
+	if got := tr.Count(engine.TraceDeliver); got != 4 {
+		t.Fatalf("deliver events = %d, want 4", got)
+	}
+	if tr.Count(engine.TraceForward) == 0 {
+		t.Fatal("no forwarding events for a binomial tree")
+	}
+	// Ordering: op-start first, op-done last.
+	if tr.Events[0].Kind != engine.TraceOpStart {
+		t.Fatalf("first event %v", tr.Events[0])
+	}
+	last := tr.Events[len(tr.Events)-1]
+	if last.Kind != engine.TraceOpDone {
+		t.Fatalf("last event %v", last)
+	}
+	// Cycles never decrease.
+	for i := 1; i < len(tr.Events); i++ {
+		if tr.Events[i].Cycle < tr.Events[i-1].Cycle {
+			t.Fatal("trace not in cycle order")
+		}
+	}
+}
+
+// TestTraceReservation checks central-buffer admit events appear for
+// hardware multicast.
+func TestTraceReservation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Traffic.OpRate = 0
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr engine.CollectTracer
+	sim.SetTracer(&tr)
+	if _, _, err := sim.RunOp(0, []int{1, 2, 3}, true, 32, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count(engine.TraceAdmit) == 0 {
+		t.Fatal("no central-buffer admissions traced for a multicast")
+	}
+	if tr.Count(engine.TraceDecode) == 0 {
+		t.Fatal("no decodes traced")
+	}
+}
+
+// TestTraceGrantIB checks the input-buffer grant events.
+func TestTraceGrantIB(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Arch = InputBuffer
+	cfg.Traffic.OpRate = 0
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr engine.CollectTracer
+	sim.SetTracer(&tr)
+	if _, _, err := sim.RunOp(0, []int{1, 2, 3}, true, 32, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count(engine.TraceGrant) == 0 {
+		t.Fatal("no grants traced")
+	}
+}
+
+func TestTraceEventString(t *testing.T) {
+	e := engine.TraceEvent{Cycle: 7, Kind: engine.TraceInject, Actor: "nic3", Msg: 9, Op: 4, Detail: "x"}
+	s := e.String()
+	for _, want := range []string{"inject", "nic3", "msg=9", "op=4", "x"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string %q missing %q", s, want)
+		}
+	}
+}
+
+// TestTraceRouteLength: a cross-network unicast decodes at exactly
+// 2*stages-1 switches (up to the top stage and back down).
+func TestTraceRouteLength(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Traffic.OpRate = 0
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr engine.CollectTracer
+	sim.SetTracer(&tr)
+	if _, _, err := sim.RunOp(0, []int{63}, false, 16, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tr.Count(engine.TraceDecode), 2*cfg.Stages-1; got != want {
+		t.Fatalf("decodes = %d, want %d", got, want)
+	}
+}
+
+// TestTraceNearestNeighbor: a unicast within one stage-0 switch decodes once.
+func TestTraceNearestNeighbor(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Traffic.OpRate = 0
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr engine.CollectTracer
+	sim.SetTracer(&tr)
+	if _, _, err := sim.RunOp(0, []int{1}, false, 16, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Count(engine.TraceDecode); got != 1 {
+		t.Fatalf("decodes = %d, want 1", got)
+	}
+}
+
+// TestTraceMulticastDecodeCount: a hardware broadcast decodes at every
+// switch of its replication tree exactly once per branch worm.
+func TestTraceMulticastDecodeCount(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Stages = 2 // 16 nodes: tree is 1 up + 4 stage-1-down... countable
+	cfg.Traffic.OpRate = 0
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr engine.CollectTracer
+	sim.SetTracer(&tr)
+	dests := make([]int, 0, 15)
+	for d := 1; d < 16; d++ {
+		dests = append(dests, d)
+	}
+	if _, _, err := sim.RunOp(0, dests, true, 32, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Broadcast from node 0 on a 2-stage tree: decode at the source's
+	// stage-0 switch (1), one stage-1 switch (1), and the four stage-0
+	// switches on the way down (4, including the source switch again for
+	// its local destinations under ReplicateOnUpPath the local dests were
+	// already covered — so 3 others). Total = 1 + 1 + 3 = 5.
+	if got := tr.Count(engine.TraceDecode); got != 5 {
+		t.Fatalf("broadcast decodes = %d, want 5", got)
+	}
+}

@@ -1,0 +1,415 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mdworm/internal/flit"
+)
+
+func testWorm(n int) *flit.Worm {
+	msg := &flit.Message{ID: 1, PayloadFlits: n - 1, HeaderFlits: 1}
+	return &flit.Worm{ID: 1, Msg: msg}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Fatal("different seeds collided on first draw")
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	root := NewRNG(9)
+	f1 := root.Fork(1)
+	f2 := root.Fork(2)
+	f1again := root.Fork(1)
+	if f1.Uint64() != f1again.Uint64() {
+		t.Fatal("Fork not deterministic in tag")
+	}
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("distinct forks collided")
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	seen := map[int]int{}
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for v := 0; v < 7; v++ {
+		if seen[v] < 10000/7/2 {
+			t.Fatalf("value %d badly underrepresented: %d", v, seen[v])
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatalf("duplicate %d in perm", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGSample(t *testing.T) {
+	r := NewRNG(11)
+	for trial := 0; trial < 100; trial++ {
+		excl := map[int]bool{3: true, 7: true}
+		s := r.Sample(20, 5, excl)
+		if len(s) != 5 {
+			t.Fatalf("sample size %d", len(s))
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= 20 || excl[v] || seen[v] {
+				t.Fatalf("bad sample %v", s)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		v := NewRNG(seed).Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkDelivery(t *testing.T) {
+	l := NewLink("t", 3, 4)
+	w := testWorm(4)
+	if !l.CanSend(0) {
+		t.Fatal("fresh link cannot send")
+	}
+	l.Send(0, flit.Ref{W: w, Idx: 0})
+	for now := int64(0); now < 3; now++ {
+		if _, ok := l.Arrived(now); ok {
+			t.Fatalf("flit visible at cycle %d before latency", now)
+		}
+	}
+	r, ok := l.Arrived(3)
+	if !ok || r.Idx != 0 {
+		t.Fatalf("flit not delivered at latency: %v %v", r, ok)
+	}
+	got := l.TakeArrived(3)
+	if got.Idx != 0 || l.Carried() != 1 {
+		t.Fatalf("TakeArrived wrong: %v carried=%d", got, l.Carried())
+	}
+}
+
+func TestLinkBandwidthOnePerCycle(t *testing.T) {
+	l := NewLink("t", 1, 10)
+	w := testWorm(4)
+	l.Send(5, flit.Ref{W: w, Idx: 0})
+	if l.CanSend(5) {
+		t.Fatal("second send allowed in same cycle")
+	}
+	if !l.CanSend(6) {
+		t.Fatal("send not allowed next cycle")
+	}
+}
+
+func TestLinkCredits(t *testing.T) {
+	l := NewLink("t", 1, 2)
+	w := testWorm(4)
+	l.Send(0, flit.Ref{W: w, Idx: 0})
+	l.Send(1, flit.Ref{W: w, Idx: 1})
+	if l.CanSend(2) {
+		t.Fatal("send allowed with zero credits")
+	}
+	l.TakeArrived(2) // receiver buffers it...
+	if l.CanSend(3) {
+		t.Fatal("credit appeared without ReturnCredit")
+	}
+	l.ReturnCredit(2, 1) // ...and frees the slot at cycle 2
+	if l.CanSend(2) {
+		t.Fatal("credit visible before reverse latency")
+	}
+	if !l.CanSend(3) {
+		t.Fatal("credit not visible after reverse latency")
+	}
+}
+
+func TestLinkReceiverOnePerCycle(t *testing.T) {
+	l := NewLink("t", 1, 4)
+	w := testWorm(4)
+	l.Send(0, flit.Ref{W: w, Idx: 0})
+	l.Send(1, flit.Ref{W: w, Idx: 1})
+	l.TakeArrived(2)
+	if _, ok := l.Arrived(2); ok {
+		t.Fatal("second take allowed in one cycle")
+	}
+	if _, ok := l.Arrived(3); !ok {
+		t.Fatal("flit lost")
+	}
+}
+
+func TestLinkSendWithoutCreditPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	l := NewLink("t", 1, 1)
+	w := testWorm(4)
+	l.Send(0, flit.Ref{W: w, Idx: 0})
+	l.Send(1, flit.Ref{W: w, Idx: 1})
+}
+
+// pipe is a minimal component that forwards flits from one link to another.
+type pipe struct {
+	name    string
+	in, out *Link
+	held    []flit.Ref
+	cap     int
+}
+
+func (p *pipe) Name() string   { return p.name }
+func (p *pipe) Quiesced() bool { return len(p.held) == 0 }
+func (p *pipe) Step(now int64) {
+	if len(p.held) > 0 && p.out != nil && p.out.CanSend(now) {
+		p.out.Send(now, p.held[0])
+		p.held = p.held[1:]
+		p.in.ReturnCredit(now, 1)
+	}
+	if _, ok := p.in.Arrived(now); ok && len(p.held) < p.cap {
+		p.held = append(p.held, p.in.TakeArrived(now))
+	}
+}
+
+// sink consumes flits and records arrival cycles.
+type sink struct {
+	in       *Link
+	arrivals []int64
+}
+
+func (s *sink) Name() string   { return "sink" }
+func (s *sink) Quiesced() bool { return true }
+func (s *sink) Step(now int64) {
+	if _, ok := s.in.Arrived(now); ok {
+		s.in.TakeArrived(now)
+		s.in.ReturnCredit(now, 1)
+		s.arrivals = append(s.arrivals, now)
+	}
+}
+
+func TestSimulationPipeline(t *testing.T) {
+	sim := NewSimulation(1000)
+	l1 := sim.NewLink("l1", 1, 2)
+	l2 := sim.NewLink("l2", 1, 2)
+	p := &pipe{name: "p", in: l1, out: l2, cap: 2}
+	snk := &sink{in: l2}
+	sim.AddComponent(p)
+	sim.AddComponent(snk)
+
+	w := testWorm(3)
+	for i := 0; i < 3; i++ {
+		if !l1.CanSend(sim.Now) {
+			sim.Step()
+		}
+		l1.Send(sim.Now, flit.Ref{W: w, Idx: i})
+		sim.Step()
+	}
+	ok, err := sim.Drain(100)
+	if err != nil || !ok {
+		t.Fatalf("drain: ok=%v err=%v", ok, err)
+	}
+	if len(snk.arrivals) != 3 {
+		t.Fatalf("sink got %d flits, want 3", len(snk.arrivals))
+	}
+	for i := 1; i < len(snk.arrivals); i++ {
+		if snk.arrivals[i] <= snk.arrivals[i-1] {
+			t.Fatalf("arrivals not strictly increasing: %v", snk.arrivals)
+		}
+	}
+}
+
+// stuckComponent holds work forever without moving flits.
+type stuckComponent struct{}
+
+func (stuckComponent) Name() string   { return "stuck" }
+func (stuckComponent) Quiesced() bool { return false }
+func (stuckComponent) Step(int64)     {}
+
+func TestWatchdogFires(t *testing.T) {
+	sim := NewSimulation(50)
+	sim.AddComponent(stuckComponent{})
+	err := sim.Run(200)
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if len(de.Stuck) != 1 || de.Stuck[0] != "stuck" {
+		t.Fatalf("wrong stuck list: %v", de.Stuck)
+	}
+}
+
+func TestWatchdogSilentWhenIdle(t *testing.T) {
+	sim := NewSimulation(10)
+	if err := sim.Run(1000); err != nil {
+		t.Fatalf("idle sim tripped watchdog: %v", err)
+	}
+}
+
+// ticking holds work but declares internal progress (like a software
+// overhead timer counting down).
+type ticking struct{ sim *Simulation }
+
+func (ticking) Name() string   { return "ticking" }
+func (ticking) Quiesced() bool { return false }
+func (c ticking) Step(int64)   { c.sim.Progress() }
+
+func TestWatchdogResetByProgress(t *testing.T) {
+	sim := NewSimulation(50)
+	sim.AddComponent(ticking{sim: sim})
+	if err := sim.Run(500); err != nil {
+		t.Fatalf("watchdog fired despite declared progress: %v", err)
+	}
+}
+
+func TestIDGen(t *testing.T) {
+	var g IDGen
+	if g.Next() != 1 || g.Next() != 2 || g.Next() != 3 {
+		t.Fatal("IDGen not sequential from 1")
+	}
+}
+
+func TestLinkAccessors(t *testing.T) {
+	l := NewLink("wire", 2, 3)
+	if l.Name() != "wire" || !l.Quiesced() || l.InFlight() != 0 {
+		t.Fatal("fresh link accessors wrong")
+	}
+	w := testWorm(2)
+	l.Send(0, flit.Ref{W: w, Idx: 0})
+	if l.Quiesced() || l.InFlight() != 1 {
+		t.Fatal("in-flight accounting wrong")
+	}
+	l.TakeArrived(2)
+	if !l.Quiesced() {
+		t.Fatal("link not quiesced after delivery")
+	}
+}
+
+func TestSimulationLinksRegistered(t *testing.T) {
+	sim := NewSimulation(0)
+	sim.NewLink("a", 1, 1)
+	sim.NewLink("b", 1, 1)
+	if len(sim.Links()) != 2 {
+		t.Fatalf("links = %d", len(sim.Links()))
+	}
+}
+
+func TestDeadlockErrorListsLinks(t *testing.T) {
+	sim := NewSimulation(10)
+	l := sim.NewLink("stuck-wire", 1, 1)
+	w := testWorm(2)
+	l.Send(0, flit.Ref{W: w, Idx: 0}) // never consumed
+	err := sim.Run(100)
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("expected deadlock, got %v", err)
+	}
+	found := false
+	for _, s := range de.Stuck {
+		if s == "link:stuck-wire" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stuck link not reported: %v", de.Stuck)
+	}
+}
+
+func TestRunUntilBudget(t *testing.T) {
+	sim := NewSimulation(0)
+	calls := 0
+	ok, err := sim.RunUntil(func() bool { calls++; return false }, 10)
+	if ok || err != nil {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if sim.Now != 10 {
+		t.Fatalf("advanced %d cycles, want 10", sim.Now)
+	}
+	if calls < 10 {
+		t.Fatalf("predicate called %d times", calls)
+	}
+}
+
+func TestTracerPlumbing(t *testing.T) {
+	sim := NewSimulation(0)
+	if sim.Tracing() {
+		t.Fatal("tracing on by default")
+	}
+	var ct CollectTracer
+	sim.SetTracer(&ct)
+	if !sim.Tracing() {
+		t.Fatal("tracer not installed")
+	}
+	sim.Now = 5
+	sim.Emit(TraceEvent{Kind: TraceInject, Actor: "x"})
+	if len(ct.Events) != 1 || ct.Events[0].Cycle != 5 {
+		t.Fatalf("events: %+v", ct.Events)
+	}
+	if ct.Count(TraceInject) != 1 || ct.Count(TraceDeliver) != 0 {
+		t.Fatal("Count wrong")
+	}
+	sim.SetTracer(nil)
+	sim.Emit(TraceEvent{Kind: TraceInject})
+	if len(ct.Events) != 1 {
+		t.Fatal("emit after removal")
+	}
+}
+
+func TestTraceKindNames(t *testing.T) {
+	kinds := []TraceKind{TraceOpStart, TraceOpDone, TraceInject, TraceDeliver,
+		TraceForward, TraceDecode, TraceReserve, TraceAdmit, TraceGrant}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		name := k.String()
+		if name == "" || seen[name] {
+			t.Fatalf("bad or duplicate kind name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func BenchmarkLinkSendTakeCredit(b *testing.B) {
+	l := NewLink("bench", 1, 4)
+	w := testWorm(1 << 20)
+	b.ReportAllocs()
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		l.Send(now, flit.Ref{W: w, Idx: 0})
+		now++
+		l.TakeArrived(now)
+		l.ReturnCredit(now, 1)
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}

@@ -1,0 +1,13 @@
+package engine
+
+// IDGen hands out unique identifiers for messages, worms, and operations
+// within one simulation run.
+type IDGen struct {
+	n uint64
+}
+
+// Next returns the next identifier, starting at 1.
+func (g *IDGen) Next() uint64 {
+	g.n++
+	return g.n
+}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"fmt"
+
+	"mdworm/internal/flit"
+)
+
+// Link is a unidirectional channel between an output port and an input port
+// with a fixed latency in cycles and a bandwidth of one flit per cycle.
+// Flow control is credit-based: the sender holds one credit per free slot of
+// the receiver's buffer, consumes a credit per flit sent, and regains
+// credits (after the same link latency) when the receiver frees buffer
+// space. With this discipline the receiver never overflows, so arriving
+// flits can always be accepted.
+type Link struct {
+	name    string
+	latency int64
+
+	inflight []timed[flit.Ref] // flits on the wire, in send order
+	creditsQ []timed[int]      // credit returns on the reverse wire
+	credits  int               // sender-visible credits (after draining creditsQ)
+
+	lastSend int64 // cycle of most recent Send, for the 1 flit/cycle limit
+	lastTake int64 // cycle of most recent TakeArrived
+
+	carried  int64  // flits delivered over the lifetime of the link
+	activity *int64 // simulation activity counter
+}
+
+type timed[T any] struct {
+	v  T
+	at int64
+}
+
+// NewLink creates a link with the given latency (>= 1) and initial credit
+// count (the capacity of the receiver's buffer).
+func NewLink(name string, latency, credits int) *Link {
+	if latency < 1 {
+		panic("engine: link latency must be >= 1")
+	}
+	if credits < 1 {
+		panic("engine: link credits must be >= 1")
+	}
+	var noop int64
+	return &Link{
+		name:     name,
+		latency:  int64(latency),
+		credits:  credits,
+		lastSend: -1,
+		lastTake: -1,
+		activity: &noop,
+	}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Carried returns the number of flits delivered so far.
+func (l *Link) Carried() int64 { return l.carried }
+
+// InFlight returns the number of flits currently on the wire.
+func (l *Link) InFlight() int { return len(l.inflight) }
+
+func (l *Link) drainCredits(now int64) {
+	for len(l.creditsQ) > 0 && l.creditsQ[0].at <= now {
+		l.credits += l.creditsQ[0].v
+		l.creditsQ = l.creditsQ[1:]
+	}
+}
+
+// CanSend reports whether the sender may push a flit this cycle: a credit is
+// available and the per-cycle bandwidth is unused.
+func (l *Link) CanSend(now int64) bool {
+	l.drainCredits(now)
+	return l.credits > 0 && l.lastSend < now
+}
+
+// Credits returns the sender-visible credit count.
+func (l *Link) Credits(now int64) int {
+	l.drainCredits(now)
+	return l.credits
+}
+
+// Send pushes one flit onto the wire; it arrives at now+latency. It panics
+// if called without CanSend — senders must check first.
+func (l *Link) Send(now int64, r flit.Ref) {
+	if !l.CanSend(now) {
+		panic(fmt.Sprintf("engine: link %s: Send without credit/bandwidth at cycle %d", l.name, now))
+	}
+	l.credits--
+	l.lastSend = now
+	l.inflight = append(l.inflight, timed[flit.Ref]{v: r, at: now + l.latency})
+	*l.activity++
+}
+
+// Arrived returns the oldest flit whose arrival time has passed, without
+// consuming it. The second result is false if nothing has arrived or the
+// receiver already took a flit this cycle.
+func (l *Link) Arrived(now int64) (flit.Ref, bool) {
+	if l.lastTake >= now || len(l.inflight) == 0 || l.inflight[0].at > now {
+		return flit.Ref{}, false
+	}
+	return l.inflight[0].v, true
+}
+
+// TakeArrived consumes the flit returned by Arrived. The receiver is
+// responsible for storing it (credit discipline guarantees space) and for
+// returning a credit once the space frees.
+func (l *Link) TakeArrived(now int64) flit.Ref {
+	r, ok := l.Arrived(now)
+	if !ok {
+		panic(fmt.Sprintf("engine: link %s: TakeArrived with nothing arrived at cycle %d", l.name, now))
+	}
+	l.inflight = l.inflight[1:]
+	l.lastTake = now
+	l.carried++
+	return r
+}
+
+// ReturnCredit notifies the sender (after the link latency) that n slots of
+// the receiver's buffer have been freed.
+func (l *Link) ReturnCredit(now int64, n int) {
+	if n <= 0 {
+		panic("engine: ReturnCredit with non-positive n")
+	}
+	l.creditsQ = append(l.creditsQ, timed[int]{v: n, at: now + l.latency})
+}
+
+// Quiesced reports whether no flits are on the wire.
+func (l *Link) Quiesced() bool { return len(l.inflight) == 0 }
+
+func (l *Link) bindActivity(counter *int64) { l.activity = counter }

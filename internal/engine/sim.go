@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Component is a clocked element of the simulated system (a switch or a
+// NIC). Step is called exactly once per cycle in registration order; because
+// link latency is at least one cycle, results are independent of that order.
+type Component interface {
+	// Step advances the component by one cycle.
+	Step(now int64)
+	// Quiesced reports whether the component holds no in-flight work.
+	Quiesced() bool
+	// Name identifies the component in diagnostics.
+	Name() string
+}
+
+// DeadlockError reports that the watchdog observed no forward progress for
+// its limit while components still held work — either a genuine protocol
+// deadlock or a model bug. It lists the stuck components.
+type DeadlockError struct {
+	Cycle int64
+	Limit int64
+	Stuck []string
+}
+
+// Error formats the deadlock report.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("engine: no progress for %d cycles at cycle %d; stuck: %s",
+		e.Limit, e.Cycle, strings.Join(e.Stuck, ", "))
+}
+
+// Simulation owns the clock, the components, and the links. It advances all
+// components cycle by cycle and enforces a global progress watchdog.
+type Simulation struct {
+	// Now is the current cycle, visible to components mid-step.
+	Now int64
+	// WatchdogLimit is the number of consecutive cycles without any flit
+	// movement or declared internal progress after which Run returns a
+	// DeadlockError (if components still hold work). Zero disables it.
+	WatchdogLimit int64
+
+	comps        []Component
+	links        []*Link
+	activity     int64
+	lastActivity int64
+	tracer       Tracer
+}
+
+// NewSimulation returns an empty simulation with the watchdog set to limit.
+func NewSimulation(watchdogLimit int64) *Simulation {
+	return &Simulation{WatchdogLimit: watchdogLimit}
+}
+
+// AddComponent registers a component; it will be stepped each cycle.
+func (s *Simulation) AddComponent(c Component) {
+	s.comps = append(s.comps, c)
+}
+
+// NewLink creates a link registered with this simulation so that flit
+// movement feeds the progress watchdog.
+func (s *Simulation) NewLink(name string, latency, credits int) *Link {
+	l := NewLink(name, latency, credits)
+	l.bindActivity(&s.activity)
+	s.links = append(s.links, l)
+	return l
+}
+
+// Links returns all registered links.
+func (s *Simulation) Links() []*Link { return s.links }
+
+// Progress lets a component declare internal forward progress (for example,
+// draining a software-overhead timer) so the watchdog does not fire while
+// real work advances without flits moving.
+func (s *Simulation) Progress() { s.activity++ }
+
+// Quiesced reports whether every component and link is idle.
+func (s *Simulation) Quiesced() bool {
+	for _, c := range s.comps {
+		if !c.Quiesced() {
+			return false
+		}
+	}
+	for _, l := range s.links {
+		if !l.Quiesced() {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances the simulation one cycle.
+func (s *Simulation) Step() {
+	before := s.activity
+	for _, c := range s.comps {
+		c.Step(s.Now)
+	}
+	if s.activity != before {
+		s.lastActivity = s.Now
+	}
+	s.Now++
+}
+
+// Run advances the simulation by the given number of cycles, returning a
+// DeadlockError if the watchdog fires.
+func (s *Simulation) Run(cycles int64) error {
+	end := s.Now + cycles
+	for s.Now < end {
+		s.Step()
+		if err := s.checkWatchdog(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunUntil steps the simulation until pred returns true, the cycle budget is
+// exhausted, or the watchdog fires. It reports whether pred was satisfied.
+func (s *Simulation) RunUntil(pred func() bool, maxCycles int64) (bool, error) {
+	end := s.Now + maxCycles
+	for s.Now < end {
+		if pred() {
+			return true, nil
+		}
+		s.Step()
+		if err := s.checkWatchdog(); err != nil {
+			return false, err
+		}
+	}
+	return pred(), nil
+}
+
+// Drain runs until every component and link is idle, up to maxCycles.
+func (s *Simulation) Drain(maxCycles int64) (bool, error) {
+	return s.RunUntil(s.Quiesced, maxCycles)
+}
+
+// CheckWatchdog lets external drivers that call Step directly run the same
+// progress check Run performs.
+func (s *Simulation) CheckWatchdog() error { return s.checkWatchdog() }
+
+func (s *Simulation) checkWatchdog() error {
+	if s.WatchdogLimit <= 0 || s.Now-s.lastActivity <= s.WatchdogLimit {
+		return nil
+	}
+	if s.Quiesced() {
+		// Nothing to do is not a deadlock; reset the clock on idleness.
+		s.lastActivity = s.Now
+		return nil
+	}
+	var stuck []string
+	for _, c := range s.comps {
+		if !c.Quiesced() {
+			stuck = append(stuck, c.Name())
+		}
+	}
+	for _, l := range s.links {
+		if !l.Quiesced() {
+			stuck = append(stuck, "link:"+l.Name())
+		}
+	}
+	return &DeadlockError{Cycle: s.Now, Limit: s.WatchdogLimit, Stuck: stuck}
+}

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceKind classifies trace events.
+type TraceKind uint8
+
+const (
+	// TraceOpStart marks the creation of a collective operation.
+	TraceOpStart TraceKind = iota
+	// TraceOpDone marks the delivery at the last destination.
+	TraceOpDone
+	// TraceInject marks the first flit of a message entering the network.
+	TraceInject
+	// TraceDeliver marks a complete message arriving at a NIC.
+	TraceDeliver
+	// TraceForward marks a software-multicast forwarding step.
+	TraceForward
+	// TraceDecode marks a routing decision (with its branch count).
+	TraceDecode
+	// TraceReserve marks a worm queueing for central-buffer reservation.
+	TraceReserve
+	// TraceAdmit marks a worm admitted to the central buffer.
+	TraceAdmit
+	// TraceGrant marks an input-buffer branch acquiring its output port.
+	TraceGrant
+)
+
+// String names the kind.
+func (k TraceKind) String() string {
+	names := [...]string{"op-start", "op-done", "inject", "deliver",
+		"forward", "decode", "reserve", "admit", "grant"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("trace(%d)", uint8(k))
+}
+
+// TraceEvent is one observation of the simulated system.
+type TraceEvent struct {
+	Cycle int64
+	Kind  TraceKind
+	// Actor names the component that emitted the event.
+	Actor string
+	// Msg, Worm, and Op carry the identifiers involved (0 when absent).
+	Msg, Worm, Op uint64
+	// Detail carries event-specific context (branch counts, ports, ...).
+	Detail string
+}
+
+// String renders the event as one log line.
+func (e TraceEvent) String() string {
+	s := fmt.Sprintf("%8d %-9s %-14s", e.Cycle, e.Kind, e.Actor)
+	if e.Op != 0 {
+		s += fmt.Sprintf(" op=%d", e.Op)
+	}
+	if e.Msg != 0 {
+		s += fmt.Sprintf(" msg=%d", e.Msg)
+	}
+	if e.Worm != 0 {
+		s += fmt.Sprintf(" worm=%d", e.Worm)
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Tracer receives simulation events. Implementations must be cheap; the
+// simulator emits one call per message-level event (never per flit).
+type Tracer interface {
+	Emit(TraceEvent)
+}
+
+// WriterTracer formats each event as a line on w.
+type WriterTracer struct {
+	W io.Writer
+}
+
+// Emit implements Tracer.
+func (t *WriterTracer) Emit(e TraceEvent) {
+	fmt.Fprintln(t.W, e.String())
+}
+
+// CollectTracer accumulates events in memory (for tests and analysis).
+type CollectTracer struct {
+	Events []TraceEvent
+}
+
+// Emit implements Tracer.
+func (t *CollectTracer) Emit(e TraceEvent) {
+	t.Events = append(t.Events, e)
+}
+
+// Count returns how many events of the kind were recorded.
+func (t *CollectTracer) Count(kind TraceKind) int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// SetTracer installs (or removes, with nil) the event tracer.
+func (s *Simulation) SetTracer(t Tracer) { s.tracer = t }
+
+// Tracing reports whether a tracer is installed; components guard their
+// event construction with it.
+func (s *Simulation) Tracing() bool { return s.tracer != nil }
+
+// Emit forwards an event to the tracer, stamping the current cycle if the
+// event carries none.
+func (s *Simulation) Emit(e TraceEvent) {
+	if s.tracer == nil {
+		return
+	}
+	if e.Cycle == 0 {
+		e.Cycle = s.Now
+	}
+	s.tracer.Emit(e)
+}

@@ -1,0 +1,213 @@
+// Package experiments defines the paper's evaluation (experiments E1–E8 and
+// the ablations A1–A6 of DESIGN.md) as runnable sweeps over the simulator,
+// and renders the resulting tables in the layout the paper's figures plot.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mdworm/internal/collective"
+	"mdworm/internal/core"
+	"mdworm/internal/stats"
+)
+
+// Options controls a run of the experiment suite.
+type Options struct {
+	// Quick shrinks windows and point counts for smoke runs and benches.
+	Quick bool
+	// Seed drives all runs (points vary it deterministically).
+	Seed uint64
+	// Progress, when non-nil, receives one line per completed point.
+	Progress io.Writer
+}
+
+// DefaultOptions returns the full-fidelity settings.
+func DefaultOptions() Options { return Options{Seed: 1} }
+
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// Point is one measurement of one series.
+type Point struct {
+	X       float64
+	Results stats.Results
+	Err     error
+}
+
+// Series is one curve of a figure (one contender).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Table is one reproduced figure or table.
+type Table struct {
+	ID     string
+	Title  string
+	XLabel string
+	// Metrics lists the column extractors to print, in order.
+	Metrics []Metric
+	Series  []Series
+	Notes   string
+}
+
+// Metric extracts one printable value from a point's results.
+type Metric struct {
+	Name string
+	Get  func(r stats.Results) float64
+}
+
+// Standard metrics.
+var (
+	MetricMcastLatency = Metric{"mcast_lat", func(r stats.Results) float64 {
+		return r.Multicast.LastArrival.Mean
+	}}
+	MetricMcastP95 = Metric{"mcast_p95", func(r stats.Results) float64 {
+		return r.Multicast.LastArrival.P95
+	}}
+	MetricUniLatency = Metric{"uni_lat", func(r stats.Results) float64 {
+		return r.Unicast.LastArrival.Mean
+	}}
+	MetricThroughput = Metric{"delivered_payload", func(r stats.Results) float64 {
+		return r.Multicast.DeliveredPayloadPerNodeCycle + r.Unicast.DeliveredPayloadPerNodeCycle
+	}}
+	MetricMsgsPerOp = Metric{"msgs_per_op", func(r stats.Results) float64 {
+		return r.Multicast.MessagesPerOp
+	}}
+)
+
+// Format renders the table as aligned text, one block per series. Saturated
+// points are marked with '*' (their latencies reflect queue growth).
+func (t *Table) Format(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Notes != "" {
+		fmt.Fprintf(w, "   %s\n", t.Notes)
+	}
+	header := fmt.Sprintf("%-14s %12s", "series", t.XLabel)
+	for _, m := range t.Metrics {
+		header += fmt.Sprintf(" %14s", m.Name)
+	}
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			row := fmt.Sprintf("%-14s %12.4g", s.Name, p.X)
+			if p.Err != nil {
+				fmt.Fprintf(w, "%s  ERROR: %v\n", row, p.Err)
+				continue
+			}
+			for _, m := range t.Metrics {
+				row += fmt.Sprintf(" %14.5g", m.Get(p.Results))
+			}
+			if p.Results.Saturated {
+				row += " *"
+			}
+			fmt.Fprintln(w, row)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Contender is one scheme/architecture combination under comparison.
+type Contender struct {
+	Name   string
+	Arch   core.SwitchArch
+	Scheme collective.Scheme
+}
+
+// The three principal contenders of the paper.
+var (
+	CBHW   = Contender{"cb-hw", core.CentralBuffer, collective.HardwareBitString}
+	IBHW   = Contender{"ib-hw", core.InputBuffer, collective.HardwareBitString}
+	SWUMIN = Contender{"sw-umin", core.CentralBuffer, collective.SoftwareBinomial}
+	SWSEP  = Contender{"sw-sep", core.CentralBuffer, collective.SoftwareSeparate}
+	CBMP   = Contender{"cb-multiport", core.CentralBuffer, collective.HardwareMultiport}
+)
+
+// Apply stamps the contender onto a config.
+func (c Contender) Apply(cfg *core.Config) {
+	cfg.Arch = c.Arch
+	cfg.Scheme = c.Scheme
+}
+
+// baseConfig returns the experiment baseline, shrunk in quick mode.
+func baseConfig(o Options) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = o.Seed
+	cfg.WarmupCycles = 4_000
+	cfg.MeasureCycles = 20_000
+	cfg.DrainCycles = 1_000_000
+	if o.Quick {
+		cfg.WarmupCycles = 1_000
+		cfg.MeasureCycles = 4_000
+		cfg.DrainCycles = 400_000
+	}
+	return cfg
+}
+
+// runPoint builds and runs one configuration, returning a Point.
+func runPoint(cfg core.Config, x float64, o Options, tag string) Point {
+	sim, err := core.New(cfg)
+	if err != nil {
+		return Point{X: x, Err: err}
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return Point{X: x, Err: fmt.Errorf("%s: %w", tag, err)}
+	}
+	o.progress("  %-28s x=%-8.4g mcast=%.1f uni=%.1f thr=%.3f sat=%v",
+		tag, x,
+		res.Multicast.LastArrival.Mean, res.Unicast.LastArrival.Mean,
+		res.Multicast.DeliveredPayloadPerNodeCycle+res.Unicast.DeliveredPayloadPerNodeCycle,
+		res.Saturated)
+	return Point{X: x, Results: res}
+}
+
+// Registry maps experiment ids to their runners.
+type Runner func(Options) (*Table, error)
+
+var registry = map[string]Runner{}
+var registryOrder []string
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+	registryOrder = append(registryOrder, id)
+}
+
+// IDs returns all experiment ids in definition order.
+func IDs() []string {
+	out := append([]string(nil), registryOrder...)
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, o Options) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(o)
+}
+
+// RunAll executes every registered experiment in definition order.
+func RunAll(o Options) ([]*Table, error) {
+	var out []*Table
+	for _, id := range registryOrder {
+		t, err := registry[id](o)
+		if err != nil {
+			return out, fmt.Errorf("experiment %s: %w", id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"mdworm/internal/engine"
+	"mdworm/internal/stats"
+)
+
+// newDrawRNG returns the deterministic stream used to draw single-op
+// sources and destination sets.
+func newDrawRNG(seed uint64) *engine.RNG {
+	return engine.NewRNG(seed ^ 0x5eed5eed)
+}
+
+// pointCollector folds single-op measurements into a stats.Results so
+// idle-network experiments print through the same table machinery as loaded
+// sweeps.
+type pointCollector struct {
+	lats []float64
+	msgs float64
+	n    int
+}
+
+func (c *pointCollector) add(latency, messages float64) {
+	c.lats = append(c.lats, latency)
+	c.msgs += messages
+	c.n++
+}
+
+func (c *pointCollector) results(nodes int) stats.Results {
+	r := stats.Results{Nodes: nodes}
+	r.Multicast.OpsGenerated = int64(c.n)
+	r.Multicast.OpsCompleted = int64(c.n)
+	r.Multicast.LastArrival = stats.Summarize(c.lats)
+	if c.n > 0 {
+		r.Multicast.MessagesPerOp = c.msgs / float64(c.n)
+	}
+	return r
+}

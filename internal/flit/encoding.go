@@ -1,0 +1,154 @@
+package flit
+
+import (
+	"fmt"
+
+	"mdworm/internal/bitset"
+)
+
+// Encoding selects the multidestination header encoding scheme. The choice
+// determines header size (serialization latency) and which destination sets
+// a single worm can cover.
+type Encoding uint8
+
+const (
+	// EncUnicast is the single-destination header: one flit carrying the
+	// destination identifier.
+	EncUnicast Encoding = iota
+	// EncBitString is the N-bit bit-string encoding: bit i set means
+	// processor i is a destination. Covers arbitrary sets in one phase at
+	// the cost of ceil(N/flitBits) header flits.
+	EncBitString
+	// EncMultiport is the multiport encoding of Sivaram/Panda/Stunkel:
+	// per-stage output-port bitmaps on the downward path. Compact headers
+	// and trivial decode logic, but a single worm covers only
+	// digit-product destination sets, so arbitrary multicasts may need
+	// several worms (phases).
+	EncMultiport
+)
+
+// String names the encoding.
+func (e Encoding) String() string {
+	switch e {
+	case EncUnicast:
+		return "unicast"
+	case EncBitString:
+		return "bitstring"
+	case EncMultiport:
+		return "multiport"
+	default:
+		return fmt.Sprintf("encoding(%d)", uint8(e))
+	}
+}
+
+// HeaderFlits returns the number of header flits a worm needs under the
+// given encoding for a system of n processors built as a BMIN with the given
+// number of stages and down-ports per switch (arity), with flitBits payload
+// bits per flit. The result is always at least 1.
+func HeaderFlits(e Encoding, n, stages, arity, flitBits int) int {
+	if flitBits <= 0 {
+		panic("flit: flitBits must be positive")
+	}
+	switch e {
+	case EncUnicast:
+		// Destination id plus routing control comfortably fits one flit
+		// for the system sizes studied (<= 64K nodes at 16-bit flits).
+		return ceilDiv(bitsFor(n)+2, flitBits)
+	case EncBitString:
+		return ceilDiv(n, flitBits)
+	case EncMultiport:
+		// One arity-wide bitmap per stage of the downward path.
+		return ceilDiv(stages*arity, flitBits)
+	default:
+		panic(fmt.Sprintf("flit: unknown encoding %d", e))
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func bitsFor(n int) int {
+	b := 1
+	for (1 << uint(b)) < n {
+		b++
+	}
+	return b
+}
+
+// EncodeBitString serializes a destination set into per-flit payload words,
+// flitBits bits per flit, least-significant destinations first. The result
+// has exactly ceil(set.Cap()/flitBits) entries.
+func EncodeBitString(dests bitset.Set, flitBits int) []uint64 {
+	if flitBits <= 0 || flitBits > 64 {
+		panic("flit: flitBits must be in (0,64]")
+	}
+	n := dests.Cap()
+	out := make([]uint64, ceilDiv(n, flitBits))
+	for _, d := range dests.Members() {
+		fi := d / flitBits
+		out[fi] |= 1 << uint(d%flitBits)
+	}
+	return out
+}
+
+// DecodeBitString reverses EncodeBitString for a system of n processors.
+func DecodeBitString(payload []uint64, n, flitBits int) bitset.Set {
+	if flitBits <= 0 || flitBits > 64 {
+		panic("flit: flitBits must be in (0,64]")
+	}
+	s := bitset.New(n)
+	for fi, w := range payload {
+		for b := 0; b < flitBits; b++ {
+			if w&(1<<uint(b)) != 0 {
+				d := fi*flitBits + b
+				if d < n {
+					s.Add(d)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// MultiportHeader is the decoded form of a multiport-encoded header: for
+// each stage of the downward path (index 0 = the stage adjacent to the
+// processors), a bitmap over the switch's down ports that copies of the
+// worm must take.
+type MultiportHeader struct {
+	// PortMask[s] has bit j set if, at a stage-s switch on the downward
+	// path, the worm replicates onto down port j.
+	PortMask []uint16
+}
+
+// EncodeMultiport packs the header into per-flit payload words with
+// arity bits per stage, stage 0 first.
+func (h MultiportHeader) EncodeMultiport(arity, flitBits int) []uint64 {
+	if flitBits <= 0 || flitBits > 64 {
+		panic("flit: flitBits must be in (0,64]")
+	}
+	total := len(h.PortMask) * arity
+	out := make([]uint64, max(1, ceilDiv(total, flitBits)))
+	for s, m := range h.PortMask {
+		for j := 0; j < arity; j++ {
+			if m&(1<<uint(j)) != 0 {
+				bit := s*arity + j
+				out[bit/flitBits] |= 1 << uint(bit%flitBits)
+			}
+		}
+	}
+	return out
+}
+
+// DecodeMultiport reverses EncodeMultiport for the given stage count.
+func DecodeMultiport(payload []uint64, stages, arity, flitBits int) MultiportHeader {
+	h := MultiportHeader{PortMask: make([]uint16, stages)}
+	for s := 0; s < stages; s++ {
+		for j := 0; j < arity; j++ {
+			bit := s*arity + j
+			wi := bit / flitBits
+			if wi < len(payload) && payload[wi]&(1<<uint(bit%flitBits)) != 0 {
+				h.PortMask[s] |= 1 << uint(j)
+			}
+		}
+	}
+	return h
+}

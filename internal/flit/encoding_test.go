@@ -1,0 +1,132 @@
+package flit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mdworm/internal/bitset"
+)
+
+func TestHeaderFlitsSizes(t *testing.T) {
+	cases := []struct {
+		enc                     Encoding
+		n, stages, arity, fbits int
+		want                    int
+	}{
+		{EncUnicast, 64, 3, 4, 16, 1},
+		{EncUnicast, 65536, 8, 4, 16, 2}, // 16 id bits + control overflow one flit
+		{EncBitString, 16, 2, 4, 16, 1},
+		{EncBitString, 64, 3, 4, 16, 4},
+		{EncBitString, 256, 4, 4, 16, 16},
+		{EncBitString, 64, 3, 4, 8, 8},
+		{EncMultiport, 64, 3, 4, 16, 1},
+		{EncMultiport, 256, 4, 4, 16, 1},
+		{EncMultiport, 256, 4, 4, 8, 2},
+	}
+	for _, c := range cases {
+		got := HeaderFlits(c.enc, c.n, c.stages, c.arity, c.fbits)
+		if got != c.want {
+			t.Errorf("HeaderFlits(%v,n=%d,st=%d,ar=%d,fb=%d) = %d, want %d",
+				c.enc, c.n, c.stages, c.arity, c.fbits, got, c.want)
+		}
+	}
+}
+
+func TestEncodingString(t *testing.T) {
+	for e, want := range map[Encoding]string{
+		EncUnicast: "unicast", EncBitString: "bitstring", EncMultiport: "multiport",
+	} {
+		if e.String() != want {
+			t.Errorf("%d.String() = %q, want %q", e, e.String(), want)
+		}
+	}
+}
+
+func TestBitStringRoundTripFixed(t *testing.T) {
+	dests := bitset.FromSlice(64, []int{0, 15, 16, 31, 32, 63})
+	payload := EncodeBitString(dests, 16)
+	if len(payload) != 4 {
+		t.Fatalf("payload length %d, want 4", len(payload))
+	}
+	back := DecodeBitString(payload, 64, 16)
+	if !back.Equal(dests) {
+		t.Fatalf("round trip: got %v, want %v", back, dests)
+	}
+}
+
+// Property: bit-string encoding round-trips for any destination set, system
+// size, and flit width.
+func TestBitStringRoundTripQuick(t *testing.T) {
+	f := func(raw []uint16, nSeed uint16, fbSeed uint8) bool {
+		n := int(nSeed)%600 + 1
+		fb := int(fbSeed)%64 + 1
+		dests := bitset.New(n)
+		for _, r := range raw {
+			dests.Add(int(r) % n)
+		}
+		payload := EncodeBitString(dests, fb)
+		if len(payload) != (n+fb-1)/fb {
+			return false
+		}
+		return DecodeBitString(payload, n, fb).Equal(dests)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiportRoundTripFixed(t *testing.T) {
+	h := MultiportHeader{PortMask: []uint16{0b1010, 0b0001, 0b1111}}
+	payload := h.EncodeMultiport(4, 16)
+	back := DecodeMultiport(payload, 3, 4, 16)
+	for s := range h.PortMask {
+		if back.PortMask[s] != h.PortMask[s] {
+			t.Fatalf("stage %d: got %04b, want %04b", s, back.PortMask[s], h.PortMask[s])
+		}
+	}
+}
+
+// Property: multiport headers round-trip for any stage count, arity, and
+// flit width.
+func TestMultiportRoundTripQuick(t *testing.T) {
+	f := func(masks []uint16, aritySeed, fbSeed uint8) bool {
+		arity := int(aritySeed)%15 + 2
+		fb := int(fbSeed)%64 + 1
+		if len(masks) > 8 {
+			masks = masks[:8]
+		}
+		h := MultiportHeader{PortMask: make([]uint16, len(masks))}
+		for i, m := range masks {
+			h.PortMask[i] = m & ((1 << uint(arity)) - 1)
+		}
+		payload := h.EncodeMultiport(arity, fb)
+		back := DecodeMultiport(payload, len(masks), arity, fb)
+		for i := range h.PortMask {
+			if back.PortMask[i] != h.PortMask[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeBitStringIgnoresOutOfRange(t *testing.T) {
+	// Encode for n=10 at 16-bit flits: 1 word; set bits beyond n.
+	payload := []uint64{0xFFFF}
+	got := DecodeBitString(payload, 10, 16)
+	if got.Count() != 10 {
+		t.Fatalf("decoded %d members, want 10 (bits >= n dropped)", got.Count())
+	}
+}
+
+func TestBadFlitBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	EncodeBitString(bitset.New(4), 0)
+}

@@ -1,0 +1,89 @@
+package flit
+
+import (
+	"testing"
+
+	"mdworm/internal/bitset"
+)
+
+func TestClassString(t *testing.T) {
+	if ClassUnicast.String() != "unicast" || ClassMulticast.String() != "multicast" {
+		t.Fatal("class names wrong")
+	}
+}
+
+func TestMessageLen(t *testing.T) {
+	m := &Message{PayloadFlits: 64, HeaderFlits: 4}
+	if m.Len() != 68 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestOpDeliveryAccounting(t *testing.T) {
+	op := NewOp(1, ClassMulticast, 0, 3, 100)
+	if op.Done() || op.Remaining() != 3 {
+		t.Fatal("fresh op wrong state")
+	}
+	if op.Deliver(150) {
+		t.Fatal("completed after first delivery")
+	}
+	if op.Deliver(130) {
+		t.Fatal("completed after second delivery")
+	}
+	if !op.Deliver(200) {
+		t.Fatal("not completed after last delivery")
+	}
+	if op.FirstArrival != 130 || op.LastArrival != 200 {
+		t.Fatalf("arrival range [%d,%d]", op.FirstArrival, op.LastArrival)
+	}
+	if op.LastLatency() != 100 {
+		t.Fatalf("last latency = %d, want 100", op.LastLatency())
+	}
+	want := (150.0+130.0+200.0)/3.0 - 100.0
+	if got := op.MeanLatency(); got != want {
+		t.Fatalf("mean latency = %g, want %g", got, want)
+	}
+}
+
+func TestOpOverDeliveryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	op := NewOp(1, ClassUnicast, 0, 1, 0)
+	op.Deliver(1)
+	op.Deliver(2)
+}
+
+func TestRefHeadTail(t *testing.T) {
+	m := &Message{PayloadFlits: 3, HeaderFlits: 2}
+	w := &Worm{ID: 7, Msg: m}
+	if w.Len() != 5 || w.HeaderFlits() != 2 {
+		t.Fatalf("worm sizes wrong: %d %d", w.Len(), w.HeaderFlits())
+	}
+	head := Ref{W: w, Idx: 0}
+	tail := Ref{W: w, Idx: 4}
+	mid := Ref{W: w, Idx: 2}
+	if !head.Head() || head.Tail() {
+		t.Fatal("head flags wrong")
+	}
+	if tail.Head() || !tail.Tail() {
+		t.Fatal("tail flags wrong")
+	}
+	if mid.Head() || mid.Tail() {
+		t.Fatal("mid flags wrong")
+	}
+	if head.String() == "" || tail.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestWormDests(t *testing.T) {
+	m := &Message{PayloadFlits: 1, HeaderFlits: 1}
+	d := bitset.FromSlice(8, []int{1, 5})
+	w := &Worm{ID: 1, Msg: m, Dests: d}
+	if !w.Dests.Has(1) || !w.Dests.Has(5) || w.Dests.Count() != 2 {
+		t.Fatal("dest set wrong")
+	}
+}

@@ -1,0 +1,188 @@
+// Package plot renders experiment series as ASCII line charts so the
+// reproduced figures can be eyeballed directly in a terminal (mdwbench
+// -plot). Charts use a log-ish autoscaled y axis when the series span
+// orders of magnitude, which latency-vs-load curves routinely do.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte
+}
+
+// Chart is a set of curves over a shared axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 56)
+	Height int // plot area rows (default 16)
+	// LogY forces a logarithmic y axis; when false it is chosen
+	// automatically (span > 50x).
+	LogY   bool
+	Series []Series
+}
+
+var defaultMarkers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render writes the chart to w.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 56
+	}
+	if height <= 0 {
+		height = 16
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range c.Series {
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			any = true
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if !any {
+		fmt.Fprintf(w, "%s\n  (no data)\n", c.Title)
+		return
+	}
+	logY := c.LogY || (ymin > 0 && ymax/math.Max(ymin, 1e-12) > 50)
+	ty := func(v float64) float64 {
+		if logY {
+			return math.Log10(math.Max(v, 1e-12))
+		}
+		return v
+	}
+	lo, hi := ty(ymin), ty(ymax)
+	if hi == lo {
+		hi = lo + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		// Sort points by x for line interpolation.
+		type pt struct{ x, y float64 }
+		pts := make([]pt, 0, len(s.X))
+		for i := range s.X {
+			if finite(s.X[i]) && finite(s.Y[i]) {
+				pts = append(pts, pt{s.X[i], s.Y[i]})
+			}
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+		// Extreme magnitudes can overflow (x-xmin) to Inf and the ratio
+		// to NaN; clamp everything onto the grid.
+		col := func(x float64) int {
+			return clampIdx(math.Round((x-xmin)/(xmax-xmin)*float64(width-1)), width)
+		}
+		row := func(y float64) int {
+			f := (ty(y) - lo) / (hi - lo)
+			return (height - 1) - clampIdx(math.Round(f*float64(height-1)), height)
+		}
+		// Connect consecutive points with interpolated dots, then stamp
+		// markers on the data points.
+		for i := 1; i < len(pts); i++ {
+			c0, r0 := col(pts[i-1].x), row(pts[i-1].y)
+			c1, r1 := col(pts[i].x), row(pts[i].y)
+			steps := max(abs(c1-c0), abs(r1-r0))
+			for st := 0; st <= steps; st++ {
+				f := 0.0
+				if steps > 0 {
+					f = float64(st) / float64(steps)
+				}
+				cc := c0 + int(math.Round(f*float64(c1-c0)))
+				rr := r0 + int(math.Round(f*float64(r1-r0)))
+				if grid[rr][cc] == ' ' {
+					grid[rr][cc] = '.'
+				}
+			}
+		}
+		for _, p := range pts {
+			grid[row(p.y)][col(p.x)] = marker
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", c.Title)
+	axis := "linear"
+	if logY {
+		axis = "log"
+	}
+	fmt.Fprintf(w, "%s (%s)\n", c.YLabel, axis)
+	inv := func(f float64) float64 {
+		v := lo + f*(hi-lo)
+		if logY {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	for r := 0; r < height; r++ {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%10.4g", inv(1))
+		case height / 2:
+			label = fmt.Sprintf("%10.4g", inv(0.5))
+		case height - 1:
+			label = fmt.Sprintf("%10.4g", inv(0))
+		default:
+			label = strings.Repeat(" ", 10)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s  %-10.4g%s%10.4g   (%s)\n", strings.Repeat(" ", 10),
+		xmin, strings.Repeat(" ", max(1, width-22)), xmax, c.XLabel)
+	for si, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		fmt.Fprintf(w, "%s   %c %s\n", strings.Repeat(" ", 10), marker, s.Name)
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// clampIdx maps a (possibly NaN or out-of-range) coordinate onto [0, n).
+func clampIdx(v float64, n int) int {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > float64(n-1) {
+		return n - 1
+	}
+	return int(v)
+}

@@ -1,0 +1,91 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := Chart{
+		Title:  "latency vs load",
+		XLabel: "load",
+		YLabel: "cycles",
+		Series: []Series{
+			{Name: "hw", X: []float64{0.1, 0.2, 0.3}, Y: []float64{100, 120, 150}},
+			{Name: "sw", X: []float64{0.1, 0.2, 0.3}, Y: []float64{400, 900, 9000}},
+		},
+	}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"latency vs load", "cycles", "(log)", "hw", "sw", "load", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 18 {
+		t.Fatalf("chart too short (%d lines)", len(lines))
+	}
+}
+
+func TestRenderLinearAxis(t *testing.T) {
+	c := Chart{
+		Title:  "t",
+		Series: []Series{{Name: "a", X: []float64{0, 1}, Y: []float64{10, 20}}},
+	}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if !strings.Contains(buf.String(), "(linear)") {
+		t.Fatalf("small-span series should use linear axis:\n%s", buf.String())
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := Chart{Title: "empty"}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatal("empty chart not flagged")
+	}
+}
+
+func TestRenderSinglePointAndFlat(t *testing.T) {
+	c := Chart{
+		Title: "flat",
+		Series: []Series{
+			{Name: "p", X: []float64{5}, Y: []float64{7}},
+			{Name: "f", X: []float64{1, 2, 3}, Y: []float64{7, 7, 7}},
+		},
+	}
+	var buf bytes.Buffer
+	c.Render(&buf) // must not panic or divide by zero
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+// Property: Render never panics and always emits output, for arbitrary
+// series contents (including NaN and infinite values).
+func TestRenderQuickNeverPanics(t *testing.T) {
+	f := func(xs, ys []float64, w, h uint8) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		c := Chart{
+			Title:  "fuzz",
+			Width:  int(w % 90),
+			Height: int(h % 40),
+			Series: []Series{{Name: "s", X: xs[:n], Y: ys[:n]}},
+		}
+		var buf bytes.Buffer
+		c.Render(&buf)
+		return buf.Len() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdworm/internal/topology"
+)
+
+// Digits returns processor p written in base-arity digits, least significant
+// first, padded to the given number of stages. Digit k is the down-port
+// index a worm takes at a stage-k switch on its way down to p.
+func Digits(p, stages, arity int) []int {
+	d := make([]int, stages)
+	for i := 0; i < stages; i++ {
+		d[i] = p % arity
+		p /= arity
+	}
+	return d
+}
+
+// FromDigits reverses Digits.
+func FromDigits(d []int, arity int) int {
+	p := 0
+	for i := len(d) - 1; i >= 0; i-- {
+		p = p*arity + d[i]
+	}
+	return p
+}
+
+// ProductSet is a destination set expressible by one multiport worm: from a
+// fixed LCA switch, the worm replicates onto the down ports in PortSets[k]
+// at every stage-k switch it visits, so it covers exactly the processors
+// whose digit k lies in PortSets[k] for every k <= LCAStage (with digits
+// above the LCA stage fixed to the source's prefix).
+type ProductSet struct {
+	LCAStage int
+	// PortSets[k] holds the allowed digits at stage k, for k in [0, LCAStage].
+	PortSets [][]int
+	// Prefix holds the digits above LCAStage (shared with the source).
+	Prefix []int
+}
+
+// Dests expands the product set into the concrete destination list,
+// ascending.
+func (ps ProductSet) Dests(arity int) []int {
+	out := []int{0}
+	// Build digit choices from the most significant covered digit down.
+	for k := ps.LCAStage; k >= 0; k-- {
+		next := make([]int, 0, len(out)*len(ps.PortSets[k]))
+		for _, base := range out {
+			for _, v := range ps.PortSets[k] {
+				next = append(next, base*arity+v)
+			}
+		}
+		out = next
+	}
+	scale := 1
+	for i := 0; i <= ps.LCAStage; i++ {
+		scale *= arity
+	}
+	hi := FromDigits(ps.Prefix, arity)
+	for i := range out {
+		out[i] += hi * scale
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Size returns the number of destinations covered.
+func (ps ProductSet) Size() int {
+	n := 1
+	for _, s := range ps.PortSets {
+		n *= len(s)
+	}
+	return n
+}
+
+// MultiportCover decomposes an arbitrary destination set into the minimal
+// number of ProductSets this greedy merge finds, each coverable by a single
+// multiport-encoded worm from src. Destinations must all lie below the LCA
+// stage of {src} ∪ dests (always true in a full BMIN). The union of the
+// returned sets equals dests exactly (no destination is covered twice).
+func MultiportCover(net *topology.Network, src int, dests []int) ([]ProductSet, error) {
+	if len(dests) == 0 {
+		return nil, fmt.Errorf("routing: MultiportCover with no destinations")
+	}
+	stages, arity := net.Stages, net.Arity
+	srcD := Digits(src, stages, arity)
+	seen := make(map[int]bool, len(dests))
+	// LCA stage: smallest s with all digits above s matching the source's.
+	lca := 0
+	vecs := make([][]int, 0, len(dests))
+	for _, d := range dests {
+		if d < 0 || d >= net.N {
+			return nil, fmt.Errorf("routing: destination %d out of range", d)
+		}
+		if seen[d] {
+			return nil, fmt.Errorf("routing: duplicate destination %d", d)
+		}
+		seen[d] = true
+		dd := Digits(d, stages, arity)
+		for k := stages - 1; k > lca; k-- {
+			if dd[k] != srcD[k] {
+				lca = k
+				break
+			}
+		}
+		vecs = append(vecs, dd)
+	}
+	// Suffix vectors over digits [0..lca].
+	suffixes := make([][]int, len(vecs))
+	for i, v := range vecs {
+		suffixes[i] = v[:lca+1]
+	}
+	products := coverSuffixes(suffixes, lca, arity)
+	prefix := append([]int(nil), srcD[lca+1:]...)
+	out := make([]ProductSet, len(products))
+	for i, p := range products {
+		out[i] = ProductSet{LCAStage: lca, PortSets: p, Prefix: prefix}
+	}
+	// Deterministic order: by first destination.
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Dests(arity)[0] < out[j].Dests(arity)[0]
+	})
+	return out, nil
+}
+
+// coverSuffixes greedily merges digit groups with identical lower covers.
+// Each returned element is PortSets[0..k].
+func coverSuffixes(suffixes [][]int, k, arity int) [][][]int {
+	if k == 0 {
+		vals := uniqueSorted(suffixes, 0)
+		return [][][]int{{vals}}
+	}
+	// Partition by the top digit.
+	groups := make(map[int][][]int)
+	for _, s := range suffixes {
+		groups[s[k]] = append(groups[s[k]], s)
+	}
+	// Recursive covers per digit value, then merge identical covers.
+	type entry struct {
+		digits []int
+		cover  [][][]int
+	}
+	byKey := make(map[string]*entry)
+	var order []string
+	for v := 0; v < arity; v++ {
+		g, ok := groups[v]
+		if !ok {
+			continue
+		}
+		c := coverSuffixes(g, k-1, arity)
+		key := coverKey(c)
+		if e, ok := byKey[key]; ok {
+			e.digits = append(e.digits, v)
+		} else {
+			byKey[key] = &entry{digits: []int{v}, cover: c}
+			order = append(order, key)
+		}
+	}
+	var out [][][]int
+	for _, key := range order {
+		e := byKey[key]
+		for _, prod := range e.cover {
+			full := make([][]int, k+1)
+			copy(full, prod)
+			full[k] = e.digits
+			out = append(out, full)
+		}
+	}
+	return out
+}
+
+func uniqueSorted(suffixes [][]int, pos int) []int {
+	set := map[int]bool{}
+	for _, s := range suffixes {
+		set[s[pos]] = true
+	}
+	vals := make([]int, 0, len(set))
+	for v := range set {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+func coverKey(c [][][]int) string {
+	var b strings.Builder
+	for _, prod := range c {
+		for _, set := range prod {
+			for _, v := range set {
+				fmt.Fprintf(&b, "%d,", v)
+			}
+			b.WriteByte(';')
+		}
+		b.WriteByte('|')
+	}
+	return b.String()
+}

@@ -1,0 +1,223 @@
+// Package stats aggregates simulation measurements: latency distributions
+// per traffic class (using the last-arrival multicast latency definition of
+// Nupairoj and Ni), delivered throughput, and saturation heuristics.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample distribution.
+type Summary struct {
+	Count int
+	Mean  float64
+	Min   float64
+	P50   float64
+	P95   float64
+	P99   float64
+	Max   float64
+	// CI95 is the half-width of a 95% confidence interval for the mean,
+	// computed by the method of batch means over the samples in
+	// completion order (simulation samples are serially correlated, so
+	// per-sample variance would understate the interval). Zero when there
+	// are too few samples to batch.
+	CI95 float64
+}
+
+// Summarize computes a Summary from raw samples (not modified).
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return Summary{
+		Count: len(s),
+		Mean:  sum / float64(len(s)),
+		Min:   s[0],
+		P50:   quantile(s, 0.50),
+		P95:   quantile(s, 0.95),
+		P99:   quantile(s, 0.99),
+		Max:   s[len(s)-1],
+		CI95:  batchMeansCI(samples),
+	}
+}
+
+// batchMeansCI computes the 95% confidence half-width for the mean using 10
+// batch means over the samples in their original (completion) order.
+func batchMeansCI(samples []float64) float64 {
+	const batches = 10
+	if len(samples) < 2*batches {
+		return 0
+	}
+	per := len(samples) / batches
+	means := make([]float64, batches)
+	for b := 0; b < batches; b++ {
+		sum := 0.0
+		for i := b * per; i < (b+1)*per; i++ {
+			sum += samples[i]
+		}
+		means[b] = sum / float64(per)
+	}
+	grand := 0.0
+	for _, m := range means {
+		grand += m
+	}
+	grand /= batches
+	varSum := 0.0
+	for _, m := range means {
+		varSum += (m - grand) * (m - grand)
+	}
+	stderr := math.Sqrt(varSum / (batches - 1) / batches)
+	const t9 = 2.262 // Student t, 9 degrees of freedom, 95%
+	return t9 * stderr
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders a compact summary.
+func (s Summary) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	ci := ""
+	if s.CI95 > 0 {
+		ci = fmt.Sprintf("±%.1f", s.CI95)
+	}
+	return fmt.Sprintf("n=%d mean=%.1f%s p50=%.1f p95=%.1f max=%.1f",
+		s.Count, s.Mean, ci, s.P50, s.P95, s.Max)
+}
+
+// ClassCollector accumulates per-class measurements inside the measurement
+// window.
+type ClassCollector struct {
+	OpsGenerated int64
+	OpsCompleted int64
+	// LastArrival holds one sample per completed op: creation to the tail
+	// flit at the last destination.
+	LastArrival []float64
+	// MeanArrival holds the per-op mean destination latency.
+	MeanArrival []float64
+	// MessagesSent counts injected messages attributed to completed ops.
+	MessagesSent int64
+	// DeliveredPayloadFlits counts payload flits arriving at destinations.
+	DeliveredPayloadFlits int64
+}
+
+// Collector gathers everything a run reports.
+type Collector struct {
+	// WarmupEnd and MeasureEnd delimit the measurement window in cycles;
+	// ops *created* inside the window are measured.
+	WarmupEnd  int64
+	MeasureEnd int64
+
+	Unicast   ClassCollector
+	Multicast ClassCollector
+
+	// DeliveredFlits counts every flit arriving at a NIC in the window
+	// (headers included), for raw network throughput.
+	DeliveredFlits int64
+}
+
+// InWindow reports whether an op created at the given cycle is measured.
+func (c *Collector) InWindow(created int64) bool {
+	return created >= c.WarmupEnd && created < c.MeasureEnd
+}
+
+// Class returns the collector for the given multicast-ness.
+func (c *Collector) Class(multicast bool) *ClassCollector {
+	if multicast {
+		return &c.Multicast
+	}
+	return &c.Unicast
+}
+
+// WindowCycles returns the measurement window length.
+func (c *Collector) WindowCycles() int64 { return c.MeasureEnd - c.WarmupEnd }
+
+// ClassResults summarizes one traffic class.
+type ClassResults struct {
+	OpsGenerated int64
+	OpsCompleted int64
+	LastArrival  Summary
+	MeanArrival  Summary
+	// MessagesPerOp is the average number of injected messages a
+	// completed op required (1 for hardware bit-string multicast, about d
+	// for software schemes).
+	MessagesPerOp float64
+	// DeliveredPayloadPerNodeCycle is payload throughput at destinations.
+	DeliveredPayloadPerNodeCycle float64
+}
+
+// Results is the full outcome of a run.
+type Results struct {
+	Cycles    int64 // measurement window length
+	Nodes     int
+	Unicast   ClassResults
+	Multicast ClassResults
+	// DeliveredFlitsPerNodeCycle is raw flit throughput at NICs
+	// (headers included).
+	DeliveredFlitsPerNodeCycle float64
+	// Saturated flags a run whose completion rate lagged generation by
+	// more than 5% — latencies are then queue-growth artifacts.
+	Saturated bool
+	// MaxSendQueue is the largest injection queue seen across NICs.
+	MaxSendQueue int
+	// DrainCycles is how long the post-measurement drain took (0 if the
+	// run was cut off instead of drained).
+	DrainCycles int64
+}
+
+// Finalize converts the collector into results for n nodes.
+func (c *Collector) Finalize(n int, maxSendQueue int) Results {
+	w := float64(c.WindowCycles())
+	r := Results{
+		Cycles:       c.WindowCycles(),
+		Nodes:        n,
+		MaxSendQueue: maxSendQueue,
+	}
+	class := func(cc *ClassCollector) ClassResults {
+		cr := ClassResults{
+			OpsGenerated: cc.OpsGenerated,
+			OpsCompleted: cc.OpsCompleted,
+			LastArrival:  Summarize(cc.LastArrival),
+			MeanArrival:  Summarize(cc.MeanArrival),
+		}
+		if cc.OpsCompleted > 0 {
+			cr.MessagesPerOp = float64(cc.MessagesSent) / float64(cc.OpsCompleted)
+		}
+		if w > 0 {
+			cr.DeliveredPayloadPerNodeCycle = float64(cc.DeliveredPayloadFlits) / w / float64(n)
+		}
+		return cr
+	}
+	r.Unicast = class(&c.Unicast)
+	r.Multicast = class(&c.Multicast)
+	if w > 0 {
+		r.DeliveredFlitsPerNodeCycle = float64(c.DeliveredFlits) / w / float64(n)
+	}
+	gen := c.Unicast.OpsGenerated + c.Multicast.OpsGenerated
+	done := c.Unicast.OpsCompleted + c.Multicast.OpsCompleted
+	if gen > 20 && float64(done) < 0.95*float64(gen) {
+		r.Saturated = true
+	}
+	return r
+}

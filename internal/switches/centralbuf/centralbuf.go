@@ -1,0 +1,645 @@
+// Package centralbuf implements the central-buffer-based switch
+// architecture of the paper, modeled on the IBM SP2 High Performance
+// Switch / SP Switch: a dynamically shared central buffer organized in
+// chunks with per-output queuing, a cut-through bypass path for unblocked
+// traffic, and multidestination worm replication performed by writing the
+// worm into the central buffer once and letting every requested output port
+// read it out independently (reference-counted chunks).
+//
+// Deadlock freedom follows the paper's rule that a packet accepted for
+// transmission can always be completely buffered at the switch: every
+// central-buffer entry — unicast or multidestination — reserves its full
+// chunk count before its first flit is written, so every resident packet is
+// guaranteed to finish writing and output queues always drain. (Letting
+// unicasts buffer partially wedges the switch: a chunk-starved,
+// partially-written packet at the head of an output queue blocks the
+// fully-written packets behind it that hold all the chunks.)
+//
+// A single shared pool would couple ascending and descending channels of the
+// up*/down* routing into a cyclic buffer dependency (a classic
+// store-and-forward deadlock: two switches, each full of packets whose
+// readers wait on the other's input FIFO, whose head waits on a
+// reservation). The pool is therefore partitioned by direction — one
+// sub-pool for packets that arrived ascending (on down ports) and one for
+// packets arriving descending (on up ports) — restoring an acyclic
+// structured-buffer-pool order: descending pools drain by induction from
+// stage 0 (NICs always consume), ascending pools drain by induction from the
+// top stage into descending pools. Each sub-pool holds at least one maximum
+// packet, and reservations accrue to a single FIFO head per sub-pool, which
+// prevents both starvation and circular partial holds.
+package centralbuf
+
+import (
+	"fmt"
+
+	"mdworm/internal/engine"
+	"mdworm/internal/flit"
+	"mdworm/internal/routing"
+	"mdworm/internal/switches"
+	"mdworm/internal/topology"
+)
+
+// Config holds the microarchitectural parameters of the switch.
+type Config struct {
+	// InFIFOFlits is the capacity of each input FIFO; it is also the
+	// credit count granted to the upstream link. It must be at least the
+	// largest header (the whole header must be buffered to decode).
+	InFIFOFlits int
+	// OutFIFOFlits is the capacity of each output FIFO.
+	OutFIFOFlits int
+	// Chunks is the number of chunks in the central buffer. The pool is
+	// split evenly between ascending and descending traffic (see the
+	// package comment); each half must hold the largest packet.
+	Chunks int
+	// ChunkFlits is the chunk size in flits.
+	ChunkFlits int
+	// RouteDelay is the decode/arbitration latency in cycles charged
+	// after a complete header reaches the front of an input FIFO.
+	RouteDelay int
+	// MaxPacketFlits bounds packet size; the central buffer must hold the
+	// largest packet (Chunks*ChunkFlits >= MaxPacketFlits).
+	MaxPacketFlits int
+	// MulticastBypassSingle lets a multidestination worm whose branch set
+	// at this switch is a single output use the unicast cut-through path
+	// instead of being fully buffered. This is an ablation knob; the
+	// paper's conservative design fully buffers every multidestination
+	// worm, which is the default (false).
+	MulticastBypassSingle bool
+	// PortBandwidth bounds how many flits may be written into and (independently)
+	// read out of the central buffer per cycle, modeling the memory
+	// implementation: the authors' companion work shows flit-wide RAMs or a
+	// register pipeline sustain one flit per port per cycle (the default,
+	// 0 = unlimited), while a naive single-ported memory would bottleneck
+	// at 1-2 transfers per cycle. Ablation knob.
+	PortBandwidth int
+}
+
+// DefaultConfig returns SP-Switch-plausible defaults.
+func DefaultConfig() Config {
+	return Config{
+		InFIFOFlits:    8,
+		OutFIFOFlits:   8,
+		Chunks:         128,
+		ChunkFlits:     8,
+		RouteDelay:     4,
+		MaxPacketFlits: 512,
+	}
+}
+
+// Validate checks internal consistency given the largest header in flits.
+func (c Config) Validate(maxHeaderFlits int) error {
+	switch {
+	case c.InFIFOFlits < 1 || c.OutFIFOFlits < 1:
+		return fmt.Errorf("centralbuf: FIFO sizes must be >= 1")
+	case c.Chunks < 1 || c.ChunkFlits < 1:
+		return fmt.Errorf("centralbuf: central buffer must have >= 1 chunk of >= 1 flit")
+	case c.RouteDelay < 0:
+		return fmt.Errorf("centralbuf: negative route delay")
+	case c.MaxPacketFlits > (c.Chunks/2)*c.ChunkFlits:
+		return fmt.Errorf("centralbuf: max packet (%d flits) exceeds a central-buffer direction pool (%d flits); "+
+			"multidestination worms could never be fully buffered",
+			c.MaxPacketFlits, (c.Chunks/2)*c.ChunkFlits)
+	case maxHeaderFlits > c.InFIFOFlits:
+		return fmt.Errorf("centralbuf: header (%d flits) exceeds input FIFO (%d flits); decode could never complete",
+			maxHeaderFlits, c.InFIFOFlits)
+	}
+	return nil
+}
+
+// Stats exposes per-switch counters for ablation studies.
+type Stats struct {
+	switches.Stats
+	BypassFlits     int64 // flits that cut through without touching the central buffer
+	BufferFlits     int64 // flits written into the central buffer
+	AdmittedMcasts  int64 // multidestination worms admitted to the central buffer
+	ReserveWaitSum  int64 // total cycles multicasts waited for reservation
+	MaxChunksInUse  int   // high-water mark of allocated chunks
+	UnicastCBEnters int64 // unicast packets diverted through the central buffer (busy output)
+	TokensCombined  int64 // barrier tokens absorbed by the combining logic
+	TokensEmitted   int64 // barrier tokens generated (combined-up or release)
+}
+
+// Direction pools of the central buffer (see the package comment).
+const (
+	poolUp   = 0 // packets that arrived ascending (on down ports)
+	poolDown = 1 // packets that arrived descending (on up ports)
+)
+
+type inputMode uint8
+
+const (
+	modeIdle inputMode = iota
+	modeHeader
+	modeDecode
+	modeReserve
+	modeBypass
+	modeWrite
+)
+
+type inputState struct {
+	q          switches.FIFO
+	mode       inputMode
+	worm       *flit.Worm
+	decodeLeft int
+	plans      []switches.Planned
+	pb         *packetBuf
+	bypassOut  int
+	waitSince  int64
+}
+
+type outputMode uint8
+
+const (
+	outIdle outputMode = iota
+	outBypass
+	outCB
+)
+
+type outputState struct {
+	fifo    []flit.Ref
+	mode    outputMode
+	boundIn int       // input index when mode == outBypass
+	cur     *cbBranch // branch being served when mode == outCB
+	queue   []*cbBranch
+}
+
+// packetBuf is one worm stored in (or streaming through) the central buffer.
+type packetBuf struct {
+	worm        *flit.Worm
+	total       int
+	written     int
+	reserved    int // chunks reserved but not yet allocated
+	chunksAlloc int
+	chunksFreed int
+	branches    []*cbBranch
+	multicast   bool
+	need        int // total chunks needed (multicast reservation target)
+	input       int
+	pool        int // direction pool the packet allocates from
+}
+
+type cbBranch struct {
+	pb    *packetBuf
+	child *flit.Worm
+	out   int
+	read  int
+}
+
+func (pb *packetBuf) minRead() int {
+	m := pb.total
+	for _, b := range pb.branches {
+		if b.read < m {
+			m = b.read
+		}
+	}
+	return m
+}
+
+func (pb *packetBuf) chunkEnd(c int, chunkFlits int) int {
+	e := (c + 1) * chunkFlits
+	if e > pb.total {
+		e = pb.total
+	}
+	return e
+}
+
+// Switch is one central-buffer switch instance.
+type Switch struct {
+	cfg    Config
+	node   *topology.Switch
+	router *routing.Router
+	ports  []switches.PortIO
+	rng    *engine.RNG
+	ids    *engine.IDGen
+	sim    *engine.Simulation
+
+	in  []inputState
+	out []outputState
+
+	free        [2]int // free chunks per direction pool
+	chunksInUse int
+	wrBudget    int // central-buffer write slots left this cycle
+	rdBudget    int // central-buffer read slots left this cycle
+
+	// Barrier combining state (see combine.go).
+	combineCount int
+	expected     int
+	pendingTok   []pendingToken
+	pendingRes   [2][]*packetBuf // reservation queue per direction pool
+	livePB       int
+	inOffset     int
+
+	stats Stats
+}
+
+// New creates a switch bound to its topology node and port links. All ports
+// of the node must be wired to links by the caller (unconnected ports get
+// nil PortIO entries).
+func New(cfg Config, node *topology.Switch, router *routing.Router, ports []switches.PortIO,
+	rng *engine.RNG, ids *engine.IDGen, sim *engine.Simulation) *Switch {
+
+	if len(ports) != node.NumPorts() {
+		panic("centralbuf: port count mismatch")
+	}
+	s := &Switch{
+		cfg:    cfg,
+		node:   node,
+		router: router,
+		ports:  ports,
+		rng:    rng,
+		ids:    ids,
+		sim:    sim,
+		in:     make([]inputState, len(ports)),
+		out:    make([]outputState, len(ports)),
+	}
+	s.free[poolUp] = cfg.Chunks / 2
+	s.free[poolDown] = cfg.Chunks - cfg.Chunks/2
+	for i := range s.in {
+		s.in[i].bypassOut = -1
+	}
+	for o := range s.out {
+		s.out[o].boundIn = -1
+	}
+	return s
+}
+
+// Name identifies the switch in diagnostics.
+func (s *Switch) Name() string {
+	return fmt.Sprintf("cb-sw%d(s%d,%d)", s.node.ID, s.node.Stage, s.node.Pos)
+}
+
+// Stats returns a snapshot of the switch counters.
+func (s *Switch) Stats() Stats { return s.stats }
+
+// InputCredits returns the credit count to grant on links feeding this
+// switch (the input FIFO capacity).
+func (s *Switch) InputCredits() int { return s.cfg.InFIFOFlits }
+
+// Quiesced reports whether the switch holds no flits or packet state.
+func (s *Switch) Quiesced() bool {
+	if s.livePB != 0 || len(s.pendingRes[poolUp]) != 0 || len(s.pendingRes[poolDown]) != 0 {
+		return false
+	}
+	if !s.tokenQuiesced() {
+		return false
+	}
+	for i := range s.in {
+		if s.in[i].mode != modeIdle || !s.in[i].q.Empty() {
+			return false
+		}
+	}
+	for o := range s.out {
+		if s.out[o].mode != outIdle || len(s.out[o].fifo) != 0 || len(s.out[o].queue) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances the switch one cycle: outputs drain to links and pull from
+// the central buffer, inputs decode and move flits, the reservation heads
+// accrue freed chunks, and new arrivals are accepted.
+func (s *Switch) Step(now int64) {
+	if s.cfg.PortBandwidth > 0 {
+		s.wrBudget = s.cfg.PortBandwidth
+		s.rdBudget = s.cfg.PortBandwidth
+	} else {
+		s.wrBudget = len(s.in)
+		s.rdBudget = len(s.out)
+	}
+	s.stepOutputsDrain(now)
+	s.drainTokens()
+	s.stepOutputsServe(now)
+	s.stepInputs(now)
+	s.accrueReservations(now)
+	s.acceptArrivals(now)
+}
+
+func (s *Switch) stepOutputsDrain(now int64) {
+	for o := range s.out {
+		st := &s.out[o]
+		if len(st.fifo) == 0 || s.ports[o].Out == nil {
+			continue
+		}
+		if s.ports[o].Out.CanSend(now) {
+			s.ports[o].Out.Send(now, st.fifo[0])
+			st.fifo = st.fifo[1:]
+			s.stats.FlitsOut++
+		}
+	}
+}
+
+func (s *Switch) stepOutputsServe(now int64) {
+	for o := range s.out {
+		st := &s.out[o]
+		if st.mode == outIdle && len(st.queue) > 0 {
+			st.cur = st.queue[0]
+			st.queue = st.queue[1:]
+			st.mode = outCB
+		}
+		if st.mode != outCB {
+			continue
+		}
+		b := st.cur
+		if s.rdBudget == 0 || len(st.fifo) >= s.cfg.OutFIFOFlits || b.read >= b.pb.written {
+			continue
+		}
+		s.rdBudget--
+		st.fifo = append(st.fifo, flit.Ref{W: b.child, Idx: b.read})
+		b.read++
+		s.advanceFreeing(b.pb)
+		if b.read == b.pb.total {
+			st.cur = nil
+			st.mode = outIdle
+		}
+	}
+}
+
+// advanceFreeing releases chunks every reader has fully consumed.
+func (s *Switch) advanceFreeing(pb *packetBuf) {
+	m := pb.minRead()
+	for pb.chunksFreed < pb.chunksAlloc && m >= pb.chunkEnd(pb.chunksFreed, s.cfg.ChunkFlits) {
+		pb.chunksFreed++
+		s.chunksInUse--
+		s.free[pb.pool]++
+	}
+	if m == pb.total && pb.written == pb.total {
+		s.retirePB(pb)
+	}
+}
+
+func (s *Switch) retirePB(pb *packetBuf) {
+	if pb.chunksFreed != pb.chunksAlloc {
+		panic(fmt.Sprintf("%s: retiring packet with %d/%d chunks freed",
+			s.Name(), pb.chunksFreed, pb.chunksAlloc))
+	}
+	if pb.reserved != 0 {
+		panic(fmt.Sprintf("%s: retiring packet with %d reserved chunks", s.Name(), pb.reserved))
+	}
+	s.livePB--
+}
+
+// accrueReservations gives freed chunks to the head of each direction
+// pool's reservation queue; a fully reserved multicast is admitted: its
+// branches join the output queues and its input may start writing.
+func (s *Switch) accrueReservations(now int64) {
+	for pool := range s.pendingRes {
+		for len(s.pendingRes[pool]) > 0 {
+			head := s.pendingRes[pool][0]
+			want := head.need - head.reserved
+			grab := min(want, s.free[pool])
+			if grab > 0 {
+				head.reserved += grab
+				s.free[pool] -= grab
+				s.sim.Progress()
+			}
+			if head.reserved < head.need {
+				break
+			}
+			s.admit(head, now)
+			s.pendingRes[pool] = s.pendingRes[pool][1:]
+		}
+	}
+}
+
+func (s *Switch) admit(pb *packetBuf, now int64) {
+	for _, b := range pb.branches {
+		s.out[b.out].queue = append(s.out[b.out].queue, b)
+	}
+	in := &s.in[pb.input]
+	in.mode = modeWrite
+	in.pb = pb
+	if pb.multicast {
+		s.stats.AdmittedMcasts++
+	}
+	s.stats.ReserveWaitSum += now - in.waitSince
+	if s.sim.Tracing() {
+		s.sim.Emit(engine.TraceEvent{Kind: engine.TraceAdmit, Actor: s.Name(),
+			Msg: pb.worm.Msg.ID, Worm: pb.worm.ID,
+			Detail: fmt.Sprintf("waited=%d chunks=%d", now-in.waitSince, pb.need)})
+	}
+	s.sim.Progress()
+}
+
+func (s *Switch) stepInputs(now int64) {
+	n := len(s.in)
+	s.inOffset = (s.inOffset + 1) % n
+	for k := 0; k < n; k++ {
+		s.stepInput((s.inOffset+k)%n, now)
+	}
+}
+
+func (s *Switch) stepInput(i int, now int64) {
+	in := &s.in[i]
+	switch in.mode {
+	case modeIdle:
+		if w := in.q.HeadWorm(); w != nil && w.Msg.Class == flit.ClassBarrier {
+			// Barrier tokens never enter the routing pipeline: consume
+			// and hand to the combining logic.
+			r := in.q.Pop()
+			s.ports[i].In.ReturnCredit(now, 1)
+			s.handleToken(i, r.W)
+			return
+		}
+		if w := in.q.HeadWorm(); w != nil {
+			if in.q.HeadIdx() != 0 {
+				panic(fmt.Sprintf("%s: input %d head worm starts at flit %d", s.Name(), i, in.q.HeadIdx()))
+			}
+			in.worm = w
+			in.mode = modeHeader
+		}
+		if in.mode != modeHeader {
+			return
+		}
+		fallthrough
+	case modeHeader:
+		need := min(in.worm.HeaderFlits(), in.worm.Len())
+		if in.q.HeadAvail() < need {
+			return
+		}
+		in.decodeLeft = s.cfg.RouteDelay
+		in.mode = modeDecode
+		fallthrough
+	case modeDecode:
+		if in.decodeLeft > 0 {
+			in.decodeLeft--
+			s.sim.Progress()
+			return
+		}
+		s.decode(i, now)
+	case modeReserve:
+		// Waiting for accrueReservations to admit; nothing to do.
+	case modeBypass:
+		s.pushBypass(i, now)
+	case modeWrite:
+		s.writeCB(i, now)
+	}
+}
+
+// decode routes the head worm and chooses its data path.
+func (s *Switch) decode(i int, now int64) {
+	in := &s.in[i]
+	ascending := switches.Ascending(s.node, i)
+	free := func(port int) bool {
+		return s.out[port].mode == outIdle && len(s.out[port].queue) == 0
+	}
+	plans, err := switches.PlanBranches(s.router, s.node, in.worm, ascending, free, s.rng, s.ids)
+	if err != nil {
+		panic(fmt.Sprintf("%s: input %d: %v", s.Name(), i, err))
+	}
+	s.stats.Decodes++
+	s.stats.Replications += int64(len(plans) - 1)
+	in.plans = plans
+	if s.sim.Tracing() {
+		s.sim.Emit(engine.TraceEvent{Kind: engine.TraceDecode, Actor: s.Name(),
+			Msg: in.worm.Msg.ID, Worm: in.worm.ID,
+			Detail: fmt.Sprintf("in=%d branches=%d", i, len(plans))})
+	}
+
+	unicastLike := in.worm.Msg.Class == flit.ClassUnicast ||
+		(len(plans) == 1 && s.cfg.MulticastBypassSingle)
+	if unicastLike && len(plans) != 1 {
+		panic(fmt.Sprintf("%s: unicast worm %d produced %d branches", s.Name(), in.worm.ID, len(plans)))
+	}
+
+	pool := poolDown
+	if ascending {
+		pool = poolUp
+	}
+
+	if unicastLike {
+		o := plans[0].Port
+		if s.out[o].mode == outIdle && len(s.out[o].queue) == 0 {
+			s.out[o].mode = outBypass
+			s.out[o].boundIn = i
+			in.bypassOut = o
+			in.mode = modeBypass
+			s.pushBypass(i, now)
+			return
+		}
+		s.stats.UnicastCBEnters++
+	}
+
+	// Divert through the central buffer. Every central-buffer entry —
+	// unicast or multidestination — reserves its full chunk count before
+	// its first flit is written (the paper's rule that an accepted packet
+	// can always be completely buffered). A partially-buffered packet at
+	// the head of an output queue whose writer is chunk-starved would
+	// otherwise wedge the switch: every chunk behind it belongs to
+	// fully-written packets that can never be read past it.
+	pb := s.newPacketBuf(i, !unicastLike, pool)
+	pb.need = (pb.total + s.cfg.ChunkFlits - 1) / s.cfg.ChunkFlits
+	s.livePB++
+	in.pb = pb
+	in.waitSince = now
+	if len(s.pendingRes[pool]) == 0 && s.free[pool] >= pb.need {
+		pb.reserved = pb.need
+		s.free[pool] -= pb.need
+		s.admit(pb, now)
+		s.writeCB(i, now)
+		return
+	}
+	in.mode = modeReserve
+	s.pendingRes[pool] = append(s.pendingRes[pool], pb)
+	if s.sim.Tracing() {
+		s.sim.Emit(engine.TraceEvent{Kind: engine.TraceReserve, Actor: s.Name(),
+			Msg: in.worm.Msg.ID, Worm: in.worm.ID,
+			Detail: fmt.Sprintf("need=%d pool=%d queue=%d", pb.need, pool, len(s.pendingRes[pool]))})
+	}
+}
+
+func (s *Switch) newPacketBuf(i int, multicast bool, pool int) *packetBuf {
+	in := &s.in[i]
+	pb := &packetBuf{
+		worm:      in.worm,
+		total:     in.worm.Len(),
+		multicast: multicast,
+		input:     i,
+		pool:      pool,
+	}
+	pb.branches = make([]*cbBranch, len(in.plans))
+	for bi, p := range in.plans {
+		pb.branches[bi] = &cbBranch{pb: pb, child: p.Child, out: p.Port}
+	}
+	return pb
+}
+
+// pushBypass moves one flit from the input FIFO straight to the bound
+// output FIFO.
+func (s *Switch) pushBypass(i int, now int64) {
+	in := &s.in[i]
+	o := in.bypassOut
+	st := &s.out[o]
+	if in.q.Empty() || in.q.HeadWorm() != in.worm || len(st.fifo) >= s.cfg.OutFIFOFlits {
+		return
+	}
+	r := in.q.Pop()
+	s.ports[i].In.ReturnCredit(now, 1)
+	st.fifo = append(st.fifo, flit.Ref{W: in.plans[0].Child, Idx: r.Idx})
+	s.stats.BypassFlits++
+	if r.Tail() {
+		st.mode = outIdle
+		st.boundIn = -1
+		s.clearInput(in)
+	}
+}
+
+// writeCB moves one flit from the input FIFO into the central buffer.
+func (s *Switch) writeCB(i int, now int64) {
+	in := &s.in[i]
+	pb := in.pb
+	if s.wrBudget == 0 || in.q.Empty() || in.q.HeadWorm() != in.worm {
+		return
+	}
+	if pb.written%s.cfg.ChunkFlits == 0 {
+		// Convert one reserved chunk into an allocation; full up-front
+		// reservation guarantees this never runs dry.
+		if pb.reserved == 0 {
+			panic(fmt.Sprintf("%s: input %d writer out of reserved chunks at flit %d/%d",
+				s.Name(), i, pb.written, pb.total))
+		}
+		pb.reserved--
+		pb.chunksAlloc++
+		s.chunksInUse++
+		if s.chunksInUse > s.stats.MaxChunksInUse {
+			s.stats.MaxChunksInUse = s.chunksInUse
+		}
+	}
+	r := in.q.Pop()
+	s.ports[i].In.ReturnCredit(now, 1)
+	if r.Idx != pb.written {
+		panic(fmt.Sprintf("%s: input %d wrote flit %d, expected %d", s.Name(), i, r.Idx, pb.written))
+	}
+	pb.written++
+	s.wrBudget--
+	s.stats.BufferFlits++
+	s.sim.Progress()
+	if r.Tail() {
+		s.clearInput(in)
+		s.advanceFreeing(pb)
+	}
+}
+
+func (s *Switch) clearInput(in *inputState) {
+	in.mode = modeIdle
+	in.worm = nil
+	in.plans = nil
+	in.pb = nil
+	in.bypassOut = -1
+}
+
+func (s *Switch) acceptArrivals(now int64) {
+	for i := range s.in {
+		if s.ports[i].In == nil {
+			continue
+		}
+		if _, ok := s.ports[i].In.Arrived(now); ok {
+			r := s.ports[i].In.TakeArrived(now)
+			if s.in[i].q.Len() >= s.cfg.InFIFOFlits {
+				panic(fmt.Sprintf("%s: input %d FIFO overflow (credit protocol violated)", s.Name(), i))
+			}
+			s.in[i].q.Push(r)
+			s.stats.FlitsIn++
+		}
+	}
+}

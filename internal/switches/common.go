@@ -1,0 +1,98 @@
+// Package switches holds the plumbing shared by the switch
+// microarchitectures: port/link bundles, round-robin arbitration, and the
+// branch planner that turns a routing decision into forked child worms.
+package switches
+
+import (
+	"mdworm/internal/bitset"
+	"mdworm/internal/engine"
+	"mdworm/internal/flit"
+	"mdworm/internal/routing"
+	"mdworm/internal/topology"
+)
+
+// PortIO bundles the two unidirectional links of one bidirectional port.
+type PortIO struct {
+	// In carries flits arriving into the switch on this port.
+	In *engine.Link
+	// Out carries flits leaving the switch on this port.
+	Out *engine.Link
+}
+
+// Ascending reports whether a worm arriving on the given port of sw is
+// still on its way up: down ports receive traffic from below (processors or
+// lower stages), up ports receive traffic descending from above.
+func Ascending(sw *topology.Switch, port int) bool {
+	return sw.Ports[port].Kind == topology.Down
+}
+
+// Planned is one output branch of a worm at a switch, carrying the forked
+// child worm that continues on that port.
+type Planned struct {
+	Port  int
+	Child *flit.Worm
+}
+
+// PlanBranches routes worm w arriving at sw (ascending or descending) and
+// forks one child worm per branch. free reports whether an output port is
+// currently unbound (consulted by the adaptive up policy); rng drives the
+// random up policy.
+func PlanBranches(r *routing.Router, sw *topology.Switch, w *flit.Worm, ascending bool,
+	free func(port int) bool, rng *engine.RNG, ids *engine.IDGen) ([]Planned, error) {
+
+	dec, err := r.Route(sw, w.Dests, ascending)
+	if err != nil {
+		return nil, err
+	}
+	plans := make([]Planned, 0, dec.NumBranches())
+	for _, b := range dec.Down {
+		plans = append(plans, Planned{Port: b.Port, Child: fork(w, b.Dests, false, ids)})
+	}
+	if !dec.UpDests.Empty() {
+		port := r.PickUp(&dec, w.Msg, free, rng)
+		plans = append(plans, Planned{Port: port, Child: fork(w, dec.UpDests, true, ids)})
+	}
+	return plans, nil
+}
+
+func fork(w *flit.Worm, dests bitset.Set, goingUp bool, ids *engine.IDGen) *flit.Worm {
+	return &flit.Worm{
+		ID:      ids.Next(),
+		Msg:     w.Msg,
+		Dests:   dests,
+		GoingUp: goingUp,
+		Hops:    w.Hops + 1,
+	}
+}
+
+// RoundRobin is a fair pick-one arbiter over n requesters.
+type RoundRobin struct {
+	n    int
+	last int
+}
+
+// NewRoundRobin returns an arbiter over n requesters.
+func NewRoundRobin(n int) *RoundRobin {
+	return &RoundRobin{n: n, last: n - 1}
+}
+
+// Pick returns the first requester after the previous grant for which want
+// returns true, or -1 if none. A successful pick advances the pointer.
+func (rr *RoundRobin) Pick(want func(i int) bool) int {
+	for k := 1; k <= rr.n; k++ {
+		i := (rr.last + k) % rr.n
+		if want(i) {
+			rr.last = i
+			return i
+		}
+	}
+	return -1
+}
+
+// Stats aggregates counters common to all switch models.
+type Stats struct {
+	FlitsIn      int64 // flits accepted from input links
+	FlitsOut     int64 // flits pushed onto output links
+	Decodes      int64 // routing decisions made
+	Replications int64 // extra branches created (branches beyond the first)
+}

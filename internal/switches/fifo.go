@@ -1,0 +1,82 @@
+package switches
+
+import (
+	"fmt"
+
+	"mdworm/internal/flit"
+)
+
+// FIFO is a flit queue that exploits worm contiguity: because a link carries
+// the flits of one worm back to back, the queue stores (worm, first, count)
+// segments instead of individual flits, keeping per-cycle work constant.
+type FIFO struct {
+	segs []fseg
+	size int
+}
+
+type fseg struct {
+	w     *flit.Worm
+	first int
+	n     int
+}
+
+// Len returns the number of buffered flits.
+func (f *FIFO) Len() int { return f.size }
+
+// Empty reports whether the queue holds no flits.
+func (f *FIFO) Empty() bool { return f.size == 0 }
+
+// Push appends a flit. Flits of a worm must arrive contiguously and in
+// index order; Push panics otherwise (a model invariant violation).
+func (f *FIFO) Push(r flit.Ref) {
+	if n := len(f.segs); n > 0 && f.segs[n-1].w == r.W {
+		seg := &f.segs[n-1]
+		if r.Idx != seg.first+seg.n {
+			panic(fmt.Sprintf("switches: non-contiguous flit %v (expected idx %d)", r, seg.first+seg.n))
+		}
+		seg.n++
+	} else {
+		f.segs = append(f.segs, fseg{w: r.W, first: r.Idx, n: 1})
+	}
+	f.size++
+}
+
+// HeadWorm returns the worm whose flit is at the front, or nil if empty.
+func (f *FIFO) HeadWorm() *flit.Worm {
+	if f.size == 0 {
+		return nil
+	}
+	return f.segs[0].w
+}
+
+// HeadAvail returns how many flits of the front worm are buffered.
+func (f *FIFO) HeadAvail() int {
+	if f.size == 0 {
+		return 0
+	}
+	return f.segs[0].n
+}
+
+// HeadIdx returns the flit index at the front of the queue.
+func (f *FIFO) HeadIdx() int {
+	if f.size == 0 {
+		panic("switches: HeadIdx on empty FIFO")
+	}
+	return f.segs[0].first
+}
+
+// Pop removes and returns the front flit.
+func (f *FIFO) Pop() flit.Ref {
+	if f.size == 0 {
+		panic("switches: Pop on empty FIFO")
+	}
+	seg := &f.segs[0]
+	r := flit.Ref{W: seg.w, Idx: seg.first}
+	seg.first++
+	seg.n--
+	if seg.n == 0 {
+		f.segs = f.segs[1:]
+	}
+	f.size--
+	return r
+}

@@ -1,0 +1,469 @@
+// Package inputbuf implements the input-buffer-based switch architecture of
+// the paper: one FIFO buffer per input port, each large enough to hold the
+// largest packet in the system, with asynchronous replication of
+// multidestination worms performed at the input buffer. The head worm of an
+// input requests all the output ports of its branch set; flits are forwarded
+// to whichever outputs the worm has acquired so far, each branch advancing
+// at its own pace (blocked branches do not block the others). A flit's
+// buffer slot is freed — and its credit returned upstream — once every
+// branch has forwarded it.
+//
+// Because an input buffer can hold an entire packet, an accepted
+// multidestination worm can always be completely buffered, satisfying the
+// paper's deadlock-freedom requirement. The price relative to the central
+// buffer is static partitioning of buffer space and head-of-line blocking:
+// everything behind the head worm of an input waits, even if its own output
+// is free.
+package inputbuf
+
+import (
+	"fmt"
+
+	"mdworm/internal/engine"
+	"mdworm/internal/flit"
+	"mdworm/internal/routing"
+	"mdworm/internal/switches"
+	"mdworm/internal/topology"
+)
+
+// Config holds the microarchitectural parameters of the switch.
+type Config struct {
+	// BufFlits is the capacity of each input buffer; it is also the
+	// credit count granted to the upstream link and must be at least
+	// MaxPacketFlits so a worm can always be fully buffered.
+	BufFlits int
+	// RouteDelay is the decode latency in cycles after a complete header
+	// reaches the head of an input buffer.
+	RouteDelay int
+	// MaxPacketFlits bounds packet size.
+	MaxPacketFlits int
+	// SyncReplication switches multidestination forwarding from the
+	// paper's asynchronous replication to the lock-step alternative it
+	// argues against: a flit is forwarded only when *every* branch has
+	// acquired its output and can move that flit in the same cycle, so a
+	// blocked branch stalls all the others. Ablation knob; default off.
+	// (With full-packet input buffers this costs latency, not deadlock.)
+	SyncReplication bool
+}
+
+// DefaultConfig returns defaults matching the paper's requirement that each
+// input buffer holds the largest packet, with a little slack.
+func DefaultConfig() Config {
+	return Config{BufFlits: 512 + 64, RouteDelay: 4, MaxPacketFlits: 512}
+}
+
+// Validate checks internal consistency.
+func (c Config) Validate(maxHeaderFlits int) error {
+	switch {
+	case c.BufFlits < 1:
+		return fmt.Errorf("inputbuf: buffer must hold >= 1 flit")
+	case c.RouteDelay < 0:
+		return fmt.Errorf("inputbuf: negative route delay")
+	case c.BufFlits < c.MaxPacketFlits:
+		return fmt.Errorf("inputbuf: buffer (%d flits) smaller than max packet (%d flits); "+
+			"multidestination worms could not be fully buffered", c.BufFlits, c.MaxPacketFlits)
+	case maxHeaderFlits > c.BufFlits:
+		return fmt.Errorf("inputbuf: header (%d flits) exceeds input buffer (%d flits)", maxHeaderFlits, c.BufFlits)
+	}
+	return nil
+}
+
+// Stats exposes per-switch counters.
+type Stats struct {
+	switches.Stats
+	GrantWaitSum    int64 // cycles branches spent requesting an output
+	HOLBlockedSum   int64 // cycles an active input head moved no flit (grant, credit, or data stall)
+	MaxBufOccupancy int
+	TokensCombined  int64 // barrier tokens absorbed by the combining logic
+	TokensEmitted   int64 // barrier tokens generated (combined-up or release)
+}
+
+type inputMode uint8
+
+const (
+	modeIdle inputMode = iota
+	modeHeader
+	modeDecode
+	modeActive
+)
+
+type wormRecv struct {
+	w   *flit.Worm
+	got int // flits received so far
+}
+
+type branch struct {
+	in      int // owning input port
+	out     int
+	child   *flit.Worm
+	sent    int
+	granted bool
+	done    bool
+	reqAt   int64
+}
+
+type inputState struct {
+	queue      []wormRecv // worms in the buffer, arrival order; [0] is head
+	occupancy  int        // buffered flits not yet freed
+	mode       inputMode
+	decodeLeft int
+	branches   []*branch
+	minSent    int
+	movedAt    int64 // last cycle any branch of this input forwarded a flit
+}
+
+type outputState struct {
+	bound *branch
+	arb   *switches.RoundRobin
+}
+
+// Switch is one input-buffered switch instance.
+type Switch struct {
+	cfg    Config
+	node   *topology.Switch
+	router *routing.Router
+	ports  []switches.PortIO
+	rng    *engine.RNG
+	ids    *engine.IDGen
+	sim    *engine.Simulation
+
+	in  []inputState
+	out []outputState
+
+	// Barrier combining state (see combine.go).
+	combineCount int
+	expected     int
+	pendingTok   []pendingToken
+
+	stats Stats
+}
+
+// New creates a switch bound to its topology node and port links.
+func New(cfg Config, node *topology.Switch, router *routing.Router, ports []switches.PortIO,
+	rng *engine.RNG, ids *engine.IDGen, sim *engine.Simulation) *Switch {
+
+	if len(ports) != node.NumPorts() {
+		panic("inputbuf: port count mismatch")
+	}
+	s := &Switch{
+		cfg:    cfg,
+		node:   node,
+		router: router,
+		ports:  ports,
+		rng:    rng,
+		ids:    ids,
+		sim:    sim,
+		in:     make([]inputState, len(ports)),
+		out:    make([]outputState, len(ports)),
+	}
+	for o := range s.out {
+		s.out[o].arb = switches.NewRoundRobin(len(ports))
+	}
+	return s
+}
+
+// Name identifies the switch in diagnostics.
+func (s *Switch) Name() string {
+	return fmt.Sprintf("ib-sw%d(s%d,%d)", s.node.ID, s.node.Stage, s.node.Pos)
+}
+
+// Stats returns a snapshot of the switch counters.
+func (s *Switch) Stats() Stats { return s.stats }
+
+// InputCredits returns the credit count to grant on links feeding this
+// switch (the input buffer capacity).
+func (s *Switch) InputCredits() int { return s.cfg.BufFlits }
+
+// Quiesced reports whether the switch holds no flits or packet state.
+func (s *Switch) Quiesced() bool {
+	if !s.tokenQuiesced() {
+		return false
+	}
+	for i := range s.in {
+		if len(s.in[i].queue) != 0 || s.in[i].mode != modeIdle {
+			return false
+		}
+	}
+	for o := range s.out {
+		if s.out[o].bound != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances the switch one cycle: bound branches forward flits,
+// unbound outputs arbitrate among requesting branches, input heads decode,
+// and new arrivals are accepted.
+func (s *Switch) Step(now int64) {
+	s.serveOutputs(now)
+	s.drainTokens(now)
+	s.arbitrate(now)
+	s.stepInputs(now)
+	s.acceptArrivals(now)
+}
+
+// serveOutputs forwards one flit per bound output, directly onto the link.
+// Under synchronous replication, a multidestination head moves a flit only
+// when every branch can move it in lock-step.
+func (s *Switch) serveOutputs(now int64) {
+	if s.cfg.SyncReplication {
+		s.serveOutputsSync(now)
+		s.finishHeads(now)
+		return
+	}
+	for o := range s.out {
+		st := &s.out[o]
+		b := st.bound
+		if b == nil {
+			continue
+		}
+		in := &s.in[b.in]
+		head := &in.queue[0]
+		if b.sent >= head.got || s.ports[o].Out == nil || !s.ports[o].Out.CanSend(now) {
+			continue
+		}
+		s.ports[o].Out.Send(now, flit.Ref{W: b.child, Idx: b.sent})
+		b.sent++
+		in.movedAt = now
+		s.stats.FlitsOut++
+		if b.sent == head.w.Len() {
+			b.done = true
+			st.bound = nil
+		}
+		s.advanceFreeing(b.in, now)
+	}
+	s.finishHeads(now)
+}
+
+// serveOutputsSync forwards flits with all branches of a head advancing in
+// lock-step (the feedback-coupled replication the paper rejects).
+func (s *Switch) serveOutputsSync(now int64) {
+	for i := range s.in {
+		in := &s.in[i]
+		if in.mode != modeActive || len(in.branches) == 0 {
+			continue
+		}
+		head := &in.queue[0]
+		ready := true
+		for _, b := range in.branches {
+			if b.done {
+				continue
+			}
+			if !b.granted || b.sent >= head.got ||
+				s.ports[b.out].Out == nil || !s.ports[b.out].Out.CanSend(now) {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		for _, b := range in.branches {
+			if b.done {
+				continue
+			}
+			s.ports[b.out].Out.Send(now, flit.Ref{W: b.child, Idx: b.sent})
+			b.sent++
+			s.stats.FlitsOut++
+			if b.sent == head.w.Len() {
+				b.done = true
+				s.out[b.out].bound = nil
+			}
+		}
+		in.movedAt = now
+		s.advanceFreeing(i, now)
+	}
+}
+
+// advanceFreeing returns credits for flits every branch has forwarded.
+func (s *Switch) advanceFreeing(i int, now int64) {
+	in := &s.in[i]
+	m := in.queue[0].w.Len()
+	for _, b := range in.branches {
+		if b.sent < m {
+			m = b.sent
+		}
+	}
+	if m > in.minSent {
+		delta := m - in.minSent
+		in.minSent = m
+		in.occupancy -= delta
+		s.ports[i].In.ReturnCredit(now, delta)
+	}
+}
+
+// finishHeads pops head worms whose branches are all done.
+func (s *Switch) finishHeads(now int64) {
+	for i := range s.in {
+		in := &s.in[i]
+		if in.mode != modeActive || len(in.branches) == 0 {
+			continue
+		}
+		alldone := true
+		for _, b := range in.branches {
+			if !b.done {
+				alldone = false
+				break
+			}
+		}
+		if !alldone {
+			continue
+		}
+		if in.minSent != in.queue[0].w.Len() {
+			panic(fmt.Sprintf("%s: popping head with %d/%d flits freed",
+				s.Name(), in.minSent, in.queue[0].w.Len()))
+		}
+		in.queue = in.queue[1:]
+		in.branches = nil
+		in.minSent = 0
+		in.mode = modeIdle
+		s.sim.Progress()
+	}
+}
+
+// arbitrate grants unbound outputs to requesting head branches, round-robin
+// across inputs.
+func (s *Switch) arbitrate(now int64) {
+	for o := range s.out {
+		st := &s.out[o]
+		if st.bound != nil {
+			continue
+		}
+		picked := st.arb.Pick(func(i int) bool {
+			in := &s.in[i]
+			if in.mode != modeActive {
+				return false
+			}
+			for _, b := range in.branches {
+				if b.out == o && !b.granted && !b.done {
+					return true
+				}
+			}
+			return false
+		})
+		if picked < 0 {
+			continue
+		}
+		in := &s.in[picked]
+		for _, b := range in.branches {
+			if b.out == o && !b.granted && !b.done {
+				b.granted = true
+				st.bound = b
+				s.stats.GrantWaitSum += now - b.reqAt
+				if s.sim.Tracing() {
+					s.sim.Emit(engine.TraceEvent{Kind: engine.TraceGrant, Actor: s.Name(),
+						Msg: b.child.Msg.ID, Worm: b.child.ID,
+						Detail: fmt.Sprintf("in=%d out=%d waited=%d", picked, o, now-b.reqAt)})
+				}
+				s.sim.Progress()
+				break
+			}
+		}
+	}
+}
+
+func (s *Switch) stepInputs(now int64) {
+	for i := range s.in {
+		in := &s.in[i]
+		switch in.mode {
+		case modeIdle:
+			if len(in.queue) == 0 {
+				continue
+			}
+			if head := &in.queue[0]; head.w.Msg.Class == flit.ClassBarrier {
+				// Barrier tokens are combined, never routed. The token
+				// is one flit; it is fully present once queued.
+				if head.got < head.w.Len() {
+					continue
+				}
+				w := head.w
+				in.queue = in.queue[1:]
+				in.occupancy--
+				s.ports[i].In.ReturnCredit(now, 1)
+				s.handleToken(i, w)
+				continue
+			}
+			in.mode = modeHeader
+			fallthrough
+		case modeHeader:
+			head := &in.queue[0]
+			need := min(head.w.HeaderFlits(), head.w.Len())
+			if head.got < need {
+				continue
+			}
+			in.decodeLeft = s.cfg.RouteDelay
+			in.mode = modeDecode
+			fallthrough
+		case modeDecode:
+			if in.decodeLeft > 0 {
+				in.decodeLeft--
+				s.sim.Progress()
+				continue
+			}
+			s.decode(i, now)
+		case modeActive:
+			// Branches are driven from serveOutputs/arbitrate; count
+			// cycles the head could not move a single flit (whether
+			// blocked on grants, downstream credits, or missing data).
+			if in.movedAt != now {
+				s.stats.HOLBlockedSum++
+			}
+		}
+	}
+}
+
+func (s *Switch) decode(i int, now int64) {
+	in := &s.in[i]
+	head := &in.queue[0]
+	ascending := switches.Ascending(s.node, i)
+	free := func(port int) bool { return s.out[port].bound == nil }
+	plans, err := switches.PlanBranches(s.router, s.node, head.w, ascending, free, s.rng, s.ids)
+	if err != nil {
+		panic(fmt.Sprintf("%s: input %d: %v", s.Name(), i, err))
+	}
+	s.stats.Decodes++
+	s.stats.Replications += int64(len(plans) - 1)
+	if s.sim.Tracing() {
+		s.sim.Emit(engine.TraceEvent{Kind: engine.TraceDecode, Actor: s.Name(),
+			Msg: head.w.Msg.ID, Worm: head.w.ID,
+			Detail: fmt.Sprintf("in=%d branches=%d", i, len(plans))})
+	}
+	in.branches = make([]*branch, len(plans))
+	for bi, p := range plans {
+		in.branches[bi] = &branch{in: i, out: p.Port, child: p.Child, reqAt: now}
+	}
+	in.minSent = 0
+	in.mode = modeActive
+}
+
+func (s *Switch) acceptArrivals(now int64) {
+	for i := range s.in {
+		if s.ports[i].In == nil {
+			continue
+		}
+		if _, ok := s.ports[i].In.Arrived(now); ok {
+			r := s.ports[i].In.TakeArrived(now)
+			in := &s.in[i]
+			if in.occupancy >= s.cfg.BufFlits {
+				panic(fmt.Sprintf("%s: input %d buffer overflow (credit protocol violated)", s.Name(), i))
+			}
+			if n := len(in.queue); n > 0 && in.queue[n-1].w == r.W {
+				if r.Idx != in.queue[n-1].got {
+					panic(fmt.Sprintf("%s: input %d non-contiguous flit %v", s.Name(), i, r))
+				}
+				in.queue[n-1].got++
+			} else {
+				if r.Idx != 0 {
+					panic(fmt.Sprintf("%s: input %d new worm starting at flit %d", s.Name(), i, r.Idx))
+				}
+				in.queue = append(in.queue, wormRecv{w: r.W, got: 1})
+			}
+			in.occupancy++
+			if in.occupancy > s.stats.MaxBufOccupancy {
+				s.stats.MaxBufOccupancy = in.occupancy
+			}
+			s.stats.FlitsIn++
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package topology
+
+import (
+	"fmt"
+
+	"mdworm/internal/engine"
+)
+
+// TreeSpec describes an irregular, NOW-style switch-based network: switches
+// of varying radix connected as a random tree, each hosting some processors.
+// Such networks (Autonet-class clusters of workstations) are the paper's
+// third target topology; routing follows the up*/down* orientation toward
+// the tree root, which is exactly the structure the multidestination worm
+// machinery needs (disjoint per-port downward reach, a single parent per
+// switch).
+type TreeSpec struct {
+	// Switches is the number of switching elements (>= 1).
+	Switches int
+	// MinHosts and MaxHosts bound the processors attached per switch
+	// (drawn uniformly). Leaf switches always get at least one host.
+	MinHosts, MaxHosts int
+	// MaxChildren bounds the child switches per switch.
+	MaxChildren int
+	// Seed drives the random structure.
+	Seed uint64
+}
+
+// Validate checks the spec.
+func (s TreeSpec) Validate() error {
+	switch {
+	case s.Switches < 1:
+		return fmt.Errorf("topology: tree needs >= 1 switch")
+	case s.MinHosts < 0 || s.MaxHosts < s.MinHosts:
+		return fmt.Errorf("topology: bad host range [%d,%d]", s.MinHosts, s.MaxHosts)
+	case s.MaxChildren < 1 && s.Switches > 1:
+		return fmt.Errorf("topology: MaxChildren must be >= 1 for multi-switch trees")
+	}
+	return nil
+}
+
+// NewRandomTree builds an irregular network per the spec. Switch 0 is the
+// root of the up*/down* orientation. Every switch gets: one up port toward
+// its parent (none for the root), one down port per child switch, and one
+// down port per attached host.
+func NewRandomTree(spec TreeSpec) (*Network, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := engine.NewRNG(spec.Seed ^ 0x7ee5)
+
+	// Random tree shape: parent of switch i (> 0) is a uniform pick among
+	// switches with spare child slots.
+	parent := make([]int, spec.Switches)
+	childCount := make([]int, spec.Switches)
+	parent[0] = -1
+	for i := 1; i < spec.Switches; i++ {
+		var cands []int
+		for j := 0; j < i; j++ {
+			if childCount[j] < spec.MaxChildren {
+				cands = append(cands, j)
+			}
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("topology: MaxChildren %d too small for %d switches",
+				spec.MaxChildren, spec.Switches)
+		}
+		p := cands[rng.Intn(len(cands))]
+		parent[i] = p
+		childCount[p]++
+	}
+
+	// Hosts per switch; leaves always get at least one so the descending
+	// direction grounds at consumers everywhere.
+	hosts := make([]int, spec.Switches)
+	total := 0
+	for i := range hosts {
+		span := spec.MaxHosts - spec.MinHosts + 1
+		hosts[i] = spec.MinHosts + rng.Intn(span)
+		if childCount[i] == 0 && hosts[i] == 0 {
+			hosts[i] = 1
+		}
+		total += hosts[i]
+	}
+	if total == 0 {
+		hosts[0] = 1
+		total = 1
+	}
+
+	net := &Network{
+		N:          total,
+		Kary:       false,
+		Switches:   make([]*Switch, spec.Switches),
+		procAttach: make([]attach, total),
+	}
+
+	// Build switches: down ports = child links then host links; one up port.
+	childPort := make(map[[2]int]int) // (parent, child) -> parent's port number
+	for i := 0; i < spec.Switches; i++ {
+		nPorts := childCount[i] + hosts[i]
+		if parent[i] >= 0 {
+			nPorts++
+		}
+		sw := &Switch{ID: i, Stage: -1, Pos: i, Ports: make([]Port, 0, nPorts)}
+		net.Switches[i] = sw
+	}
+	// Child down ports, in child id order for determinism.
+	for c := 1; c < spec.Switches; c++ {
+		p := parent[c]
+		sw := net.Switches[p]
+		childPort[[2]int{p, c}] = len(sw.Ports)
+		sw.Ports = append(sw.Ports, Port{Kind: Down, Index: len(sw.Ports), PeerSwitch: -1, PeerPort: -1, Proc: -1})
+	}
+	// Host down ports.
+	proc := 0
+	for i := 0; i < spec.Switches; i++ {
+		sw := net.Switches[i]
+		for h := 0; h < hosts[i]; h++ {
+			pn := len(sw.Ports)
+			sw.Ports = append(sw.Ports, Port{Kind: Down, Index: pn, PeerSwitch: -1, PeerPort: -1, Proc: proc})
+			net.procAttach[proc] = attach{sw: i, port: pn}
+			proc++
+		}
+	}
+	// Up ports and wiring to parents.
+	for c := 1; c < spec.Switches; c++ {
+		child := net.Switches[c]
+		up := len(child.Ports)
+		child.Ports = append(child.Ports, Port{Kind: Up, Index: 0, PeerSwitch: -1, PeerPort: -1, Proc: -1})
+		pp := childPort[[2]int{parent[c], c}]
+		par := net.Switches[parent[c]]
+		child.Ports[up].PeerSwitch = par.ID
+		child.Ports[up].PeerPort = pp
+		par.Ports[pp].PeerSwitch = c
+		par.Ports[pp].PeerPort = up
+	}
+	// Stage = height above the deepest leaf is not meaningful here; record
+	// depth from the root for diagnostics and set Stages to the tree depth
+	// (used only as a route-length bound).
+	depth := make([]int, spec.Switches)
+	maxDepth := 0
+	for i := 1; i < spec.Switches; i++ {
+		depth[i] = depth[parent[i]] + 1
+		if depth[i] > maxDepth {
+			maxDepth = depth[i]
+		}
+	}
+	for i, sw := range net.Switches {
+		sw.Stage = maxDepth - depth[i] // root has the highest stage number
+	}
+	net.Stages = maxDepth + 1
+	net.Arity = 0
+
+	for _, sw := range net.Switches {
+		sw.indexPorts()
+	}
+	net.computeReach()
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}

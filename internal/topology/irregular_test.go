@@ -1,0 +1,114 @@
+package topology
+
+import (
+	"testing"
+)
+
+func TestRandomTreeInvariants(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		spec := TreeSpec{Switches: 12, MinHosts: 0, MaxHosts: 4, MaxChildren: 3, Seed: seed}
+		net, err := NewRandomTree(spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if net.Kary {
+			t.Fatal("random tree marked kary")
+		}
+		if net.N < 1 {
+			t.Fatal("no hosts")
+		}
+		// Validate already ran inside the builder; run again defensively.
+		if err := net.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Exactly one root (no up ports) and it reaches everyone.
+		roots := 0
+		for _, sw := range net.Switches {
+			if len(sw.UpPorts()) == 0 {
+				roots++
+				if sw.ReachAll().Count() != net.N {
+					t.Fatalf("seed %d: root reaches %d of %d", seed, sw.ReachAll().Count(), net.N)
+				}
+			}
+			if len(sw.UpPorts()) > 1 {
+				t.Fatalf("seed %d: switch %d has %d parents", seed, sw.ID, len(sw.UpPorts()))
+			}
+		}
+		if roots != 1 {
+			t.Fatalf("seed %d: %d roots", seed, roots)
+		}
+		// Every processor attaches to exactly one port.
+		for p := 0; p < net.N; p++ {
+			sw, pn := net.ProcAttach(p)
+			if net.Switches[sw].Ports[pn].Proc != p {
+				t.Fatalf("seed %d: proc %d attach inconsistent", seed, p)
+			}
+		}
+	}
+}
+
+func TestRandomTreeDeterministic(t *testing.T) {
+	spec := TreeSpec{Switches: 10, MinHosts: 1, MaxHosts: 3, MaxChildren: 4, Seed: 5}
+	a, err := NewRandomTree(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewRandomTree(spec)
+	if a.N != b.N || len(a.Switches) != len(b.Switches) {
+		t.Fatal("same seed, different shape")
+	}
+	for i := range a.Switches {
+		if len(a.Switches[i].Ports) != len(b.Switches[i].Ports) {
+			t.Fatalf("switch %d radix differs", i)
+		}
+	}
+}
+
+func TestRandomTreeSpecValidation(t *testing.T) {
+	bad := TreeSpec{Switches: 0}
+	if _, err := NewRandomTree(bad); err == nil {
+		t.Error("zero switches accepted")
+	}
+	bad = TreeSpec{Switches: 5, MinHosts: 3, MaxHosts: 1, MaxChildren: 2}
+	if _, err := NewRandomTree(bad); err == nil {
+		t.Error("inverted host range accepted")
+	}
+	bad = TreeSpec{Switches: 5, MaxHosts: 1, MaxChildren: 0}
+	if _, err := NewRandomTree(bad); err == nil {
+		t.Error("multi-switch tree with no child slots accepted")
+	}
+}
+
+func TestRandomTreeSingleSwitch(t *testing.T) {
+	net, err := NewRandomTree(TreeSpec{Switches: 1, MinHosts: 4, MaxHosts: 4, MaxChildren: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N != 4 || len(net.Switches) != 1 {
+		t.Fatalf("N=%d switches=%d", net.N, len(net.Switches))
+	}
+}
+
+func TestRandomTreeLeavesHaveHosts(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		net, err := NewRandomTree(TreeSpec{Switches: 15, MinHosts: 0, MaxHosts: 2, MaxChildren: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sw := range net.Switches {
+			hasChildSwitch := false
+			hasHost := false
+			for _, pn := range sw.DownPorts() {
+				if sw.Ports[pn].Proc >= 0 {
+					hasHost = true
+				}
+				if sw.Ports[pn].PeerSwitch >= 0 {
+					hasChildSwitch = true
+				}
+			}
+			if !hasChildSwitch && !hasHost {
+				t.Fatalf("seed %d: leaf switch %d has no hosts", seed, sw.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,370 @@
+// Package topology builds and validates the switch fabric: bidirectional
+// multistage interconnection networks (BMINs) constructed as k-ary n-trees
+// of fixed-radix switches, as used by the IBM SP2-class systems the paper
+// models. The package is purely structural — it describes switches, ports,
+// wiring, and per-port downward reachability; the simulator instantiates
+// links and switch microarchitectures on top of it.
+package topology
+
+import (
+	"fmt"
+
+	"mdworm/internal/bitset"
+)
+
+// PortKind distinguishes ports that face the processors (Down) from ports
+// that face the next switch stage (Up).
+type PortKind uint8
+
+const (
+	// Down ports lead toward the processors.
+	Down PortKind = iota
+	// Up ports lead toward higher stages (the tree roots).
+	Up
+)
+
+// String names the port kind.
+func (k PortKind) String() string {
+	if k == Down {
+		return "down"
+	}
+	return "up"
+}
+
+// Port describes one bidirectional switch port and what it is wired to.
+// Exactly one of the peer fields is meaningful: stage-0 down ports connect
+// to a processor (Proc >= 0); all other connected ports name a peer switch
+// and port. Top-stage up ports are unconnected (PeerSwitch == -1, Proc == -1).
+type Port struct {
+	Kind  PortKind
+	Index int // index within its kind (0..arity-1)
+
+	PeerSwitch int // peer switch id, or -1
+	PeerPort   int // port number on the peer switch, or -1
+	Proc       int // processor id for stage-0 down ports, else -1
+
+	// Reach is the set of processors reachable by leaving through this
+	// port and descending only. For down ports this is the subtree below;
+	// for up ports it is the full downward reach of the parent switch.
+	Reach bitset.Set
+}
+
+// Connected reports whether the port is wired to anything.
+func (p *Port) Connected() bool { return p.Proc >= 0 || p.PeerSwitch >= 0 }
+
+// Switch is one switching element. For k-ary trees, ports are numbered with
+// down ports first (0..arity-1) and up ports after (arity..2*arity-1);
+// irregular switches may have any mix, enumerated by DownPorts/UpPorts.
+type Switch struct {
+	ID    int
+	Stage int
+	Pos   int // index within the stage
+	Ports []Port
+
+	downPorts []int
+	upPorts   []int
+	reachAll  bitset.Set // union of down-port reaches (the subtree below)
+}
+
+// DownPorts returns the flat port numbers of the down (processor-facing)
+// ports, ascending. The returned slice must not be modified.
+func (s *Switch) DownPorts() []int { return s.downPorts }
+
+// UpPorts returns the flat port numbers of the connected up ports,
+// ascending. The returned slice must not be modified.
+func (s *Switch) UpPorts() []int { return s.upPorts }
+
+// indexPorts populates the down/up port indices from the Kind fields;
+// unconnected up ports are excluded.
+func (s *Switch) indexPorts() {
+	s.downPorts = s.downPorts[:0]
+	s.upPorts = s.upPorts[:0]
+	for pn := range s.Ports {
+		switch {
+		case s.Ports[pn].Kind == Down:
+			s.downPorts = append(s.downPorts, pn)
+		case s.Ports[pn].Connected():
+			s.upPorts = append(s.upPorts, pn)
+		}
+	}
+}
+
+// NumPorts returns the total port count.
+func (s *Switch) NumPorts() int { return len(s.Ports) }
+
+// ReachAll returns the set of processors reachable by descending from this
+// switch. The returned set must not be modified.
+func (s *Switch) ReachAll() bitset.Set { return s.reachAll }
+
+// PortNum converts (kind, index) to the flat port number.
+func (s *Switch) PortNum(kind PortKind, index int) int {
+	arity := len(s.Ports) / 2
+	if kind == Down {
+		return index
+	}
+	return arity + index
+}
+
+// Network is a wired fabric of switches plus the processor attachment
+// points. For the k-ary n-tree builder, N = arity^stages processors;
+// irregular builders produce trees of varying-radix switches.
+type Network struct {
+	N      int // number of processors
+	Arity  int // down (and up) ports per switch (k-ary trees only)
+	Stages int // number of switch stages (k-ary trees only)
+	// Kary reports whether the network is a regular k-ary n-tree (required
+	// by the multiport encoding and the stage arithmetic).
+	Kary bool
+	// Switches holds every switch; id = index.
+	Switches []*Switch
+	// procAttach[p] locates the attachment switch and down port of
+	// processor p.
+	procAttach []attach
+}
+
+type attach struct {
+	sw, port int
+}
+
+// ProcAttach returns the switch id and port number that processor p is
+// wired to.
+func (n *Network) ProcAttach(p int) (sw, port int) {
+	a := n.procAttach[p]
+	return a.sw, a.port
+}
+
+// SwitchAt returns the switch at (stage, pos).
+func (n *Network) SwitchAt(stage, pos int) *Switch {
+	return n.Switches[stage*n.switchesPerStage()+pos]
+}
+
+func (n *Network) switchesPerStage() int {
+	return n.N / n.Arity
+}
+
+// NewKaryTree builds a k-ary n-tree BMIN with the given arity (down ports
+// per switch; an 8-port SP-class switch has arity 4) and number of stages.
+// The network has arity^stages processors and stages*(arity^(stages-1))
+// switches. Stage s switch w (with w written in base-arity digits
+// w[stages-2..0]) connects its up port j to the down port w_s of the
+// stage-(s+1) switch whose digit s is replaced by j — the standard k-ary
+// n-tree wiring, under which all parents of a switch have identical
+// downward reach, so upward routing is freely adaptive.
+func NewKaryTree(arity, stages int) (*Network, error) {
+	if arity < 2 {
+		return nil, fmt.Errorf("topology: arity must be >= 2, got %d", arity)
+	}
+	if stages < 1 {
+		return nil, fmt.Errorf("topology: stages must be >= 1, got %d", stages)
+	}
+	n := 1
+	for i := 0; i < stages; i++ {
+		if n > 1<<20/arity {
+			return nil, fmt.Errorf("topology: arity^stages too large")
+		}
+		n *= arity
+	}
+	perStage := n / arity
+	net := &Network{
+		N:          n,
+		Arity:      arity,
+		Stages:     stages,
+		Kary:       true,
+		Switches:   make([]*Switch, stages*perStage),
+		procAttach: make([]attach, n),
+	}
+	for s := 0; s < stages; s++ {
+		for w := 0; w < perStage; w++ {
+			id := s*perStage + w
+			sw := &Switch{ID: id, Stage: s, Pos: w, Ports: make([]Port, 2*arity)}
+			for pt := range sw.Ports {
+				sw.Ports[pt] = Port{PeerSwitch: -1, PeerPort: -1, Proc: -1}
+				if pt < arity {
+					sw.Ports[pt].Kind = Down
+					sw.Ports[pt].Index = pt
+				} else {
+					sw.Ports[pt].Kind = Up
+					sw.Ports[pt].Index = pt - arity
+				}
+			}
+			net.Switches[id] = sw
+		}
+	}
+	// Stage-0 down ports attach processors.
+	for w := 0; w < perStage; w++ {
+		sw := net.SwitchAt(0, w)
+		for j := 0; j < arity; j++ {
+			p := w*arity + j
+			sw.Ports[j].Proc = p
+			net.procAttach[p] = attach{sw: sw.ID, port: j}
+		}
+	}
+	// Inter-stage wiring.
+	for s := 0; s < stages-1; s++ {
+		for w := 0; w < perStage; w++ {
+			lo := net.SwitchAt(s, w)
+			ws := digit(w, s, arity)
+			for j := 0; j < arity; j++ {
+				hiPos := setDigit(w, s, j, arity)
+				hi := net.SwitchAt(s+1, hiPos)
+				upPort := lo.PortNum(Up, j)
+				downPort := hi.PortNum(Down, ws)
+				lo.Ports[upPort].PeerSwitch = hi.ID
+				lo.Ports[upPort].PeerPort = downPort
+				hi.Ports[downPort].PeerSwitch = lo.ID
+				hi.Ports[downPort].PeerPort = upPort
+			}
+		}
+	}
+	for _, sw := range net.Switches {
+		sw.indexPorts()
+	}
+	net.computeReach()
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+func digit(w, pos, base int) int {
+	for i := 0; i < pos; i++ {
+		w /= base
+	}
+	return w % base
+}
+
+func setDigit(w, pos, val, base int) int {
+	scale := 1
+	for i := 0; i < pos; i++ {
+		scale *= base
+	}
+	old := (w / scale) % base
+	return w + (val-old)*scale
+}
+
+// computeReach fills per-port downward reach sets, children before parents
+// (memoized recursion over down-port peers; the down-link graph is acyclic
+// by construction in both builders).
+func (n *Network) computeReach() {
+	done := make([]bool, len(n.Switches))
+	var fill func(sw *Switch)
+	fill = func(sw *Switch) {
+		if done[sw.ID] {
+			return
+		}
+		done[sw.ID] = true
+		sw.reachAll = bitset.New(n.N)
+		for _, pn := range sw.DownPorts() {
+			pt := &sw.Ports[pn]
+			pt.Reach = bitset.New(n.N)
+			if pt.Proc >= 0 {
+				pt.Reach.Add(pt.Proc)
+			} else if pt.PeerSwitch >= 0 {
+				fill(n.Switches[pt.PeerSwitch])
+				pt.Reach.OrIn(n.Switches[pt.PeerSwitch].reachAll)
+			}
+			sw.reachAll.OrIn(pt.Reach)
+		}
+	}
+	for _, sw := range n.Switches {
+		fill(sw)
+	}
+	// Up-port reach: the parent's full downward reach.
+	for _, sw := range n.Switches {
+		for _, pn := range sw.UpPorts() {
+			pt := &sw.Ports[pn]
+			if pt.PeerSwitch >= 0 {
+				pt.Reach = n.Switches[pt.PeerSwitch].reachAll
+			}
+		}
+	}
+}
+
+// Validate checks the structural invariants the routing layer depends on:
+// symmetric wiring, disjoint down-port reaches partitioning each switch's
+// subtree, identical reach across all parents of a switch, and full
+// top-stage coverage.
+func (n *Network) Validate() error {
+	for _, sw := range n.Switches {
+		for pn := range sw.Ports {
+			pt := &sw.Ports[pn]
+			if pt.PeerSwitch >= 0 {
+				peer := n.Switches[pt.PeerSwitch]
+				back := &peer.Ports[pt.PeerPort]
+				if back.PeerSwitch != sw.ID || back.PeerPort != pn {
+					return fmt.Errorf("topology: asymmetric wiring at switch %d port %d", sw.ID, pn)
+				}
+				if pt.Kind == back.Kind {
+					return fmt.Errorf("topology: switch %d port %d connects %s to %s", sw.ID, pn, pt.Kind, back.Kind)
+				}
+			}
+		}
+		// Down reaches must be pairwise disjoint and union to ReachAll.
+		union := bitset.New(n.N)
+		for _, pn := range sw.DownPorts() {
+			r := sw.Ports[pn].Reach
+			if union.Intersects(r) {
+				return fmt.Errorf("topology: switch %d has overlapping down reaches", sw.ID)
+			}
+			union.OrIn(r)
+		}
+		if !union.Equal(sw.reachAll) {
+			return fmt.Errorf("topology: switch %d reach union mismatch", sw.ID)
+		}
+		// All connected parents must expose the same reach (so upward
+		// routing may pick any of them).
+		var parentReach *bitset.Set
+		for _, pn := range sw.UpPorts() {
+			pt := &sw.Ports[pn]
+			if pt.PeerSwitch < 0 {
+				continue
+			}
+			r := n.Switches[pt.PeerSwitch].ReachAll()
+			if parentReach == nil {
+				parentReach = &r
+			} else if !parentReach.Equal(r) {
+				return fmt.Errorf("topology: switch %d has parents with differing reach", sw.ID)
+			}
+		}
+		if parentReach != nil && !parentReach.Equal(sw.reachAll) {
+			// Parents must reach a superset of the child subtree.
+			for _, p := range sw.reachAll.Members() {
+				if !parentReach.Has(p) {
+					return fmt.Errorf("topology: switch %d parent reach misses processor %d", sw.ID, p)
+				}
+			}
+		}
+		// A switch with no way up must reach every processor (k-ary top
+		// stage, or the root of an irregular tree).
+		if len(sw.UpPorts()) == 0 && sw.ReachAll().Count() != n.N {
+			return fmt.Errorf("topology: rootless switch %d reaches %d of %d processors",
+				sw.ID, sw.ReachAll().Count(), n.N)
+		}
+	}
+	return nil
+}
+
+// LCAStage returns the number of upward hops from src's switch to the
+// nearest ancestor that reaches every member of dests by descending only.
+func (n *Network) LCAStage(src int, dests bitset.Set) int {
+	sw, _ := n.ProcAttach(src)
+	cur := n.Switches[sw]
+	for s := 0; ; s++ {
+		covered := true
+		for _, d := range dests.Members() {
+			if !cur.ReachAll().Has(d) {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			return s
+		}
+		ups := cur.UpPorts()
+		if len(ups) == 0 {
+			return s
+		}
+		// Any parent works: all have identical reach.
+		cur = n.Switches[cur.Ports[ups[0]].PeerSwitch]
+	}
+}

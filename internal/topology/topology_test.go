@@ -1,0 +1,244 @@
+package topology
+
+import (
+	"testing"
+
+	"mdworm/internal/bitset"
+)
+
+func TestSizes(t *testing.T) {
+	cases := []struct {
+		arity, stages       int
+		wantN, wantSwitches int
+	}{
+		{4, 1, 4, 1},
+		{4, 2, 16, 8},
+		{4, 3, 64, 48},
+		{4, 4, 256, 256},
+		{2, 3, 8, 12},
+		{8, 2, 64, 16},
+	}
+	for _, c := range cases {
+		net, err := NewKaryTree(c.arity, c.stages)
+		if err != nil {
+			t.Fatalf("NewKaryTree(%d,%d): %v", c.arity, c.stages, err)
+		}
+		if net.N != c.wantN || len(net.Switches) != c.wantSwitches {
+			t.Errorf("arity=%d stages=%d: N=%d switches=%d, want %d/%d",
+				c.arity, c.stages, net.N, len(net.Switches), c.wantN, c.wantSwitches)
+		}
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	if _, err := NewKaryTree(1, 3); err == nil {
+		t.Error("arity 1 accepted")
+	}
+	if _, err := NewKaryTree(4, 0); err == nil {
+		t.Error("stages 0 accepted")
+	}
+	if _, err := NewKaryTree(4, 30); err == nil {
+		t.Error("absurd size accepted")
+	}
+}
+
+func TestProcAttachment(t *testing.T) {
+	net, _ := NewKaryTree(4, 3)
+	seen := map[[2]int]bool{}
+	for p := 0; p < net.N; p++ {
+		sw, port := net.ProcAttach(p)
+		s := net.Switches[sw]
+		if s.Stage != 0 {
+			t.Fatalf("proc %d attached to stage %d", p, s.Stage)
+		}
+		if s.Ports[port].Proc != p {
+			t.Fatalf("proc %d attach mismatch", p)
+		}
+		key := [2]int{sw, port}
+		if seen[key] {
+			t.Fatalf("two procs share switch %d port %d", sw, port)
+		}
+		seen[key] = true
+	}
+}
+
+// TestValidateCatchesCorruption breaks invariants and expects Validate to
+// notice.
+func TestValidateCatchesCorruption(t *testing.T) {
+	net, _ := NewKaryTree(4, 2)
+	// Corrupt wiring symmetry.
+	sw := net.SwitchAt(0, 0)
+	up := sw.PortNum(Up, 0)
+	orig := sw.Ports[up].PeerPort
+	sw.Ports[up].PeerPort = (orig + 1) % 8
+	if err := net.Validate(); err == nil {
+		t.Fatal("asymmetric wiring not detected")
+	}
+	sw.Ports[up].PeerPort = orig
+	if err := net.Validate(); err != nil {
+		t.Fatalf("restored network invalid: %v", err)
+	}
+	// Corrupt a reach set.
+	sw.Ports[0].Reach.Add(9)
+	if err := net.Validate(); err == nil {
+		t.Fatal("overlapping/inflated reach not detected")
+	}
+}
+
+func TestReachStructure(t *testing.T) {
+	for _, stages := range []int{1, 2, 3, 4} {
+		net, err := NewKaryTree(4, stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sw := range net.Switches {
+			// Down reach sizes: arity^stage per down port.
+			want := 1
+			for i := 0; i < sw.Stage; i++ {
+				want *= net.Arity
+			}
+			for j := 0; j < net.Arity; j++ {
+				if got := sw.Ports[j].Reach.Count(); got != want {
+					t.Fatalf("stage %d down reach = %d, want %d", sw.Stage, got, want)
+				}
+			}
+			if got := sw.ReachAll().Count(); got != want*net.Arity {
+				t.Fatalf("stage %d total reach = %d, want %d", sw.Stage, got, want*net.Arity)
+			}
+		}
+	}
+}
+
+func TestAllParentsSameReach(t *testing.T) {
+	net, _ := NewKaryTree(4, 3)
+	for _, sw := range net.Switches {
+		var first *Switch
+		for j := 0; j < net.Arity; j++ {
+			pt := &sw.Ports[sw.PortNum(Up, j)]
+			if pt.PeerSwitch < 0 {
+				continue
+			}
+			parent := net.Switches[pt.PeerSwitch]
+			if first == nil {
+				first = parent
+				continue
+			}
+			if !first.ReachAll().Equal(parent.ReachAll()) {
+				t.Fatalf("switch %d parents differ in reach", sw.ID)
+			}
+		}
+	}
+}
+
+func TestTopStageUnconnectedUpPorts(t *testing.T) {
+	net, _ := NewKaryTree(4, 2)
+	top := net.SwitchAt(1, 0)
+	for j := 0; j < net.Arity; j++ {
+		if top.Ports[top.PortNum(Up, j)].Connected() {
+			t.Fatal("top-stage up port connected")
+		}
+	}
+}
+
+func TestLCAStage(t *testing.T) {
+	net, _ := NewKaryTree(4, 3)
+	mk := func(ds ...int) bitset.Set { return bitset.FromSlice(net.N, ds) }
+	cases := []struct {
+		src   int
+		dests bitset.Set
+		want  int
+	}{
+		{0, mk(1), 0},           // same stage-0 switch
+		{0, mk(2, 3), 0},        // same stage-0 switch
+		{0, mk(4), 1},           // same 16-block, different switch
+		{0, mk(15), 1},          //
+		{0, mk(16), 2},          // different 16-block
+		{0, mk(1, 2, 63), 2},    // spans everything
+		{17, mk(16, 18, 19), 0}, // all under proc 17's switch
+	}
+	for _, c := range cases {
+		if got := net.LCAStage(c.src, c.dests); got != c.want {
+			t.Errorf("LCAStage(%d, %v) = %d, want %d", c.src, c.dests, got, c.want)
+		}
+	}
+}
+
+// TestDownRoutesDeliver walks the unique down-path from every top-stage
+// switch to every processor using only reach sets, verifying that the reach
+// tables define complete, consistent down routing.
+func TestDownRoutesDeliver(t *testing.T) {
+	net, _ := NewKaryTree(4, 3)
+	perStage := net.N / net.Arity
+	for w := 0; w < perStage; w++ {
+		top := net.SwitchAt(net.Stages-1, w)
+		for p := 0; p < net.N; p++ {
+			sw := top
+			for hops := 0; ; hops++ {
+				if hops > net.Stages {
+					t.Fatalf("down route from top %d to proc %d too long", w, p)
+				}
+				port := -1
+				for j := 0; j < net.Arity; j++ {
+					if sw.Ports[j].Reach.Has(p) {
+						if port >= 0 {
+							t.Fatalf("ambiguous down route at switch %d for proc %d", sw.ID, p)
+						}
+						port = j
+					}
+				}
+				if port < 0 {
+					t.Fatalf("no down route at switch %d for proc %d", sw.ID, p)
+				}
+				pt := &sw.Ports[port]
+				if pt.Proc >= 0 {
+					if pt.Proc != p {
+						t.Fatalf("route to %d delivered %d", p, pt.Proc)
+					}
+					break
+				}
+				sw = net.Switches[pt.PeerSwitch]
+			}
+		}
+	}
+}
+
+// TestWiringProperty verifies, for several shapes, that every inter-stage
+// connection is a proper bijection (each down port of stage s+1 pairs with
+// exactly one up port of stage s).
+func TestWiringProperty(t *testing.T) {
+	for _, c := range []struct{ arity, stages int }{{2, 4}, {3, 3}, {4, 3}, {5, 2}} {
+		net, err := NewKaryTree(c.arity, c.stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < c.stages-1; s++ {
+			seen := map[[2]int]bool{}
+			for w := 0; w < net.N/net.Arity; w++ {
+				sw := net.SwitchAt(s, w)
+				for j := 0; j < net.Arity; j++ {
+					pt := &sw.Ports[sw.PortNum(Up, j)]
+					if pt.PeerSwitch < 0 {
+						t.Fatalf("unconnected up port below top stage (s=%d)", s)
+					}
+					key := [2]int{pt.PeerSwitch, pt.PeerPort}
+					if seen[key] {
+						t.Fatalf("two up ports wired to same (%d,%d)", pt.PeerSwitch, pt.PeerPort)
+					}
+					seen[key] = true
+				}
+			}
+		}
+	}
+}
+
+func TestDigitHelpers(t *testing.T) {
+	if digit(0b1101, 0, 2) != 1 || digit(0b1101, 1, 2) != 0 || digit(0b1101, 3, 2) != 1 {
+		t.Fatal("digit wrong")
+	}
+	if setDigit(5, 0, 2, 4) != 6 { // 11_4 -> 12_4
+		t.Fatalf("setDigit = %d", setDigit(5, 0, 2, 4))
+	}
+	if setDigit(5, 1, 3, 4) != 13 { // 11_4 -> 31_4
+		t.Fatalf("setDigit = %d", setDigit(5, 1, 3, 4))
+	}
+}

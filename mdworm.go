@@ -1,0 +1,172 @@
+// Package mdworm is the public API of the multidestination-worm simulator,
+// a reproduction of Stunkel, Sivaram, and Panda, "Implementing
+// Multidestination Worms in Switch-Based Parallel Systems: Architectural
+// Alternatives and their Impact" (ISCA 1997).
+//
+// The library simulates, at flit granularity, bidirectional multistage
+// interconnection networks (k-ary n-trees of SP-Switch-class 8-port
+// switches) carrying unicast and multidestination wormhole traffic, with
+// three multicast implementations under comparison:
+//
+//   - hardware multicast on a central-buffer switch (CB-HW), where a worm is
+//     written once into a shared, chunked central buffer and read out by
+//     every requested output port;
+//   - hardware multicast on an input-buffer switch (IB-HW), with
+//     asynchronous replication at full-packet input buffers; and
+//   - software multicast (U-MIN binomial trees or separate addressing) built
+//     from unicast worms and host send/receive overheads.
+//
+// # Quick start
+//
+//	cfg := mdworm.DefaultConfig()
+//	cfg.Traffic.OpRate = cfg.Traffic.RateForLoad(0.1)
+//	sim, err := mdworm.New(cfg)
+//	if err != nil { ... }
+//	res, err := sim.Run()
+//	fmt.Println(res.Multicast.LastArrival)
+//
+// Multicast latency follows the last-arrival definition of Nupairoj and Ni:
+// one sample per collective operation, from creation to the tail flit at the
+// last destination.
+//
+// The paper's full evaluation is reproducible through RunExperiment /
+// AllExperiments (or the cmd/mdwbench binary); see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for paper-versus-measured results.
+package mdworm
+
+import (
+	"io"
+
+	"mdworm/internal/collective"
+	"mdworm/internal/core"
+	"mdworm/internal/engine"
+	"mdworm/internal/experiments"
+	"mdworm/internal/routing"
+	"mdworm/internal/stats"
+	"mdworm/internal/topology"
+	"mdworm/internal/traffic"
+)
+
+// Config describes one simulated system and workload.
+type Config = core.Config
+
+// Simulator is a fully wired system instance.
+type Simulator = core.Simulator
+
+// Results carries the measurements of one run.
+type Results = stats.Results
+
+// TrafficSpec describes a stochastic workload.
+type TrafficSpec = traffic.Spec
+
+// SwitchArch selects the switch microarchitecture.
+type SwitchArch = core.SwitchArch
+
+// Scheme selects how multicasts are realized.
+type Scheme = collective.Scheme
+
+// UpPolicy selects how ascending worms pick among equivalent up ports.
+type UpPolicy = routing.UpPolicy
+
+// TopologyKind selects the fabric shape (regular BMIN or irregular tree).
+type TopologyKind = core.TopologyKind
+
+// TreeSpec describes a NOW-style irregular tree of switches.
+type TreeSpec = topology.TreeSpec
+
+// Topology kinds.
+const (
+	// KaryTree is the regular BMIN of the paper's evaluation.
+	KaryTree = core.KaryTree
+	// IrregularTree is a random tree of varying-radix switches.
+	IrregularTree = core.IrregularTree
+)
+
+// Switch architectures.
+const (
+	// CentralBuffer selects the SP-Switch-like shared-central-buffer switch.
+	CentralBuffer = core.CentralBuffer
+	// InputBuffer selects the per-input full-packet-buffer switch.
+	InputBuffer = core.InputBuffer
+)
+
+// Multicast schemes.
+const (
+	// HardwareBitString sends one worm with an N-bit bit-string header.
+	HardwareBitString = collective.HardwareBitString
+	// HardwareMultiport sends one worm per multiport product set.
+	HardwareMultiport = collective.HardwareMultiport
+	// SoftwareBinomial is the U-MIN binomial-tree software multicast.
+	SoftwareBinomial = collective.SoftwareBinomial
+	// SoftwareSeparate sends one unicast per destination.
+	SoftwareSeparate = collective.SoftwareSeparate
+)
+
+// Up-port selection policies.
+const (
+	// UpHash spreads messages across parents by hashing message identity.
+	UpHash = routing.UpHash
+	// UpRandom picks a random parent per hop.
+	UpRandom = routing.UpRandom
+	// UpAdaptive picks the first free parent port.
+	UpAdaptive = routing.UpAdaptive
+)
+
+// Barrier synchronization schemes (see Simulator.RunBarrier).
+const (
+	// BarrierSoftware gathers and releases with binomial unicast trees.
+	BarrierSoftware = core.BarrierSoftware
+	// BarrierHardwareRelease gathers with a binomial tree and releases
+	// with one hardware multidestination worm.
+	BarrierHardwareRelease = core.BarrierHardwareRelease
+	// BarrierHardwareCombining combines single-flit tokens inside the
+	// switches along a spanning tree (central-buffer architecture only).
+	BarrierHardwareCombining = core.BarrierHardwareCombining
+)
+
+// BarrierScheme selects how Simulator.RunBarrier realizes a barrier.
+type BarrierScheme = core.BarrierScheme
+
+// Tracer receives message-level simulation events (see Simulator.SetTracer).
+type Tracer = engine.Tracer
+
+// TraceEvent is one observation of the simulated system.
+type TraceEvent = engine.TraceEvent
+
+// NewWriterTracer returns a tracer that formats one line per event on w.
+func NewWriterTracer(w io.Writer) Tracer { return &engine.WriterTracer{W: w} }
+
+// DefaultConfig returns the experiments' baseline system: a 64-node 3-stage
+// BMIN of 8-port central-buffer switches with hardware bit-string multicast.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// New builds a simulator, raising buffer parameters as the workload needs.
+func New(cfg Config) (*Simulator, error) { return core.New(cfg) }
+
+// ExperimentTable is one reproduced figure or table.
+type ExperimentTable = experiments.Table
+
+// ExperimentOptions controls experiment runs.
+type ExperimentOptions = experiments.Options
+
+// ExperimentIDs lists the available experiment identifiers (e1..e8 for the
+// paper's figures and tables, a1..a6 for the design-choice ablations).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment reproduces one experiment by id.
+func RunExperiment(id string, o ExperimentOptions) (*ExperimentTable, error) {
+	return experiments.Run(id, o)
+}
+
+// AllExperiments reproduces the full suite in order.
+func AllExperiments(o ExperimentOptions) ([]*ExperimentTable, error) {
+	return experiments.RunAll(o)
+}
+
+// WriteTables formats tables to w, separated by blank lines.
+func WriteTables(w io.Writer, tables []*ExperimentTable) {
+	for _, t := range tables {
+		t.Format(w)
+		io.WriteString(w, "\n")
+	}
+}

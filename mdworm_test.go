@@ -1,0 +1,86 @@
+package mdworm_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mdworm"
+)
+
+// TestPublicQuickstart exercises the documented quick-start flow.
+func TestPublicQuickstart(t *testing.T) {
+	cfg := mdworm.DefaultConfig()
+	cfg.WarmupCycles = 500
+	cfg.MeasureCycles = 3000
+	cfg.Traffic.OpRate = cfg.Traffic.RateForLoad(0.2)
+	sim, err := mdworm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Multicast.OpsCompleted == 0 {
+		t.Fatal("nothing completed")
+	}
+	if res.Multicast.LastArrival.Mean <= 0 {
+		t.Fatal("no latency measured")
+	}
+}
+
+// TestPublicSchemesAndArchs builds every contender through the facade.
+func TestPublicSchemesAndArchs(t *testing.T) {
+	for _, arch := range []mdworm.SwitchArch{mdworm.CentralBuffer, mdworm.InputBuffer} {
+		for _, scheme := range []mdworm.Scheme{
+			mdworm.HardwareBitString, mdworm.HardwareMultiport,
+			mdworm.SoftwareBinomial, mdworm.SoftwareSeparate,
+		} {
+			cfg := mdworm.DefaultConfig()
+			cfg.Arch = arch
+			cfg.Scheme = scheme
+			cfg.Traffic.OpRate = 0
+			sim, err := mdworm.New(cfg)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", arch, scheme, err)
+			}
+			lat, op, err := sim.RunOp(0, []int{7, 21, 42}, true, 32, 1_000_000)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", arch, scheme, err)
+			}
+			if lat <= 0 || !op.Done() {
+				t.Fatalf("%v/%v: lat=%d done=%v", arch, scheme, lat, op.Done())
+			}
+		}
+	}
+}
+
+func TestPublicExperimentList(t *testing.T) {
+	ids := mdworm.ExperimentIDs()
+	if len(ids) != 19 {
+		t.Fatalf("experiment ids: %v", ids)
+	}
+	tab, err := mdworm.RunExperiment("e8", mdworm.ExperimentOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	mdworm.WriteTables(&buf, []*mdworm.ExperimentTable{tab})
+	if !strings.Contains(buf.String(), "E8") {
+		t.Fatal("table output missing id")
+	}
+}
+
+func TestPublicUpPolicies(t *testing.T) {
+	cfg := mdworm.DefaultConfig()
+	cfg.UpPolicy = mdworm.UpAdaptive
+	cfg.Traffic.OpRate = 0
+	sim, err := mdworm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sim.RunOp(0, []int{63}, false, 16, 100_000); err != nil {
+		t.Fatal(err)
+	}
+}
