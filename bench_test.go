@@ -53,6 +53,26 @@ func BenchmarkA9Irregular(b *testing.B)         { benchExperiment(b, "a9") }
 func BenchmarkA10SyncReplication(b *testing.B)  { benchExperiment(b, "a10") }
 func BenchmarkA11BufferBandwidth(b *testing.B)  { benchExperiment(b, "a11") }
 
+// BenchmarkRunAllQuick regenerates the entire quick-mode evaluation through
+// the shared worker pool — the end-to-end number behind BENCH_sweep.json.
+// Points/sec and cycles/sec are reported as benchmark metrics.
+func BenchmarkRunAllQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables, stats, err := mdworm.RunExperiments(mdworm.ExperimentIDs(),
+			mdworm.ExperimentOptions{Quick: true, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) != len(mdworm.ExperimentIDs()) {
+			b.Fatalf("got %d tables", len(tables))
+		}
+		if i == 0 {
+			b.ReportMetric(stats.PointsPerSec(), "points/s")
+			b.ReportMetric(stats.CyclesPerSec(), "simcycles/s")
+		}
+	}
+}
+
 // BenchmarkSimulationCycles measures raw simulator speed: cycles per second
 // for a loaded 64-node central-buffer system.
 func BenchmarkSimulationCycles(b *testing.B) {

@@ -1,17 +1,24 @@
 // Command mdwbench regenerates the paper's evaluation: every figure/table
-// (e1..e8) and the design-choice ablations (a1..a6).
+// (e1..e8) and the design-choice ablations (a1..a11).
 //
 // Usage:
 //
 //	mdwbench                 # run the full suite
 //	mdwbench -exp e1,e3      # run selected experiments
-//	mdwbench -exp ablation   # run a1..a6 only
+//	mdwbench -exp ablation   # run a1..a11 only
 //	mdwbench -exp paper      # run e1..e8 only
 //	mdwbench -quick          # shrunk windows and point counts
+//	mdwbench -workers 8      # sweep-point pool size (0 = GOMAXPROCS)
+//	mdwbench -bench-out f    # write batch timing stats as JSON
 //	mdwbench -v              # per-point progress on stderr
+//
+// Sweep points are independent simulator instances, so -workers only
+// changes wall-clock time: the rendered tables are byte-identical for
+// every worker count.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,17 +27,32 @@ import (
 	"mdworm"
 )
 
+// benchReport is the schema of the -bench-out JSON file (BENCH_sweep.json).
+type benchReport struct {
+	Quick          bool     `json:"quick"`
+	Seed           uint64   `json:"seed"`
+	Experiments    []string `json:"experiments"`
+	Workers        int      `json:"workers"`
+	Points         int      `json:"points"`
+	SimulatedCycle int64    `json:"simulated_cycles"`
+	WallSeconds    float64  `json:"wall_seconds"`
+	PointsPerSec   float64  `json:"points_per_sec"`
+	CyclesPerSec   float64  `json:"cycles_per_sec"`
+}
+
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment ids, or all|paper|ablation")
-		quick   = flag.Bool("quick", false, "shrink windows and point counts")
-		format  = flag.String("format", "text", "output format: text, csv, or plot")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		verbose = flag.Bool("v", false, "per-point progress on stderr")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids, or all|paper|ablation")
+		quick    = flag.Bool("quick", false, "shrink windows and point counts")
+		format   = flag.String("format", "text", "output format: text, csv, or plot")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS)")
+		benchOut = flag.String("bench-out", "", "write batch timing stats (points/sec, cycles/sec) to this JSON file")
+		verbose  = flag.Bool("v", false, "per-point progress on stderr")
 	)
 	flag.Parse()
 
-	opts := mdworm.ExperimentOptions{Quick: *quick, Seed: *seed}
+	opts := mdworm.ExperimentOptions{Quick: *quick, Seed: *seed, Workers: *workers}
 	if *verbose {
 		opts.Progress = os.Stderr
 	}
@@ -40,12 +62,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	for _, id := range ids {
-		t, err := mdworm.RunExperiment(id, opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mdwbench: experiment %s: %v\n", id, err)
-			os.Exit(1)
-		}
+	tables, stats, err := mdworm.RunExperiments(ids, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdwbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
 		switch *format {
 		case "text":
 			t.Format(os.Stdout)
@@ -63,6 +85,30 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mdwbench: unknown format %q\n", *format)
 			os.Exit(2)
 		}
+	}
+	if *benchOut != "" {
+		rep := benchReport{
+			Quick:          *quick,
+			Seed:           *seed,
+			Experiments:    ids,
+			Workers:        stats.Workers,
+			Points:         stats.Points,
+			SimulatedCycle: stats.Cycles,
+			WallSeconds:    stats.Wall.Seconds(),
+			PointsPerSec:   stats.PointsPerSec(),
+			CyclesPerSec:   stats.CyclesPerSec(),
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdwbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mdwbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mdwbench: %d points, %.1fs wall, %.2f points/s, %.3g cycles/s (workers=%d) -> %s\n",
+			stats.Points, stats.Wall.Seconds(), stats.PointsPerSec(), stats.CyclesPerSec(), stats.Workers, *benchOut)
 	}
 }
 

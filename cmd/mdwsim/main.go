@@ -5,12 +5,18 @@
 //
 //	mdwsim -arch cb -scheme hw-bitstring -load 0.2 -degree 8
 //	mdwsim -arch cb -scheme sw-binomial  -load 0.2 -degree 8
+//
+// With -reps N the operating point is replicated over seeds seed..seed+N-1
+// (fanned across -workers goroutines, each replica an independent simulator);
+// the first replica prints the full report and a seed-spread summary follows.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"mdworm"
 )
@@ -32,6 +38,8 @@ func main() {
 		recvOv   = flag.Int("recv-overhead", 64, "software receive overhead in cycles")
 		trace    = flag.String("trace", "", "write a message-level event trace to this file ('-' for stderr)")
 		swStats  = flag.Bool("switch-stats", false, "print aggregated switch counters after the run")
+		reps     = flag.Int("reps", 1, "replicate the run over this many consecutive seeds")
+		workers  = flag.Int("workers", 0, "concurrent replicas when -reps > 1 (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -71,29 +79,77 @@ func main() {
 		os.Exit(2)
 	}
 
-	sim, err := mdworm.New(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mdwsim:", err)
-		os.Exit(1)
+	if *reps < 1 {
+		fmt.Fprintln(os.Stderr, "mdwsim: -reps must be >= 1")
+		os.Exit(2)
 	}
-	if *trace != "" {
-		out := os.Stderr
-		if *trace != "-" {
-			f, err := os.Create(*trace)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "mdwsim:", err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			out = f
+	traceOut := os.Stderr
+	if *trace != "" && *trace != "-" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdwsim:", err)
+			os.Exit(1)
 		}
-		sim.SetTracer(mdworm.NewWriterTracer(out))
+		defer f.Close()
+		traceOut = f
 	}
-	res, err := sim.Run()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mdwsim:", err)
+
+	// Each replica is an independent simulator over a consecutive seed;
+	// replica 0 carries the trace and the detailed report.
+	type repOut struct {
+		sim *mdworm.Simulator
+		res mdworm.Results
+		err error
+	}
+	outs := make([]repOut, *reps)
+	runRep := func(r int) {
+		c := cfg
+		c.Seed = *seed + uint64(r)
+		sim, err := mdworm.New(c)
+		if err != nil {
+			outs[r].err = err
+			return
+		}
+		if r == 0 && *trace != "" {
+			sim.SetTracer(mdworm.NewWriterTracer(traceOut))
+		}
+		res, err := sim.Run()
+		outs[r] = repOut{sim: sim, res: res, err: err}
+	}
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > *reps {
+		w = *reps
+	}
+	if w <= 1 {
+		for r := 0; r < *reps; r++ {
+			runRep(r)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for i := 0; i < w; i++ {
+			go func() {
+				defer wg.Done()
+				for r := range jobs {
+					runRep(r)
+				}
+			}()
+		}
+		for r := 0; r < *reps; r++ {
+			jobs <- r
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	if outs[0].err != nil {
+		fmt.Fprintln(os.Stderr, "mdwsim:", outs[0].err)
 		os.Exit(1)
 	}
+	sim, res := outs[0].sim, outs[0].res
 
 	fmt.Printf("system: %d nodes, %s switches, %s multicast, seed %d\n",
 		cfg.N(), *arch, *scheme, *seed)
@@ -111,6 +167,32 @@ func main() {
 	fmt.Printf("  delivered payload: %.4f flits/node/cycle\n\n", res.Unicast.DeliveredPayloadPerNodeCycle)
 	fmt.Printf("raw delivered flits (headers included): %.4f /node/cycle\n", res.DeliveredFlitsPerNodeCycle)
 	fmt.Printf("drain: %d cycles\n", res.DrainCycles)
+
+	if *reps > 1 {
+		fmt.Printf("\nseed spread over %d replicas (seeds %d..%d, %d workers):\n",
+			*reps, *seed, *seed+uint64(*reps)-1, w)
+		fmt.Printf("%8s %12s %12s %14s\n", "seed", "mcast_lat", "uni_lat", "delivered")
+		var sumM, sumU, sumT float64
+		ok := 0
+		for r := 0; r < *reps; r++ {
+			if outs[r].err != nil {
+				fmt.Printf("%8d  ERROR: %v\n", *seed+uint64(r), outs[r].err)
+				continue
+			}
+			rr := outs[r].res
+			thr := rr.Multicast.DeliveredPayloadPerNodeCycle + rr.Unicast.DeliveredPayloadPerNodeCycle
+			fmt.Printf("%8d %12.4g %12.4g %14.5g\n",
+				*seed+uint64(r), rr.Multicast.LastArrival.Mean, rr.Unicast.LastArrival.Mean, thr)
+			sumM += rr.Multicast.LastArrival.Mean
+			sumU += rr.Unicast.LastArrival.Mean
+			sumT += thr
+			ok++
+		}
+		if ok > 0 {
+			fmt.Printf("%8s %12.4g %12.4g %14.5g\n", "mean",
+				sumM/float64(ok), sumU/float64(ok), sumT/float64(ok))
+		}
+	}
 
 	if *swStats {
 		printSwitchStats(sim)

@@ -149,27 +149,40 @@ func (s *Simulator) build() {
 		ejects[p] = ej
 	}
 
-	// Switches.
+	// Switches. Declaring the input links makes a switch eligible for
+	// active-set skipping: fully idle switches cost nothing per cycle and
+	// are re-armed by the first flit sent toward them.
 	for _, node := range s.net.Switches {
 		rng := rootRNG.Fork(uint64(node.ID))
+		var comp engine.Component
 		switch cfg.Arch {
 		case CentralBuffer:
 			sw := centralbuf.New(cfg.CB, node, s.router, ports[node.ID], rng, &s.ids, s.sim)
 			s.cbs = append(s.cbs, sw)
-			s.sim.AddComponent(sw)
+			comp = sw
 		case InputBuffer:
 			sw := inputbuf.New(cfg.IB, node, s.router, ports[node.ID], rng, &s.ids, s.sim)
 			s.ibs = append(s.ibs, sw)
-			s.sim.AddComponent(sw)
+			comp = sw
 		}
+		s.sim.AddComponent(comp)
+		ins := make([]*engine.Link, 0, len(ports[node.ID]))
+		for _, pio := range ports[node.ID] {
+			if pio.In != nil {
+				ins = append(ins, pio.In)
+			}
+		}
+		s.sim.DeclareInputs(comp, ins...)
 	}
 
-	// NICs.
+	// NICs. The eject link is a NIC's only fabric input; Submit wakes it for
+	// out-of-band message injection.
 	s.nics = make([]*nic.NIC, s.net.N)
 	for p := 0; p < s.net.N; p++ {
 		n := nic.New(cfg.NIC, p, s.net.N, injects[p], ejects[p], &s.ids, s.sim, fac, s.onDelivered)
 		s.nics[p] = n
 		s.sim.AddComponent(n)
+		s.sim.DeclareInputs(n, ejects[p])
 	}
 }
 

@@ -392,6 +392,122 @@ func TestTraceKindNames(t *testing.T) {
 	}
 }
 
+func TestRunBudgetValidation(t *testing.T) {
+	sim := NewSimulation(0)
+	for _, cycles := range []int64{0, -5} {
+		if err := sim.Run(cycles); err == nil {
+			t.Fatalf("Run(%d) accepted a non-positive budget", cycles)
+		}
+		if _, err := sim.RunUntil(func() bool { return true }, cycles); err == nil {
+			t.Fatalf("RunUntil(%d) accepted a non-positive budget", cycles)
+		}
+		if _, err := sim.Drain(cycles); err == nil {
+			t.Fatalf("Drain(%d) accepted a non-positive budget", cycles)
+		}
+	}
+	if sim.Now != 0 {
+		t.Fatalf("rejected budgets still advanced the clock to %d", sim.Now)
+	}
+}
+
+// TestLinkFastPathAllocs pins the steady-state send/take/credit path at zero
+// allocations: the ring buffers reuse their storage once warmed up.
+func TestLinkFastPathAllocs(t *testing.T) {
+	l := NewLink("alloc", 1, 4)
+	w := testWorm(1 << 20)
+	now := int64(0)
+	// Warm the rings past their initial growth.
+	for i := 0; i < 16; i++ {
+		l.Send(now, flit.Ref{W: w, Idx: 0})
+		now++
+		l.TakeArrived(now)
+		l.ReturnCredit(now, 1)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		l.Send(now, flit.Ref{W: w, Idx: 0})
+		now++
+		l.TakeArrived(now)
+		l.ReturnCredit(now, 1)
+	})
+	if avg != 0 {
+		t.Fatalf("link fast path allocates %.2f times per cycle, want 0", avg)
+	}
+}
+
+// counter consumes arrivals and counts how often the scheduler steps it.
+type counter struct {
+	in    *Link
+	steps int
+}
+
+func (c *counter) Name() string   { return "counter" }
+func (c *counter) Quiesced() bool { return true }
+func (c *counter) Step(now int64) {
+	c.steps++
+	if _, ok := c.in.Arrived(now); ok {
+		c.in.TakeArrived(now)
+		c.in.ReturnCredit(now, 1)
+	}
+}
+
+// TestActiveSetSkipsIdle checks the scheduler contract: a component with
+// declared inputs is stepped while stimulated, sleeps once idle, and is
+// re-armed by a Send on a declared link or an explicit Wake.
+func TestActiveSetSkipsIdle(t *testing.T) {
+	sim := NewSimulation(0)
+	l := sim.NewLink("in", 1, 4)
+	c := &counter{in: l}
+	sim.AddComponent(c)
+	sim.DeclareInputs(c, l)
+
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if c.steps != 1 {
+		t.Fatalf("idle declared component stepped %d times in 10 cycles, want 1", c.steps)
+	}
+
+	w := testWorm(2)
+	l.Send(sim.Now, flit.Ref{W: w, Idx: 0})
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Quiesced() {
+		t.Fatal("flit not consumed: Send did not re-arm the component")
+	}
+	stepsAfterTraffic := c.steps
+	if stepsAfterTraffic <= 1 {
+		t.Fatalf("component never woke: steps=%d", stepsAfterTraffic)
+	}
+	if c.steps >= 11 {
+		t.Fatalf("component never went back to sleep: steps=%d", c.steps)
+	}
+
+	sim.Wake(c)
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if c.steps != stepsAfterTraffic+1 {
+		t.Fatalf("Wake should buy exactly one step: %d -> %d", stepsAfterTraffic, c.steps)
+	}
+}
+
+// TestUndeclaredComponentAlwaysStepped pins backward compatibility: a
+// component that never called DeclareInputs is stepped every cycle even when
+// quiesced.
+func TestUndeclaredComponentAlwaysStepped(t *testing.T) {
+	sim := NewSimulation(0)
+	l := sim.NewLink("in", 1, 4)
+	c := &counter{in: l}
+	sim.AddComponent(c)
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if c.steps != 10 {
+		t.Fatalf("undeclared component stepped %d times in 10 cycles, want 10", c.steps)
+	}
+}
+
 func BenchmarkLinkSendTakeCredit(b *testing.B) {
 	l := NewLink("bench", 1, 4)
 	w := testWorm(1 << 20)

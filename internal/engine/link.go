@@ -17,20 +17,65 @@ type Link struct {
 	name    string
 	latency int64
 
-	inflight []timed[flit.Ref] // flits on the wire, in send order
-	creditsQ []timed[int]      // credit returns on the reverse wire
-	credits  int               // sender-visible credits (after draining creditsQ)
+	inflight ring[flit.Ref] // flits on the wire, in send order
+	creditsQ ring[int]      // credit returns on the reverse wire
+	credits  int            // sender-visible credits (after draining creditsQ)
 
 	lastSend int64 // cycle of most recent Send, for the 1 flit/cycle limit
 	lastTake int64 // cycle of most recent TakeArrived
 
 	carried  int64  // flits delivered over the lifetime of the link
 	activity *int64 // simulation activity counter
+	wake     func() // arms the receiving component's scheduler slot, if any
 }
 
 type timed[T any] struct {
 	v  T
 	at int64
+}
+
+// ring is an index-based FIFO over a power-of-two backing array. Unlike the
+// re-sliced append queue it replaces, pops advance a head index and pushes
+// reuse freed slots, so a link in steady state allocates nothing.
+type ring[T any] struct {
+	buf  []timed[T]
+	head int
+	n    int
+}
+
+func (r *ring[T]) len() int { return r.n }
+
+// front returns the oldest element; the ring must be non-empty.
+func (r *ring[T]) front() *timed[T] { return &r.buf[r.head] }
+
+func (r *ring[T]) push(v timed[T]) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+func (r *ring[T]) pop() timed[T] {
+	e := r.buf[r.head]
+	var zero timed[T]
+	r.buf[r.head] = zero // drop references so retired worms can be collected
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return e
+}
+
+func (r *ring[T]) grow() {
+	size := 2 * len(r.buf)
+	if size == 0 {
+		size = 4
+	}
+	buf := make([]timed[T], size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
 }
 
 // NewLink creates a link with the given latency (>= 1) and initial credit
@@ -60,12 +105,11 @@ func (l *Link) Name() string { return l.name }
 func (l *Link) Carried() int64 { return l.carried }
 
 // InFlight returns the number of flits currently on the wire.
-func (l *Link) InFlight() int { return len(l.inflight) }
+func (l *Link) InFlight() int { return l.inflight.len() }
 
 func (l *Link) drainCredits(now int64) {
-	for len(l.creditsQ) > 0 && l.creditsQ[0].at <= now {
-		l.credits += l.creditsQ[0].v
-		l.creditsQ = l.creditsQ[1:]
+	for l.creditsQ.len() > 0 && l.creditsQ.front().at <= now {
+		l.credits += l.creditsQ.pop().v
 	}
 }
 
@@ -90,18 +134,21 @@ func (l *Link) Send(now int64, r flit.Ref) {
 	}
 	l.credits--
 	l.lastSend = now
-	l.inflight = append(l.inflight, timed[flit.Ref]{v: r, at: now + l.latency})
+	l.inflight.push(timed[flit.Ref]{v: r, at: now + l.latency})
 	*l.activity++
+	if l.wake != nil {
+		l.wake()
+	}
 }
 
 // Arrived returns the oldest flit whose arrival time has passed, without
 // consuming it. The second result is false if nothing has arrived or the
 // receiver already took a flit this cycle.
 func (l *Link) Arrived(now int64) (flit.Ref, bool) {
-	if l.lastTake >= now || len(l.inflight) == 0 || l.inflight[0].at > now {
+	if l.lastTake >= now || l.inflight.len() == 0 || l.inflight.front().at > now {
 		return flit.Ref{}, false
 	}
-	return l.inflight[0].v, true
+	return l.inflight.front().v, true
 }
 
 // TakeArrived consumes the flit returned by Arrived. The receiver is
@@ -112,7 +159,7 @@ func (l *Link) TakeArrived(now int64) flit.Ref {
 	if !ok {
 		panic(fmt.Sprintf("engine: link %s: TakeArrived with nothing arrived at cycle %d", l.name, now))
 	}
-	l.inflight = l.inflight[1:]
+	l.inflight.pop()
 	l.lastTake = now
 	l.carried++
 	return r
@@ -124,10 +171,10 @@ func (l *Link) ReturnCredit(now int64, n int) {
 	if n <= 0 {
 		panic("engine: ReturnCredit with non-positive n")
 	}
-	l.creditsQ = append(l.creditsQ, timed[int]{v: n, at: now + l.latency})
+	l.creditsQ.push(timed[int]{v: n, at: now + l.latency})
 }
 
 // Quiesced reports whether no flits are on the wire.
-func (l *Link) Quiesced() bool { return len(l.inflight) == 0 }
+func (l *Link) Quiesced() bool { return l.inflight.len() == 0 }
 
 func (l *Link) bindActivity(counter *int64) { l.activity = counter }

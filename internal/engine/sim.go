@@ -32,8 +32,40 @@ func (e *DeadlockError) Error() string {
 		e.Limit, e.Cycle, strings.Join(e.Stuck, ", "))
 }
 
+// compEntry tracks one registered component plus its scheduling state. A
+// component with declared input links may be put to sleep (skipped by Step)
+// once it is quiesced and none of its inputs carries a flit; it is re-armed
+// by a Send on an input link or an explicit Wake. Components that never
+// declared inputs are stepped every cycle, exactly like the pre-active-set
+// engine, so ad-hoc harnesses keep their semantics.
+type compEntry struct {
+	c      Component
+	inputs []*Link
+	asleep bool
+}
+
+// unstimulated reports whether no declared input link holds a flit that
+// could stimulate the component.
+func (e *compEntry) unstimulated() bool {
+	for _, l := range e.inputs {
+		if l.inflight.len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Simulation owns the clock, the components, and the links. It advances all
 // components cycle by cycle and enforces a global progress watchdog.
+//
+// Components whose inputs are declared via DeclareInputs participate in
+// active-set scheduling: once such a component reports Quiesced and no flit
+// is in flight toward it, Step skips it until a link Send re-arms it (or
+// Wake is called after out-of-band stimulation such as a message submit).
+// Because an idle component's Step is required to be a no-op — the model
+// components draw no randomness and mutate no arbitration state while idle —
+// skipping preserves exact cycle semantics while removing the per-cycle cost
+// of the (often large) idle fraction of the fabric.
 type Simulation struct {
 	// Now is the current cycle, visible to components mid-step.
 	Now int64
@@ -42,7 +74,8 @@ type Simulation struct {
 	// DeadlockError (if components still hold work). Zero disables it.
 	WatchdogLimit int64
 
-	comps        []Component
+	comps        []compEntry
+	compIdx      map[Component]int
 	links        []*Link
 	activity     int64
 	lastActivity int64
@@ -51,12 +84,45 @@ type Simulation struct {
 
 // NewSimulation returns an empty simulation with the watchdog set to limit.
 func NewSimulation(watchdogLimit int64) *Simulation {
-	return &Simulation{WatchdogLimit: watchdogLimit}
+	return &Simulation{
+		WatchdogLimit: watchdogLimit,
+		compIdx:       make(map[Component]int),
+	}
 }
 
 // AddComponent registers a component; it will be stepped each cycle.
 func (s *Simulation) AddComponent(c Component) {
-	s.comps = append(s.comps, c)
+	s.compIdx[c] = len(s.comps)
+	s.comps = append(s.comps, compEntry{c: c})
+}
+
+// DeclareInputs tells the scheduler which links feed component c, making c
+// eligible for active-set skipping: while c is quiesced and none of these
+// links carries a flit, Step does not call c. A Send on any declared link
+// re-arms c. Callers whose components receive stimulus outside the link
+// fabric (message submission, barrier drivers) must pair this with Wake.
+func (s *Simulation) DeclareInputs(c Component, inputs ...*Link) {
+	i, ok := s.compIdx[c]
+	if !ok {
+		panic("engine: DeclareInputs for unregistered component " + c.Name())
+	}
+	e := &s.comps[i]
+	for _, l := range inputs {
+		if l == nil {
+			continue
+		}
+		e.inputs = append(e.inputs, l)
+		l.wake = func() { s.comps[i].asleep = false }
+	}
+}
+
+// Wake re-arms a sleeping component after out-of-band stimulation (for
+// example, a message submitted to an idle NIC). Unregistered components are
+// ignored.
+func (s *Simulation) Wake(c Component) {
+	if i, ok := s.compIdx[c]; ok {
+		s.comps[i].asleep = false
+	}
 }
 
 // NewLink creates a link registered with this simulation so that flit
@@ -78,8 +144,8 @@ func (s *Simulation) Progress() { s.activity++ }
 
 // Quiesced reports whether every component and link is idle.
 func (s *Simulation) Quiesced() bool {
-	for _, c := range s.comps {
-		if !c.Quiesced() {
+	for i := range s.comps {
+		if !s.comps[i].c.Quiesced() {
 			return false
 		}
 	}
@@ -94,8 +160,15 @@ func (s *Simulation) Quiesced() bool {
 // Step advances the simulation one cycle.
 func (s *Simulation) Step() {
 	before := s.activity
-	for _, c := range s.comps {
-		c.Step(s.Now)
+	for i := range s.comps {
+		e := &s.comps[i]
+		if e.asleep {
+			continue
+		}
+		e.c.Step(s.Now)
+		if e.inputs != nil && e.c.Quiesced() && e.unstimulated() {
+			e.asleep = true
+		}
 	}
 	if s.activity != before {
 		s.lastActivity = s.Now
@@ -104,8 +177,12 @@ func (s *Simulation) Step() {
 }
 
 // Run advances the simulation by the given number of cycles, returning a
-// DeadlockError if the watchdog fires.
+// DeadlockError if the watchdog fires. A non-positive cycle budget is
+// rejected: silently doing nothing has hidden more than one driver bug.
 func (s *Simulation) Run(cycles int64) error {
+	if cycles <= 0 {
+		return fmt.Errorf("engine: Run needs a positive cycle budget, got %d", cycles)
+	}
 	end := s.Now + cycles
 	for s.Now < end {
 		s.Step()
@@ -118,7 +195,11 @@ func (s *Simulation) Run(cycles int64) error {
 
 // RunUntil steps the simulation until pred returns true, the cycle budget is
 // exhausted, or the watchdog fires. It reports whether pred was satisfied.
+// A non-positive budget is rejected with an error.
 func (s *Simulation) RunUntil(pred func() bool, maxCycles int64) (bool, error) {
+	if maxCycles <= 0 {
+		return false, fmt.Errorf("engine: RunUntil needs a positive cycle budget, got %d", maxCycles)
+	}
 	end := s.Now + maxCycles
 	for s.Now < end {
 		if pred() {
@@ -132,7 +213,8 @@ func (s *Simulation) RunUntil(pred func() bool, maxCycles int64) (bool, error) {
 	return pred(), nil
 }
 
-// Drain runs until every component and link is idle, up to maxCycles.
+// Drain runs until every component and link is idle, up to maxCycles (which
+// must be positive).
 func (s *Simulation) Drain(maxCycles int64) (bool, error) {
 	return s.RunUntil(s.Quiesced, maxCycles)
 }
@@ -151,9 +233,9 @@ func (s *Simulation) checkWatchdog() error {
 		return nil
 	}
 	var stuck []string
-	for _, c := range s.comps {
-		if !c.Quiesced() {
-			stuck = append(stuck, c.Name())
+	for i := range s.comps {
+		if !s.comps[i].c.Quiesced() {
+			stuck = append(stuck, s.comps[i].c.Name())
 		}
 	}
 	for _, l := range s.links {

@@ -10,20 +10,6 @@ import (
 	"mdworm/internal/topology"
 )
 
-func init() {
-	register("a1", A1CentralBufferSize)
-	register("a2", A2ChunkSize)
-	register("a3", A3ReplicateOnUpPath)
-	register("a4", A4UpPortPolicy)
-	register("a5", A5Encoding)
-	register("a6", A6SoftwareOverhead)
-	register("a7", A7HotSpot)
-	register("a8", A8Barrier)
-	register("a9", A9Irregular)
-	register("a10", A10SyncReplication)
-	register("a11", A11BufferBandwidth)
-}
-
 // A1CentralBufferSize sweeps the central buffer capacity under multiple
 // multicast pressure: the shared buffer is the CB architecture's key
 // resource, and the paper's design rests on it being generously sized.
@@ -49,7 +35,8 @@ func A1CentralBufferSize(o Options) (*Table, error) {
 		Metrics: []Metric{MetricMcastLatency, MetricMcastP95, MetricThroughput},
 		Series:  []Series{s},
 		Notes:   "chunk counts below 2x the packet size are raised automatically to keep the deadlock-freedom guarantee",
-	}, seriesErr(&s)
+		strict:  true,
+	}, nil
 }
 
 // A2ChunkSize sweeps the chunk granularity at a fixed total capacity in
@@ -77,7 +64,8 @@ func A2ChunkSize(o Options) (*Table, error) {
 		XLabel:  "chunk_flits",
 		Metrics: []Metric{MetricMcastLatency, MetricThroughput},
 		Series:  []Series{s},
-	}, seriesErr(&s)
+		strict:  true,
+	}, nil
 }
 
 // A3ReplicateOnUpPath compares branching downward on the way to the LCA
@@ -226,11 +214,15 @@ func A10SyncReplication(o Options) (*Table, error) {
 			}
 			cfg.Traffic.OpRate = cfg.Traffic.RateForLoad(load)
 			p := runPoint(cfg, load, o, fmt.Sprintf("a10/%s/l%.2f", name, load))
-			if p.Err != nil {
+			// Rewrite the expected deadlock error after the point resolves.
+			inner := p.deferred
+			p.deferred = func() Point {
+				r := inner()
 				var de *engine.DeadlockError
-				if errors.As(p.Err, &de) {
-					p.Err = fmt.Errorf("DEADLOCK at cycle %d (the paper's predicted failure of synchronous replication)", de.Cycle)
+				if r.Err != nil && errors.As(r.Err, &de) {
+					r.Err = fmt.Errorf("DEADLOCK at cycle %d (the paper's predicted failure of synchronous replication)", de.Cycle)
 				}
+				return r
 			}
 			s.Points = append(s.Points, p)
 		}
@@ -276,18 +268,8 @@ func A11BufferBandwidth(o Options) (*Table, error) {
 		Metrics: []Metric{MetricMcastLatency, MetricMcastP95, MetricThroughput},
 		Series:  []Series{s},
 		Notes:   "x = concurrent buffer transfers per cycle per direction; 8 = one per port (flit-wide RAM / register pipeline of [33])",
-	}, seriesErr(&s)
-}
-
-// seriesErr wraps a single-series table body, surfacing the first point
-// error as the experiment error.
-func seriesErr(s *Series) error {
-	for _, p := range s.Points {
-		if p.Err != nil {
-			return p.Err
-		}
-	}
-	return nil
+		strict:  true,
+	}, nil
 }
 
 // A7HotSpot reproduces the hot-spot study the paper lists as future work:
@@ -342,19 +324,21 @@ func A8Barrier(o Options) (*Table, error) {
 			cfg.Stages = st
 			cfg.Traffic.OpRate = 0
 			CBHW.Apply(&cfg)
-			sim, err := core.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			lat, err := sim.RunBarrier(bs, 10_000_000)
-			if err != nil {
-				return nil, err
-			}
-			var col pointCollector
-			col.add(float64(lat), float64(cfg.N()-1))
-			res := col.results(cfg.N())
-			o.progress("  a8/%s/N%d lat=%d", bs, cfg.N(), lat)
-			s.Points = append(s.Points, Point{X: float64(cfg.N()), Results: res})
+			s.Points = append(s.Points, Point{X: float64(cfg.N()), deferred: func() Point {
+				sim, err := core.New(cfg)
+				if err != nil {
+					return Point{Err: err}
+				}
+				lat, err := sim.RunBarrier(bs, 10_000_000)
+				if err != nil {
+					return Point{Err: err, cycles: sim.Now()}
+				}
+				var col pointCollector
+				col.add(float64(lat), float64(cfg.N()-1))
+				res := col.results(cfg.N())
+				o.progress("  a8/%s/N%d lat=%d", bs, cfg.N(), lat)
+				return Point{Results: res, cycles: sim.Now()}
+			}})
 		}
 		series = append(series, s)
 	}
@@ -365,6 +349,7 @@ func A8Barrier(o Options) (*Table, error) {
 		Metrics: []Metric{MetricMcastLatency},
 		Series:  series,
 		Notes:   "mcast_lat column holds the barrier completion latency in cycles",
+		strict:  true,
 	}, nil
 }
 

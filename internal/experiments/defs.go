@@ -22,17 +22,6 @@ func loads(o Options) []float64 {
 	return fullLoads
 }
 
-func init() {
-	register("e1", E1MultipleMulticastLatency)
-	register("e2", E2MultipleMulticastThroughput)
-	register("e3", E3BimodalUnicastLatency)
-	register("e4", E4BimodalMulticastLatency)
-	register("e5", E5Degree)
-	register("e6", E6MessageLength)
-	register("e7", E7SystemSize)
-	register("e8", E8SingleMulticast)
-}
-
 // sweepLoads runs the three principal contenders over a load sweep with the
 // given traffic shape mutator.
 func sweepLoads(o Options, tag string, shape func(cfg *core.Config), contenders []Contender) []Series {
@@ -263,27 +252,29 @@ func E8SingleMulticast(o Options) (*Table, error) {
 	}, nil
 }
 
-// singleOpPoint measures one multicast on an idle network, averaged over a
-// few deterministic draws.
+// singleOpPoint schedules one idle-network multicast measurement (averaged
+// over a few deterministic draws) as a deferred point.
 func singleOpPoint(cfg core.Config, degree int, o Options, tag string) Point {
-	const draws = 16
-	sim, err := core.New(cfg)
-	if err != nil {
-		return Point{X: float64(degree), Err: err}
-	}
-	// Reuse the simulator across draws; the network is idle between ops.
-	rng := newDrawRNG(cfg.Seed)
-	var col pointCollector
-	for i := 0; i < draws; i++ {
-		src := rng.Intn(sim.Net().N)
-		dests := rng.Sample(sim.Net().N, degree, map[int]bool{src: true})
-		lat, op, err := sim.RunOp(src, dests, true, cfg.Traffic.McastPayloadFlits, 2_000_000)
+	return Point{X: float64(degree), deferred: func() Point {
+		const draws = 16
+		sim, err := core.New(cfg)
 		if err != nil {
 			return Point{X: float64(degree), Err: err}
 		}
-		col.add(float64(lat), float64(op.MessagesSent))
-	}
-	res := col.results(sim.Net().N)
-	o.progress("  %-28s d=%-6d lat=%.1f msgs=%.1f", tag, degree, res.Multicast.LastArrival.Mean, res.Multicast.MessagesPerOp)
-	return Point{X: float64(degree), Results: res}
+		// Reuse the simulator across draws; the network is idle between ops.
+		rng := newDrawRNG(cfg.Seed)
+		var col pointCollector
+		for i := 0; i < draws; i++ {
+			src := rng.Intn(sim.Net().N)
+			dests := rng.Sample(sim.Net().N, degree, map[int]bool{src: true})
+			lat, op, err := sim.RunOp(src, dests, true, cfg.Traffic.McastPayloadFlits, 2_000_000)
+			if err != nil {
+				return Point{X: float64(degree), Err: err, cycles: sim.Now()}
+			}
+			col.add(float64(lat), float64(op.MessagesSent))
+		}
+		res := col.results(sim.Net().N)
+		o.progress("  %-28s d=%-6d lat=%.1f msgs=%.1f", tag, degree, res.Multicast.LastArrival.Mean, res.Multicast.MessagesPerOp)
+		return Point{X: float64(degree), Results: res, cycles: sim.Now()}
+	}}
 }

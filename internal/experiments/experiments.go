@@ -6,8 +6,8 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
+	"sync"
 
 	"mdworm/internal/collective"
 	"mdworm/internal/core"
@@ -21,23 +21,43 @@ type Options struct {
 	// Seed drives all runs (points vary it deterministically).
 	Seed uint64
 	// Progress, when non-nil, receives one line per completed point.
+	// Under a parallel run lines may interleave across experiments; each
+	// line stays whole.
 	Progress io.Writer
+	// Workers bounds how many sweep points run concurrently; 0 means
+	// GOMAXPROCS. Each point is an independent simulator instance, so the
+	// rendered tables are byte-identical for every worker count.
+	Workers int
+
+	// progressMu serializes Progress writes across pool workers; installed
+	// by forRun before experiment closures capture the options.
+	progressMu *sync.Mutex
 }
 
 // DefaultOptions returns the full-fidelity settings.
 func DefaultOptions() Options { return Options{Seed: 1} }
 
 func (o Options) progress(format string, args ...any) {
-	if o.Progress != nil {
-		fmt.Fprintf(o.Progress, format+"\n", args...)
+	if o.Progress == nil {
+		return
 	}
+	if o.progressMu != nil {
+		o.progressMu.Lock()
+		defer o.progressMu.Unlock()
+	}
+	fmt.Fprintf(o.Progress, format+"\n", args...)
 }
 
-// Point is one measurement of one series.
+// Point is one measurement of one series. Until resolved by the runner, a
+// point may be deferred: X and table position are fixed, and the deferred
+// closure produces the measurement when a pool worker executes it.
 type Point struct {
 	X       float64
 	Results stats.Results
 	Err     error
+
+	deferred func() Point // pending measurement; nil once resolved
+	cycles   int64        // simulated cycles this point cost (for SweepStats)
 }
 
 // Series is one curve of a figure (one contender).
@@ -55,6 +75,12 @@ type Table struct {
 	Metrics []Metric
 	Series  []Series
 	Notes   string
+
+	// strict promotes the first point error to an experiment error after
+	// resolution (experiments whose every point must succeed). Non-strict
+	// tables keep point errors in their rows — A10 prints its predicted
+	// deadlocks that way.
+	strict bool
 }
 
 // Metric extracts one printable value from a point's results.
@@ -151,22 +177,25 @@ func baseConfig(o Options) core.Config {
 	return cfg
 }
 
-// runPoint builds and runs one configuration, returning a Point.
+// runPoint schedules one configuration as a deferred point at x; the runner
+// pool builds and runs the simulator when the point resolves.
 func runPoint(cfg core.Config, x float64, o Options, tag string) Point {
-	sim, err := core.New(cfg)
-	if err != nil {
-		return Point{X: x, Err: err}
-	}
-	res, err := sim.Run()
-	if err != nil {
-		return Point{X: x, Err: fmt.Errorf("%s: %w", tag, err)}
-	}
-	o.progress("  %-28s x=%-8.4g mcast=%.1f uni=%.1f thr=%.3f sat=%v",
-		tag, x,
-		res.Multicast.LastArrival.Mean, res.Unicast.LastArrival.Mean,
-		res.Multicast.DeliveredPayloadPerNodeCycle+res.Unicast.DeliveredPayloadPerNodeCycle,
-		res.Saturated)
-	return Point{X: x, Results: res}
+	return Point{X: x, deferred: func() Point {
+		sim, err := core.New(cfg)
+		if err != nil {
+			return Point{X: x, Err: err}
+		}
+		res, err := sim.Run()
+		if err != nil {
+			return Point{X: x, Err: fmt.Errorf("%s: %w", tag, err), cycles: sim.Now()}
+		}
+		o.progress("  %-28s x=%-8.4g mcast=%.1f uni=%.1f thr=%.3f sat=%v",
+			tag, x,
+			res.Multicast.LastArrival.Mean, res.Unicast.LastArrival.Mean,
+			res.Multicast.DeliveredPayloadPerNodeCycle+res.Unicast.DeliveredPayloadPerNodeCycle,
+			res.Saturated)
+		return Point{X: x, Results: res, cycles: sim.Now()}
+	}}
 }
 
 // Registry maps experiment ids to their runners.
@@ -183,31 +212,91 @@ func register(id string, r Runner) {
 	registryOrder = append(registryOrder, id)
 }
 
-// IDs returns all experiment ids in definition order.
-func IDs() []string {
-	out := append([]string(nil), registryOrder...)
-	sort.Strings(out)
-	return out
+// The registry is populated here, in one place, so that definition order is
+// explicit: the paper's figures e1–e8 first, then the ablations a1–a11.
+// IDs, RunAll, and mdwbench's listing all follow this order.
+func init() {
+	register("e1", E1MultipleMulticastLatency)
+	register("e2", E2MultipleMulticastThroughput)
+	register("e3", E3BimodalUnicastLatency)
+	register("e4", E4BimodalMulticastLatency)
+	register("e5", E5Degree)
+	register("e6", E6MessageLength)
+	register("e7", E7SystemSize)
+	register("e8", E8SingleMulticast)
+	register("a1", A1CentralBufferSize)
+	register("a2", A2ChunkSize)
+	register("a3", A3ReplicateOnUpPath)
+	register("a4", A4UpPortPolicy)
+	register("a5", A5Encoding)
+	register("a6", A6SoftwareOverhead)
+	register("a7", A7HotSpot)
+	register("a8", A8Barrier)
+	register("a9", A9Irregular)
+	register("a10", A10SyncReplication)
+	register("a11", A11BufferBandwidth)
 }
 
-// Run executes one experiment by id.
+// IDs returns all experiment ids in definition order (e1..e8, a1..a11) —
+// the same order RunAll executes.
+func IDs() []string {
+	return append([]string(nil), registryOrder...)
+}
+
+// Run executes one experiment by id, resolving its points across the worker
+// pool (see Options.Workers).
 func Run(id string, o Options) (*Table, error) {
 	r, ok := registry[id]
 	if !ok {
-		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known, in definition order: %s)",
+			id, strings.Join(IDs(), " "))
 	}
-	return r(o)
+	o = o.forRun()
+	t, err := r(o)
+	if err != nil {
+		return t, err
+	}
+	resolve([]*Table{t}, o)
+	if t.strict {
+		if perr := firstPointErr(t); perr != nil {
+			return t, perr
+		}
+	}
+	return t, nil
+}
+
+// RunIDs executes the given experiments, resolving the points of all of
+// them through one shared worker pool so parallelism spans experiment
+// boundaries. Tables are returned in argument order regardless of how the
+// pool interleaves execution.
+func RunIDs(ids []string, o Options) ([]*Table, SweepStats, error) {
+	o = o.forRun()
+	tables := make([]*Table, 0, len(ids))
+	for _, id := range ids {
+		r, ok := registry[id]
+		if !ok {
+			return tables, SweepStats{}, fmt.Errorf("experiments: unknown experiment %q (known, in definition order: %s)",
+				id, strings.Join(IDs(), " "))
+		}
+		t, err := r(o)
+		if err != nil {
+			return tables, SweepStats{}, fmt.Errorf("experiment %s: %w", id, err)
+		}
+		tables = append(tables, t)
+	}
+	st := resolve(tables, o)
+	for i, t := range tables {
+		if t.strict {
+			if perr := firstPointErr(t); perr != nil {
+				return tables, st, fmt.Errorf("experiment %s: %w", ids[i], perr)
+			}
+		}
+	}
+	return tables, st, nil
 }
 
 // RunAll executes every registered experiment in definition order.
 func RunAll(o Options) ([]*Table, error) {
-	var out []*Table
-	for _, id := range registryOrder {
-		t, err := registry[id](o)
-		if err != nil {
-			return out, fmt.Errorf("experiment %s: %w", id, err)
-		}
-		out = append(out, t)
-	}
-	return out, nil
+	tables, _, err := RunIDs(IDs(), o)
+	return tables, err
 }

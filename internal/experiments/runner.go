@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// The parallel point runner.
+//
+// Every measurement of the evaluation suite is one independent simulator
+// run: a point owns its own core.Sim, its own deterministically seeded RNG
+// streams, and its own collectors, so the sweep is embarrassingly parallel.
+// Experiment definitions therefore build their tables out of *deferred*
+// points — placeholders carrying a closure over a fully prepared config —
+// and the runner resolves all deferred points across a worker pool. Results
+// are written in place into the already-built table structure, so the
+// rendered output is byte-identical for any worker count (including 1) and
+// any execution interleaving: parallelism is across sweep points, never
+// within one simulated network.
+
+// SweepStats summarizes one resolved batch of experiment points, the
+// numbers cmd/mdwbench records in BENCH_sweep.json.
+type SweepStats struct {
+	// Workers is the pool size the batch ran with.
+	Workers int
+	// Points is the number of simulator runs resolved.
+	Points int
+	// Cycles is the total number of simulated cycles across all points.
+	Cycles int64
+	// Wall is the elapsed wall-clock time of the batch.
+	Wall time.Duration
+}
+
+// PointsPerSec returns the resolution throughput in points per second.
+func (s SweepStats) PointsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Points) / s.Wall.Seconds()
+}
+
+// CyclesPerSec returns the aggregate simulation speed in cycles per second.
+func (s SweepStats) CyclesPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Cycles) / s.Wall.Seconds()
+}
+
+// workers returns the effective pool size: the Workers option, or
+// GOMAXPROCS when unset.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forRun prepares an Options value for a (possibly parallel) run: the
+// progress writer gains a lock shared by every closure that captures the
+// value.
+func (o Options) forRun() Options {
+	if o.Progress != nil && o.progressMu == nil {
+		o.progressMu = &sync.Mutex{}
+	}
+	return o
+}
+
+// resolve runs every deferred point of the given tables across a worker
+// pool and writes the results in place. Point identity (series, x) is fixed
+// by the table structure before resolution, so execution order cannot
+// change the output.
+func resolve(tables []*Table, o Options) SweepStats {
+	var jobs []*Point
+	for _, t := range tables {
+		for si := range t.Series {
+			for pi := range t.Series[si].Points {
+				if p := &t.Series[si].Points[pi]; p.deferred != nil {
+					jobs = append(jobs, p)
+				}
+			}
+		}
+	}
+	start := time.Now()
+	w := o.workers()
+	if w > len(jobs) {
+		w = len(jobs)
+	}
+	if w <= 1 {
+		for _, p := range jobs {
+			resolvePoint(p)
+		}
+	} else {
+		ch := make(chan *Point)
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for i := 0; i < w; i++ {
+			go func() {
+				defer wg.Done()
+				for p := range ch {
+					resolvePoint(p)
+				}
+			}()
+		}
+		for _, p := range jobs {
+			ch <- p
+		}
+		close(ch)
+		wg.Wait()
+	}
+	st := SweepStats{Workers: o.workers(), Points: len(jobs), Wall: time.Since(start)}
+	for _, t := range tables {
+		for si := range t.Series {
+			for pi := range t.Series[si].Points {
+				st.Cycles += t.Series[si].Points[pi].cycles
+			}
+		}
+	}
+	return st
+}
+
+// resolvePoint materializes one deferred point in place. The placeholder's
+// X is authoritative (experiments occasionally relabel an axis after
+// scheduling the point).
+func resolvePoint(p *Point) {
+	r := p.deferred()
+	r.X = p.X
+	r.deferred = nil
+	*p = r
+}
+
+// firstPointErr returns the first point error of a table in layout order.
+func firstPointErr(t *Table) error {
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if p.Err != nil {
+				return p.Err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderWith runs one experiment in quick mode with the given worker count
+// and returns the formatted table bytes.
+func renderWith(t *testing.T, id string, workers int) []byte {
+	t.Helper()
+	tab, err := Run(id, Options{Quick: true, Seed: 1, Workers: workers})
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", id, workers, err)
+	}
+	var buf bytes.Buffer
+	tab.Format(&buf)
+	return buf.Bytes()
+}
+
+// TestParallelDeterminism is the runner's core guarantee: the rendered table
+// is byte-identical whether points resolve serially or across eight workers.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweeps skipped in -short mode")
+	}
+	for _, id := range []string{"e1", "a2"} {
+		serial := renderWith(t, id, 1)
+		parallel := renderWith(t, id, 8)
+		if !bytes.Equal(serial, parallel) {
+			t.Errorf("%s: workers=1 and workers=8 rendered different tables:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+				id, serial, parallel)
+		}
+	}
+}
+
+// TestRunIDsStats checks that the batch API resolves every point, reports
+// order-independent tables, and accounts for the simulated cycles.
+func TestRunIDsStats(t *testing.T) {
+	tables, stats, err := RunIDs([]string{"a8", "a5"}, Options{Quick: true, Seed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 || tables[0].ID != "A8" || tables[1].ID != "A5" {
+		t.Fatalf("tables out of order: %v", []string{tables[0].ID, tables[1].ID})
+	}
+	var points int
+	for _, tab := range tables {
+		for _, s := range tab.Series {
+			for _, p := range s.Points {
+				if p.deferred != nil {
+					t.Fatalf("%s/%s x=%g left unresolved", tab.ID, s.Name, p.X)
+				}
+				points++
+			}
+		}
+	}
+	if stats.Points != points {
+		t.Fatalf("stats.Points = %d, table points = %d", stats.Points, points)
+	}
+	if stats.Cycles <= 0 {
+		t.Fatalf("stats.Cycles = %d, want > 0", stats.Cycles)
+	}
+	if stats.Workers != 4 {
+		t.Fatalf("stats.Workers = %d, want 4", stats.Workers)
+	}
+	if stats.PointsPerSec() <= 0 || stats.CyclesPerSec() <= 0 {
+		t.Fatalf("rates not positive: %+v", stats)
+	}
+}
+
+// TestRunIDsUnknownID checks the batch API's error path.
+func TestRunIDsUnknownID(t *testing.T) {
+	if _, _, err := RunIDs([]string{"a8", "zz"}, Options{Quick: true, Seed: 1}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}

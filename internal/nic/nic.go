@@ -126,12 +126,15 @@ func (nc *NIC) QueueLen() int {
 	return q
 }
 
-// Submit enqueues messages for injection, in order.
+// Submit enqueues messages for injection, in order. It re-arms the NIC in
+// the scheduler: a submit is out-of-band stimulation the link fabric cannot
+// see, so an idle (skipped) NIC must be woken explicitly.
 func (nc *NIC) Submit(msgs ...*flit.Message) {
 	nc.sendQ = append(nc.sendQ, msgs...)
 	if len(nc.sendQ) > nc.stats.SendQueueMax {
 		nc.stats.SendQueueMax = len(nc.sendQ)
 	}
+	nc.sim.Wake(nc)
 }
 
 // Quiesced reports whether the NIC holds no pending or in-flight work.

@@ -227,7 +227,6 @@ type Switch struct {
 	pendingTok   []pendingToken
 	pendingRes   [2][]*packetBuf // reservation queue per direction pool
 	livePB       int
-	inOffset     int
 
 	stats Stats
 }
@@ -423,9 +422,13 @@ func (s *Switch) admit(pb *packetBuf, now int64) {
 
 func (s *Switch) stepInputs(now int64) {
 	n := len(s.in)
-	s.inOffset = (s.inOffset + 1) % n
+	// The service origin rotates one slot per cycle. It is derived from the
+	// clock (not a stored counter) so that cycles the active-set scheduler
+	// skips — during which the stored counter could not advance — leave the
+	// arbitration sequence bit-identical to an always-stepped switch.
+	off := int((now + 1) % int64(n))
 	for k := 0; k < n; k++ {
-		s.stepInput((s.inOffset+k)%n, now)
+		s.stepInput((off+k)%n, now)
 	}
 }
 

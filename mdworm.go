@@ -146,16 +146,28 @@ func New(cfg Config) (*Simulator, error) { return core.New(cfg) }
 // ExperimentTable is one reproduced figure or table.
 type ExperimentTable = experiments.Table
 
-// ExperimentOptions controls experiment runs.
+// ExperimentOptions controls experiment runs. Set Workers to fan sweep
+// points across a pool (0 = GOMAXPROCS); every worker count renders
+// byte-identical tables.
 type ExperimentOptions = experiments.Options
 
-// ExperimentIDs lists the available experiment identifiers (e1..e8 for the
-// paper's figures and tables, a1..a6 for the design-choice ablations).
+// SweepStats summarizes the cost of one resolved experiment batch.
+type SweepStats = experiments.SweepStats
+
+// ExperimentIDs lists the available experiment identifiers in definition
+// order: e1..e8 for the paper's figures and tables, then a1..a11 for the
+// design-choice ablations.
 func ExperimentIDs() []string { return experiments.IDs() }
 
 // RunExperiment reproduces one experiment by id.
 func RunExperiment(id string, o ExperimentOptions) (*ExperimentTable, error) {
 	return experiments.Run(id, o)
+}
+
+// RunExperiments reproduces the given experiments through one shared worker
+// pool and reports the batch cost.
+func RunExperiments(ids []string, o ExperimentOptions) ([]*ExperimentTable, SweepStats, error) {
+	return experiments.RunIDs(ids, o)
 }
 
 // AllExperiments reproduces the full suite in order.
