@@ -9,26 +9,44 @@
 //	mdwbench -exp paper      # run e1..e8 only
 //	mdwbench -quick          # shrunk windows and point counts
 //	mdwbench -workers 8      # sweep-point pool size (0 = GOMAXPROCS)
-//	mdwbench -bench-out f    # write batch timing stats as JSON
+//	mdwbench -bench-out f    # append batch timing stats to a JSON history
+//	mdwbench -daemon URL     # run on an mdwd daemon instead of in-process
 //	mdwbench -v              # per-point progress on stderr
 //
 // Sweep points are independent simulator instances, so -workers only
 // changes wall-clock time: the rendered tables are byte-identical for
-// every worker count.
+// every worker count. Ctrl-C (or SIGTERM) cancels the sweep: pending
+// points are skipped and the process exits 130 without partial tables.
+//
+// With -daemon the experiments execute on a running mdwd server (repeat
+// runs are served from its result cache); tables stream back identical to
+// the in-process rendering. Only -format text is available remotely.
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"mdworm"
+	"mdworm/internal/service"
 )
 
-// benchReport is the schema of the -bench-out JSON file (BENCH_sweep.json).
+// benchReport is one timing record of a sweep batch. The -bench-out file
+// (BENCH_sweep.json) holds a JSON array of these, newest last, so the perf
+// trajectory across commits is preserved; see appendBenchHistory.
 type benchReport struct {
+	Timestamp      string   `json:"timestamp,omitempty"`
 	Quick          bool     `json:"quick"`
 	Seed           uint64   `json:"seed"`
 	Experiments    []string `json:"experiments"`
@@ -41,75 +59,249 @@ type benchReport struct {
 }
 
 func main() {
-	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment ids, or all|paper|ablation")
-		quick    = flag.Bool("quick", false, "shrink windows and point counts")
-		format   = flag.String("format", "text", "output format: text, csv, or plot")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		workers  = flag.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS)")
-		benchOut = flag.String("bench-out", "", "write batch timing stats (points/sec, cycles/sec) to this JSON file")
-		verbose  = flag.Bool("v", false, "per-point progress on stderr")
-	)
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	opts := mdworm.ExperimentOptions{Quick: *quick, Seed: *seed, Workers: *workers}
-	if *verbose {
-		opts.Progress = os.Stderr
+// run is main with its environment made explicit so tests can drive it.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mdwbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		expFlag  = fs.String("exp", "all", "comma-separated experiment ids, or all|paper|ablation")
+		quick    = fs.Bool("quick", false, "shrink windows and point counts")
+		format   = fs.String("format", "text", "output format: text, csv, or plot")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		workers  = fs.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS)")
+		benchOut = fs.String("bench-out", "", "append batch timing stats (points/sec, cycles/sec) to this JSON history file")
+		daemon   = fs.String("daemon", "", "run experiments on an mdwd daemon at this base URL (e.g. http://localhost:8080)")
+		verbose  = fs.Bool("v", false, "per-point progress on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
 	ids, err := expand(*expFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	tables, stats, err := mdworm.RunExperiments(ids, opts)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "mdwbench: %v\n", err)
-		os.Exit(1)
-	}
-	for _, t := range tables {
-		switch *format {
-		case "text":
-			t.Format(os.Stdout)
-			fmt.Println()
-		case "csv":
-			if err := t.WriteCSV(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, "mdwbench:", err)
-				os.Exit(1)
-			}
-			fmt.Println()
-		case "plot":
-			t.Plot(os.Stdout)
-			fmt.Println()
-		default:
-			fmt.Fprintf(os.Stderr, "mdwbench: unknown format %q\n", *format)
-			os.Exit(2)
+
+	var (
+		points int
+		cycles int64
+		wall   float64
+		wkrs   int
+	)
+	if *daemon != "" {
+		if *format != "text" {
+			fmt.Fprintln(stderr, "mdwbench: -daemon streams pre-rendered tables; only -format text is supported")
+			return 2
 		}
+		points, cycles, wall, err = runRemote(ctx, *daemon, ids, remoteOpts{
+			Quick: *quick, Seed: *seed, Workers: *workers, Verbose: *verbose,
+		}, stdout, stderr)
+		wkrs = *workers
+	} else {
+		opts := mdworm.ExperimentOptions{Quick: *quick, Seed: *seed, Workers: *workers, Context: ctx}
+		if *verbose {
+			opts.Progress = stderr
+		}
+		var tables []*mdworm.ExperimentTable
+		var st mdworm.SweepStats
+		tables, st, err = mdworm.RunExperiments(ids, opts)
+		if err == nil {
+			for _, t := range tables {
+				switch *format {
+				case "text":
+					t.Format(stdout)
+					fmt.Fprintln(stdout)
+				case "csv":
+					if err := t.WriteCSV(stdout); err != nil {
+						fmt.Fprintln(stderr, "mdwbench:", err)
+						return 1
+					}
+					fmt.Fprintln(stdout)
+				case "plot":
+					t.Plot(stdout)
+					fmt.Fprintln(stdout)
+				default:
+					fmt.Fprintf(stderr, "mdwbench: unknown format %q\n", *format)
+					return 2
+				}
+			}
+		}
+		points, cycles, wall, wkrs = st.Points, st.Cycles, st.Wall.Seconds(), st.Workers
 	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(stderr, "mdwbench: interrupted, partial results discarded")
+			return 130
+		}
+		fmt.Fprintf(stderr, "mdwbench: %v\n", err)
+		return 1
+	}
+
 	if *benchOut != "" {
 		rep := benchReport{
+			Timestamp:      time.Now().UTC().Format(time.RFC3339),
 			Quick:          *quick,
 			Seed:           *seed,
 			Experiments:    ids,
-			Workers:        stats.Workers,
-			Points:         stats.Points,
-			SimulatedCycle: stats.Cycles,
-			WallSeconds:    stats.Wall.Seconds(),
-			PointsPerSec:   stats.PointsPerSec(),
-			CyclesPerSec:   stats.CyclesPerSec(),
+			Workers:        wkrs,
+			Points:         points,
+			SimulatedCycle: cycles,
+			WallSeconds:    wall,
 		}
-		data, err := json.MarshalIndent(rep, "", "  ")
+		if wall > 0 {
+			rep.PointsPerSec = float64(points) / wall
+			rep.CyclesPerSec = float64(cycles) / wall
+		}
+		n, err := appendBenchHistory(*benchOut, rep)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mdwbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "mdwbench:", err)
+			return 1
 		}
-		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "mdwbench:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "mdwbench: %d points, %.1fs wall, %.2f points/s, %.3g cycles/s (workers=%d) -> %s\n",
-			stats.Points, stats.Wall.Seconds(), stats.PointsPerSec(), stats.CyclesPerSec(), stats.Workers, *benchOut)
+		fmt.Fprintf(stderr, "mdwbench: %d points, %.1fs wall, %.2f points/s, %.3g cycles/s (workers=%d) -> %s (%d runs recorded)\n",
+			points, wall, rep.PointsPerSec, rep.CyclesPerSec, wkrs, *benchOut, n)
 	}
+	return 0
+}
+
+// appendBenchHistory appends rep to the JSON array in path, creating the
+// file if absent. A legacy file holding a single object (the pre-history
+// format) is preserved as the array's first entry. Returns the number of
+// recorded runs.
+func appendBenchHistory(path string, rep benchReport) (int, error) {
+	var hist []benchReport
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+	case err != nil:
+		return 0, err
+	default:
+		trimmed := strings.TrimSpace(string(data))
+		if strings.HasPrefix(trimmed, "[") {
+			if err := json.Unmarshal(data, &hist); err != nil {
+				return 0, fmt.Errorf("%s: existing history unreadable: %w", path, err)
+			}
+		} else if trimmed != "" {
+			var legacy benchReport
+			if err := json.Unmarshal(data, &legacy); err != nil {
+				return 0, fmt.Errorf("%s: existing report unreadable: %w", path, err)
+			}
+			hist = append(hist, legacy)
+		}
+	}
+	hist = append(hist, rep)
+	out, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return 0, err
+	}
+	return len(hist), nil
+}
+
+type remoteOpts struct {
+	Quick   bool
+	Seed    uint64
+	Workers int
+	Verbose bool
+}
+
+// runRemote drives each experiment on an mdwd daemon via POST /v1/experiment,
+// consuming the chunked JSON-lines stream: point events go to stderr under
+// -v, rendered tables to stdout, and the done event carries the batch cost.
+func runRemote(ctx context.Context, base string, ids []string, o remoteOpts, stdout, stderr io.Writer) (points int, cycles int64, wall float64, err error) {
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{} // no timeout: experiments stream for minutes
+	for _, id := range ids {
+		reqBody, err := json.Marshal(service.ExperimentRequest{
+			ID: id, Quick: o.Quick, Seed: o.Seed, Workers: o.Workers,
+		})
+		if err != nil {
+			return points, cycles, wall, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			base+"/v1/experiment", strings.NewReader(string(reqBody)))
+		if err != nil {
+			return points, cycles, wall, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return points, cycles, wall, ctx.Err()
+			}
+			return points, cycles, wall, fmt.Errorf("%s: %w", id, err)
+		}
+		p, c, w, err := consumeStream(resp, id, o.Verbose, stdout, stderr)
+		resp.Body.Close()
+		if err != nil {
+			if ctx.Err() != nil {
+				return points, cycles, wall, ctx.Err()
+			}
+			return points, cycles, wall, err
+		}
+		points += p
+		cycles += c
+		wall += w
+	}
+	return points, cycles, wall, nil
+}
+
+// consumeStream reads one /v1/experiment JSON-lines response to completion.
+func consumeStream(resp *http.Response, id string, verbose bool, stdout, stderr io.Writer) (points int, cycles int64, wall float64, err error) {
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return 0, 0, 0, fmt.Errorf("%s: daemon returned %s: %s", id, resp.Status, strings.TrimSpace(string(body)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024) // tables are one line each
+	done := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev service.StreamEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return points, cycles, wall, fmt.Errorf("%s: bad stream line %q: %w", id, line, err)
+		}
+		switch ev.Type {
+		case "start":
+			if verbose {
+				fmt.Fprintf(stderr, "%s: job %s started\n", id, ev.Job)
+			}
+		case "point":
+			if verbose {
+				if ev.Err != "" {
+					fmt.Fprintf(stderr, "%s: ERROR: %s\n", ev.Tag, ev.Err)
+				} else {
+					fmt.Fprintf(stderr, "%s: x=%g mcast=%.4g uni=%.4g thr=%.5g\n",
+						ev.Tag, ev.X, ev.McastLat, ev.UniLat, ev.Throughput)
+				}
+			}
+		case "table":
+			fmt.Fprint(stdout, ev.Text)
+			fmt.Fprintln(stdout)
+		case "done":
+			points, cycles, wall = ev.Points, ev.Cycles, ev.WallSeconds
+			done = true
+		case "error":
+			return points, cycles, wall, fmt.Errorf("%s: daemon: %s", id, ev.Err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return points, cycles, wall, fmt.Errorf("%s: stream: %w", id, err)
+	}
+	if !done {
+		return points, cycles, wall, fmt.Errorf("%s: stream ended without a done event", id)
+	}
+	return points, cycles, wall, nil
 }
 
 func expand(spec string) ([]string, error) {

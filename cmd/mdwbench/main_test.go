@@ -1,8 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
+
+	"mdworm/internal/service"
 )
 
 func TestExpandGroups(t *testing.T) {
@@ -49,5 +58,164 @@ func TestExpandErrors(t *testing.T) {
 	}
 	if _, err := expand(" , "); err == nil {
 		t.Error("empty list accepted")
+	}
+}
+
+// TestBenchHistoryAppend: -bench-out accumulates an array, one entry per run.
+func TestBenchHistoryAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	for i := 1; i <= 3; i++ {
+		n, err := appendBenchHistory(path, benchReport{Timestamp: "t", Points: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != i {
+			t.Fatalf("run %d recorded as %d", i, n)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist []benchReport
+	if err := json.Unmarshal(data, &hist); err != nil {
+		t.Fatalf("history not a JSON array: %v", err)
+	}
+	if len(hist) != 3 || hist[2].Points != 3 {
+		t.Fatalf("history %+v", hist)
+	}
+}
+
+// TestBenchHistoryMigratesLegacy: a pre-history single-object file becomes
+// the first entry of the array instead of being overwritten.
+func TestBenchHistoryMigratesLegacy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	legacy := `{"quick":false,"seed":1,"points":314,"wall_seconds":83.0}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := appendBenchHistory(path, benchReport{Timestamp: "now", Points: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("recorded %d runs, want 2", n)
+	}
+	data, _ := os.ReadFile(path)
+	var hist []benchReport
+	if err := json.Unmarshal(data, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if hist[0].Points != 314 || hist[1].Points != 7 || hist[1].Timestamp != "now" {
+		t.Fatalf("history %+v", hist)
+	}
+}
+
+func TestBenchHistoryRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := appendBenchHistory(path, benchReport{}); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+}
+
+// TestDaemonModeMatchesLocal: the same experiment through -daemon renders
+// the identical table to an in-process run (daemon-side determinism plus
+// pass-through rendering).
+func TestDaemonModeMatchesLocal(t *testing.T) {
+	srv, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var local, remote, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-exp", "a8", "-quick"}, &local, &stderr); code != 0 {
+		t.Fatalf("local: exit %d\n%s", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-exp", "a8", "-quick", "-daemon", ts.URL}, &remote, &stderr); code != 0 {
+		t.Fatalf("daemon: exit %d\n%s", code, stderr.String())
+	}
+	if local.String() != remote.String() {
+		t.Fatalf("daemon output differs from local:\n--- local ---\n%s\n--- daemon ---\n%s",
+			local.String(), remote.String())
+	}
+}
+
+// TestDaemonModeBenchOut: the done event's batch cost feeds -bench-out.
+func TestDaemonModeBenchOut(t *testing.T) {
+	srv, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-exp", "a8", "-quick", "-daemon", ts.URL, "-bench-out", path, "-v"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	var hist []benchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 || hist[0].Points == 0 || hist[0].SimulatedCycle == 0 || hist[0].Timestamp == "" {
+		t.Fatalf("history %+v", hist)
+	}
+	if !strings.Contains(stderr.String(), "x=") {
+		t.Fatalf("-v produced no point lines:\n%s", stderr.String())
+	}
+}
+
+func TestDaemonModeErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(),
+		[]string{"-daemon", "http://x", "-format", "csv", "-exp", "a8"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("csv over daemon: exit %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run(context.Background(),
+		[]string{"-daemon", "http://127.0.0.1:1", "-exp", "a8", "-quick"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("unreachable daemon: exit %d, want 1\n%s", code, stderr.String())
+	}
+}
+
+// TestCanceledSweep: a pre-canceled context (Ctrl-C) exits 130 with no
+// partial tables, both locally and through a daemon.
+func TestCanceledSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stdout, stderr bytes.Buffer
+	if code := run(ctx, []string{"-exp", "a8", "-quick"}, &stdout, &stderr); code != 130 {
+		t.Fatalf("local: exit %d, want 130\n%s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("partial tables printed:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+
+	srv, err := service.New(service.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(ctx, []string{"-exp", "a8", "-quick", "-daemon", ts.URL}, &stdout, &stderr); code != 130 {
+		t.Fatalf("daemon: exit %d, want 130\n%s", code, stderr.String())
 	}
 }

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"net"
+	"net/http"
+)
+
+// newListener binds the server's address; split out so run can report the
+// resolved address (":0" in tests) before serving.
+func newListener(hs *http.Server) (net.Listener, error) {
+	addr := hs.Addr
+	if addr == "" {
+		addr = ":http"
+	}
+	return net.Listen("tcp", addr)
+}

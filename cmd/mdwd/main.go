@@ -1,0 +1,113 @@
+// Command mdwd is the simulation-as-a-service daemon: a long-running HTTP
+// server over the mdworm simulator and experiment suite, with a bounded
+// worker pool and a content-addressed result cache (deterministic runs make
+// results perfectly cacheable — an identical config is served from cache,
+// byte-identical to the original computation).
+//
+// Start it, then drive it with curl or mdwbench -daemon:
+//
+//	mdwd -addr :8080 -cache-dir /var/cache/mdwd &
+//	curl -s localhost:8080/v1/run -d '{"config":{"arch":"cb","load":0.2}}'
+//	mdwbench -daemon http://localhost:8080 -exp e1 -quick
+//
+// Endpoints: POST /v1/run, POST /v1/experiment (streamed JSON lines),
+// GET /v1/experiments, GET /v1/jobs, GET /v1/jobs/{id}, GET /healthz,
+// GET /metrics. See the README "Run as a service" section for the full
+// reference.
+//
+// SIGINT/SIGTERM drain gracefully: new jobs are rejected, running jobs
+// finish (up to -drain-timeout), and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"mdworm/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is main with its environment made explicit; ready (when non-nil)
+// receives the listen address once the server is up (tests use it).
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("mdwd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation jobs")
+		backlog      = fs.Int("backlog", 0, "queued-job bound (0 = 4*workers)")
+		cacheEntries = fs.Int("cache-entries", 1024, "in-memory result cache entries")
+		cacheDir     = fs.String("cache-dir", "", "persist results in this directory (survives restarts)")
+		maxCycles    = fs.Int64("max-cycles", 5_000_000, "per-request simulated-cycle ceiling (0 = unlimited)")
+		runTimeout   = fs.Duration("run-timeout", 2*time.Minute, "how long /v1/run waits before handing the job to the background")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	srv, err := service.New(service.Config{
+		Workers:      *workers,
+		Backlog:      *backlog,
+		CacheEntries: *cacheEntries,
+		CacheDir:     *cacheDir,
+		MaxCycles:    *maxCycles,
+		RunTimeout:   *runTimeout,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "mdwd:", err)
+		return 1
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ln, err := newListener(hs)
+	if err != nil {
+		fmt.Fprintln(stderr, "mdwd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "mdwd: listening on %s (workers=%d, cache=%d entries, dir=%q)\n",
+		ln.Addr(), *workers, *cacheEntries, *cacheDir)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "mdwd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: refuse new jobs immediately, then let in-flight
+	// requests (and the jobs they wait on) finish within the grace period.
+	fmt.Fprintln(stdout, "mdwd: draining (new jobs rejected)")
+	srv.BeginDrain()
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(stderr, "mdwd: shutdown:", err)
+	}
+	if srv.Drain(*drainTimeout) {
+		fmt.Fprintln(stdout, "mdwd: drained cleanly")
+	} else {
+		fmt.Fprintln(stderr, "mdwd: drain deadline exceeded, abandoning remaining jobs")
+	}
+	return 0
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonLifecycle boots the daemon on a free port, exercises a miss/hit
+// pair over real HTTP, then delivers SIGTERM and checks the graceful drain
+// exits 0 — the in-process version of the CI smoke script.
+func TestDaemonLifecycle(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-drain-timeout", "10s"},
+			&stdout, &stderr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case code := <-exit:
+		t.Fatalf("daemon exited early: %d\n%s%s", code, stdout.String(), stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := `{"config":{"stages":2,"degree":4,"warmup_cycles":200,"measure_cycles":800,"drain_cycles":50000,"op_rate":0.001}}`
+	var first []byte
+	for i, want := range []string{"miss", "hit"} {
+		resp, err := http.Post(base+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: %d %v %s", i, resp.StatusCode, err, b)
+		}
+		if got := resp.Header.Get("X-Mdwd-Cache"); got != want {
+			t.Fatalf("run %d: cache %q, want %q", i, got, want)
+		}
+		if i == 0 {
+			first = b
+		} else if !bytes.Equal(first, b) {
+			t.Fatal("cache hit not byte-identical")
+		}
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d\n%s%s", code, stdout.String(), stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if !strings.Contains(stdout.String(), "drained cleanly") {
+		t.Fatalf("drain not reported:\n%s", stdout.String())
+	}
+}
+
+// TestFlagErrors: bad flags fail with exit code 2 before binding a socket.
+func TestFlagErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-bogus"}, &stdout, &stderr, nil); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "bogus") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+// TestBindError: an unbindable address is a startup failure, not a hang.
+func TestBindError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-addr", "256.0.0.1:99999"}, &stdout, &stderr, nil); code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, stderr.String())
+	}
+}
+
+// TestCacheDirFlag: results persist across daemon restarts via -cache-dir.
+func TestCacheDirFlag(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"config":{"stages":2,"warmup_cycles":100,"measure_cycles":400,"drain_cycles":50000,"op_rate":0.001,"seed":5}}`
+
+	boot := func() (string, chan int, *bytes.Buffer) {
+		var out bytes.Buffer
+		ready := make(chan string, 1)
+		exit := make(chan int, 1)
+		go func() {
+			exit <- run([]string{"-addr", "127.0.0.1:0", "-cache-dir", dir}, &out, &out, ready)
+		}()
+		select {
+		case addr := <-ready:
+			return "http://" + addr, exit, &out
+		case <-time.After(10 * time.Second):
+			t.Fatalf("daemon never ready:\n%s", out.String())
+			return "", nil, nil
+		}
+	}
+	stop := func(exit chan int, out *bytes.Buffer) {
+		syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+		select {
+		case code := <-exit:
+			if code != 0 {
+				t.Fatalf("exit %d\n%s", code, out.String())
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("no exit after SIGTERM")
+		}
+	}
+
+	base, exit, out := boot()
+	resp, err := http.Post(base+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first run: %d", resp.StatusCode)
+	}
+	stop(exit, out)
+
+	base, exit, out = boot()
+	resp, err = http.Post(base+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Mdwd-Cache"); got != "hit" {
+		t.Fatalf("after restart: cache %q, want hit (%s)", got, fmt.Sprint(resp.StatusCode))
+	}
+	stop(exit, out)
+}

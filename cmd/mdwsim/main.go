@@ -9,39 +9,59 @@
 // With -reps N the operating point is replicated over seeds seed..seed+N-1
 // (fanned across -workers goroutines, each replica an independent simulator);
 // the first replica prints the full report and a seed-spread summary follows.
+// Ctrl-C (or SIGTERM) stops cleanly: running replicas finish, pending ones
+// are skipped, and the process exits 130.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"sync"
+	"syscall"
 
 	"mdworm"
+	"mdworm/internal/service"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit so tests can drive it: a
+// cancellation context (Ctrl-C), argument list, and output streams. It
+// returns the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mdwsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		arch     = flag.String("arch", "cb", "switch architecture: cb (central buffer) or ib (input buffer)")
-		scheme   = flag.String("scheme", "hw-bitstring", "multicast scheme: hw-bitstring, hw-multiport, sw-binomial, sw-separate")
-		stages   = flag.Int("stages", 3, "BMIN stages (nodes = 4^stages)")
-		load     = flag.Float64("load", 0.1, "offered load in delivered payload flits per node per cycle")
-		frac     = flag.Float64("mcast-fraction", 1.0, "fraction of operations that are multicasts")
-		degree   = flag.Int("degree", 8, "multicast destinations per op")
-		uniLen   = flag.Int("uni-len", 32, "unicast payload flits")
-		mcastLen = flag.Int("mcast-len", 64, "multicast payload flits")
-		warmup   = flag.Int64("warmup", 4000, "warmup cycles")
-		measure  = flag.Int64("measure", 20000, "measurement cycles")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		sendOv   = flag.Int("send-overhead", 64, "software send overhead in cycles")
-		recvOv   = flag.Int("recv-overhead", 64, "software receive overhead in cycles")
-		trace    = flag.String("trace", "", "write a message-level event trace to this file ('-' for stderr)")
-		swStats  = flag.Bool("switch-stats", false, "print aggregated switch counters after the run")
-		reps     = flag.Int("reps", 1, "replicate the run over this many consecutive seeds")
-		workers  = flag.Int("workers", 0, "concurrent replicas when -reps > 1 (0 = GOMAXPROCS)")
+		arch     = fs.String("arch", "cb", "switch architecture: cb (central buffer) or ib (input buffer)")
+		scheme   = fs.String("scheme", "hw-bitstring", "multicast scheme: hw-bitstring, hw-multiport, sw-binomial, sw-separate")
+		stages   = fs.Int("stages", 3, "BMIN stages (nodes = 4^stages)")
+		load     = fs.Float64("load", 0.1, "offered load in delivered payload flits per node per cycle")
+		frac     = fs.Float64("mcast-fraction", 1.0, "fraction of operations that are multicasts")
+		degree   = fs.Int("degree", 8, "multicast destinations per op")
+		uniLen   = fs.Int("uni-len", 32, "unicast payload flits")
+		mcastLen = fs.Int("mcast-len", 64, "multicast payload flits")
+		warmup   = fs.Int64("warmup", 4000, "warmup cycles")
+		measure  = fs.Int64("measure", 20000, "measurement cycles")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		sendOv   = fs.Int("send-overhead", 64, "software send overhead in cycles")
+		recvOv   = fs.Int("recv-overhead", 64, "software receive overhead in cycles")
+		trace    = fs.String("trace", "", "write a message-level event trace to this file ('-' for stderr)")
+		swStats  = fs.Bool("switch-stats", false, "print aggregated switch counters after the run")
+		reps     = fs.Int("reps", 1, "replicate the run over this many consecutive seeds")
+		workers  = fs.Int("workers", 0, "concurrent replicas when -reps > 1 (0 = GOMAXPROCS)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := mdworm.DefaultConfig()
 	cfg.Stages = *stages
@@ -56,46 +76,38 @@ func main() {
 	cfg.Traffic.McastPayloadFlits = *mcastLen
 	cfg.Traffic.OpRate = cfg.Traffic.RateForLoad(*load)
 
-	switch *arch {
-	case "cb":
-		cfg.Arch = mdworm.CentralBuffer
-	case "ib":
-		cfg.Arch = mdworm.InputBuffer
-	default:
-		fmt.Fprintf(os.Stderr, "mdwsim: unknown arch %q\n", *arch)
-		os.Exit(2)
+	a, err := service.ParseArch(*arch)
+	if err != nil {
+		fmt.Fprintln(stderr, "mdwsim:", err)
+		return 2
 	}
-	switch *scheme {
-	case "hw-bitstring":
-		cfg.Scheme = mdworm.HardwareBitString
-	case "hw-multiport":
-		cfg.Scheme = mdworm.HardwareMultiport
-	case "sw-binomial":
-		cfg.Scheme = mdworm.SoftwareBinomial
-	case "sw-separate":
-		cfg.Scheme = mdworm.SoftwareSeparate
-	default:
-		fmt.Fprintf(os.Stderr, "mdwsim: unknown scheme %q\n", *scheme)
-		os.Exit(2)
+	cfg.Arch = a
+	sch, err := service.ParseScheme(*scheme)
+	if err != nil {
+		fmt.Fprintln(stderr, "mdwsim:", err)
+		return 2
 	}
+	cfg.Scheme = sch
 
 	if *reps < 1 {
-		fmt.Fprintln(os.Stderr, "mdwsim: -reps must be >= 1")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "mdwsim: -reps must be >= 1")
+		return 2
 	}
-	traceOut := os.Stderr
+	traceOut := stderr
 	if *trace != "" && *trace != "-" {
 		f, err := os.Create(*trace)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mdwsim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "mdwsim:", err)
+			return 1
 		}
 		defer f.Close()
 		traceOut = f
 	}
 
 	// Each replica is an independent simulator over a consecutive seed;
-	// replica 0 carries the trace and the detailed report.
+	// replica 0 carries the trace and the detailed report. A canceled
+	// context skips replicas not yet started (running ones finish — a
+	// simulator run is not interruptible mid-cycle).
 	type repOut struct {
 		sim *mdworm.Simulator
 		res mdworm.Results
@@ -103,6 +115,10 @@ func main() {
 	}
 	outs := make([]repOut, *reps)
 	runRep := func(r int) {
+		if ctx.Err() != nil {
+			outs[r].err = ctx.Err()
+			return
+		}
 		c := cfg
 		c.Seed = *seed + uint64(r)
 		sim, err := mdworm.New(c)
@@ -145,43 +161,47 @@ func main() {
 		close(jobs)
 		wg.Wait()
 	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(stderr, "mdwsim: interrupted, partial results discarded")
+		return 130
+	}
 	if outs[0].err != nil {
-		fmt.Fprintln(os.Stderr, "mdwsim:", outs[0].err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mdwsim:", outs[0].err)
+		return 1
 	}
 	sim, res := outs[0].sim, outs[0].res
 
-	fmt.Printf("system: %d nodes, %s switches, %s multicast, seed %d\n",
+	fmt.Fprintf(stdout, "system: %d nodes, %s switches, %s multicast, seed %d\n",
 		cfg.N(), *arch, *scheme, *seed)
-	fmt.Printf("offered load: %.4g delivered payload flits/node/cycle (op rate %.6f)\n",
+	fmt.Fprintf(stdout, "offered load: %.4g delivered payload flits/node/cycle (op rate %.6f)\n",
 		*load, cfg.Traffic.OpRate)
-	fmt.Printf("saturated: %v (max send queue %d)\n\n", res.Saturated, res.MaxSendQueue)
-	fmt.Printf("multicast: ops=%d/%d phases-scheme=%s\n",
+	fmt.Fprintf(stdout, "saturated: %v (max send queue %d)\n\n", res.Saturated, res.MaxSendQueue)
+	fmt.Fprintf(stdout, "multicast: ops=%d/%d phases-scheme=%s\n",
 		res.Multicast.OpsCompleted, res.Multicast.OpsGenerated, *scheme)
-	fmt.Printf("  last-arrival latency: %v\n", res.Multicast.LastArrival)
-	fmt.Printf("  mean-arrival latency: %v\n", res.Multicast.MeanArrival)
-	fmt.Printf("  messages per op: %.2f\n", res.Multicast.MessagesPerOp)
-	fmt.Printf("  delivered payload: %.4f flits/node/cycle\n\n", res.Multicast.DeliveredPayloadPerNodeCycle)
-	fmt.Printf("unicast: ops=%d/%d\n", res.Unicast.OpsCompleted, res.Unicast.OpsGenerated)
-	fmt.Printf("  latency: %v\n", res.Unicast.LastArrival)
-	fmt.Printf("  delivered payload: %.4f flits/node/cycle\n\n", res.Unicast.DeliveredPayloadPerNodeCycle)
-	fmt.Printf("raw delivered flits (headers included): %.4f /node/cycle\n", res.DeliveredFlitsPerNodeCycle)
-	fmt.Printf("drain: %d cycles\n", res.DrainCycles)
+	fmt.Fprintf(stdout, "  last-arrival latency: %v\n", res.Multicast.LastArrival)
+	fmt.Fprintf(stdout, "  mean-arrival latency: %v\n", res.Multicast.MeanArrival)
+	fmt.Fprintf(stdout, "  messages per op: %.2f\n", res.Multicast.MessagesPerOp)
+	fmt.Fprintf(stdout, "  delivered payload: %.4f flits/node/cycle\n\n", res.Multicast.DeliveredPayloadPerNodeCycle)
+	fmt.Fprintf(stdout, "unicast: ops=%d/%d\n", res.Unicast.OpsCompleted, res.Unicast.OpsGenerated)
+	fmt.Fprintf(stdout, "  latency: %v\n", res.Unicast.LastArrival)
+	fmt.Fprintf(stdout, "  delivered payload: %.4f flits/node/cycle\n\n", res.Unicast.DeliveredPayloadPerNodeCycle)
+	fmt.Fprintf(stdout, "raw delivered flits (headers included): %.4f /node/cycle\n", res.DeliveredFlitsPerNodeCycle)
+	fmt.Fprintf(stdout, "drain: %d cycles\n", res.DrainCycles)
 
 	if *reps > 1 {
-		fmt.Printf("\nseed spread over %d replicas (seeds %d..%d, %d workers):\n",
-			*reps, *seed, *seed+uint64(*reps)-1, w)
-		fmt.Printf("%8s %12s %12s %14s\n", "seed", "mcast_lat", "uni_lat", "delivered")
+		fmt.Fprintf(stdout, "\nseed spread over %d replicas (seeds %d..%d):\n",
+			*reps, *seed, *seed+uint64(*reps)-1)
+		fmt.Fprintf(stdout, "%8s %12s %12s %14s\n", "seed", "mcast_lat", "uni_lat", "delivered")
 		var sumM, sumU, sumT float64
 		ok := 0
 		for r := 0; r < *reps; r++ {
 			if outs[r].err != nil {
-				fmt.Printf("%8d  ERROR: %v\n", *seed+uint64(r), outs[r].err)
+				fmt.Fprintf(stdout, "%8d  ERROR: %v\n", *seed+uint64(r), outs[r].err)
 				continue
 			}
 			rr := outs[r].res
 			thr := rr.Multicast.DeliveredPayloadPerNodeCycle + rr.Unicast.DeliveredPayloadPerNodeCycle
-			fmt.Printf("%8d %12.4g %12.4g %14.5g\n",
+			fmt.Fprintf(stdout, "%8d %12.4g %12.4g %14.5g\n",
 				*seed+uint64(r), rr.Multicast.LastArrival.Mean, rr.Unicast.LastArrival.Mean, thr)
 			sumM += rr.Multicast.LastArrival.Mean
 			sumU += rr.Unicast.LastArrival.Mean
@@ -189,19 +209,20 @@ func main() {
 			ok++
 		}
 		if ok > 0 {
-			fmt.Printf("%8s %12.4g %12.4g %14.5g\n", "mean",
+			fmt.Fprintf(stdout, "%8s %12.4g %12.4g %14.5g\n", "mean",
 				sumM/float64(ok), sumU/float64(ok), sumT/float64(ok))
 		}
 	}
 
 	if *swStats {
-		printSwitchStats(sim)
+		printSwitchStats(stdout, sim)
 	}
+	return 0
 }
 
 // printSwitchStats aggregates per-switch counters across the fabric.
-func printSwitchStats(sim *mdworm.Simulator) {
-	fmt.Println("\nswitch counters (aggregated):")
+func printSwitchStats(w io.Writer, sim *mdworm.Simulator) {
+	fmt.Fprintln(w, "\nswitch counters (aggregated):")
 	if cbs := sim.CBStats(); cbs != nil {
 		var bypass, buffer, admits, resWait, uniCB, decodes int64
 		maxChunks := 0
@@ -216,9 +237,9 @@ func printSwitchStats(sim *mdworm.Simulator) {
 				maxChunks = st.MaxChunksInUse
 			}
 		}
-		fmt.Printf("  decodes=%d bypass-flits=%d buffer-flits=%d\n", decodes, bypass, buffer)
-		fmt.Printf("  multicast admissions=%d (total reservation wait %d cycles)\n", admits, resWait)
-		fmt.Printf("  unicasts diverted to central buffer=%d; peak chunks in use=%d\n", uniCB, maxChunks)
+		fmt.Fprintf(w, "  decodes=%d bypass-flits=%d buffer-flits=%d\n", decodes, bypass, buffer)
+		fmt.Fprintf(w, "  multicast admissions=%d (total reservation wait %d cycles)\n", admits, resWait)
+		fmt.Fprintf(w, "  unicasts diverted to central buffer=%d; peak chunks in use=%d\n", uniCB, maxChunks)
 	}
 	if ibs := sim.IBStats(); ibs != nil {
 		var grants, hol, decodes int64
@@ -231,7 +252,7 @@ func printSwitchStats(sim *mdworm.Simulator) {
 				maxOcc = st.MaxBufOccupancy
 			}
 		}
-		fmt.Printf("  decodes=%d grant-wait=%d cycles, head-of-line stall=%d cycles\n", decodes, grants, hol)
-		fmt.Printf("  peak input-buffer occupancy=%d flits\n", maxOcc)
+		fmt.Fprintf(w, "  decodes=%d grant-wait=%d cycles, head-of-line stall=%d cycles\n", decodes, grants, hol)
+		fmt.Fprintf(w, "  peak input-buffer occupancy=%d flits\n", maxOcc)
 	}
 }

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// Small, fast operating point shared by the tests below: 16 nodes, short
+// windows, light load. Deterministic for a fixed seed.
+func smallArgs(extra ...string) []string {
+	args := []string{
+		"-stages", "2", "-degree", "4",
+		"-warmup", "200", "-measure", "800",
+		"-load", "0.05", "-seed", "1",
+	}
+	return append(args, extra...)
+}
+
+func TestFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring expected on stderr
+	}{
+		{"unknown flag", []string{"-bogus"}, "bogus"},
+		{"bad arch", []string{"-arch", "quantum"}, "arch"},
+		{"bad scheme", []string{"-scheme", "magic"}, "scheme"},
+		{"bad reps", []string{"-reps", "0"}, "-reps"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(context.Background(), tc.args, &stdout, &stderr)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Fatalf("stderr %q does not mention %q", stderr.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestGoldenSingleRun pins the exact report for one small run. Regenerate
+// with: go test ./cmd/mdwsim -run TestGoldenSingleRun -update
+func TestGoldenSingleRun(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), smallArgs("-switch-stats"), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	golden := filepath.Join("testdata", "single_run.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Fatalf("output differs from golden (re-run with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+			stdout.String(), want)
+	}
+}
+
+// TestRepsAggregation: the seed-spread summary must be identical regardless
+// of worker count — replicas are independent simulators keyed only by seed.
+func TestRepsAggregation(t *testing.T) {
+	outs := make([]string, 0, 3)
+	for _, w := range []string{"1", "2", "4"} {
+		var stdout, stderr bytes.Buffer
+		code := run(context.Background(), smallArgs("-reps", "3", "-workers", w), &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("workers=%s: exit %d\n%s", w, code, stderr.String())
+		}
+		outs = append(outs, stdout.String())
+	}
+	if outs[0] != outs[1] || outs[0] != outs[2] {
+		t.Fatalf("replica aggregation depends on worker count:\n--- w=1 ---\n%s\n--- w=2 ---\n%s\n--- w=4 ---\n%s",
+			outs[0], outs[1], outs[2])
+	}
+	if !strings.Contains(outs[0], "seed spread over 3 replicas") {
+		t.Fatalf("missing seed-spread summary:\n%s", outs[0])
+	}
+	// Three data rows plus the mean row under the header.
+	rows := 0
+	for _, line := range strings.Split(outs[0], "\n") {
+		f := strings.Fields(line)
+		if len(f) == 4 && (f[0] == "1" || f[0] == "2" || f[0] == "3" || f[0] == "mean") {
+			rows++
+		}
+	}
+	if rows != 4 {
+		t.Fatalf("expected 3 replica rows + mean, found %d:\n%s", rows, outs[0])
+	}
+}
+
+// TestCanceledRun: a pre-canceled context (Ctrl-C before the sweep starts)
+// exits 130 without printing a report.
+func TestCanceledRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stdout, stderr bytes.Buffer
+	if code := run(ctx, smallArgs("-reps", "4"), &stdout, &stderr); code != 130 {
+		t.Fatalf("exit %d, want 130\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("partial report printed:\n%s", stdout.String())
+	}
+}
+
+// TestTraceFlag: -trace writes a non-empty event trace file.
+func TestTraceFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), smallArgs("-trace", path), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("trace file is empty")
+	}
+}

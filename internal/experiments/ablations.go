@@ -325,18 +325,23 @@ func A8Barrier(o Options) (*Table, error) {
 			cfg.Traffic.OpRate = 0
 			CBHW.Apply(&cfg)
 			s.Points = append(s.Points, Point{X: float64(cfg.N()), deferred: func() Point {
+				tag := fmt.Sprintf("a8/%s/N%d", bs, cfg.N())
 				sim, err := core.New(cfg)
 				if err != nil {
+					o.point(PointEvent{Tag: tag, X: float64(cfg.N()), Err: err})
 					return Point{Err: err}
 				}
 				lat, err := sim.RunBarrier(bs, 10_000_000)
 				if err != nil {
+					o.point(PointEvent{Tag: tag, X: float64(cfg.N()), Cycles: sim.Now(), Err: err})
 					return Point{Err: err, cycles: sim.Now()}
 				}
 				var col pointCollector
 				col.add(float64(lat), float64(cfg.N()-1))
 				res := col.results(cfg.N())
-				o.progress("  a8/%s/N%d lat=%d", bs, cfg.N(), lat)
+				o.progress("  %s lat=%d", tag, lat)
+				o.point(PointEvent{Tag: tag, X: float64(cfg.N()),
+					McastLatency: float64(lat), Cycles: sim.Now()})
 				return Point{Results: res, cycles: sim.Now()}
 			}})
 		}

@@ -259,6 +259,7 @@ func singleOpPoint(cfg core.Config, degree int, o Options, tag string) Point {
 		const draws = 16
 		sim, err := core.New(cfg)
 		if err != nil {
+			o.point(PointEvent{Tag: tag, X: float64(degree), Err: err})
 			return Point{X: float64(degree), Err: err}
 		}
 		// Reuse the simulator across draws; the network is idle between ops.
@@ -269,12 +270,15 @@ func singleOpPoint(cfg core.Config, degree int, o Options, tag string) Point {
 			dests := rng.Sample(sim.Net().N, degree, map[int]bool{src: true})
 			lat, op, err := sim.RunOp(src, dests, true, cfg.Traffic.McastPayloadFlits, 2_000_000)
 			if err != nil {
+				o.point(PointEvent{Tag: tag, X: float64(degree), Cycles: sim.Now(), Err: err})
 				return Point{X: float64(degree), Err: err, cycles: sim.Now()}
 			}
 			col.add(float64(lat), float64(op.MessagesSent))
 		}
 		res := col.results(sim.Net().N)
 		o.progress("  %-28s d=%-6d lat=%.1f msgs=%.1f", tag, degree, res.Multicast.LastArrival.Mean, res.Multicast.MessagesPerOp)
+		o.point(PointEvent{Tag: tag, X: float64(degree),
+			McastLatency: res.Multicast.LastArrival.Mean, Cycles: sim.Now()})
 		return Point{X: float64(degree), Results: res, cycles: sim.Now()}
 	}}
 }

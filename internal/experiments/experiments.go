@@ -4,6 +4,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -13,6 +14,31 @@ import (
 	"mdworm/internal/core"
 	"mdworm/internal/stats"
 )
+
+// PointEvent is the structured per-point progress notification delivered to
+// Options.OnPoint as pool workers complete measurements. Events arrive in
+// completion order (which under a parallel run is not table order) but never
+// concurrently: delivery is serialized.
+type PointEvent struct {
+	// Tag identifies the point within its experiment (series plus sweep
+	// parameter, e.g. "e1/cb-hw/load=0.2").
+	Tag string
+	// X is the point's sweep coordinate.
+	X float64
+	// McastLatency and UniLatency are mean last-arrival latencies.
+	McastLatency float64
+	UniLatency   float64
+	// Throughput is delivered payload flits per node per cycle, both
+	// classes combined.
+	Throughput float64
+	// Saturated flags a point whose latencies reflect queue growth.
+	Saturated bool
+	// Cycles is the simulated-cycle cost of the point.
+	Cycles int64
+	// Err is non-nil for failed points (the other measurement fields are
+	// then zero).
+	Err error
+}
 
 // Options controls a run of the experiment suite.
 type Options struct {
@@ -24,13 +50,23 @@ type Options struct {
 	// Under a parallel run lines may interleave across experiments; each
 	// line stays whole.
 	Progress io.Writer
+	// OnPoint, when non-nil, receives a structured event per completed
+	// point (the callback form of Progress; mdwd streams these to HTTP
+	// clients). Calls are serialized across pool workers.
+	OnPoint func(PointEvent)
 	// Workers bounds how many sweep points run concurrently; 0 means
 	// GOMAXPROCS. Each point is an independent simulator instance, so the
 	// rendered tables are byte-identical for every worker count.
 	Workers int
+	// Context, when non-nil, cancels the sweep: pool workers stop picking
+	// up points once it is done, pending points fail with the context's
+	// error, and Run/RunIDs return that error. A finished sweep is never
+	// affected retroactively.
+	Context context.Context
 
-	// progressMu serializes Progress writes across pool workers; installed
-	// by forRun before experiment closures capture the options.
+	// progressMu serializes Progress writes and OnPoint calls across pool
+	// workers; installed by forRun before experiment closures capture the
+	// options.
 	progressMu *sync.Mutex
 }
 
@@ -46,6 +82,18 @@ func (o Options) progress(format string, args ...any) {
 		defer o.progressMu.Unlock()
 	}
 	fmt.Fprintf(o.Progress, format+"\n", args...)
+}
+
+// point delivers one structured progress event, serialized across workers.
+func (o Options) point(ev PointEvent) {
+	if o.OnPoint == nil {
+		return
+	}
+	if o.progressMu != nil {
+		o.progressMu.Lock()
+		defer o.progressMu.Unlock()
+	}
+	o.OnPoint(ev)
 }
 
 // Point is one measurement of one series. Until resolved by the runner, a
@@ -183,17 +231,29 @@ func runPoint(cfg core.Config, x float64, o Options, tag string) Point {
 	return Point{X: x, deferred: func() Point {
 		sim, err := core.New(cfg)
 		if err != nil {
+			o.point(PointEvent{Tag: tag, X: x, Err: err})
 			return Point{X: x, Err: err}
 		}
 		res, err := sim.Run()
 		if err != nil {
-			return Point{X: x, Err: fmt.Errorf("%s: %w", tag, err), cycles: sim.Now()}
+			err = fmt.Errorf("%s: %w", tag, err)
+			o.point(PointEvent{Tag: tag, X: x, Cycles: sim.Now(), Err: err})
+			return Point{X: x, Err: err, cycles: sim.Now()}
 		}
+		thr := res.Multicast.DeliveredPayloadPerNodeCycle + res.Unicast.DeliveredPayloadPerNodeCycle
 		o.progress("  %-28s x=%-8.4g mcast=%.1f uni=%.1f thr=%.3f sat=%v",
 			tag, x,
 			res.Multicast.LastArrival.Mean, res.Unicast.LastArrival.Mean,
-			res.Multicast.DeliveredPayloadPerNodeCycle+res.Unicast.DeliveredPayloadPerNodeCycle,
-			res.Saturated)
+			thr, res.Saturated)
+		o.point(PointEvent{
+			Tag:          tag,
+			X:            x,
+			McastLatency: res.Multicast.LastArrival.Mean,
+			UniLatency:   res.Unicast.LastArrival.Mean,
+			Throughput:   thr,
+			Saturated:    res.Saturated,
+			Cycles:       sim.Now(),
+		})
 		return Point{X: x, Results: res, cycles: sim.Now()}
 	}}
 }
@@ -257,6 +317,9 @@ func Run(id string, o Options) (*Table, error) {
 		return t, err
 	}
 	resolve([]*Table{t}, o)
+	if cerr := o.canceled(); cerr != nil {
+		return t, cerr
+	}
 	if t.strict {
 		if perr := firstPointErr(t); perr != nil {
 			return t, perr
@@ -285,6 +348,9 @@ func RunIDs(ids []string, o Options) ([]*Table, SweepStats, error) {
 		tables = append(tables, t)
 	}
 	st := resolve(tables, o)
+	if cerr := o.canceled(); cerr != nil {
+		return tables, st, cerr
+	}
 	for i, t := range tables {
 		if t.strict {
 			if perr := firstPointErr(t); perr != nil {

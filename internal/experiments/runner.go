@@ -58,13 +58,21 @@ func (o Options) workers() int {
 }
 
 // forRun prepares an Options value for a (possibly parallel) run: the
-// progress writer gains a lock shared by every closure that captures the
-// value.
+// progress writer and point callback gain a lock shared by every closure
+// that captures the value.
 func (o Options) forRun() Options {
-	if o.Progress != nil && o.progressMu == nil {
+	if (o.Progress != nil || o.OnPoint != nil) && o.progressMu == nil {
 		o.progressMu = &sync.Mutex{}
 	}
 	return o
+}
+
+// canceled reports the sweep's cancellation cause, if any.
+func (o Options) canceled() error {
+	if o.Context == nil {
+		return nil
+	}
+	return o.Context.Err()
 }
 
 // resolve runs every deferred point of the given tables across a worker
@@ -87,9 +95,21 @@ func resolve(tables []*Table, o Options) SweepStats {
 	if w > len(jobs) {
 		w = len(jobs)
 	}
+	// A canceled sweep stops picking up work: the point in flight on each
+	// worker finishes (simulator runs are not interruptible mid-cycle),
+	// every remaining point fails with the context's error, and the
+	// caller sees that error from Run/RunIDs.
+	run := func(p *Point) {
+		if err := o.canceled(); err != nil {
+			p.Err = err
+			p.deferred = nil
+			return
+		}
+		resolvePoint(p)
+	}
 	if w <= 1 {
 		for _, p := range jobs {
-			resolvePoint(p)
+			run(p)
 		}
 	} else {
 		ch := make(chan *Point)
@@ -99,7 +119,7 @@ func resolve(tables []*Table, o Options) SweepStats {
 			go func() {
 				defer wg.Done()
 				for p := range ch {
-					resolvePoint(p)
+					run(p)
 				}
 			}()
 		}

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -73,5 +75,52 @@ func TestRunIDsStats(t *testing.T) {
 func TestRunIDsUnknownID(t *testing.T) {
 	if _, _, err := RunIDs([]string{"a8", "zz"}, Options{Quick: true, Seed: 1}); err == nil {
 		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestOnPointEvents checks that the structured per-point callback fires once
+// per point with populated measurements, serialized across pool workers.
+func TestOnPointEvents(t *testing.T) {
+	var events []PointEvent
+	tab, err := Run("a8", Options{Quick: true, Seed: 1, Workers: 4,
+		OnPoint: func(ev PointEvent) { events = append(events, ev) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points int
+	for _, s := range tab.Series {
+		points += len(s.Points)
+	}
+	if len(events) != points {
+		t.Fatalf("got %d events for %d points", len(events), points)
+	}
+	for _, ev := range events {
+		if ev.Err != nil {
+			t.Fatalf("point %s x=%g failed: %v", ev.Tag, ev.X, ev.Err)
+		}
+		if ev.Tag == "" || ev.Cycles <= 0 {
+			t.Fatalf("incomplete event: %+v", ev)
+		}
+	}
+}
+
+// TestCanceledSweep checks that an already-canceled context fails pending
+// points with the context's error and surfaces it from Run.
+func TestCanceledSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tab, err := Run("a8", Options{Quick: true, Seed: 1, Workers: 2, Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if tab == nil {
+		t.Fatal("canceled run returned no table")
+	}
+	for _, s := range tab.Series {
+		for _, p := range s.Points {
+			if !errors.Is(p.Err, context.Canceled) {
+				t.Fatalf("%s x=%g: Err = %v, want context.Canceled", s.Name, p.X, p.Err)
+			}
+		}
 	}
 }

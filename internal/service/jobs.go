@@ -1,0 +1,268 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle of a scheduled request.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// JobStats is what a job reports about the simulation work it performed,
+// aggregated into the daemon's /metrics counters.
+type JobStats struct {
+	// Points is the number of independent simulator runs.
+	Points int
+	// Cycles is the total simulated cycles across those runs.
+	Cycles int64
+}
+
+// Job is one scheduled unit of work: a single run or an experiment sweep.
+// The zero of every field is meaningful to JobView; mutations go through the
+// pool's lock.
+type Job struct {
+	ID     string
+	Kind   string // "run" or "experiment"
+	Detail string // content hash or experiment id
+
+	state    JobState
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	err      error
+	stats    JobStats
+
+	fn   func() (JobStats, error)
+	done chan struct{}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobView is the JSON projection of a job for /v1/jobs.
+type JobView struct {
+	ID       string  `json:"id"`
+	Kind     string  `json:"kind"`
+	Detail   string  `json:"detail"`
+	State    JobState `json:"state"`
+	Created  string  `json:"created"`
+	Started  string  `json:"started,omitempty"`
+	Finished string  `json:"finished,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	Points   int     `json:"points,omitempty"`
+	Cycles   int64   `json:"simulated_cycles,omitempty"`
+	Seconds  float64 `json:"seconds,omitempty"`
+}
+
+// Pool schedules jobs on a bounded set of workers and keeps their records
+// for /v1/jobs. Submission is rejected once draining begins.
+type Pool struct {
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	seq      int
+	draining bool
+
+	tasks     chan *Job
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	// Cumulative accounting for /metrics.
+	points int64
+	cycles int64
+	busy   time.Duration
+}
+
+// NewPool starts workers goroutines servicing a backlog of pending jobs
+// (backlog < 1 gets a small default).
+func NewPool(workers, backlog int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if backlog < 1 {
+		backlog = 4 * workers
+	}
+	p := &Pool{
+		jobs:  make(map[string]*Job),
+		tasks: make(chan *Job, backlog),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.tasks {
+		p.mu.Lock()
+		j.state = JobRunning
+		j.started = time.Now()
+		p.mu.Unlock()
+
+		stats, err := j.fn()
+
+		p.mu.Lock()
+		j.finished = time.Now()
+		j.stats = stats
+		if err != nil {
+			j.state = JobFailed
+			j.err = err
+		} else {
+			j.state = JobDone
+		}
+		p.points += int64(stats.Points)
+		p.cycles += stats.Cycles
+		p.busy += j.finished.Sub(j.started)
+		p.mu.Unlock()
+		close(j.done)
+	}
+}
+
+// Submit schedules fn as a new job and returns its record immediately. It
+// fails when the pool is draining or the backlog is full (the caller maps
+// both to 503).
+func (p *Pool) Submit(kind, detail string, fn func() (JobStats, error)) (*Job, error) {
+	p.mu.Lock()
+	if p.draining {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("service: draining, not accepting new jobs")
+	}
+	p.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("j%d", p.seq),
+		Kind:    kind,
+		Detail:  detail,
+		state:   JobQueued,
+		created: time.Now(),
+		fn:      fn,
+		done:    make(chan struct{}),
+	}
+	p.jobs[j.ID] = j
+	p.order = append(p.order, j.ID)
+	p.mu.Unlock()
+
+	select {
+	case p.tasks <- j:
+		return j, nil
+	default:
+		p.mu.Lock()
+		j.state = JobFailed
+		j.err = fmt.Errorf("service: job backlog full")
+		j.finished = time.Now()
+		p.mu.Unlock()
+		close(j.done)
+		return nil, fmt.Errorf("service: job backlog full")
+	}
+}
+
+// Get returns the job record for id.
+func (p *Pool) Get(id string) (JobView, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return p.view(j), true
+}
+
+// List returns every job record in submission order.
+func (p *Pool) List() []JobView {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]JobView, 0, len(p.order))
+	for _, id := range p.order {
+		out = append(out, p.view(p.jobs[id]))
+	}
+	return out
+}
+
+// view projects a job; caller holds the lock.
+func (p *Pool) view(j *Job) JobView {
+	v := JobView{
+		ID:      j.ID,
+		Kind:    j.Kind,
+		Detail:  j.Detail,
+		State:   j.state,
+		Created: j.created.UTC().Format(time.RFC3339Nano),
+		Points:  j.stats.Points,
+		Cycles:  j.stats.Cycles,
+	}
+	if !j.started.IsZero() {
+		v.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+		if !j.started.IsZero() {
+			v.Seconds = j.finished.Sub(j.started).Seconds()
+		}
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	return v
+}
+
+// Counts returns the number of jobs per state.
+func (p *Pool) Counts() map[JobState]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := map[JobState]int{JobQueued: 0, JobRunning: 0, JobDone: 0, JobFailed: 0}
+	for _, j := range p.jobs {
+		out[j.state]++
+	}
+	return out
+}
+
+// Totals returns the cumulative work accounting: points resolved, simulated
+// cycles, and busy (in-job) wall time.
+func (p *Pool) Totals() (points, cycles int64, busy time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.points, p.cycles, p.busy
+}
+
+// BeginDrain stops accepting new jobs; queued and running jobs continue.
+func (p *Pool) BeginDrain() {
+	p.mu.Lock()
+	p.draining = true
+	p.mu.Unlock()
+}
+
+// Draining reports whether BeginDrain was called.
+func (p *Pool) Draining() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.draining
+}
+
+// Drain stops intake, lets queued and running jobs finish, and waits up to
+// timeout for the workers to exit. It reports whether the pool drained fully
+// within the deadline (workers still running a job keep running either way;
+// the process exiting is the final backstop). Safe to call repeatedly.
+func (p *Pool) Drain(timeout time.Duration) bool {
+	p.BeginDrain()
+	p.closeOnce.Do(func() { close(p.tasks) })
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}

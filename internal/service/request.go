@@ -1,0 +1,241 @@
+// Package service implements the mdwd simulation-as-a-service daemon: an
+// HTTP front end over the simulator and the experiment suite, backed by a
+// bounded worker pool and a content-addressed result cache.
+//
+// PR 1 made every run deterministic — the same fully-resolved config and
+// seed produce byte-identical results at any worker count — which makes
+// results perfectly cacheable: the cache key is a canonical hash of the
+// resolved configuration (see Hash), and a cache hit returns the exact
+// bytes the original miss produced.
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"mdworm/internal/collective"
+	"mdworm/internal/core"
+	"mdworm/internal/routing"
+	"mdworm/internal/topology"
+)
+
+// ParseArch maps an architecture name to its SwitchArch.
+func ParseArch(s string) (core.SwitchArch, error) {
+	switch strings.ToLower(s) {
+	case "cb", "central-buffer":
+		return core.CentralBuffer, nil
+	case "ib", "input-buffer":
+		return core.InputBuffer, nil
+	}
+	return 0, fmt.Errorf("unknown arch %q (want cb or ib)", s)
+}
+
+// ParseScheme maps a multicast-scheme name to its Scheme.
+func ParseScheme(s string) (collective.Scheme, error) {
+	switch strings.ToLower(s) {
+	case "hw-bitstring":
+		return collective.HardwareBitString, nil
+	case "hw-multiport":
+		return collective.HardwareMultiport, nil
+	case "sw-binomial":
+		return collective.SoftwareBinomial, nil
+	case "sw-separate":
+		return collective.SoftwareSeparate, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q (want hw-bitstring, hw-multiport, sw-binomial, or sw-separate)", s)
+}
+
+// ParseUpPolicy maps an up-port-policy name to its UpPolicy.
+func ParseUpPolicy(s string) (routing.UpPolicy, error) {
+	switch strings.ToLower(s) {
+	case "hash":
+		return routing.UpHash, nil
+	case "random":
+		return routing.UpRandom, nil
+	case "adaptive":
+		return routing.UpAdaptive, nil
+	}
+	return 0, fmt.Errorf("unknown up policy %q (want hash, random, or adaptive)", s)
+}
+
+// ParseTopology maps a topology name to its TopologyKind.
+func ParseTopology(s string) (core.TopologyKind, error) {
+	switch strings.ToLower(s) {
+	case "kary-tree", "kary", "bmin":
+		return core.KaryTree, nil
+	case "irregular-tree", "irregular":
+		return core.IrregularTree, nil
+	}
+	return 0, fmt.Errorf("unknown topology %q (want kary-tree or irregular-tree)", s)
+}
+
+// TreeRequest describes an irregular fabric in a run request.
+type TreeRequest struct {
+	Switches    int    `json:"switches"`
+	MinHosts    int    `json:"min_hosts"`
+	MaxHosts    int    `json:"max_hosts"`
+	MaxChildren int    `json:"max_children"`
+	Seed        uint64 `json:"seed"`
+}
+
+// ConfigRequest is the wire form of a simulation configuration: every field
+// is optional and overrides the corresponding DefaultConfig value, so two
+// requests that differ only in unspecified-versus-spelled-out defaults (or
+// in JSON field order) resolve to the same core.Config — and therefore the
+// same cache key.
+type ConfigRequest struct {
+	Topology *string      `json:"topology,omitempty"`
+	Arity    *int         `json:"arity,omitempty"`
+	Stages   *int         `json:"stages,omitempty"`
+	Tree     *TreeRequest `json:"tree,omitempty"`
+
+	Arch   *string `json:"arch,omitempty"`
+	Scheme *string `json:"scheme,omitempty"`
+
+	UpPolicy          *string `json:"up_policy,omitempty"`
+	ReplicateOnUpPath *bool   `json:"replicate_on_up_path,omitempty"`
+	LinkLatency       *int    `json:"link_latency,omitempty"`
+	FlitBits          *int    `json:"flit_bits,omitempty"`
+
+	SendOverhead *int `json:"send_overhead,omitempty"`
+	RecvOverhead *int `json:"recv_overhead,omitempty"`
+
+	// Load is offered load in delivered payload flits per node per cycle,
+	// converted to an op rate once payload lengths are resolved; OpRate
+	// sets the per-node Bernoulli rate directly. At most one may be set.
+	Load              *float64 `json:"load,omitempty"`
+	OpRate            *float64 `json:"op_rate,omitempty"`
+	MulticastFraction *float64 `json:"mcast_fraction,omitempty"`
+	Degree            *int     `json:"degree,omitempty"`
+	UniPayloadFlits   *int     `json:"uni_len,omitempty"`
+	McastPayloadFlits *int     `json:"mcast_len,omitempty"`
+	HotSpotFraction   *float64 `json:"hot_spot_fraction,omitempty"`
+	HotSpotNode       *int     `json:"hot_spot_node,omitempty"`
+
+	WarmupCycles  *int64 `json:"warmup_cycles,omitempty"`
+	MeasureCycles *int64 `json:"measure_cycles,omitempty"`
+	DrainCycles   *int64 `json:"drain_cycles,omitempty"`
+
+	Seed          *uint64 `json:"seed,omitempty"`
+	WatchdogLimit *int64  `json:"watchdog_limit,omitempty"`
+}
+
+// Resolve overlays the request onto DefaultConfig and returns the resulting
+// configuration (not yet canonicalized; Hash does that).
+func (r ConfigRequest) Resolve() (core.Config, error) {
+	cfg := core.DefaultConfig()
+
+	if r.Topology != nil {
+		k, err := ParseTopology(*r.Topology)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Topology = k
+	}
+	if r.Tree != nil {
+		cfg.Topology = core.IrregularTree
+		cfg.Tree = topology.TreeSpec{
+			Switches:    r.Tree.Switches,
+			MinHosts:    r.Tree.MinHosts,
+			MaxHosts:    r.Tree.MaxHosts,
+			MaxChildren: r.Tree.MaxChildren,
+			Seed:        r.Tree.Seed,
+		}
+	}
+	if cfg.Topology == core.IrregularTree && r.Tree == nil {
+		return cfg, fmt.Errorf("irregular-tree topology needs a tree spec")
+	}
+	if r.Arity != nil {
+		cfg.Arity = *r.Arity
+	}
+	if r.Stages != nil {
+		cfg.Stages = *r.Stages
+	}
+	if r.Arch != nil {
+		a, err := ParseArch(*r.Arch)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Arch = a
+	}
+	if r.Scheme != nil {
+		s, err := ParseScheme(*r.Scheme)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Scheme = s
+	}
+	if r.UpPolicy != nil {
+		p, err := ParseUpPolicy(*r.UpPolicy)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.UpPolicy = p
+	}
+	if r.ReplicateOnUpPath != nil {
+		cfg.ReplicateOnUpPath = *r.ReplicateOnUpPath
+	}
+	if r.LinkLatency != nil {
+		cfg.LinkLatency = *r.LinkLatency
+	}
+	if r.FlitBits != nil {
+		cfg.FlitBits = *r.FlitBits
+	}
+	if r.SendOverhead != nil {
+		cfg.NIC.SendOverhead = *r.SendOverhead
+	}
+	if r.RecvOverhead != nil {
+		cfg.NIC.RecvOverhead = *r.RecvOverhead
+	}
+	if r.MulticastFraction != nil {
+		cfg.Traffic.MulticastFraction = *r.MulticastFraction
+	}
+	if r.Degree != nil {
+		cfg.Traffic.Degree = *r.Degree
+	}
+	if r.UniPayloadFlits != nil {
+		cfg.Traffic.UniPayloadFlits = *r.UniPayloadFlits
+	}
+	if r.McastPayloadFlits != nil {
+		cfg.Traffic.McastPayloadFlits = *r.McastPayloadFlits
+	}
+	if r.HotSpotFraction != nil {
+		cfg.Traffic.HotSpotFraction = *r.HotSpotFraction
+	}
+	if r.HotSpotNode != nil {
+		cfg.Traffic.HotSpotNode = *r.HotSpotNode
+	}
+	switch {
+	case r.Load != nil && r.OpRate != nil:
+		return cfg, fmt.Errorf("load and op_rate are mutually exclusive")
+	case r.OpRate != nil:
+		cfg.Traffic.OpRate = *r.OpRate
+	case r.Load != nil:
+		// Converted after payload lengths and fractions are final.
+		cfg.Traffic.OpRate = cfg.Traffic.RateForLoad(*r.Load)
+	}
+	if r.WarmupCycles != nil {
+		cfg.WarmupCycles = *r.WarmupCycles
+	}
+	if r.MeasureCycles != nil {
+		cfg.MeasureCycles = *r.MeasureCycles
+	}
+	if r.DrainCycles != nil {
+		cfg.DrainCycles = *r.DrainCycles
+	}
+	if r.Seed != nil {
+		cfg.Seed = *r.Seed
+	}
+	if r.WatchdogLimit != nil {
+		cfg.WatchdogLimit = *r.WatchdogLimit
+	}
+	if cfg.WarmupCycles < 0 || cfg.MeasureCycles <= 0 || cfg.DrainCycles <= 0 {
+		return cfg, fmt.Errorf("cycle windows must be positive (warmup may be 0)")
+	}
+	if cfg.WatchdogLimit <= 0 {
+		// The watchdog is the service's deadlock backstop; never run
+		// a daemon job without one.
+		cfg.WatchdogLimit = core.DefaultConfig().WatchdogLimit
+	}
+	return cfg, nil
+}

@@ -1,0 +1,417 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"mdworm/internal/core"
+	"mdworm/internal/experiments"
+	"mdworm/internal/stats"
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Workers bounds concurrent simulation jobs (0 = 1 per default; cmd/mdwd
+	// defaults it to GOMAXPROCS).
+	Workers int
+	// Backlog bounds queued-but-unstarted jobs (0 = 4*Workers).
+	Backlog int
+	// CacheEntries bounds the in-memory result cache (0 = 1024).
+	CacheEntries int
+	// CacheDir, when non-empty, persists results on disk (write-through;
+	// survives restarts).
+	CacheDir string
+	// MaxCycles caps the simulated cycles (warmup+measure+drain ceiling) a
+	// single run request may ask for; 0 means no server-wide cap. Requests
+	// may lower it per call with cycle_budget, never raise it.
+	MaxCycles int64
+	// RunTimeout bounds how long a /v1/run handler waits for its job; the
+	// job keeps running (and populates the cache) after the handler gives
+	// up with 504. 0 = 2 minutes.
+	RunTimeout time.Duration
+}
+
+// Server is the mdwd HTTP daemon: request resolution, the content-addressed
+// cache, the job pool, and the metrics counters behind one http.Handler.
+type Server struct {
+	cfg   Config
+	pool  *Pool
+	cache *Cache
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.CacheEntries < 1 {
+		cfg.CacheEntries = 1024
+	}
+	if cfg.RunTimeout <= 0 {
+		cfg.RunTimeout = 2 * time.Minute
+	}
+	cache, err := NewCache(cfg.CacheEntries, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		pool:  NewPool(cfg.Workers, cfg.Backlog),
+		cache: cache,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain flips the server into shutdown mode: new job-creating requests
+// are rejected with 503 while queued and running jobs continue.
+func (s *Server) BeginDrain() { s.pool.BeginDrain() }
+
+// Drain stops intake and waits up to timeout for in-flight jobs to finish.
+func (s *Server) Drain(timeout time.Duration) bool { return s.pool.Drain(timeout) }
+
+// apiError is the structured error body of every non-2xx JSON response.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Job     string `json:"job,omitempty"`
+}
+
+func writeErr(w http.ResponseWriter, status int, e apiError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]apiError{"error": e})
+}
+
+// RunRequest is the body of POST /v1/run.
+type RunRequest struct {
+	Config ConfigRequest `json:"config"`
+	// CycleBudget caps this run's simulated cycles
+	// (warmup+measure+drain); it may tighten the server's MaxCycles,
+	// never exceed it.
+	CycleBudget int64 `json:"cycle_budget,omitempty"`
+}
+
+// RunResponse is the body of a successful POST /v1/run. Cache hits return
+// the original miss's bytes verbatim, so the body never encodes hit/miss
+// state — that travels in the X-Mdwd-Cache header.
+type RunResponse struct {
+	Hash    string        `json:"hash"`
+	Config  core.Config   `json:"config"`
+	Results stats.Results `json:"results"`
+}
+
+// totalCycles is the simulated-cycle ceiling of a resolved config: warmup
+// and measurement run exactly, the drain at most DrainCycles.
+func totalCycles(cfg core.Config) int64 {
+	return cfg.WarmupCycles + cfg.MeasureCycles + cfg.DrainCycles
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	cfg, err := req.Config.Resolve()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_config", Message: err.Error()})
+		return
+	}
+	hash, canon, err := Hash(cfg)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, apiError{Code: "invalid_config", Message: err.Error()})
+		return
+	}
+	budget := s.cfg.MaxCycles
+	if req.CycleBudget > 0 && (budget == 0 || req.CycleBudget < budget) {
+		budget = req.CycleBudget
+	}
+	if budget > 0 && totalCycles(canon) > budget {
+		writeErr(w, http.StatusUnprocessableEntity, apiError{
+			Code: "cycle_budget_exceeded",
+			Message: fmt.Sprintf("config needs up to %d simulated cycles, budget is %d",
+				totalCycles(canon), budget),
+		})
+		return
+	}
+
+	if body, ok := s.cache.Get(hash); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Mdwd-Cache", "hit")
+		w.Header().Set("X-Mdwd-Hash", hash)
+		w.Write(body)
+		return
+	}
+
+	var body []byte
+	job, err := s.pool.Submit("run", hash, func() (JobStats, error) {
+		sim, err := core.New(canon)
+		if err != nil {
+			return JobStats{}, err
+		}
+		res, err := sim.Run()
+		st := JobStats{Points: 1, Cycles: sim.Now()}
+		if err != nil {
+			return st, err
+		}
+		b, err := json.Marshal(RunResponse{Hash: hash, Config: canon, Results: res})
+		if err != nil {
+			return st, err
+		}
+		body = b
+		s.cache.Put(hash, b)
+		return st, nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, apiError{Code: "unavailable", Message: err.Error()})
+		return
+	}
+
+	timeout := time.NewTimer(s.cfg.RunTimeout)
+	defer timeout.Stop()
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		// Client gone; the job still finishes and populates the cache.
+		return
+	case <-timeout.C:
+		writeErr(w, http.StatusGatewayTimeout, apiError{
+			Code: "timeout", Job: job.ID,
+			Message: fmt.Sprintf("run exceeded the %s wait deadline; it continues in the background (poll /v1/jobs/%s, then repeat the request for a cache hit)",
+				s.cfg.RunTimeout, job.ID),
+		})
+		return
+	}
+	if v, _ := s.pool.Get(job.ID); v.State == JobFailed {
+		writeErr(w, http.StatusUnprocessableEntity, apiError{Code: "run_failed", Message: v.Error, Job: job.ID})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Mdwd-Cache", "miss")
+	w.Header().Set("X-Mdwd-Hash", hash)
+	w.Header().Set("X-Mdwd-Job", job.ID)
+	w.Write(body)
+}
+
+// ExperimentRequest is the body of POST /v1/experiment.
+type ExperimentRequest struct {
+	// ID is a registered experiment id (see GET /v1/experiments).
+	ID string `json:"id"`
+	// Quick shrinks windows and point counts.
+	Quick bool `json:"quick,omitempty"`
+	// Seed drives all runs (0 = 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers bounds the sweep's internal parallelism; it is capped at
+	// the server's worker budget. 0 = that budget.
+	Workers int `json:"workers,omitempty"`
+}
+
+// StreamEvent is one chunked JSON line of a POST /v1/experiment response:
+// "start", then one "point" per completed measurement (in completion
+// order), one "table" per rendered table, and finally "done" — or "error".
+type StreamEvent struct {
+	Type string `json:"type"`
+
+	// start / error
+	ID  string `json:"id,omitempty"`
+	Job string `json:"job,omitempty"`
+	Err string `json:"error,omitempty"`
+
+	// point
+	Tag        string  `json:"tag,omitempty"`
+	X          float64 `json:"x,omitempty"`
+	McastLat   float64 `json:"mcast_lat,omitempty"`
+	UniLat     float64 `json:"uni_lat,omitempty"`
+	Throughput float64 `json:"throughput,omitempty"`
+	Saturated  bool    `json:"saturated,omitempty"`
+
+	// table
+	Text string `json:"text,omitempty"`
+
+	// done (and point: Cycles)
+	Points      int     `json:"points,omitempty"`
+	Cycles      int64   `json:"simulated_cycles,omitempty"`
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	var req ExperimentRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	known := false
+	for _, id := range experiments.IDs() {
+		if id == req.ID {
+			known = true
+			break
+		}
+	}
+	if !known {
+		writeErr(w, http.StatusNotFound, apiError{Code: "unknown_experiment",
+			Message: fmt.Sprintf("unknown experiment %q (GET /v1/experiments lists ids)", req.ID)})
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if req.Workers <= 0 || req.Workers > s.cfg.Workers {
+		req.Workers = s.cfg.Workers
+	}
+
+	// The worker goroutine runs the sweep and feeds events through a
+	// channel; this handler goroutine alone touches the ResponseWriter.
+	// The request context doubles as the sweep's context, so a client
+	// disconnect cancels pending points instead of simulating for nobody.
+	events := make(chan StreamEvent, 64)
+	ctx := r.Context()
+	emit := func(ev StreamEvent) {
+		select {
+		case events <- ev:
+		case <-ctx.Done():
+		}
+	}
+	job, err := s.pool.Submit("experiment", req.ID, func() (JobStats, error) {
+		defer close(events)
+		opts := experiments.Options{
+			Quick:   req.Quick,
+			Seed:    req.Seed,
+			Workers: req.Workers,
+			Context: ctx,
+			OnPoint: func(ev experiments.PointEvent) {
+				out := StreamEvent{
+					Type: "point", Tag: ev.Tag, X: ev.X,
+					McastLat: ev.McastLatency, UniLat: ev.UniLatency,
+					Throughput: ev.Throughput, Saturated: ev.Saturated,
+					Cycles: ev.Cycles,
+				}
+				if ev.Err != nil {
+					out.Err = ev.Err.Error()
+				}
+				emit(out)
+			},
+		}
+		tables, st, err := experiments.RunIDs([]string{req.ID}, opts)
+		jst := JobStats{Points: st.Points, Cycles: st.Cycles}
+		if err != nil {
+			emit(StreamEvent{Type: "error", ID: req.ID, Err: err.Error()})
+			return jst, err
+		}
+		for _, t := range tables {
+			var buf strings.Builder
+			t.Format(&buf)
+			emit(StreamEvent{Type: "table", ID: t.ID, Text: buf.String()})
+		}
+		emit(StreamEvent{Type: "done", ID: req.ID, Points: st.Points,
+			Cycles: st.Cycles, WallSeconds: st.Wall.Seconds()})
+		return jst, nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, apiError{Code: "unavailable", Message: err.Error()})
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Mdwd-Job", job.ID)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.Encode(StreamEvent{Type: "start", ID: req.ID, Job: job.ID})
+	if flusher != nil {
+		flusher.Flush()
+	}
+	for ev := range events {
+		enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	<-job.Done()
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string][]string{"experiments": experiments.IDs()})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string][]JobView{"jobs": s.pool.List()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.pool.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, apiError{Code: "unknown_job",
+			Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.pool.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics reports plain-text counters in the same currency as
+// BENCH_sweep.json: points and simulated cycles, with rates over in-job
+// (busy) wall time. See README.md for the field reference.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	counts := s.pool.Counts()
+	points, cycles, busy := s.pool.Totals()
+	hits, misses, entries := s.cache.Stats()
+
+	var pps, cps float64
+	if sec := busy.Seconds(); sec > 0 {
+		pps = float64(points) / sec
+		cps = float64(cycles) / sec
+	}
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "mdwd_up_seconds %.3f\n", time.Since(s.start).Seconds())
+	fmt.Fprintf(w, "mdwd_workers %d\n", s.cfg.Workers)
+	states := make([]string, 0, len(counts))
+	for st := range counts {
+		states = append(states, string(st))
+	}
+	sort.Strings(states)
+	for _, st := range states {
+		fmt.Fprintf(w, "mdwd_jobs_%s %d\n", st, counts[JobState(st)])
+	}
+	fmt.Fprintf(w, "mdwd_cache_hits %d\n", hits)
+	fmt.Fprintf(w, "mdwd_cache_misses %d\n", misses)
+	fmt.Fprintf(w, "mdwd_cache_entries %d\n", entries)
+	fmt.Fprintf(w, "mdwd_points_total %d\n", points)
+	fmt.Fprintf(w, "mdwd_simulated_cycles_total %d\n", cycles)
+	fmt.Fprintf(w, "mdwd_busy_seconds %.3f\n", busy.Seconds())
+	fmt.Fprintf(w, "mdwd_points_per_sec %.6g\n", pps)
+	fmt.Fprintf(w, "mdwd_cycles_per_sec %.6g\n", cps)
+}

@@ -1,0 +1,455 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tinyRun is a request body that simulates in a few milliseconds: a 16-node
+// fabric with short windows.
+func tinyRun(seed uint64) string {
+	return fmt.Sprintf(`{"config":{"stages":2,"degree":4,"warmup_cycles":200,"measure_cycles":800,"drain_cycles":50000,"op_rate":0.001,"seed":%d}}`, seed)
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { s.Drain(10 * time.Second) })
+	return s, ts
+}
+
+func postRun(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func metric(t *testing.T, url, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var n int64
+		if _, err := fmt.Sscanf(sc.Text(), name+" %d", &n); err == nil {
+			return n
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}
+
+// TestRunCacheHitByteIdentical is the tentpole guarantee: repeating an
+// identical POST /v1/run is a cache hit (counter increments) whose body is
+// byte-identical to the original miss — even when the repeat spells the
+// config differently.
+func TestRunCacheHitByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	resp1, body1 := postRun(t, ts.URL, tinyRun(3))
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("miss: %d %s", resp1.StatusCode, body1)
+	}
+	if h := resp1.Header.Get("X-Mdwd-Cache"); h != "miss" {
+		t.Fatalf("first request: X-Mdwd-Cache = %q", h)
+	}
+	hitsBefore := metric(t, ts.URL, "mdwd_cache_hits")
+
+	// Same config, different JSON spelling: extra whitespace, reordered
+	// fields, and a spelled-out default.
+	respelled := `{"config":{"seed":3,  "op_rate":0.001,"drain_cycles":50000,"measure_cycles":800,"warmup_cycles":200,"degree":4,"stages":2,"arch":"cb"}}`
+	resp2, body2 := postRun(t, ts.URL, respelled)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("hit: %d %s", resp2.StatusCode, body2)
+	}
+	if h := resp2.Header.Get("X-Mdwd-Cache"); h != "hit" {
+		t.Fatalf("second request: X-Mdwd-Cache = %q", h)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("cache hit not byte-identical:\n%s\n%s", body1, body2)
+	}
+	if got := metric(t, ts.URL, "mdwd_cache_hits"); got != hitsBefore+1 {
+		t.Fatalf("cache hits = %d, want %d", got, hitsBefore+1)
+	}
+
+	var rr RunResponse
+	if err := json.Unmarshal(body1, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Hash == "" || rr.Results.Nodes != 16 {
+		t.Fatalf("response incomplete: %+v", rr)
+	}
+	if rr.Hash != resp1.Header.Get("X-Mdwd-Hash") || rr.Hash != resp2.Header.Get("X-Mdwd-Hash") {
+		t.Fatal("hash header mismatch")
+	}
+}
+
+// TestConcurrentMixedClients hammers the daemon with interleaved hits and
+// misses across several distinct configs; every response for a given config
+// must be byte-identical regardless of which client populated the cache.
+// (go test -race is the interesting mode, and CI runs it.)
+func TestConcurrentMixedClients(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+
+	const configs = 4
+	const clients = 8
+	const perClient = 6
+
+	var mu sync.Mutex
+	bodies := make(map[int][][]byte)
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				cfg := (c + i) % configs
+				resp, err := http.Post(ts.URL+"/v1/run", "application/json",
+					strings.NewReader(tinyRun(uint64(100+cfg))))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				b, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("config %d: %d %v %s", cfg, resp.StatusCode, err, b)
+					return
+				}
+				mu.Lock()
+				bodies[cfg] = append(bodies[cfg], b)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	total := int64(0)
+	for cfg, bs := range bodies {
+		total += int64(len(bs))
+		for _, b := range bs[1:] {
+			if !bytes.Equal(bs[0], b) {
+				t.Fatalf("config %d: divergent responses", cfg)
+			}
+		}
+	}
+	if total != clients*perClient {
+		t.Fatalf("lost responses: %d/%d", total, clients*perClient)
+	}
+	hits := metric(t, ts.URL, "mdwd_cache_hits")
+	misses := metric(t, ts.URL, "mdwd_cache_misses")
+	if hits+misses != total {
+		t.Fatalf("hits %d + misses %d != requests %d", hits, misses, total)
+	}
+	if hits < total-2*configs { // concurrent first misses per config are legal
+		t.Fatalf("suspiciously few hits: %d of %d", hits, total)
+	}
+}
+
+// TestCycleBudget: a config whose cycle ceiling exceeds the budget fails
+// with a structured error — and leaves the daemon fully usable.
+func TestCycleBudget(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxCycles: 100_000})
+
+	// Per-request budget tighter than the config's ceiling.
+	resp, body := postRun(t, ts.URL, `{"config":{"stages":2},"cycle_budget":1000}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Error apiError `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != "cycle_budget_exceeded" {
+		t.Fatalf("error body: %s (%v)", body, err)
+	}
+
+	// Server-wide cap: the default windows (225k cycles) exceed 100k.
+	resp, body = postRun(t, ts.URL, `{"config":{}}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("server cap not enforced: %d %s", resp.StatusCode, body)
+	}
+
+	// Other jobs are unaffected: a request inside the budget succeeds.
+	resp, body = postRun(t, ts.URL, tinyRun(1)+"")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-budget run failed: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestInvalidConfig: resolution and validation failures are structured
+// errors, not 500s.
+func TestInvalidConfig(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, tc := range []struct {
+		body   string
+		status int
+	}{
+		{`{"config":{"arch":"quantum"}}`, http.StatusBadRequest},
+		{`{"config":{"degree":100,"stages":2}}`, http.StatusUnprocessableEntity},
+		{`{"config":{"load":0.1,"op_rate":0.1}}`, http.StatusBadRequest},
+		{`{"config":{"bogus_field":1}}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	} {
+		resp, body := postRun(t, ts.URL, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d want %d (%s)", tc.body, resp.StatusCode, tc.status, body)
+			continue
+		}
+		var e struct {
+			Error apiError `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error.Code == "" {
+			t.Errorf("%s: unstructured error %s", tc.body, body)
+		}
+	}
+}
+
+// TestExperimentStream drives POST /v1/experiment and checks the chunked
+// JSON-line protocol: start, per-point progress, the rendered table, done.
+func TestExperimentStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	resp, err := http.Post(ts.URL+"/v1/experiment", "application/json",
+		strings.NewReader(`{"id":"a8","quick":true,"workers":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	jobID := resp.Header.Get("X-Mdwd-Job")
+
+	var kinds []string
+	var points, tables int
+	var final StreamEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		kinds = append(kinds, ev.Type)
+		switch ev.Type {
+		case "point":
+			points++
+			if ev.Tag == "" || ev.Err != "" {
+				t.Fatalf("bad point event: %+v", ev)
+			}
+		case "table":
+			tables++
+			if !strings.Contains(ev.Text, "A8") {
+				t.Fatalf("table text: %q", ev.Text)
+			}
+		case "done":
+			final = ev
+		case "error":
+			t.Fatalf("stream error: %+v", ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) == 0 || kinds[0] != "start" || kinds[len(kinds)-1] != "done" {
+		t.Fatalf("stream shape: %v", kinds)
+	}
+	if points != 6 || tables != 1 { // quick a8: 3 schemes x 2 sizes
+		t.Fatalf("points=%d tables=%d", points, tables)
+	}
+	if final.Points != points || final.Cycles <= 0 {
+		t.Fatalf("done event: %+v", final)
+	}
+
+	// The sweep ran as a tracked job and its work reached the counters.
+	jresp, err := http.Get(ts.URL + "/v1/jobs/" + jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jv JobView
+	if err := json.NewDecoder(jresp.Body).Decode(&jv); err != nil {
+		t.Fatal(err)
+	}
+	jresp.Body.Close()
+	if jv.State != JobDone || jv.Kind != "experiment" || jv.Detail != "a8" || jv.Points != points {
+		t.Fatalf("job view: %+v", jv)
+	}
+	if got := metric(t, ts.URL, "mdwd_points_total"); got < int64(points) {
+		t.Fatalf("points_total = %d < %d", got, points)
+	}
+}
+
+// TestExperimentUnknownID rejects unregistered ids with 404.
+func TestExperimentUnknownID(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Post(ts.URL+"/v1/experiment", "application/json",
+		strings.NewReader(`{"id":"zz"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// TestExperimentsList returns the registry in definition order.
+func TestExperimentsList(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string][]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	ids := out["experiments"]
+	if len(ids) < 19 || ids[0] != "e1" {
+		t.Fatalf("experiments: %v", ids)
+	}
+}
+
+// TestJobsEndpoint covers the job listing and the 404 path.
+func TestJobsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	postRun(t, ts.URL, tinyRun(9))
+
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string][]JobView
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(out["jobs"]) != 1 || out["jobs"][0].State != JobDone || out["jobs"][0].Kind != "run" {
+		t.Fatalf("jobs: %+v", out["jobs"])
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/j999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d", resp.StatusCode)
+	}
+}
+
+// TestDrainRejectsNewWork: after BeginDrain the daemon refuses new jobs and
+// reports draining on /healthz, while completed state stays readable.
+func TestDrainRejectsNewWork(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	postRun(t, ts.URL, tinyRun(11))
+	s.BeginDrain()
+
+	resp, body := postRun(t, ts.URL, tinyRun(12))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining run: %d %s", resp.StatusCode, body)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d", hresp.StatusCode)
+	}
+	// Read-only endpoints still serve.
+	if got := metric(t, ts.URL, "mdwd_jobs_done"); got != 1 {
+		t.Fatalf("jobs_done = %d", got)
+	}
+	if !s.Drain(10 * time.Second) {
+		t.Fatal("drain did not complete")
+	}
+}
+
+// TestRunTimeoutBackground: a handler that outwaits its deadline returns a
+// structured 504 naming the job; the job finishes in the background and the
+// repeated request is then served from the cache.
+func TestRunTimeoutBackground(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, RunTimeout: time.Nanosecond})
+
+	body := tinyRun(21)
+	resp, b := postRun(t, ts.URL, body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var e struct {
+		Error apiError `json:"error"`
+	}
+	if err := json.Unmarshal(b, &e); err != nil || e.Error.Code != "timeout" || e.Error.Job == "" {
+		t.Fatalf("timeout body: %s", b)
+	}
+
+	// The job keeps running and caches its result; the retry hits.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, b = postRun(t, ts.URL, body)
+		if resp.StatusCode == http.StatusOK {
+			if h := resp.Header.Get("X-Mdwd-Cache"); h != "hit" {
+				t.Fatalf("retry not a cache hit: %q", h)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background job never cached: %d %s", resp.StatusCode, b)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCacheDirSharedAcrossServers: with -cache-dir, a second daemon serves
+// the first daemon's results byte-identically.
+func TestCacheDirSharedAcrossServers(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, Config{Workers: 1, CacheDir: dir})
+	resp, body1 := postRun(t, ts1.URL, tinyRun(31))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("miss: %d %s", resp.StatusCode, body1)
+	}
+
+	_, ts2 := newTestServer(t, Config{Workers: 1, CacheDir: dir})
+	resp, body2 := postRun(t, ts2.URL, tinyRun(31))
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Mdwd-Cache") != "hit" {
+		t.Fatalf("restart hit: %d %q", resp.StatusCode, resp.Header.Get("X-Mdwd-Cache"))
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("persisted result not byte-identical")
+	}
+}

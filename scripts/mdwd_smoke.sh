@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the mdwd daemon over a real socket: boot, run a
+# small config twice (miss then byte-identical hit), check /metrics counters,
+# then SIGTERM and require a graceful exit 0. CI runs this after the unit
+# tests; it needs only bash, curl, and the go toolchain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+addr=127.0.0.1:18080
+go build -o "$workdir/mdwd" ./cmd/mdwd
+"$workdir/mdwd" -addr "$addr" -workers 2 >"$workdir/log" 2>&1 &
+pid=$!
+
+for i in $(seq 1 50); do
+    curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
+    kill -0 "$pid" 2>/dev/null || { echo "mdwd died at startup:"; cat "$workdir/log"; exit 1; }
+    sleep 0.2
+done
+curl -fsS "http://$addr/healthz" >/dev/null || { echo "mdwd never became healthy"; exit 1; }
+
+body='{"config":{"stages":2,"degree":4,"warmup_cycles":200,"measure_cycles":800,"drain_cycles":50000,"op_rate":0.001}}'
+curl -fsS -D "$workdir/h1" -o "$workdir/r1" -d "$body" "http://$addr/v1/run"
+curl -fsS -D "$workdir/h2" -o "$workdir/r2" -d "$body" "http://$addr/v1/run"
+
+grep -qi '^X-Mdwd-Cache: miss' "$workdir/h1" || { echo "first request was not a miss"; cat "$workdir/h1"; exit 1; }
+grep -qi '^X-Mdwd-Cache: hit'  "$workdir/h2" || { echo "second request was not a hit"; cat "$workdir/h2"; exit 1; }
+cmp -s "$workdir/r1" "$workdir/r2" || { echo "cache hit is not byte-identical"; exit 1; }
+
+curl -fsS "http://$addr/metrics" >"$workdir/metrics"
+grep -q '^mdwd_cache_hits 1$' "$workdir/metrics" || { echo "unexpected metrics:"; cat "$workdir/metrics"; exit 1; }
+grep -q '^mdwd_cache_misses 1$' "$workdir/metrics" || { echo "unexpected metrics:"; cat "$workdir/metrics"; exit 1; }
+
+kill -TERM "$pid"
+wait "$pid" || { code=$?; echo "mdwd exited $code after SIGTERM:"; cat "$workdir/log"; exit 1; }
+grep -q 'drained cleanly' "$workdir/log" || { echo "no clean drain reported:"; cat "$workdir/log"; exit 1; }
+
+echo "mdwd smoke: miss/hit byte-identical, metrics correct, graceful drain OK"
