@@ -21,6 +21,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"sync"
 	"syscall"
 
@@ -58,6 +59,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		swStats  = fs.Bool("switch-stats", false, "print aggregated switch counters after the run")
 		reps     = fs.Int("reps", 1, "replicate the run over this many consecutive seeds")
 		workers  = fs.Int("workers", 0, "concurrent replicas when -reps > 1 (0 = GOMAXPROCS)")
+		faultArg = fs.String("faults", "", "fault plan spec like 'link-down@1000:sw3.p2;nic-stall@500+200:n5', or @file holding one")
+		strict   = fs.Bool("strict", false, "upgrade model-invariant violations to hard run failures")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -88,6 +91,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	cfg.Scheme = sch
+	if *faultArg != "" {
+		spec := *faultArg
+		if strings.HasPrefix(spec, "@") {
+			b, err := os.ReadFile(spec[1:])
+			if err != nil {
+				fmt.Fprintln(stderr, "mdwsim:", err)
+				return 1
+			}
+			spec = strings.TrimSpace(string(b))
+		}
+		plan, err := mdworm.ParseFaultSpec(spec)
+		if err != nil {
+			fmt.Fprintln(stderr, "mdwsim:", err)
+			return 2
+		}
+		cfg.Faults = plan
+	}
+	cfg.StrictInvariants = *strict
 
 	if *reps < 1 {
 		fmt.Fprintln(stderr, "mdwsim: -reps must be >= 1")
@@ -187,6 +208,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "  delivered payload: %.4f flits/node/cycle\n\n", res.Unicast.DeliveredPayloadPerNodeCycle)
 	fmt.Fprintf(stdout, "raw delivered flits (headers included): %.4f /node/cycle\n", res.DeliveredFlitsPerNodeCycle)
 	fmt.Fprintf(stdout, "drain: %d cycles\n", res.DrainCycles)
+	// The fault report appears only for fault-injected runs, so fault-free
+	// output stays byte-identical to earlier releases.
+	if !cfg.Faults.Empty() {
+		fmt.Fprintf(stdout, "\nfault plan: %s\n", cfg.Faults.Spec())
+		fmt.Fprintf(stdout, "degraded ops: %d (fully dropped: %d), destinations dropped: %d\n",
+			res.OpsDegraded, res.OpsDropped, res.DestsDropped)
+		viol := fmt.Sprintf("invariant violations: %d", res.InvariantViolations)
+		if s := sim.Invariants().Summary(); s != "" {
+			viol += " (" + s + ")"
+		}
+		fmt.Fprintln(stdout, viol)
+	}
 
 	if *reps > 1 {
 		fmt.Fprintf(stdout, "\nseed spread over %d replicas (seeds %d..%d):\n",

@@ -74,6 +74,79 @@ func TestGoldenSingleRun(t *testing.T) {
 	}
 }
 
+// TestGoldenFaultedRun pins the exact report — including the fault-plan
+// block — for a small fault-injected run. Regenerate with:
+// go test ./cmd/mdwsim -run TestGoldenFaultedRun -update
+func TestGoldenFaultedRun(t *testing.T) {
+	args := smallArgs("-faults", "link-down@400:sw0.p0;nic-stall@300+200:n3")
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	for _, want := range []string{"fault plan:", "destinations dropped:", "invariant violations: 0"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, stdout.String())
+		}
+	}
+	golden := filepath.Join("testdata", "faulted_run.golden")
+	if *update {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Fatalf("output differs from golden (re-run with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+			stdout.String(), want)
+	}
+}
+
+// TestFaultedRepsWorkerIndependence: a faulted replicated run renders the
+// same bytes at every -workers count.
+func TestFaultedRepsWorkerIndependence(t *testing.T) {
+	outs := make([]string, 0, 3)
+	for _, w := range []string{"1", "2", "4"} {
+		var stdout, stderr bytes.Buffer
+		args := smallArgs("-faults", "link-down@400:sw0.p0", "-reps", "3", "-workers", w)
+		if code := run(context.Background(), args, &stdout, &stderr); code != 0 {
+			t.Fatalf("workers=%s: exit %d\n%s", w, code, stderr.String())
+		}
+		outs = append(outs, stdout.String())
+	}
+	if outs[0] != outs[1] || outs[0] != outs[2] {
+		t.Fatalf("faulted replica output depends on worker count:\n--- w=1 ---\n%s\n--- w=2 ---\n%s\n--- w=4 ---\n%s",
+			outs[0], outs[1], outs[2])
+	}
+}
+
+// TestFaultFlagErrors: malformed and file-based fault specs.
+func TestFaultFlagErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), smallArgs("-faults", "flood@10:sw0.p0"), &stdout, &stderr); code != 2 {
+		t.Fatalf("bad spec: exit %d\n%s", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(context.Background(), smallArgs("-faults", "@/no/such/plan"), &stdout, &stderr); code != 1 {
+		t.Fatalf("missing plan file: exit %d\n%s", code, stderr.String())
+	}
+	path := filepath.Join(t.TempDir(), "plan.txt")
+	if err := os.WriteFile(path, []byte("nic-stall@300+200:n3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(context.Background(), smallArgs("-faults", "@"+path), &stdout, &stderr); code != 0 {
+		t.Fatalf("plan file: exit %d\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "fault plan: nic-stall@300+200:n3") {
+		t.Fatalf("plan file not applied:\n%s", stdout.String())
+	}
+}
+
 // TestRepsAggregation: the seed-spread summary must be identical regardless
 // of worker count — replicas are independent simulators keyed only by seed.
 func TestRepsAggregation(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"mdworm/internal/collective"
+	"mdworm/internal/faults"
 	"mdworm/internal/flit"
 	"mdworm/internal/nic"
 	"mdworm/internal/routing"
@@ -104,6 +105,14 @@ type Config struct {
 	Seed uint64
 	// WatchdogLimit is the deadlock watchdog threshold in cycles.
 	WatchdogLimit int64
+
+	// Faults is the deterministic fault plan injected during the run
+	// (empty by default). The plan is part of the canonical configuration,
+	// so cached results key on it.
+	Faults faults.Plan
+	// StrictInvariants upgrades model-invariant violations from counters
+	// to hard run failures.
+	StrictInvariants bool
 }
 
 // DefaultConfig returns the baseline system of the experiments: a 64-node
@@ -237,5 +246,52 @@ func (c *Config) normalize(net *topology.Network) error {
 	if err := c.Traffic.Validate(net.N); err != nil {
 		return err
 	}
+	return c.normalizeFaults(net, needChunks)
+}
+
+// normalizeFaults validates the fault plan against the built fabric and
+// stores it in canonical (sorted) form.
+func (c *Config) normalizeFaults(net *topology.Network, needChunks int) error {
+	if c.Faults.Empty() {
+		c.Faults = faults.Plan{}
+		return nil
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	shrunk := map[int]int{}
+	for i, e := range c.Faults.Events {
+		switch e.Kind {
+		case faults.LinkDown, faults.PortStuck:
+			if e.Switch < 0 || e.Switch >= len(net.Switches) {
+				return fmt.Errorf("core: fault event %d: switch %d out of range (fabric has %d switches)",
+					i, e.Switch, len(net.Switches))
+			}
+			if e.Port < 0 || e.Port >= net.Switches[e.Switch].NumPorts() {
+				return fmt.Errorf("core: fault event %d: port %d out of range (sw%d has %d ports)",
+					i, e.Port, e.Switch, net.Switches[e.Switch].NumPorts())
+			}
+		case faults.CBShrink:
+			if c.Arch != CentralBuffer {
+				return fmt.Errorf("core: fault event %d: cb-shrink requires the central-buffer architecture", i)
+			}
+			if e.Switch < 0 || e.Switch >= len(net.Switches) {
+				return fmt.Errorf("core: fault event %d: switch %d out of range (fabric has %d switches)",
+					i, e.Switch, len(net.Switches))
+			}
+			shrunk[e.Switch] += e.Chunks
+			// Each direction pool must keep room for one full packet, or a
+			// legitimately reserved packet could wedge forever.
+			if limit := c.CB.Chunks - 2*needChunks; shrunk[e.Switch] > limit {
+				return fmt.Errorf("core: fault events shrink sw%d by %d chunks; at most %d can go (%d chunks minus one max packet per pool)",
+					e.Switch, shrunk[e.Switch], limit, c.CB.Chunks)
+			}
+		case faults.NICStall:
+			if e.Node < 0 || e.Node >= net.N {
+				return fmt.Errorf("core: fault event %d: node %d out of range (%d nodes)", i, e.Node, net.N)
+			}
+		}
+	}
+	c.Faults = c.Faults.Normalized()
 	return nil
 }

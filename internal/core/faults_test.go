@@ -1,0 +1,386 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mdworm/internal/collective"
+	"mdworm/internal/engine"
+	"mdworm/internal/faults"
+	"mdworm/internal/stats"
+	"mdworm/internal/topology"
+)
+
+// faultTestBase is a short loaded run that finishes quickly but generates
+// enough traffic to exercise every drop path.
+func faultTestBase() Config {
+	cfg := DefaultConfig()
+	cfg.Traffic.OpRate = cfg.Traffic.RateForLoad(0.2)
+	cfg.WarmupCycles = 500
+	cfg.MeasureCycles = 3_000
+	cfg.DrainCycles = 2_000_000
+	cfg.WatchdogLimit = 100_000
+	return cfg
+}
+
+// checkAccounted asserts the fundamental fault property: every generated op
+// completed — each destination delivered or accounted dropped — the fabric
+// drained, and the invariant checker stayed silent.
+func checkAccounted(t *testing.T, name string, sim *Simulator, res stats.Results) {
+	t.Helper()
+	if !sim.Quiesced() {
+		t.Fatalf("%s: network not drained (outstanding=%d)", name, sim.outstanding)
+	}
+	done := res.Multicast.OpsCompleted + res.Unicast.OpsCompleted
+	gen := res.Multicast.OpsGenerated + res.Unicast.OpsGenerated
+	if done != gen {
+		t.Fatalf("%s: %d of %d ops completed", name, done, gen)
+	}
+	if res.InvariantViolations != 0 {
+		t.Fatalf("%s: %d invariant violations: %s", name, res.InvariantViolations, sim.Invariants().Summary())
+	}
+}
+
+// TestFaultLinkDownDropsAndDrains severs a NIC attachment mid-run on both
+// architectures: the run must complete with the lost destinations accounted
+// instead of hanging the drain.
+func TestFaultLinkDownDropsAndDrains(t *testing.T) {
+	for _, arch := range []SwitchArch{CentralBuffer, InputBuffer} {
+		cfg := faultTestBase()
+		cfg.Arch = arch
+		cfg.Faults = faults.Plan{Events: []faults.Event{
+			{Kind: faults.LinkDown, At: 1500, Switch: 0, Port: 0},
+		}}
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		name := arch.String()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkAccounted(t, name, sim, res)
+		if res.DestsDropped == 0 || res.OpsDegraded == 0 {
+			t.Fatalf("%s: severed NIC attachment dropped nothing (dests=%d ops=%d)",
+				name, res.DestsDropped, res.OpsDegraded)
+		}
+	}
+}
+
+// TestFaultPlanDeterministic runs the same faulted configuration twice and
+// requires bit-identical results: fault plans are part of the deterministic
+// replay contract (and therefore cacheable).
+func TestFaultPlanDeterministic(t *testing.T) {
+	run := func() stats.Results {
+		cfg := faultTestBase()
+		cfg.Faults = faults.Plan{Events: []faults.Event{
+			{Kind: faults.LinkDown, At: 1200, Switch: 16, Port: 2},
+			{Kind: faults.PortStuck, At: 800, Duration: 400, Switch: 4, Port: 5},
+			{Kind: faults.NICStall, At: 600, Duration: 300, Node: 9},
+		}}
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("faulted run not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestFaultTransientWindowsComplete checks that bounded stuck/stall windows
+// merely delay traffic: nothing is dropped, nothing deadlocks — the fault
+// driver reports scheduled progress to the watchdog while a window is open.
+func TestFaultTransientWindowsComplete(t *testing.T) {
+	for _, arch := range []SwitchArch{CentralBuffer, InputBuffer} {
+		cfg := faultTestBase()
+		cfg.Arch = arch
+		cfg.WatchdogLimit = 5_000
+		cfg.Faults = faults.Plan{Events: []faults.Event{
+			{Kind: faults.PortStuck, At: 1_000, Duration: 8_000, Switch: 4, Port: 1},
+			{Kind: faults.NICStall, At: 2_000, Duration: 6_000, Node: 3},
+		}}
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		name := arch.String()
+		if err != nil {
+			t.Fatalf("%s: windows longer than the watchdog limit must not trip it: %v", name, err)
+		}
+		checkAccounted(t, name, sim, res)
+		if res.DestsDropped != 0 {
+			t.Fatalf("%s: transient faults dropped %d destinations", name, res.DestsDropped)
+		}
+	}
+}
+
+// TestFaultPermanentPortStuckDeadlocks wedges a stage-0 up port forever: the
+// watchdog must convert the silent stall into a structured DeadlockError
+// naming stuck components, within its cycle budget.
+func TestFaultPermanentPortStuckDeadlocks(t *testing.T) {
+	cfg := faultTestBase()
+	cfg.WatchdogLimit = 20_000
+	cfg.Faults = faults.Plan{Events: []faults.Event{
+		{Kind: faults.PortStuck, At: 1_000, Switch: 4, Port: 4},
+		{Kind: faults.PortStuck, At: 1_000, Switch: 4, Port: 5},
+		{Kind: faults.PortStuck, At: 1_000, Switch: 4, Port: 6},
+		{Kind: faults.PortStuck, At: 1_000, Switch: 4, Port: 7},
+	}}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.Run()
+	de, ok := err.(*engine.DeadlockError)
+	if !ok {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if len(de.Stuck) == 0 {
+		t.Fatal("deadlock report names no stuck components")
+	}
+	if de.Cycle > 1_000+int64(cfg.WarmupCycles+cfg.MeasureCycles)+cfg.DrainCycles {
+		t.Fatalf("watchdog fired outside the run budget at cycle %d", de.Cycle)
+	}
+}
+
+// TestFaultCBShrinkCompletes withdraws central-buffer capacity mid-run (the
+// plan is valid only after raising Chunks above the two-packet floor) and
+// requires a clean, violation-free completion.
+func TestFaultCBShrinkCompletes(t *testing.T) {
+	cfg := faultTestBase()
+	cfg.CB.Chunks = 256 // default normalization floor is 128 for this workload
+	cfg.Faults = faults.Plan{Events: []faults.Event{
+		{Kind: faults.CBShrink, At: 1_000, Switch: 4, Chunks: 64},
+		{Kind: faults.CBShrink, At: 2_000, Switch: 20, Chunks: 32},
+	}}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAccounted(t, "cb-shrink", sim, res)
+}
+
+// TestFaultPlanValidation rejects plans that cannot be applied to the built
+// fabric.
+func TestFaultPlanValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(cfg *Config)
+	}{
+		{"switch out of range", func(cfg *Config) {
+			cfg.Faults.Events = []faults.Event{{Kind: faults.LinkDown, At: 1, Switch: 999, Port: 0}}
+		}},
+		{"port out of range", func(cfg *Config) {
+			cfg.Faults.Events = []faults.Event{{Kind: faults.PortStuck, At: 1, Switch: 0, Port: 99}}
+		}},
+		{"node out of range", func(cfg *Config) {
+			cfg.Faults.Events = []faults.Event{{Kind: faults.NICStall, At: 1, Node: 64}}
+		}},
+		{"cb-shrink on input-buffer arch", func(cfg *Config) {
+			cfg.Arch = InputBuffer
+			cfg.Faults.Events = []faults.Event{{Kind: faults.CBShrink, At: 1, Switch: 0, Chunks: 1}}
+		}},
+		{"cb-shrink below the packet floor", func(cfg *Config) {
+			cfg.Faults.Events = []faults.Event{{Kind: faults.CBShrink, At: 1, Switch: 0, Chunks: 1}}
+		}},
+	}
+	for _, tc := range cases {
+		cfg := faultTestBase()
+		tc.mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("%s: config accepted", tc.name)
+		}
+	}
+}
+
+// TestFaultIrregularTopology injects a seeded fault plan on a random NOW
+// fabric: routing must steer around what it can and account the rest, never
+// hang (the PR's acceptance scenario).
+func TestFaultIrregularTopology(t *testing.T) {
+	cfg := faultTestBase()
+	cfg.Topology = IrregularTree
+	cfg.Tree = topology.TreeSpec{Switches: 16, MinHosts: 1, MaxHosts: 4, MaxChildren: 3, Seed: 7}
+	cfg.Traffic.Degree = 6
+	// Locate a mid-tree attachment so the failure severs real traffic.
+	probe, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swID, port := probe.Net().ProcAttach(probe.Net().N / 2)
+	cfg.Faults = faults.Plan{Events: []faults.Event{
+		{Kind: faults.LinkDown, At: 1_000, Switch: swID, Port: port},
+	}}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatalf("irregular faulted run failed: %v", err)
+	}
+	checkAccounted(t, "irregular", sim, res)
+	if res.DestsDropped == 0 {
+		t.Fatal("severed attachment dropped nothing")
+	}
+}
+
+// TestFaultDeadlockRegressionSyncReplication replays the A10 ablation as a
+// regression pair: lock-step replication on the input-buffer switch must
+// wedge into a structured DeadlockError within the watchdog budget, while
+// the central-buffer hardware multicast under the identical workload must
+// not.
+func TestFaultDeadlockRegressionSyncReplication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deadlock regression skipped in -short mode")
+	}
+	shape := func(cfg *Config) {
+		cfg.Traffic.MulticastFraction = 1.0
+		cfg.Traffic.Degree = 8
+		cfg.Traffic.McastPayloadFlits = 64
+		cfg.Traffic.OpRate = cfg.Traffic.RateForLoad(0.3)
+		cfg.WarmupCycles = 500
+		cfg.MeasureCycles = 4_000
+		cfg.DrainCycles = 2_000_000
+		cfg.WatchdogLimit = 20_000
+	}
+
+	sync := DefaultConfig()
+	shape(&sync)
+	sync.Arch = InputBuffer
+	sync.IB.SyncReplication = true
+	sim, err := New(sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = sim.Run(); err == nil {
+		t.Fatal("synchronous replication did not deadlock")
+	} else if _, ok := err.(*engine.DeadlockError); !ok {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+
+	cb := DefaultConfig()
+	shape(&cb)
+	cb.Arch = CentralBuffer
+	cb.Scheme = collective.HardwareBitString
+	sim, err = New(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatalf("CB-HW tripped the watchdog on the same workload: %v", err)
+	}
+	checkAccounted(t, "cb-hw", sim, res)
+}
+
+// TestFaultPropertyRandomPlans is the property-based net: random small
+// configurations crossed with random recoverable fault plans. Every worm
+// must end fully delivered or fully accounted dropped — the drain reaches
+// zero outstanding work and the invariant checker stays silent.
+func TestFaultPropertyRandomPlans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep skipped in -short mode")
+	}
+	rng := engine.NewRNG(0xFA07)
+	archs := []SwitchArch{CentralBuffer, InputBuffer}
+	schemes := []collective.Scheme{
+		collective.HardwareBitString, collective.SoftwareBinomial, collective.SoftwareSeparate,
+	}
+	for trial := 0; trial < 25; trial++ {
+		cfg := DefaultConfig()
+		cfg.Seed = rng.Uint64()
+		cfg.Arch = archs[rng.Intn(len(archs))]
+		cfg.Scheme = schemes[rng.Intn(len(schemes))]
+		cfg.Arity = 2 + rng.Intn(3)
+		cfg.Stages = 1 + rng.Intn(3)
+		n := cfg.N()
+		if n > 2 {
+			cfg.Traffic.Degree = 1 + rng.Intn(min(n-2, 12))
+		} else {
+			cfg.Traffic.Degree = 1
+			cfg.Traffic.MulticastFraction = 0
+		}
+		cfg.Traffic.OpRate = cfg.Traffic.RateForLoad(0.05 + 0.3*rng.Float64())
+		cfg.WarmupCycles = 200
+		cfg.MeasureCycles = 1_500
+		cfg.DrainCycles = 3_000_000
+		cfg.WatchdogLimit = 100_000
+
+		// Build once faultless to learn the fabric shape, then draw a
+		// recoverable plan against it: permanent link-down anywhere, plus
+		// bounded stuck/stall windows (always shorter-lived than permanent
+		// wedges, so completion is guaranteed).
+		probe, err := New(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		net := probe.Net()
+		span := cfg.WarmupCycles + cfg.MeasureCycles
+		var plan faults.Plan
+		for i, k := 0, 1+rng.Intn(4); i < k; i++ {
+			at := int64(1 + rng.Intn(int(span)))
+			sw := rng.Intn(len(net.Switches))
+			switch rng.Intn(3) {
+			case 0:
+				plan.Events = append(plan.Events, faults.Event{Kind: faults.LinkDown,
+					At: at, Switch: sw, Port: rng.Intn(net.Switches[sw].NumPorts())})
+			case 1:
+				plan.Events = append(plan.Events, faults.Event{Kind: faults.PortStuck,
+					At: at, Duration: int64(1 + rng.Intn(2_000)),
+					Switch: sw, Port: rng.Intn(net.Switches[sw].NumPorts())})
+			case 2:
+				plan.Events = append(plan.Events, faults.Event{Kind: faults.NICStall,
+					At: at, Duration: int64(1 + rng.Intn(2_000)), Node: rng.Intn(net.N)})
+			}
+		}
+		cfg.Faults = plan
+
+		name := fmt.Sprintf("trial%d/%v/%v/arity%d/stages%d/%s",
+			trial, cfg.Arch, cfg.Scheme, cfg.Arity, cfg.Stages, plan.Spec())
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%s: config rejected: %v", name, err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkAccounted(t, name, sim, res)
+	}
+}
+
+// TestFaultStrictModeRuns exercises the strict path on a healthy faulted
+// run: with no violations to upgrade, strict mode must change nothing.
+func TestFaultStrictModeRuns(t *testing.T) {
+	cfg := faultTestBase()
+	cfg.StrictInvariants = true
+	cfg.Faults = faults.Plan{Events: []faults.Event{
+		{Kind: faults.LinkDown, At: 1_500, Switch: 0, Port: 0},
+	}}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAccounted(t, "strict", sim, res)
+	if !sim.Invariants().Strict {
+		t.Fatal("strict flag not wired through")
+	}
+}

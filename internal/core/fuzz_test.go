@@ -6,6 +6,7 @@ import (
 
 	"mdworm/internal/collective"
 	"mdworm/internal/engine"
+	"mdworm/internal/faults"
 	"mdworm/internal/flit"
 	"mdworm/internal/routing"
 )
@@ -57,7 +58,37 @@ func TestFuzzConfigurations(t *testing.T) {
 		cfg.DrainCycles = 3_000_000
 		cfg.WatchdogLimit = 100_000
 
-		name := fmt.Sprintf("trial%d/%v/%v/arity%d/stages%d", trial, cfg.Arch, cfg.Scheme, cfg.Arity, cfg.Stages)
+		// Half the trials also carry a random recoverable fault plan:
+		// permanent link-downs (drops are accounted, so done==gen still
+		// holds) and bounded stuck/stall windows (traffic merely waits).
+		if rng.Intn(2) == 0 {
+			probe, err := New(cfg)
+			if err != nil {
+				t.Fatalf("trial %d: config rejected: %v", trial, err)
+			}
+			net := probe.Net()
+			var plan faults.Plan
+			for i, k := 0, 1+rng.Intn(3); i < k; i++ {
+				at := int64(1 + rng.Intn(int(cfg.WarmupCycles+cfg.MeasureCycles)))
+				sw := rng.Intn(len(net.Switches))
+				switch rng.Intn(3) {
+				case 0:
+					plan.Events = append(plan.Events, faults.Event{Kind: faults.LinkDown,
+						At: at, Switch: sw, Port: rng.Intn(net.Switches[sw].NumPorts())})
+				case 1:
+					plan.Events = append(plan.Events, faults.Event{Kind: faults.PortStuck,
+						At: at, Duration: int64(1 + rng.Intn(2_000)),
+						Switch: sw, Port: rng.Intn(net.Switches[sw].NumPorts())})
+				case 2:
+					plan.Events = append(plan.Events, faults.Event{Kind: faults.NICStall,
+						At: at, Duration: int64(1 + rng.Intn(2_000)), Node: rng.Intn(net.N)})
+				}
+			}
+			cfg.Faults = plan
+		}
+
+		name := fmt.Sprintf("trial%d/%v/%v/arity%d/stages%d/faults=%q",
+			trial, cfg.Arch, cfg.Scheme, cfg.Arity, cfg.Stages, cfg.Faults.Spec())
 		sim, err := New(cfg)
 		if err != nil {
 			t.Fatalf("%s: config rejected: %v", name, err)
@@ -73,6 +104,10 @@ func TestFuzzConfigurations(t *testing.T) {
 		gen := res.Multicast.OpsGenerated + res.Unicast.OpsGenerated
 		if done != gen {
 			t.Fatalf("%s: %d of %d ops completed", name, done, gen)
+		}
+		if res.InvariantViolations != 0 {
+			t.Fatalf("%s: %d invariant violations: %s",
+				name, res.InvariantViolations, sim.Invariants().Summary())
 		}
 	}
 }

@@ -29,6 +29,10 @@ type Simulator struct {
 	col    stats.Collector
 	ids    engine.IDGen
 
+	// ports holds each switch's per-port link pair; the fault driver uses
+	// it to fail or stall specific links at their scheduled cycles.
+	ports [][]switches.PortIO
+
 	outstanding int // ops not yet fully delivered
 	genOn       bool
 
@@ -81,6 +85,8 @@ func New(cfg Config) (*Simulator, error) {
 			Policy:            cfg.UpPolicy,
 		},
 	}
+	s.sim.Invariants().Strict = cfg.StrictInvariants
+	s.router.OnDrop = s.onWormDrop
 	if cfg.Traffic.OpRate > 0 {
 		g, err := traffic.NewGenerator(cfg.Traffic, net.N, cfg.Seed)
 		if err != nil {
@@ -111,6 +117,7 @@ func (s *Simulator) build() {
 	for i, sw := range s.net.Switches {
 		ports[i] = make([]switches.PortIO, sw.NumPorts())
 	}
+	s.ports = ports
 
 	// Inter-switch links: one pair per wired connection; create when
 	// scanning the down-port side so each connection is built once.
@@ -149,6 +156,13 @@ func (s *Simulator) build() {
 		ejects[p] = ej
 	}
 
+	// Fault driver, registered before the switches so every injected fault
+	// takes effect at the start of its scheduled cycle. It declares no
+	// inputs, so the scheduler steps it every cycle.
+	if !cfg.Faults.Empty() {
+		s.sim.AddComponent(newFaultDriver(s, cfg.Faults))
+	}
+
 	// Switches. Declaring the input links makes a switch eligible for
 	// active-set skipping: fully idle switches cost nothing per cycle and
 	// are re-armed by the first flit sent toward them.
@@ -180,6 +194,7 @@ func (s *Simulator) build() {
 	s.nics = make([]*nic.NIC, s.net.N)
 	for p := 0; p < s.net.N; p++ {
 		n := nic.New(cfg.NIC, p, s.net.N, injects[p], ejects[p], &s.ids, s.sim, fac, s.onDelivered)
+		n.SetOnDrop(s.onWormDrop)
 		s.nics[p] = n
 		s.sim.AddComponent(n)
 		s.sim.DeclareInputs(n, ejects[p])
@@ -242,21 +257,46 @@ func (s *Simulator) onDelivered(m *flit.Message, at *nic.NIC, now int64) {
 	}
 	op := m.Op
 	if op != nil && op.Deliver(now) {
-		s.outstanding--
-		if s.sim.Tracing() {
-			s.sim.Emit(engine.TraceEvent{Kind: engine.TraceOpDone, Actor: "core", Op: op.ID,
-				Detail: fmt.Sprintf("latency=%d msgs=%d", op.LastLatency(), op.MessagesSent)})
-		}
-		if s.col.InWindow(op.Created) {
-			cc := s.col.Class(op.Class == flit.ClassMulticast)
-			cc.OpsCompleted++
-			cc.LastArrival = append(cc.LastArrival, float64(op.LastLatency()))
-			cc.MeanArrival = append(cc.MeanArrival, op.MeanLatency())
-			cc.MessagesSent += int64(op.MessagesSent)
-		}
+		s.opCompleted(op)
 	}
 	if s.deliverHook != nil {
 		s.deliverHook(m, at.Proc(), now)
+	}
+}
+
+// opCompleted retires an operation whose every destination is delivered or
+// accounted dropped. Degraded ops (any drops) yield no latency samples: a
+// partial last-arrival time is not comparable to a healthy one.
+func (s *Simulator) opCompleted(op *flit.Op) {
+	s.outstanding--
+	if op.Dropped > 0 {
+		s.col.OpsDegraded++
+		if op.Dropped == op.NumDests {
+			s.col.OpsDropped++
+		}
+	}
+	if s.sim.Tracing() {
+		s.sim.Emit(engine.TraceEvent{Kind: engine.TraceOpDone, Actor: "core", Op: op.ID,
+			Detail: fmt.Sprintf("latency=%d msgs=%d dropped=%d", op.LastLatency(), op.MessagesSent, op.Dropped)})
+	}
+	if s.col.InWindow(op.Created) {
+		cc := s.col.Class(op.Class == flit.ClassMulticast)
+		cc.OpsCompleted++
+		cc.MessagesSent += int64(op.MessagesSent)
+		if op.Dropped == 0 {
+			cc.LastArrival = append(cc.LastArrival, float64(op.LastLatency()))
+			cc.MeanArrival = append(cc.MeanArrival, op.MeanLatency())
+		}
+	}
+}
+
+// onWormDrop accounts destinations abandoned because of an injected fault.
+// Routing its losses through Op.DropN keeps the drain predicate reachable:
+// the op completes when its last destination is delivered or dropped.
+func (s *Simulator) onWormDrop(m *flit.Message, ndests int, now int64) {
+	s.col.DestsDropped += int64(ndests)
+	if op := m.Op; op != nil && op.DropN(ndests) {
+		s.opCompleted(op)
 	}
 }
 
@@ -324,7 +364,18 @@ func (s *Simulator) generate() error {
 // then a drain with load off until every operation completes. It returns
 // the measured results; the error is non-nil only for protocol failures
 // (deadlock watchdog, invalid configuration interactions).
-func (s *Simulator) Run() (stats.Results, error) {
+func (s *Simulator) Run() (r stats.Results, err error) {
+	// In strict mode invariant violations surface as panics from deep in
+	// the model; convert them into ordinary run errors.
+	defer func() {
+		if p := recover(); p != nil {
+			ie, ok := p.(*engine.InvariantError)
+			if !ok {
+				panic(p)
+			}
+			r, err = stats.Results{}, ie
+		}
+	}()
 	s.col.WarmupEnd = s.sim.Now + s.cfg.WarmupCycles
 	s.col.MeasureEnd = s.col.WarmupEnd + s.cfg.MeasureCycles
 
@@ -357,18 +408,18 @@ func (s *Simulator) Run() (stats.Results, error) {
 			maxQ = st.SendQueueMax
 		}
 	}
-	r := s.col.Finalize(s.net.N, maxQ)
+	r = s.col.Finalize(s.net.N, maxQ)
 	r.DrainCycles = s.sim.Now - s.col.MeasureEnd
+	r.InvariantViolations = s.sim.Invariants().Total()
 	// Saturation: the drain never finishing, or a backlog at measure end
 	// exceeding a couple of ops per node, means generation outran the
 	// network and latencies reflect queue growth.
 	r.Saturated = r.Saturated || !drained || backlog > 2*s.net.N
-	if !drained && s.outstanding > 0 {
-		// Not an error: report the (partial) results flagged saturated.
-		return r, nil
-	}
 	return r, nil
 }
+
+// Invariants exposes the run's invariant checker for inspection.
+func (s *Simulator) Invariants() *engine.Invariants { return s.sim.Invariants() }
 
 // RunOp injects a single operation on an otherwise idle network and runs
 // until it completes, returning its last-arrival latency. It is the

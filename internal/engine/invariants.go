@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// maxViolationSamples bounds how many full violation records are retained;
+// beyond that only the per-rule counters grow.
+const maxViolationSamples = 16
+
+// Violation is one detected break of a model invariant.
+type Violation struct {
+	Cycle  int64
+	Rule   string
+	Detail string
+}
+
+// String renders the violation as one log line.
+func (v Violation) String() string {
+	return fmt.Sprintf("cycle %d: %s: %s", v.Cycle, v.Rule, v.Detail)
+}
+
+// InvariantError is the hard failure raised (via panic) when a violation is
+// detected in strict mode; core.Run recovers it into an ordinary error so
+// callers see a structured failure instead of a crashed process.
+type InvariantError struct {
+	Violation
+}
+
+// Error formats the failure.
+func (e *InvariantError) Error() string {
+	return "engine: invariant violated: " + e.Violation.String()
+}
+
+// Invariants collects the always-on checker state of one simulation: every
+// model component routes detected violations here. In the default (lenient)
+// mode a violation increments counters, keeps a bounded sample list, and the
+// caller repairs local state so the run can continue; in strict mode the
+// first violation panics with an *InvariantError naming the rule.
+type Invariants struct {
+	// Strict upgrades violations from counters to a panic carrying an
+	// *InvariantError. Callers that set it must recover (core.Run does).
+	Strict bool
+
+	total   int64
+	byRule  map[string]int64
+	samples []Violation
+}
+
+func newInvariants() *Invariants {
+	return &Invariants{byRule: make(map[string]int64)}
+}
+
+// Violate records one invariant violation under the given rule name. In
+// strict mode it does not return.
+func (inv *Invariants) Violate(now int64, rule, format string, args ...any) {
+	v := Violation{Cycle: now, Rule: rule, Detail: fmt.Sprintf(format, args...)}
+	if inv.Strict {
+		panic(&InvariantError{Violation: v})
+	}
+	inv.total++
+	inv.byRule[rule]++
+	if len(inv.samples) < maxViolationSamples {
+		inv.samples = append(inv.samples, v)
+	}
+}
+
+// Total returns the number of violations recorded.
+func (inv *Invariants) Total() int64 { return inv.total }
+
+// Count returns the number of violations of one rule.
+func (inv *Invariants) Count(rule string) int64 { return inv.byRule[rule] }
+
+// Samples returns the first recorded violations (bounded).
+func (inv *Invariants) Samples() []Violation { return inv.samples }
+
+// Summary renders per-rule counts as "rule=N rule=N" in rule order, or ""
+// when clean.
+func (inv *Invariants) Summary() string {
+	if inv.total == 0 {
+		return ""
+	}
+	rules := make([]string, 0, len(inv.byRule))
+	for r := range inv.byRule {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	parts := make([]string, len(rules))
+	for i, r := range rules {
+		parts[i] = fmt.Sprintf("%s=%d", r, inv.byRule[r])
+	}
+	return strings.Join(parts, " ")
+}

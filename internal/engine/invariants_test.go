@@ -1,0 +1,52 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInvariantsLenientCounts(t *testing.T) {
+	inv := newInvariants()
+	if inv.Total() != 0 || inv.Summary() != "" {
+		t.Fatal("fresh checker not clean")
+	}
+	for i := 0; i < 20; i++ {
+		inv.Violate(int64(i), "flit-conservation", "worm %d short", i)
+	}
+	inv.Violate(99, "credit-underflow", "port went to -1")
+	if inv.Total() != 21 {
+		t.Fatalf("total = %d, want 21", inv.Total())
+	}
+	if inv.Count("flit-conservation") != 20 || inv.Count("credit-underflow") != 1 {
+		t.Fatalf("per-rule counts wrong: %s", inv.Summary())
+	}
+	if got := len(inv.Samples()); got != maxViolationSamples {
+		t.Fatalf("samples = %d, want bounded at %d", got, maxViolationSamples)
+	}
+	if s := inv.Summary(); s != "credit-underflow=1 flit-conservation=20" {
+		t.Fatalf("summary = %q", s)
+	}
+	if v := inv.Samples()[0].String(); !strings.Contains(v, "flit-conservation") {
+		t.Fatalf("sample line %q does not name the rule", v)
+	}
+}
+
+func TestInvariantsStrictPanics(t *testing.T) {
+	inv := newInvariants()
+	inv.Strict = true
+	defer func() {
+		r := recover()
+		ie, ok := r.(*InvariantError)
+		if !ok {
+			t.Fatalf("recovered %v, want *InvariantError", r)
+		}
+		if ie.Rule != "chunk-leak" || !strings.Contains(ie.Error(), "chunk-leak") {
+			t.Fatalf("error does not carry the rule: %v", ie)
+		}
+		if inv.Total() != 0 {
+			t.Fatal("strict mode also counted the violation")
+		}
+	}()
+	inv.Violate(7, "chunk-leak", "sw3 leaked %d chunks", 2)
+	t.Fatal("strict Violate returned")
+}

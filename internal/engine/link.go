@@ -27,6 +27,15 @@ type Link struct {
 	carried  int64  // flits delivered over the lifetime of the link
 	activity *int64 // simulation activity counter
 	wake     func() // arms the receiving component's scheduler slot, if any
+
+	capacity   int   // initial credit count, the overflow ceiling
+	failed     bool  // LinkDown fault: refuse new worms at the next boundary
+	midWorm    bool  // a worm's head has crossed without its tail
+	stuckUntil int64 // PortStuck fault: no sends strictly before this cycle
+
+	inv        *Invariants // checker sink; nil for standalone links
+	expectWorm *flit.Worm  // conservation: worm whose next flit must follow
+	expectIdx  int
 }
 
 type timed[T any] struct {
@@ -92,6 +101,7 @@ func NewLink(name string, latency, credits int) *Link {
 		name:     name,
 		latency:  int64(latency),
 		credits:  credits,
+		capacity: credits,
 		lastSend: -1,
 		lastTake: -1,
 		activity: &noop,
@@ -111,12 +121,26 @@ func (l *Link) drainCredits(now int64) {
 	for l.creditsQ.len() > 0 && l.creditsQ.front().at <= now {
 		l.credits += l.creditsQ.pop().v
 	}
+	if l.credits > l.capacity && l.inv != nil {
+		l.inv.Violate(now, "credit-overflow",
+			"link %s: %d credits exceed capacity %d", l.name, l.credits, l.capacity)
+		l.credits = l.capacity
+	}
 }
 
-// CanSend reports whether the sender may push a flit this cycle: a credit is
-// available and the per-cycle bandwidth is unused.
+// CanSend reports whether the sender may push a flit this cycle: the link is
+// not stuck or (at a worm boundary) failed, a credit is available, and the
+// per-cycle bandwidth is unused. A failed link still grants the remaining
+// flits of a worm whose head already crossed — failure lands at worm
+// boundaries so flit conservation holds.
 func (l *Link) CanSend(now int64) bool {
 	l.drainCredits(now)
+	if now < l.stuckUntil {
+		return false
+	}
+	if l.failed && !l.midWorm {
+		return false
+	}
 	return l.credits > 0 && l.lastSend < now
 }
 
@@ -132,12 +156,42 @@ func (l *Link) Send(now int64, r flit.Ref) {
 	if !l.CanSend(now) {
 		panic(fmt.Sprintf("engine: link %s: Send without credit/bandwidth at cycle %d", l.name, now))
 	}
+	l.checkOrder(now, r)
 	l.credits--
 	l.lastSend = now
+	l.midWorm = !r.Tail()
 	l.inflight.push(timed[flit.Ref]{v: r, at: now + l.latency})
 	*l.activity++
 	if l.wake != nil {
 		l.wake()
+	}
+}
+
+// checkOrder enforces per-link flit conservation: a worm's flits cross a
+// link contiguously (no interleaving with another worm) and in index order,
+// head first, tail last. Violations are reported and the tracking state
+// resynchronizes to the offending flit.
+func (l *Link) checkOrder(now int64, r flit.Ref) {
+	if l.inv != nil {
+		switch {
+		case l.expectWorm == nil:
+			if r.Idx != 0 {
+				l.inv.Violate(now, "flit-order",
+					"link %s: worm %d starts mid-worm at flit %d", l.name, r.W.ID, r.Idx)
+			}
+		case r.W != l.expectWorm:
+			l.inv.Violate(now, "flit-interleave",
+				"link %s: worm %d preempts unfinished worm %d", l.name, r.W.ID, l.expectWorm.ID)
+		case r.Idx != l.expectIdx:
+			l.inv.Violate(now, "flit-order",
+				"link %s: worm %d flit %d where flit %d was due", l.name, r.W.ID, r.Idx, l.expectIdx)
+		}
+	}
+	if r.Tail() {
+		l.expectWorm = nil
+	} else {
+		l.expectWorm = r.W
+		l.expectIdx = r.Idx + 1
 	}
 }
 
@@ -178,3 +232,27 @@ func (l *Link) ReturnCredit(now int64, n int) {
 func (l *Link) Quiesced() bool { return l.inflight.len() == 0 }
 
 func (l *Link) bindActivity(counter *int64) { l.activity = counter }
+
+// Capacity returns the receiver buffer size the link was created with.
+func (l *Link) Capacity() int { return l.capacity }
+
+// Fail marks the link permanently dead at worm granularity (LinkDown fault):
+// a worm mid-transfer finishes, after which CanSend refuses new worms.
+// In-flight flits are never dropped.
+func (l *Link) Fail() { l.failed = true }
+
+// Dead reports whether Fail was applied. Senders and routing use it to drop
+// or reroute new worms at a clean boundary instead of waiting forever.
+func (l *Link) Dead() bool { return l.failed }
+
+// MidWorm reports whether a worm's head has crossed without its tail, i.e.
+// a transfer is committed and must be allowed to finish even on a dead link.
+func (l *Link) MidWorm() bool { return l.midWorm }
+
+// StickUntil blocks new sends strictly before the given cycle (PortStuck
+// fault); overlapping windows keep the latest deadline.
+func (l *Link) StickUntil(cycle int64) {
+	if cycle > l.stuckUntil {
+		l.stuckUntil = cycle
+	}
+}

@@ -80,15 +80,23 @@ type Simulation struct {
 	activity     int64
 	lastActivity int64
 	tracer       Tracer
+	inv          *Invariants
 }
 
 // NewSimulation returns an empty simulation with the watchdog set to limit.
+// The invariant checker is always on; set Invariants().Strict to upgrade
+// violations to hard failures.
 func NewSimulation(watchdogLimit int64) *Simulation {
 	return &Simulation{
 		WatchdogLimit: watchdogLimit,
 		compIdx:       make(map[Component]int),
+		inv:           newInvariants(),
 	}
 }
+
+// Invariants returns the simulation's invariant-checker sink. Components
+// report violations through it; drivers read the counters after a run.
+func (s *Simulation) Invariants() *Invariants { return s.inv }
 
 // AddComponent registers a component; it will be stepped each cycle.
 func (s *Simulation) AddComponent(c Component) {
@@ -130,6 +138,7 @@ func (s *Simulation) Wake(c Component) {
 func (s *Simulation) NewLink(name string, latency, credits int) *Link {
 	l := NewLink(name, latency, credits)
 	l.bindActivity(&s.activity)
+	l.inv = s.inv
 	s.links = append(s.links, l)
 	return l
 }
@@ -242,6 +251,13 @@ func (s *Simulation) checkWatchdog() error {
 		if !l.Quiesced() {
 			stuck = append(stuck, "link:"+l.Name())
 		}
+	}
+	// Keep the cyclic-wait report readable on big fabrics: name the first
+	// participants and summarize the rest.
+	const maxStuckNames = 12
+	if len(stuck) > maxStuckNames {
+		extra := len(stuck) - maxStuckNames
+		stuck = append(stuck[:maxStuckNames], fmt.Sprintf("(+%d more)", extra))
 	}
 	return &DeadlockError{Cycle: s.Now, Limit: s.WatchdogLimit, Stuck: stuck}
 }

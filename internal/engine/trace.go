@@ -27,12 +27,14 @@ const (
 	TraceAdmit
 	// TraceGrant marks an input-buffer branch acquiring its output port.
 	TraceGrant
+	// TraceDrop marks destinations abandoned because of an injected fault.
+	TraceDrop
 )
 
 // String names the kind.
 func (k TraceKind) String() string {
 	names := [...]string{"op-start", "op-done", "inject", "deliver",
-		"forward", "decode", "reserve", "admit", "grant"}
+		"forward", "decode", "reserve", "admit", "grant", "drop"}
 	if int(k) < len(names) {
 		return names[k]
 	}

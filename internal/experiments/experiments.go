@@ -33,6 +33,14 @@ type PointEvent struct {
 	Throughput float64
 	// Saturated flags a point whose latencies reflect queue growth.
 	Saturated bool
+	// OpsDegraded and DestsDropped account fault losses: ops that completed
+	// with at least one destination dropped, and the individual destinations
+	// lost. Zero on fault-free runs.
+	OpsDegraded  int64
+	DestsDropped int64
+	// Violations counts model-invariant checker hits (always 0 on a healthy
+	// model).
+	Violations int64
 	// Cycles is the simulated-cycle cost of the point.
 	Cycles int64
 	// Err is non-nil for failed points (the other measurement fields are
@@ -241,10 +249,15 @@ func runPoint(cfg core.Config, x float64, o Options, tag string) Point {
 			return Point{X: x, Err: err, cycles: sim.Now()}
 		}
 		thr := res.Multicast.DeliveredPayloadPerNodeCycle + res.Unicast.DeliveredPayloadPerNodeCycle
-		o.progress("  %-28s x=%-8.4g mcast=%.1f uni=%.1f thr=%.3f sat=%v",
+		line := fmt.Sprintf("  %-28s x=%-8.4g mcast=%.1f uni=%.1f thr=%.3f sat=%v",
 			tag, x,
 			res.Multicast.LastArrival.Mean, res.Unicast.LastArrival.Mean,
 			thr, res.Saturated)
+		// Fault-free runs keep the historical line format byte-for-byte.
+		if res.DestsDropped > 0 || res.InvariantViolations > 0 {
+			line += fmt.Sprintf(" dropped=%d violations=%d", res.DestsDropped, res.InvariantViolations)
+		}
+		o.progress("%s", line)
 		o.point(PointEvent{
 			Tag:          tag,
 			X:            x,
@@ -252,6 +265,9 @@ func runPoint(cfg core.Config, x float64, o Options, tag string) Point {
 			UniLatency:   res.Unicast.LastArrival.Mean,
 			Throughput:   thr,
 			Saturated:    res.Saturated,
+			OpsDegraded:  res.OpsDegraded,
+			DestsDropped: res.DestsDropped,
+			Violations:   res.InvariantViolations,
 			Cycles:       sim.Now(),
 		})
 		return Point{X: x, Results: res, cycles: sim.Now()}

@@ -28,6 +28,10 @@ type SweepStats struct {
 	Points int
 	// Cycles is the total number of simulated cycles across all points.
 	Cycles int64
+	// DestsDropped and Violations aggregate fault losses and invariant
+	// checker hits across all points (both 0 on fault-free healthy runs).
+	DestsDropped int64
+	Violations   int64
 	// Wall is the elapsed wall-clock time of the batch.
 	Wall time.Duration
 }
@@ -133,7 +137,10 @@ func resolve(tables []*Table, o Options) SweepStats {
 	for _, t := range tables {
 		for si := range t.Series {
 			for pi := range t.Series[si].Points {
-				st.Cycles += t.Series[si].Points[pi].cycles
+				p := &t.Series[si].Points[pi]
+				st.Cycles += p.cycles
+				st.DestsDropped += p.Results.DestsDropped
+				st.Violations += p.Results.InvariantViolations
 			}
 		}
 	}

@@ -1,0 +1,311 @@
+// Package faults defines deterministic, seeded fault plans for the
+// simulator: a list of timed events (link failures, stuck ports, central-
+// buffer capacity loss, NIC injection stalls) that the core fault driver
+// applies through the engine's event loop. A Plan is part of core.Config, so
+// it participates in configuration canonicalization and therefore in the
+// mdwd content-addressed cache key: two runs that differ only in their fault
+// plan hash differently, and the same plan always replays identically.
+//
+// Plans have two interchangeable encodings: the JSON structure embedded in
+// core.Config, and a compact one-line spec for command lines
+// (ParseSpec/Spec), e.g.
+//
+//	link-down@1000:sw3.p2;port-stuck@100+500:sw2.p1;cb-shrink@2000:sw0*16;nic-stall@500+200:n5
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the fault classes.
+type Kind uint8
+
+const (
+	// LinkDown permanently fails both directions of a switch port's link
+	// pair at worm granularity: a worm mid-transfer finishes, after which
+	// the link refuses new worms and routing drops or reroutes around it.
+	LinkDown Kind = iota
+	// PortStuck stalls the output side of a switch port for a window (or
+	// permanently when Duration is 0): flits already on the wire arrive,
+	// new sends wait. Nothing is dropped — a permanent stuck port
+	// backpressures into the no-progress watchdog's structured
+	// DeadlockError instead.
+	PortStuck
+	// CBShrink removes Chunks chunks from a central-buffer switch's
+	// capacity mid-run, modeling partial buffer failure. Free chunks are
+	// withdrawn immediately; the remainder is absorbed as in-use chunks
+	// drain.
+	CBShrink
+	// NICStall pauses a NIC's injection for a window (or permanently when
+	// Duration is 0); queued messages wait, in-flight worms finish.
+	NICStall
+)
+
+var kindNames = [...]string{"link-down", "port-stuck", "cb-shrink", "nic-stall"}
+
+// String returns the spec-grammar name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseKind maps a spec-grammar name back to its Kind.
+func ParseKind(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if s == n {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown kind %q (want %s)", s, strings.Join(kindNames[:], ", "))
+}
+
+// MarshalJSON encodes the kind as its spec name, keeping plans readable on
+// the wire and stable under canonicalization.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	if int(k) >= len(kindNames) {
+		return nil, fmt.Errorf("faults: cannot marshal unknown kind %d", uint8(k))
+	}
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON decodes a spec name.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := ParseKind(s)
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
+// Event is one timed fault. Which target fields are meaningful depends on
+// Kind: LinkDown and PortStuck name a switch port, CBShrink names a switch
+// and a chunk count, NICStall names a node.
+type Event struct {
+	Kind Kind `json:"kind"`
+	// At is the cycle the fault fires (absolute simulation time).
+	At int64 `json:"at"`
+	// Duration bounds transient faults (PortStuck, NICStall); 0 means
+	// permanent. LinkDown and CBShrink are always permanent.
+	Duration int64 `json:"duration,omitempty"`
+
+	Switch int `json:"switch,omitempty"`
+	Port   int `json:"port,omitempty"`
+	Node   int `json:"node,omitempty"`
+	// Chunks is the capacity removed by CBShrink.
+	Chunks int `json:"chunks,omitempty"`
+}
+
+// Validate checks the event's internal consistency (topology-independent;
+// core validates targets against the built fabric).
+func (e Event) Validate() error {
+	if int(e.Kind) >= len(kindNames) {
+		return fmt.Errorf("faults: unknown kind %d", uint8(e.Kind))
+	}
+	if e.At < 0 {
+		return fmt.Errorf("faults: %s at negative cycle %d", e.Kind, e.At)
+	}
+	if e.Duration < 0 {
+		return fmt.Errorf("faults: %s with negative duration %d", e.Kind, e.Duration)
+	}
+	switch e.Kind {
+	case LinkDown, CBShrink:
+		if e.Duration != 0 {
+			return fmt.Errorf("faults: %s is permanent; duration must be 0", e.Kind)
+		}
+	}
+	switch e.Kind {
+	case LinkDown, PortStuck:
+		if e.Switch < 0 || e.Port < 0 {
+			return fmt.Errorf("faults: %s needs a non-negative switch and port", e.Kind)
+		}
+	case CBShrink:
+		if e.Switch < 0 {
+			return fmt.Errorf("faults: cb-shrink needs a non-negative switch")
+		}
+		if e.Chunks < 1 {
+			return fmt.Errorf("faults: cb-shrink must remove >= 1 chunk, got %d", e.Chunks)
+		}
+	case NICStall:
+		if e.Node < 0 {
+			return fmt.Errorf("faults: nic-stall needs a non-negative node")
+		}
+	}
+	return nil
+}
+
+// spec renders the event in the compact grammar.
+func (e Event) spec() string {
+	var b strings.Builder
+	b.WriteString(e.Kind.String())
+	fmt.Fprintf(&b, "@%d", e.At)
+	if e.Duration > 0 {
+		fmt.Fprintf(&b, "+%d", e.Duration)
+	}
+	b.WriteByte(':')
+	switch e.Kind {
+	case LinkDown, PortStuck:
+		fmt.Fprintf(&b, "sw%d.p%d", e.Switch, e.Port)
+	case CBShrink:
+		fmt.Fprintf(&b, "sw%d*%d", e.Switch, e.Chunks)
+	case NICStall:
+		fmt.Fprintf(&b, "n%d", e.Node)
+	}
+	return b.String()
+}
+
+// Plan is a deterministic schedule of fault events. The zero Plan is the
+// healthy run.
+type Plan struct {
+	Events []Event `json:"events,omitempty"`
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool { return len(p.Events) == 0 }
+
+// Validate checks every event.
+func (p Plan) Validate() error {
+	for i, e := range p.Events {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// less orders events canonically: by time, then kind, then target.
+func less(a, b Event) bool {
+	switch {
+	case a.At != b.At:
+		return a.At < b.At
+	case a.Kind != b.Kind:
+		return a.Kind < b.Kind
+	case a.Switch != b.Switch:
+		return a.Switch < b.Switch
+	case a.Port != b.Port:
+		return a.Port < b.Port
+	case a.Node != b.Node:
+		return a.Node < b.Node
+	case a.Duration != b.Duration:
+		return a.Duration < b.Duration
+	default:
+		return a.Chunks < b.Chunks
+	}
+}
+
+// Normalized returns a copy of the plan with events in canonical order, so
+// that plans listing the same events in any order canonicalize (and hash)
+// identically.
+func (p Plan) Normalized() Plan {
+	if len(p.Events) == 0 {
+		return Plan{}
+	}
+	ev := append([]Event(nil), p.Events...)
+	sort.SliceStable(ev, func(i, j int) bool { return less(ev[i], ev[j]) })
+	return Plan{Events: ev}
+}
+
+// Spec renders the plan in the compact one-line grammar, in canonical order.
+// ParseSpec(p.Spec()) round-trips.
+func (p Plan) Spec() string {
+	n := p.Normalized()
+	parts := make([]string, len(n.Events))
+	for i, e := range n.Events {
+		parts[i] = e.spec()
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseSpec parses the compact grammar: semicolon-separated events of the
+// form kind@at[+duration]:target, where target is swN.pM (link-down,
+// port-stuck), swN*chunks (cb-shrink), or nN (nic-stall). Whitespace around
+// events is ignored; an empty string is the empty plan. The result is
+// validated and normalized.
+func ParseSpec(s string) (Plan, error) {
+	var p Plan
+	for _, raw := range strings.Split(s, ";") {
+		part := strings.TrimSpace(raw)
+		if part == "" {
+			continue
+		}
+		e, err := parseEvent(part)
+		if err != nil {
+			return Plan{}, fmt.Errorf("faults: %q: %w", part, err)
+		}
+		p.Events = append(p.Events, e)
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p.Normalized(), nil
+}
+
+func parseEvent(s string) (Event, error) {
+	kindStr, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("missing '@' (want kind@at[:target])")
+	}
+	kind, err := ParseKind(kindStr)
+	if err != nil {
+		return Event{}, err
+	}
+	timing, target, ok := strings.Cut(rest, ":")
+	if !ok {
+		return Event{}, fmt.Errorf("missing ':' before target")
+	}
+	e := Event{Kind: kind}
+	atStr, durStr, hasDur := strings.Cut(timing, "+")
+	if e.At, err = strconv.ParseInt(atStr, 10, 64); err != nil {
+		return Event{}, fmt.Errorf("bad cycle %q", atStr)
+	}
+	if hasDur {
+		if e.Duration, err = strconv.ParseInt(durStr, 10, 64); err != nil {
+			return Event{}, fmt.Errorf("bad duration %q", durStr)
+		}
+		if e.Duration == 0 {
+			return Event{}, fmt.Errorf("explicit duration must be > 0 (omit '+0' for permanent)")
+		}
+	}
+	switch kind {
+	case LinkDown, PortStuck:
+		swStr, portStr, ok := strings.Cut(target, ".p")
+		if !ok || !strings.HasPrefix(swStr, "sw") {
+			return Event{}, fmt.Errorf("bad target %q (want swN.pM)", target)
+		}
+		if e.Switch, err = strconv.Atoi(swStr[2:]); err != nil {
+			return Event{}, fmt.Errorf("bad switch %q", swStr)
+		}
+		if e.Port, err = strconv.Atoi(portStr); err != nil {
+			return Event{}, fmt.Errorf("bad port %q", portStr)
+		}
+	case CBShrink:
+		swStr, chunkStr, ok := strings.Cut(target, "*")
+		if !ok || !strings.HasPrefix(swStr, "sw") {
+			return Event{}, fmt.Errorf("bad target %q (want swN*chunks)", target)
+		}
+		if e.Switch, err = strconv.Atoi(swStr[2:]); err != nil {
+			return Event{}, fmt.Errorf("bad switch %q", swStr)
+		}
+		if e.Chunks, err = strconv.Atoi(chunkStr); err != nil {
+			return Event{}, fmt.Errorf("bad chunk count %q", chunkStr)
+		}
+	case NICStall:
+		if !strings.HasPrefix(target, "n") {
+			return Event{}, fmt.Errorf("bad target %q (want nN)", target)
+		}
+		if e.Node, err = strconv.Atoi(target[1:]); err != nil {
+			return Event{}, fmt.Errorf("bad node %q", target)
+		}
+	}
+	return e, nil
+}

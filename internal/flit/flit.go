@@ -100,6 +100,11 @@ type Op struct {
 	LastArrival  int64
 	SumArrival   int64 // sum of per-destination arrival cycles, for mean-arrival metric
 	MessagesSent int   // total messages injected on behalf of this op
+	// Dropped counts destinations accounted as undeliverable because of an
+	// injected fault (dead link, dead NIC attachment). A partially dropped
+	// op still completes — delivered and dropped destinations sum to
+	// NumDests — but yields no latency sample.
+	Dropped int
 }
 
 // NewOp creates an Op expecting delivery at numDests destinations.
@@ -136,6 +141,38 @@ func (o *Op) Deliver(now int64) bool {
 	}
 	o.SumArrival += now
 	return o.remaining == 0
+}
+
+// DropN accounts n destinations of the op as dropped rather than delivered
+// and returns true when this completes the operation. n <= 0 is a no-op
+// returning false; dropping more destinations than remain is the same
+// accounting bug as over-delivery and panics.
+func (o *Op) DropN(n int) bool {
+	if n <= 0 {
+		return false
+	}
+	if n > o.remaining {
+		panic(fmt.Sprintf("flit: op %d dropping %d destinations with %d remaining", o.ID, n, o.remaining))
+	}
+	o.remaining -= n
+	o.Dropped += n
+	return o.remaining == 0
+}
+
+// DropCost returns the number of op destinations lost when worm w abandons
+// coverage of the dropped processor set: the dropped destinations themselves
+// plus, for a software-multicast message, the forwarding subtree its
+// receiver would have continued.
+func DropCost(w *Worm, dropped bitset.Set) int {
+	n := dropped.Count()
+	if n == 0 {
+		return 0
+	}
+	m := w.Msg
+	if m.Forward != nil && len(m.Dests) > 0 && dropped.Has(m.Dests[0]) {
+		n += len(m.Forward.Subtree)
+	}
+	return n
 }
 
 // LastLatency returns the last-arrival latency of a completed op.

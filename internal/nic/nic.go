@@ -51,6 +51,7 @@ type DeliveredFunc func(m *flit.Message, at *NIC, now int64)
 type Stats struct {
 	MessagesSent      int64
 	MessagesDelivered int64
+	MessagesDropped   int64 // messages abandoned because the injection link failed
 	FlitsInjected     int64
 	FlitsEjected      int64
 	ForwardedMsgs     int64
@@ -86,6 +87,9 @@ type NIC struct {
 
 	tasks []fwdTask
 
+	stallUntil int64 // NICStall fault: no injection strictly before this cycle
+	onDrop     func(m *flit.Message, ndests int, now int64)
+
 	stats Stats
 }
 
@@ -110,6 +114,20 @@ func New(cfg Config, proc, n int, inject, eject *engine.Link,
 
 // Proc returns the processor id this NIC serves.
 func (nc *NIC) Proc() int { return nc.proc }
+
+// StallUntil pauses injection strictly before the given cycle (the NICStall
+// fault); overlapping windows keep the latest deadline. Ejection and
+// software forwarding timers continue.
+func (nc *NIC) StallUntil(cycle int64) {
+	if cycle > nc.stallUntil {
+		nc.stallUntil = cycle
+	}
+}
+
+// SetOnDrop installs the callback invoked when the NIC abandons pending
+// messages because its injection link failed; ndests counts the op
+// destinations lost, forwarding subtrees included.
+func (nc *NIC) SetOnDrop(fn func(m *flit.Message, ndests int, now int64)) { nc.onDrop = fn }
 
 // Name identifies the NIC in diagnostics.
 func (nc *NIC) Name() string { return fmt.Sprintf("nic%d", nc.proc) }
@@ -227,6 +245,16 @@ func (nc *NIC) stepForward(now int64) {
 }
 
 func (nc *NIC) stepInject(now int64) {
+	if now < nc.stallUntil {
+		return
+	}
+	if nc.inject != nil && nc.inject.Dead() && !nc.inject.MidWorm() {
+		// Injection is permanently severed at a worm boundary: nothing can
+		// leave this NIC again. Account every pending message as dropped so
+		// its op completes instead of hanging the drain.
+		nc.dropPending(now)
+		return
+	}
 	if nc.curWorm == nil {
 		if len(nc.sendQ) == 0 {
 			return
@@ -281,4 +309,44 @@ func (nc *NIC) stepInject(now int64) {
 		nc.curWorm = nil
 		nc.curIdx = 0
 	}
+}
+
+// dropPending abandons the un-started current worm (if any) and the whole
+// send queue after the injection link failed.
+func (nc *NIC) dropPending(now int64) {
+	if nc.curWorm != nil {
+		// The head flit was never sent (a mid-worm transfer is allowed to
+		// finish before reaching here), so the worm can vanish cleanly.
+		nc.dropMessage(nc.curWorm.Msg, now)
+		nc.curWorm = nil
+		nc.curIdx = 0
+	}
+	for _, m := range nc.sendQ {
+		nc.dropMessage(m, now)
+	}
+	if len(nc.sendQ) > 0 {
+		nc.sendQ = nc.sendQ[:0]
+	}
+	nc.overheadSpent = false
+	nc.overheadLeft = 0
+}
+
+func (nc *NIC) dropMessage(m *flit.Message, now int64) {
+	n := len(m.Dests)
+	if m.Forward != nil {
+		n += len(m.Forward.Subtree)
+	}
+	nc.stats.MessagesDropped++
+	if nc.sim.Tracing() {
+		var opID uint64
+		if m.Op != nil {
+			opID = m.Op.ID
+		}
+		nc.sim.Emit(engine.TraceEvent{Kind: engine.TraceDrop, Actor: nc.Name(),
+			Msg: m.ID, Op: opID, Detail: fmt.Sprintf("dests=%v cost=%d", m.Dests, n)})
+	}
+	if nc.onDrop != nil {
+		nc.onDrop(m, n, now)
+	}
+	nc.sim.Progress()
 }

@@ -56,6 +56,13 @@ type Router struct {
 	ReplicateOnUpPath bool
 	// Policy selects the up-port choice.
 	Policy UpPolicy
+	// OnDrop, when non-nil, is invoked by switches and NICs when an
+	// injected fault forces a worm to abandon destinations: m is the
+	// underlying message, ndests the number of op destinations lost
+	// (software-multicast forwarding subtrees included), now the cycle.
+	// The core simulator uses it to keep per-op accounting consistent so
+	// degraded runs drain instead of hanging.
+	OnDrop func(m *flit.Message, ndests int, now int64)
 }
 
 // Branch is one downward output the worm must take, with the destination
@@ -130,6 +137,82 @@ func (r *Router) Route(sw *topology.Switch, dests bitset.Set, ascending bool) (D
 		}
 	}
 	return dec, nil
+}
+
+// RouteAvoid computes the branching plan like Route while steering around
+// dead output ports, as reported by the dead predicate (nil means fully
+// healthy and behaves exactly like Route). Destinations whose only path runs
+// through a dead port are returned in the second result for the caller to
+// account as dropped: on trees every inter-switch link is a bridge, so a
+// dead down port partitions its whole subtree, and a worm that must ascend
+// but has lost every up port covers what it can below and abandons the
+// residue. The error cases are those of Route (malformed requests), never
+// mere degradation.
+func (r *Router) RouteAvoid(sw *topology.Switch, dests bitset.Set, ascending bool, dead func(port int) bool) (Decision, bitset.Set, error) {
+	if dead == nil {
+		dec, err := r.Route(sw, dests, ascending)
+		return dec, bitset.Set{}, err
+	}
+	if dests.Empty() {
+		return Decision{}, bitset.Set{}, fmt.Errorf("routing: empty destination set at switch %d", sw.ID)
+	}
+
+	within := dests.And(sw.ReachAll())
+	residue := dests.AndNot(sw.ReachAll())
+	if !ascending && !residue.Empty() {
+		return Decision{}, bitset.Set{}, fmt.Errorf("routing: descending worm at switch %d has unreachable destinations %v",
+			sw.ID, residue.Members())
+	}
+
+	needUp := !residue.Empty()
+	if needUp && len(sw.UpPorts()) == 0 {
+		return Decision{}, bitset.Set{}, fmt.Errorf("routing: switch %d must ascend for %v but has no up ports",
+			sw.ID, residue.Members())
+	}
+	var upAlive []int
+	if needUp {
+		for _, pn := range sw.UpPorts() {
+			if !dead(pn) {
+				upAlive = append(upAlive, pn)
+			}
+		}
+	}
+	upSevered := needUp && len(upAlive) == 0
+
+	var dec Decision
+	dropped := bitset.New(r.Net.N)
+	coverDown := !ascending || !needUp || r.ReplicateOnUpPath || upSevered
+	if coverDown {
+		for _, pn := range sw.DownPorts() {
+			sub := within.And(sw.Ports[pn].Reach)
+			if sub.Empty() {
+				continue
+			}
+			if dead(pn) {
+				dropped.OrIn(sub)
+				continue
+			}
+			dec.Down = append(dec.Down, Branch{Port: pn, Dests: sub})
+		}
+	}
+
+	switch {
+	case !needUp:
+		// Fully covered (or dropped) below; nothing ascends.
+	case upSevered:
+		// Every up port is dead: the residue is unreachable from here.
+		dropped.OrIn(residue)
+	case r.ReplicateOnUpPath:
+		dec.UpDests = residue
+	default:
+		// Ascend undivided; replication happens past the LCA stage.
+		dec.UpDests = dests.Clone()
+		dec.Down = nil
+	}
+	if !dec.UpDests.Empty() {
+		dec.UpCandidates = upAlive
+	}
+	return dec, dropped, nil
 }
 
 // PickUp chooses the up port for a decision according to the router policy.

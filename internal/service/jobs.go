@@ -1,10 +1,18 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
+
+	"mdworm/internal/engine"
 )
+
+// ErrJobPanic wraps a panic escaping a job function. The worker recovers it,
+// so one crashing simulation cannot poison its pool slot; the caller maps it
+// to a 500.
+var ErrJobPanic = errors.New("service: job panicked")
 
 // JobState is the lifecycle of a scheduled request.
 type JobState string
@@ -24,6 +32,8 @@ type JobStats struct {
 	Points int
 	// Cycles is the total simulated cycles across those runs.
 	Cycles int64
+	// Violations counts model-invariant checker hits across those runs.
+	Violations int64
 }
 
 // Job is one scheduled unit of work: a single run or an experiment sweep.
@@ -77,9 +87,11 @@ type Pool struct {
 	wg        sync.WaitGroup
 
 	// Cumulative accounting for /metrics.
-	points int64
-	cycles int64
-	busy   time.Duration
+	points     int64
+	cycles     int64
+	violations int64
+	deadlocks  int64
+	busy       time.Duration
 }
 
 // NewPool starts workers goroutines servicing a backlog of pending jobs
@@ -110,7 +122,7 @@ func (p *Pool) worker() {
 		j.started = time.Now()
 		p.mu.Unlock()
 
-		stats, err := j.fn()
+		stats, err := runJob(j.fn)
 
 		p.mu.Lock()
 		j.finished = time.Now()
@@ -123,10 +135,26 @@ func (p *Pool) worker() {
 		}
 		p.points += int64(stats.Points)
 		p.cycles += stats.Cycles
+		p.violations += stats.Violations
+		var de *engine.DeadlockError
+		if errors.As(err, &de) {
+			p.deadlocks++
+		}
 		p.busy += j.finished.Sub(j.started)
 		p.mu.Unlock()
 		close(j.done)
 	}
+}
+
+// runJob invokes a job function with panic containment: a panic becomes an
+// ErrJobPanic-wrapped failure of this job alone.
+func runJob(fn func() (JobStats, error)) (st JobStats, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: %v", ErrJobPanic, p)
+		}
+	}()
+	return fn()
 }
 
 // Submit schedules fn as a new job and returns its record immediately. It
@@ -231,6 +259,25 @@ func (p *Pool) Totals() (points, cycles int64, busy time.Duration) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.points, p.cycles, p.busy
+}
+
+// FaultTotals returns the cumulative verification counters: invariant
+// checker hits and watchdog-reported deadlocks across all jobs.
+func (p *Pool) FaultTotals() (violations, deadlocks int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.violations, p.deadlocks
+}
+
+// Err returns the failure error of a terminal job (nil otherwise); the
+// handler inspects it with errors.As to map structured failure codes.
+func (p *Pool) Err(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if j, ok := p.jobs[id]; ok {
+		return j.err
+	}
+	return nil
 }
 
 // BeginDrain stops accepting new jobs; queued and running jobs continue.

@@ -15,6 +15,7 @@ import (
 
 	"mdworm/internal/collective"
 	"mdworm/internal/core"
+	"mdworm/internal/faults"
 	"mdworm/internal/routing"
 	"mdworm/internal/topology"
 )
@@ -118,6 +119,15 @@ type ConfigRequest struct {
 
 	Seed          *uint64 `json:"seed,omitempty"`
 	WatchdogLimit *int64  `json:"watchdog_limit,omitempty"`
+
+	// Faults injects a deterministic fault plan, either structured or as
+	// the compact spec string faults.ParseSpec accepts (e.g.
+	// "link-down@1000:sw3.p2;nic-stall@500+200:n5"). At most one may be
+	// set. The plan is part of the canonical config, so it keys the cache.
+	Faults     *faults.Plan `json:"faults,omitempty"`
+	FaultsSpec *string      `json:"faults_spec,omitempty"`
+	// StrictInvariants upgrades model-invariant violations to run failures.
+	StrictInvariants *bool `json:"strict_invariants,omitempty"`
 }
 
 // Resolve overlays the request onto DefaultConfig and returns the resulting
@@ -228,6 +238,21 @@ func (r ConfigRequest) Resolve() (core.Config, error) {
 	}
 	if r.WatchdogLimit != nil {
 		cfg.WatchdogLimit = *r.WatchdogLimit
+	}
+	switch {
+	case r.Faults != nil && r.FaultsSpec != nil:
+		return cfg, fmt.Errorf("faults and faults_spec are mutually exclusive")
+	case r.Faults != nil:
+		cfg.Faults = *r.Faults
+	case r.FaultsSpec != nil:
+		plan, err := faults.ParseSpec(*r.FaultsSpec)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Faults = plan
+	}
+	if r.StrictInvariants != nil {
+		cfg.StrictInvariants = *r.StrictInvariants
 	}
 	if cfg.WarmupCycles < 0 || cfg.MeasureCycles <= 0 || cfg.DrainCycles <= 0 {
 		return cfg, fmt.Errorf("cycle windows must be positive (warmup may be 0)")

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"mdworm/internal/core"
+	"mdworm/internal/engine"
 	"mdworm/internal/experiments"
 	"mdworm/internal/stats"
 )
@@ -170,7 +172,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			return JobStats{}, err
 		}
 		res, err := sim.Run()
-		st := JobStats{Points: 1, Cycles: sim.Now()}
+		st := JobStats{Points: 1, Cycles: sim.Now(), Violations: sim.Invariants().Total()}
 		if err != nil {
 			return st, err
 		}
@@ -203,7 +205,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if v, _ := s.pool.Get(job.ID); v.State == JobFailed {
-		writeErr(w, http.StatusUnprocessableEntity, apiError{Code: "run_failed", Message: v.Error, Job: job.ID})
+		writeRunErr(w, job.ID, s.pool.Err(job.ID))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -211,6 +213,26 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Mdwd-Hash", hash)
 	w.Header().Set("X-Mdwd-Job", job.ID)
 	w.Write(body)
+}
+
+// writeRunErr maps a failed run job to a structured error: deadlocks and
+// invariant violations are properties of the requested configuration (422,
+// with their own codes, so fault studies can script against them); a
+// recovered panic is a server fault (500). Either way the job slot is free
+// again — failures never hang or poison the pool.
+func writeRunErr(w http.ResponseWriter, jobID string, err error) {
+	var de *engine.DeadlockError
+	var ie *engine.InvariantError
+	switch {
+	case errors.As(err, &de):
+		writeErr(w, http.StatusUnprocessableEntity, apiError{Code: "deadlock", Message: err.Error(), Job: jobID})
+	case errors.As(err, &ie):
+		writeErr(w, http.StatusUnprocessableEntity, apiError{Code: "invariant_violation", Message: err.Error(), Job: jobID})
+	case errors.Is(err, ErrJobPanic):
+		writeErr(w, http.StatusInternalServerError, apiError{Code: "internal", Message: err.Error(), Job: jobID})
+	default:
+		writeErr(w, http.StatusUnprocessableEntity, apiError{Code: "run_failed", Message: fmt.Sprint(err), Job: jobID})
+	}
 }
 
 // ExperimentRequest is the body of POST /v1/experiment.
@@ -244,6 +266,8 @@ type StreamEvent struct {
 	UniLat     float64 `json:"uni_lat,omitempty"`
 	Throughput float64 `json:"throughput,omitempty"`
 	Saturated  bool    `json:"saturated,omitempty"`
+	Dropped    int64   `json:"dropped,omitempty"`
+	Violations int64   `json:"violations,omitempty"`
 
 	// table
 	Text string `json:"text,omitempty"`
@@ -305,6 +329,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 					Type: "point", Tag: ev.Tag, X: ev.X,
 					McastLat: ev.McastLatency, UniLat: ev.UniLatency,
 					Throughput: ev.Throughput, Saturated: ev.Saturated,
+					Dropped: ev.DestsDropped, Violations: ev.Violations,
 					Cycles: ev.Cycles,
 				}
 				if ev.Err != nil {
@@ -314,7 +339,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			},
 		}
 		tables, st, err := experiments.RunIDs([]string{req.ID}, opts)
-		jst := JobStats{Points: st.Points, Cycles: st.Cycles}
+		jst := JobStats{Points: st.Points, Cycles: st.Cycles, Violations: st.Violations}
 		if err != nil {
 			emit(StreamEvent{Type: "error", ID: req.ID, Err: err.Error()})
 			return jst, err
@@ -387,6 +412,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counts := s.pool.Counts()
 	points, cycles, busy := s.pool.Totals()
+	violations, deadlocks := s.pool.FaultTotals()
 	hits, misses, entries := s.cache.Stats()
 
 	var pps, cps float64
@@ -411,6 +437,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "mdwd_cache_entries %d\n", entries)
 	fmt.Fprintf(w, "mdwd_points_total %d\n", points)
 	fmt.Fprintf(w, "mdwd_simulated_cycles_total %d\n", cycles)
+	fmt.Fprintf(w, "mdwd_invariant_violations_total %d\n", violations)
+	fmt.Fprintf(w, "mdwd_deadlocks_total %d\n", deadlocks)
 	fmt.Fprintf(w, "mdwd_busy_seconds %.3f\n", busy.Seconds())
 	fmt.Fprintf(w, "mdwd_points_per_sec %.6g\n", pps)
 	fmt.Fprintf(w, "mdwd_cycles_per_sec %.6g\n", cps)

@@ -434,6 +434,126 @@ func TestRunTimeoutBackground(t *testing.T) {
 	}
 }
 
+// TestRunFaultPlanCached: a fault-injected run round-trips through the
+// cache, and the structured and spec spellings of the same plan resolve to
+// the same key — the plan is part of the canonical config.
+func TestRunFaultPlanCached(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	spec := `{"config":{"stages":2,"degree":4,"warmup_cycles":200,"measure_cycles":800,"drain_cycles":50000,"op_rate":0.001,"seed":3,"faults_spec":"nic-stall@300+200:n3;link-down@400:sw0.p0"}}`
+	resp1, body1 := postRun(t, ts.URL, spec)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("miss: %d %s", resp1.StatusCode, body1)
+	}
+	if h := resp1.Header.Get("X-Mdwd-Cache"); h != "miss" {
+		t.Fatalf("first faulted request: X-Mdwd-Cache = %q", h)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body1, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Results.DestsDropped == 0 {
+		t.Fatalf("severed attachment dropped nothing: %s", body1)
+	}
+	if rr.Results.InvariantViolations != 0 {
+		t.Fatalf("faulted run violated invariants: %s", body1)
+	}
+
+	// The same plan, structured and in a different event order.
+	structured := `{"config":{"stages":2,"degree":4,"warmup_cycles":200,"measure_cycles":800,"drain_cycles":50000,"op_rate":0.001,"seed":3,"faults":{"events":[{"kind":"link-down","at":400,"switch":0},{"kind":"nic-stall","at":300,"duration":200,"node":3}]}}}`
+	resp2, body2 := postRun(t, ts.URL, structured)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("hit: %d %s", resp2.StatusCode, body2)
+	}
+	if h := resp2.Header.Get("X-Mdwd-Cache"); h != "hit" {
+		t.Fatalf("structured spelling missed the cache: X-Mdwd-Cache = %q", h)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("faulted cache hit not byte-identical:\n%s\n%s", body1, body2)
+	}
+
+	// The fault-free config is a different key entirely.
+	resp3, _ := postRun(t, ts.URL, tinyRun(3))
+	if h := resp3.Header.Get("X-Mdwd-Cache"); h != "miss" {
+		t.Fatalf("fault-free config shared the faulted key: X-Mdwd-Cache = %q", h)
+	}
+}
+
+// TestRunDeadlockStructuredError: a config whose fault plan wedges the
+// fabric returns a structured 422 deadlock error, surfaces in the deadlock
+// counter, and leaves the pool fully usable.
+func TestRunDeadlockStructuredError(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	// Permanently freeze every up port of stage-0 switch sw0: ascending
+	// worms wedge and the watchdog converts the stall into a DeadlockError.
+	wedge := `{"config":{"stages":2,"degree":4,"warmup_cycles":200,"measure_cycles":800,"drain_cycles":50000,"op_rate":0.01,"seed":3,"watchdog_limit":10000,"faults_spec":"port-stuck@300:sw0.p4;port-stuck@300:sw0.p5;port-stuck@300:sw0.p6;port-stuck@300:sw0.p7"}}`
+	resp, body := postRun(t, ts.URL, wedge)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Error apiError `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != "deadlock" || e.Error.Job == "" {
+		t.Fatalf("error body: %s (%v)", body, err)
+	}
+	if !strings.Contains(e.Error.Message, "no progress") {
+		t.Fatalf("deadlock message: %q", e.Error.Message)
+	}
+	if got := metric(t, ts.URL, "mdwd_deadlocks_total"); got != 1 {
+		t.Fatalf("mdwd_deadlocks_total = %d", got)
+	}
+	// Failures are not cached: the retry runs again and fails the same way.
+	resp, body = postRun(t, ts.URL, wedge)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("retry status %d: %s", resp.StatusCode, body)
+	}
+	// The job slot is free again: a healthy run still succeeds.
+	resp, body = postRun(t, ts.URL, tinyRun(77))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pool poisoned by deadlock: %d %s", resp.StatusCode, body)
+	}
+	if got := metric(t, ts.URL, "mdwd_invariant_violations_total"); got != 0 {
+		t.Fatalf("mdwd_invariant_violations_total = %d", got)
+	}
+}
+
+// TestRunFaultErrors: malformed fault requests are structured client errors.
+func TestRunFaultErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, tc := range []struct {
+		body   string
+		status int
+		code   string
+	}{
+		// Both spellings at once.
+		{`{"config":{"stages":2,"faults_spec":"link-down@1:sw0.p0","faults":{"events":[{"kind":"link-down","at":1}]}}}`,
+			http.StatusBadRequest, "bad_config"},
+		// Unparseable spec.
+		{`{"config":{"stages":2,"faults_spec":"flood@10:sw0.p0"}}`,
+			http.StatusBadRequest, "bad_config"},
+		// Parseable but inapplicable: switch out of range for the fabric.
+		{`{"config":{"stages":2,"faults_spec":"link-down@1:sw999.p0"}}`,
+			http.StatusUnprocessableEntity, "invalid_config"},
+		// cb-shrink beyond the floor of the default central buffer.
+		{`{"config":{"stages":2,"faults_spec":"cb-shrink@1:sw0*8"}}`,
+			http.StatusUnprocessableEntity, "invalid_config"},
+	} {
+		resp, body := postRun(t, ts.URL, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d want %d (%s)", tc.body, resp.StatusCode, tc.status, body)
+			continue
+		}
+		var e struct {
+			Error apiError `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != tc.code {
+			t.Errorf("%s: error %s, want code %q", tc.body, body, tc.code)
+		}
+	}
+}
+
 // TestCacheDirSharedAcrossServers: with -cache-dir, a second daemon serves
 // the first daemon's results byte-identically.
 func TestCacheDirSharedAcrossServers(t *testing.T) {

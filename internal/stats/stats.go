@@ -135,6 +135,13 @@ type Collector struct {
 	// DeliveredFlits counts every flit arriving at a NIC in the window
 	// (headers included), for raw network throughput.
 	DeliveredFlits int64
+
+	// Fault-degradation accounting (whole run, not windowed): ops that lost
+	// at least one destination, individual destinations lost, and ops whose
+	// every destination was lost.
+	OpsDegraded  int64
+	DestsDropped int64
+	OpsDropped   int64
 }
 
 // InWindow reports whether an op created at the given cycle is measured.
@@ -184,6 +191,15 @@ type Results struct {
 	// DrainCycles is how long the post-measurement drain took (0 if the
 	// run was cut off instead of drained).
 	DrainCycles int64
+
+	// Fault-degradation and verification outcome of the run. Degraded ops
+	// completed with some destinations accounted as dropped (they yield no
+	// latency samples); InvariantViolations counts checker hits (always 0
+	// on a healthy model).
+	OpsDegraded         int64
+	DestsDropped        int64
+	OpsDropped          int64
+	InvariantViolations int64
 }
 
 // Finalize converts the collector into results for n nodes.
@@ -193,6 +209,9 @@ func (c *Collector) Finalize(n int, maxSendQueue int) Results {
 		Cycles:       c.WindowCycles(),
 		Nodes:        n,
 		MaxSendQueue: maxSendQueue,
+		OpsDegraded:  c.OpsDegraded,
+		DestsDropped: c.DestsDropped,
+		OpsDropped:   c.OpsDropped,
 	}
 	class := func(cc *ClassCollector) ClassResults {
 		cr := ClassResults{

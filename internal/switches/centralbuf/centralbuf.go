@@ -32,6 +32,7 @@ package centralbuf
 import (
 	"fmt"
 
+	"mdworm/internal/bitset"
 	"mdworm/internal/engine"
 	"mdworm/internal/flit"
 	"mdworm/internal/routing"
@@ -134,6 +135,10 @@ const (
 	modeReserve
 	modeBypass
 	modeWrite
+	// modeSink consumes the remaining flits of a worm whose every branch
+	// died (fault degradation): flits are popped and credits returned, so
+	// upstream drains instead of wedging on a doomed worm.
+	modeSink
 )
 
 type inputState struct {
@@ -221,6 +226,13 @@ type Switch struct {
 	wrBudget    int // central-buffer write slots left this cycle
 	rdBudget    int // central-buffer read slots left this cycle
 
+	reservedTotal int    // chunks reserved (not yet allocated) across all packets
+	poolCap       [2]int // initial capacity per direction pool
+	removed       [2]int // chunks permanently removed per pool (CBShrink fault)
+	pendingShrink int    // shrink capacity still to absorb as chunks free
+	minPool       int    // chunks a pool must retain to hold a maximum packet
+	leakLatch     bool   // suppresses repeated chunk-conservation reports
+
 	// Barrier combining state (see combine.go).
 	combineCount int
 	expected     int
@@ -253,6 +265,9 @@ func New(cfg Config, node *topology.Switch, router *routing.Router, ports []swit
 	}
 	s.free[poolUp] = cfg.Chunks / 2
 	s.free[poolDown] = cfg.Chunks - cfg.Chunks/2
+	s.poolCap[poolUp] = s.free[poolUp]
+	s.poolCap[poolDown] = s.free[poolDown]
+	s.minPool = (cfg.MaxPacketFlits + cfg.ChunkFlits - 1) / cfg.ChunkFlits
 	for i := range s.in {
 		s.in[i].bypassOut = -1
 	}
@@ -312,29 +327,136 @@ func (s *Switch) Step(now int64) {
 	s.stepInputs(now)
 	s.accrueReservations(now)
 	s.acceptArrivals(now)
+	s.checkChunkConservation(now)
+}
+
+// checkChunkConservation asserts, every cycle, that free + in-use + reserved
+// + removed chunks account for exactly the configured capacity. The latch
+// reports a broken ledger once instead of flooding the counters.
+func (s *Switch) checkChunkConservation(now int64) {
+	total := s.free[poolUp] + s.free[poolDown] + s.chunksInUse + s.reservedTotal +
+		s.removed[poolUp] + s.removed[poolDown]
+	if total != s.cfg.Chunks {
+		if !s.leakLatch {
+			s.leakLatch = true
+			s.sim.Invariants().Violate(now, "cb-chunk-leak",
+				"%s: %d chunks accounted of %d (free=%v inUse=%d reserved=%d removed=%v)",
+				s.Name(), total, s.cfg.Chunks, s.free, s.chunksInUse, s.reservedTotal, s.removed)
+		}
+		return
+	}
+	s.leakLatch = false
 }
 
 func (s *Switch) stepOutputsDrain(now int64) {
 	for o := range s.out {
 		st := &s.out[o]
-		if len(st.fifo) == 0 || s.ports[o].Out == nil {
+		out := s.ports[o].Out
+		if len(st.fifo) == 0 || out == nil {
 			continue
 		}
-		if s.ports[o].Out.CanSend(now) {
-			s.ports[o].Out.Send(now, st.fifo[0])
+		if out.CanSend(now) {
+			out.Send(now, st.fifo[0])
 			st.fifo = st.fifo[1:]
 			s.stats.FlitsOut++
+		} else if out.Dead() && !out.MidWorm() && st.fifo[0].Head() {
+			// The head worm never started transmission and never will;
+			// discard it at this clean boundary instead of wedging.
+			s.discardOutput(o, now)
 		}
 	}
+}
+
+// discardOutput drops the output FIFO's head worm when its link died before
+// the worm began transmission, unwinding whichever data path was feeding it
+// (central-buffer read, bypass stream, or an already-complete buffered worm)
+// so upstream state drains and the drop is accounted.
+func (s *Switch) discardOutput(o int, now int64) {
+	st := &s.out[o]
+	head := st.fifo[0]
+	if head.W.Msg.Class == flit.ClassBarrier {
+		// A severed barrier tree cannot complete; leave the token for the
+		// watchdog to convert into a structured deadlock report.
+		return
+	}
+	switch {
+	case st.mode == outCB && st.cur != nil && st.cur.child == head.W:
+		b := st.cur
+		s.reportDrop(now, b.child, b.child.Dests)
+		s.purgeFIFO(st, head.W)
+		st.cur = nil
+		st.mode = outIdle
+		b.read = b.pb.total
+		s.advanceFreeing(b.pb, now)
+	case st.mode == outBypass && st.boundIn >= 0 && s.in[st.boundIn].mode == modeBypass &&
+		s.in[st.boundIn].plans[0].Child == head.W:
+		in := &s.in[st.boundIn]
+		s.reportDrop(now, head.W, head.W.Dests)
+		s.purgeFIFO(st, head.W)
+		in.mode = modeSink
+		in.bypassOut = -1
+		st.mode = outIdle
+		st.boundIn = -1
+	default:
+		// The worm is fully present in the FIFO (a finished central-buffer
+		// read or completed bypass).
+		s.reportDrop(now, head.W, head.W.Dests)
+		s.purgeFIFO(st, head.W)
+	}
+}
+
+// purgeFIFO removes every flit of worm w from the output FIFO, preserving
+// the order of other worms' flits.
+func (s *Switch) purgeFIFO(st *outputState, w *flit.Worm) {
+	kept := st.fifo[:0]
+	for _, r := range st.fifo {
+		if r.W != w {
+			kept = append(kept, r)
+		}
+	}
+	st.fifo = kept
+}
+
+// reportDrop accounts destinations abandoned because of an injected fault.
+func (s *Switch) reportDrop(now int64, w *flit.Worm, dropped bitset.Set) {
+	n := flit.DropCost(w, dropped)
+	if n == 0 {
+		return
+	}
+	s.stats.WormsDropped++
+	s.stats.DestsDropped += int64(dropped.Count())
+	if s.sim.Tracing() {
+		s.sim.Emit(engine.TraceEvent{Kind: engine.TraceDrop, Actor: s.Name(),
+			Msg: w.Msg.ID, Worm: w.ID,
+			Detail: fmt.Sprintf("dests=%v cost=%d", dropped.Members(), n)})
+	}
+	if s.router.OnDrop != nil {
+		s.router.OnDrop(w.Msg, n, now)
+	}
+	s.sim.Progress()
 }
 
 func (s *Switch) stepOutputsServe(now int64) {
 	for o := range s.out {
 		st := &s.out[o]
-		if st.mode == outIdle && len(st.queue) > 0 {
-			st.cur = st.queue[0]
-			st.queue = st.queue[1:]
-			st.mode = outCB
+		if st.mode == outIdle {
+			out := s.ports[o].Out
+			for len(st.queue) > 0 {
+				b := st.queue[0]
+				if out != nil && out.Dead() {
+					// The branch can never be transmitted; account the
+					// drop and release its hold on the packet.
+					st.queue = st.queue[1:]
+					s.reportDrop(now, b.child, b.child.Dests)
+					b.read = b.pb.total
+					s.advanceFreeing(b.pb, now)
+					continue
+				}
+				st.cur = b
+				st.queue = st.queue[1:]
+				st.mode = outCB
+				break
+			}
 		}
 		if st.mode != outCB {
 			continue
@@ -346,7 +468,7 @@ func (s *Switch) stepOutputsServe(now int64) {
 		s.rdBudget--
 		st.fifo = append(st.fifo, flit.Ref{W: b.child, Idx: b.read})
 		b.read++
-		s.advanceFreeing(b.pb)
+		s.advanceFreeing(b.pb, now)
 		if b.read == b.pb.total {
 			st.cur = nil
 			st.mode = outIdle
@@ -355,33 +477,88 @@ func (s *Switch) stepOutputsServe(now int64) {
 }
 
 // advanceFreeing releases chunks every reader has fully consumed.
-func (s *Switch) advanceFreeing(pb *packetBuf) {
+func (s *Switch) advanceFreeing(pb *packetBuf, now int64) {
 	m := pb.minRead()
 	for pb.chunksFreed < pb.chunksAlloc && m >= pb.chunkEnd(pb.chunksFreed, s.cfg.ChunkFlits) {
 		pb.chunksFreed++
 		s.chunksInUse--
 		s.free[pb.pool]++
 	}
+	if s.pendingShrink > 0 {
+		s.absorbShrink()
+	}
 	if m == pb.total && pb.written == pb.total {
-		s.retirePB(pb)
+		s.retirePB(pb, now)
 	}
 }
 
-func (s *Switch) retirePB(pb *packetBuf) {
+// retirePB retires a fully-written, fully-read packet. The reference counts
+// must have reached zero exactly here; anything else is a model bug, reported
+// to the checker and repaired so the run can continue in lenient mode.
+func (s *Switch) retirePB(pb *packetBuf, now int64) {
 	if pb.chunksFreed != pb.chunksAlloc {
-		panic(fmt.Sprintf("%s: retiring packet with %d/%d chunks freed",
-			s.Name(), pb.chunksFreed, pb.chunksAlloc))
+		s.sim.Invariants().Violate(now, "cb-refcount",
+			"%s: retiring packet (worm %d) with %d/%d chunks freed",
+			s.Name(), pb.worm.ID, pb.chunksFreed, pb.chunksAlloc)
+		for pb.chunksFreed < pb.chunksAlloc {
+			pb.chunksFreed++
+			s.chunksInUse--
+			s.free[pb.pool]++
+		}
 	}
 	if pb.reserved != 0 {
-		panic(fmt.Sprintf("%s: retiring packet with %d reserved chunks", s.Name(), pb.reserved))
+		s.sim.Invariants().Violate(now, "cb-refcount",
+			"%s: retiring packet (worm %d) with %d reserved chunks",
+			s.Name(), pb.worm.ID, pb.reserved)
+		s.free[pb.pool] += pb.reserved
+		s.reservedTotal -= pb.reserved
+		pb.reserved = 0
 	}
 	s.livePB--
+}
+
+// Shrink permanently removes n chunks of central-buffer capacity (the
+// CBShrink fault). Free chunks are withdrawn immediately, preferring the
+// larger free pool; capacity still in use is absorbed as packets drain. A
+// pool never shrinks below the chunks needed to hold one maximum packet, so
+// the buffering-completeness guarantee — and with it deadlock freedom —
+// survives the fault (any excess shrink beyond that floor stays pending
+// forever, i.e. is refused).
+func (s *Switch) Shrink(n int) {
+	if n <= 0 {
+		return
+	}
+	s.pendingShrink += n
+	s.absorbShrink()
+}
+
+func (s *Switch) absorbShrink() {
+	for s.pendingShrink > 0 {
+		best := -1
+		for pool := range s.free {
+			if s.free[pool] == 0 || s.poolCap[pool]-s.removed[pool] <= s.minPool {
+				continue
+			}
+			if best < 0 || s.free[pool] > s.free[best] {
+				best = pool
+			}
+		}
+		if best < 0 {
+			return
+		}
+		s.free[best]--
+		s.removed[best]++
+		s.pendingShrink--
+	}
 }
 
 // accrueReservations gives freed chunks to the head of each direction
 // pool's reservation queue; a fully reserved multicast is admitted: its
 // branches join the output queues and its input may start writing.
 func (s *Switch) accrueReservations(now int64) {
+	if s.pendingShrink > 0 {
+		s.absorbShrink()
+	}
 	for pool := range s.pendingRes {
 		for len(s.pendingRes[pool]) > 0 {
 			head := s.pendingRes[pool][0]
@@ -390,6 +567,7 @@ func (s *Switch) accrueReservations(now int64) {
 			if grab > 0 {
 				head.reserved += grab
 				s.free[pool] -= grab
+				s.reservedTotal += grab
 				s.sim.Progress()
 			}
 			if head.reserved < head.need {
@@ -476,6 +654,23 @@ func (s *Switch) stepInput(i int, now int64) {
 		s.pushBypass(i, now)
 	case modeWrite:
 		s.writeCB(i, now)
+	case modeSink:
+		s.sinkInput(i, now)
+	}
+}
+
+// sinkInput consumes one flit per cycle of a worm whose branches all died,
+// returning credits so the upstream sender drains.
+func (s *Switch) sinkInput(i int, now int64) {
+	in := &s.in[i]
+	if in.q.Empty() || in.q.HeadWorm() != in.worm {
+		return
+	}
+	r := in.q.Pop()
+	s.ports[i].In.ReturnCredit(now, 1)
+	s.sim.Progress()
+	if r.Tail() {
+		s.clearInput(in)
 	}
 }
 
@@ -486,18 +681,36 @@ func (s *Switch) decode(i int, now int64) {
 	free := func(port int) bool {
 		return s.out[port].mode == outIdle && len(s.out[port].queue) == 0
 	}
-	plans, err := switches.PlanBranches(s.router, s.node, in.worm, ascending, free, s.rng, s.ids)
+	// A nil dead predicate keeps healthy fabrics on the allocation-free
+	// routing fast path; avoidance engages only once a link has failed.
+	var dead func(port int) bool
+	if switches.AnyDeadOut(s.ports) {
+		dead = func(port int) bool {
+			out := s.ports[port].Out
+			return out != nil && out.Dead()
+		}
+	}
+	plans, dropped, err := switches.PlanBranches(s.router, s.node, in.worm, ascending, free, dead, s.rng, s.ids)
 	if err != nil {
 		panic(fmt.Sprintf("%s: input %d: %v", s.Name(), i, err))
 	}
 	s.stats.Decodes++
-	s.stats.Replications += int64(len(plans) - 1)
 	in.plans = plans
 	if s.sim.Tracing() {
 		s.sim.Emit(engine.TraceEvent{Kind: engine.TraceDecode, Actor: s.Name(),
 			Msg: in.worm.Msg.ID, Worm: in.worm.ID,
 			Detail: fmt.Sprintf("in=%d branches=%d", i, len(plans))})
 	}
+	if !dropped.Empty() {
+		s.reportDrop(now, in.worm, dropped)
+	}
+	if len(plans) == 0 {
+		// Every branch died: swallow the worm so upstream drains.
+		in.mode = modeSink
+		s.sinkInput(i, now)
+		return
+	}
+	s.stats.Replications += int64(len(plans) - 1)
 
 	unicastLike := in.worm.Msg.Class == flit.ClassUnicast ||
 		(len(plans) == 1 && s.cfg.MulticastBypassSingle)
@@ -538,6 +751,7 @@ func (s *Switch) decode(i int, now int64) {
 	if len(s.pendingRes[pool]) == 0 && s.free[pool] >= pb.need {
 		pb.reserved = pb.need
 		s.free[pool] -= pb.need
+		s.reservedTotal += pb.need
 		s.admit(pb, now)
 		s.writeCB(i, now)
 		return
@@ -602,6 +816,7 @@ func (s *Switch) writeCB(i int, now int64) {
 				s.Name(), i, pb.written, pb.total))
 		}
 		pb.reserved--
+		s.reservedTotal--
 		pb.chunksAlloc++
 		s.chunksInUse++
 		if s.chunksInUse > s.stats.MaxChunksInUse {
@@ -619,7 +834,7 @@ func (s *Switch) writeCB(i int, now int64) {
 	s.sim.Progress()
 	if r.Tail() {
 		s.clearInput(in)
-		s.advanceFreeing(pb)
+		s.advanceFreeing(pb, now)
 	}
 }
 

@@ -36,13 +36,17 @@ type Planned struct {
 // PlanBranches routes worm w arriving at sw (ascending or descending) and
 // forks one child worm per branch. free reports whether an output port is
 // currently unbound (consulted by the adaptive up policy); rng drives the
-// random up policy.
+// random up policy. dead, when non-nil, marks output ports whose links have
+// failed: the plan routes around them and the second result carries the
+// destinations that became unreachable, for the caller to account as
+// dropped. A plan may legitimately be empty when every branch died.
 func PlanBranches(r *routing.Router, sw *topology.Switch, w *flit.Worm, ascending bool,
-	free func(port int) bool, rng *engine.RNG, ids *engine.IDGen) ([]Planned, error) {
+	free func(port int) bool, dead func(port int) bool,
+	rng *engine.RNG, ids *engine.IDGen) ([]Planned, bitset.Set, error) {
 
-	dec, err := r.Route(sw, w.Dests, ascending)
+	dec, dropped, err := r.RouteAvoid(sw, w.Dests, ascending, dead)
 	if err != nil {
-		return nil, err
+		return nil, bitset.Set{}, err
 	}
 	plans := make([]Planned, 0, dec.NumBranches())
 	for _, b := range dec.Down {
@@ -52,7 +56,19 @@ func PlanBranches(r *routing.Router, sw *topology.Switch, w *flit.Worm, ascendin
 		port := r.PickUp(&dec, w.Msg, free, rng)
 		plans = append(plans, Planned{Port: port, Child: fork(w, dec.UpDests, true, ids)})
 	}
-	return plans, nil
+	return plans, dropped, nil
+}
+
+// AnyDeadOut reports whether any output link of the port set has failed.
+// Switch decoders use it to skip fault-avoidance routing entirely on a
+// healthy fabric.
+func AnyDeadOut(ports []PortIO) bool {
+	for i := range ports {
+		if out := ports[i].Out; out != nil && out.Dead() {
+			return true
+		}
+	}
+	return false
 }
 
 func fork(w *flit.Worm, dests bitset.Set, goingUp bool, ids *engine.IDGen) *flit.Worm {
@@ -95,4 +111,6 @@ type Stats struct {
 	FlitsOut     int64 // flits pushed onto output links
 	Decodes      int64 // routing decisions made
 	Replications int64 // extra branches created (branches beyond the first)
+	WormsDropped int64 // branches abandoned because of injected faults
+	DestsDropped int64 // destinations those branches would have covered
 }

@@ -19,6 +19,7 @@ package inputbuf
 import (
 	"fmt"
 
+	"mdworm/internal/bitset"
 	"mdworm/internal/engine"
 	"mdworm/internal/flit"
 	"mdworm/internal/routing"
@@ -85,6 +86,9 @@ const (
 	modeHeader
 	modeDecode
 	modeActive
+	// modeSink consumes a head worm whose every branch died (fault
+	// degradation): flits are freed as they arrive so upstream drains.
+	modeSink
 )
 
 type wormRecv struct {
@@ -198,9 +202,56 @@ func (s *Switch) Quiesced() bool {
 func (s *Switch) Step(now int64) {
 	s.serveOutputs(now)
 	s.drainTokens(now)
+	s.dropDeadBranches(now)
 	s.arbitrate(now)
 	s.stepInputs(now)
 	s.acceptArrivals(now)
+}
+
+// dropDeadBranches abandons branches whose output link died before they
+// began sending; a branch that already sent its head finishes normally
+// (failure lands at worm boundaries, so flit conservation holds).
+func (s *Switch) dropDeadBranches(now int64) {
+	for i := range s.in {
+		in := &s.in[i]
+		if in.mode != modeActive {
+			continue
+		}
+		for _, b := range in.branches {
+			if b.done || b.sent > 0 {
+				continue
+			}
+			out := s.ports[b.out].Out
+			if out == nil || !out.Dead() {
+				continue
+			}
+			s.reportDrop(now, b.child, b.child.Dests)
+			b.done = true
+			b.sent = in.queue[0].w.Len()
+			if b.granted && s.out[b.out].bound == b {
+				s.out[b.out].bound = nil
+			}
+		}
+	}
+}
+
+// reportDrop accounts destinations abandoned because of an injected fault.
+func (s *Switch) reportDrop(now int64, w *flit.Worm, dropped bitset.Set) {
+	n := flit.DropCost(w, dropped)
+	if n == 0 {
+		return
+	}
+	s.stats.WormsDropped++
+	s.stats.DestsDropped += int64(dropped.Count())
+	if s.sim.Tracing() {
+		s.sim.Emit(engine.TraceEvent{Kind: engine.TraceDrop, Actor: s.Name(),
+			Msg: w.Msg.ID, Worm: w.ID,
+			Detail: fmt.Sprintf("dests=%v cost=%d", dropped.Members(), n)})
+	}
+	if s.router.OnDrop != nil {
+		s.router.OnDrop(w.Msg, n, now)
+	}
+	s.sim.Progress()
 }
 
 // serveOutputs forwards one flit per bound output, directly onto the link.
@@ -276,10 +327,13 @@ func (s *Switch) serveOutputsSync(now int64) {
 	}
 }
 
-// advanceFreeing returns credits for flits every branch has forwarded.
+// advanceFreeing returns credits for flits every branch has forwarded. The
+// floor is clamped to the flits actually received: a branch dropped by a
+// fault has sent == Len() and must not free (or return credits for) flits
+// still on their way in.
 func (s *Switch) advanceFreeing(i int, now int64) {
 	in := &s.in[i]
-	m := in.queue[0].w.Len()
+	m := in.queue[0].got
 	for _, b := range in.branches {
 		if b.sent < m {
 			m = b.sent
@@ -289,6 +343,11 @@ func (s *Switch) advanceFreeing(i int, now int64) {
 		delta := m - in.minSent
 		in.minSent = m
 		in.occupancy -= delta
+		if in.occupancy < 0 {
+			s.sim.Invariants().Violate(now, "ib-occupancy",
+				"%s: input %d occupancy %d after freeing %d flits", s.Name(), i, in.occupancy, delta)
+			in.occupancy = 0
+		}
 		s.ports[i].In.ReturnCredit(now, delta)
 	}
 }
@@ -310,9 +369,24 @@ func (s *Switch) finishHeads(now int64) {
 		if !alldone {
 			continue
 		}
-		if in.minSent != in.queue[0].w.Len() {
-			panic(fmt.Sprintf("%s: popping head with %d/%d flits freed",
-				s.Name(), in.minSent, in.queue[0].w.Len()))
+		head := &in.queue[0]
+		if head.got < head.w.Len() {
+			// Dropped branches outran arrival (fault path): keep freeing
+			// flits as they trickle in and pop once the tail arrives.
+			s.advanceFreeing(i, now)
+			continue
+		}
+		s.advanceFreeing(i, now)
+		if in.minSent != head.w.Len() {
+			s.sim.Invariants().Violate(now, "ib-occupancy",
+				"%s: popping head with %d/%d flits freed", s.Name(), in.minSent, head.w.Len())
+			if delta := head.w.Len() - in.minSent; delta > 0 {
+				in.occupancy -= delta
+				if in.occupancy < 0 {
+					in.occupancy = 0
+				}
+				s.ports[i].In.ReturnCredit(now, delta)
+			}
 		}
 		in.queue = in.queue[1:]
 		in.branches = nil
@@ -409,6 +483,8 @@ func (s *Switch) stepInputs(now int64) {
 			if in.movedAt != now {
 				s.stats.HOLBlockedSum++
 			}
+		case modeSink:
+			s.sinkHead(i, now)
 		}
 	}
 }
@@ -418,23 +494,65 @@ func (s *Switch) decode(i int, now int64) {
 	head := &in.queue[0]
 	ascending := switches.Ascending(s.node, i)
 	free := func(port int) bool { return s.out[port].bound == nil }
-	plans, err := switches.PlanBranches(s.router, s.node, head.w, ascending, free, s.rng, s.ids)
+	// A nil dead predicate keeps healthy fabrics on the allocation-free
+	// routing fast path; avoidance engages only once a link has failed.
+	var dead func(port int) bool
+	if switches.AnyDeadOut(s.ports) {
+		dead = func(port int) bool {
+			out := s.ports[port].Out
+			return out != nil && out.Dead()
+		}
+	}
+	plans, dropped, err := switches.PlanBranches(s.router, s.node, head.w, ascending, free, dead, s.rng, s.ids)
 	if err != nil {
 		panic(fmt.Sprintf("%s: input %d: %v", s.Name(), i, err))
 	}
 	s.stats.Decodes++
-	s.stats.Replications += int64(len(plans) - 1)
 	if s.sim.Tracing() {
 		s.sim.Emit(engine.TraceEvent{Kind: engine.TraceDecode, Actor: s.Name(),
 			Msg: head.w.Msg.ID, Worm: head.w.ID,
 			Detail: fmt.Sprintf("in=%d branches=%d", i, len(plans))})
 	}
+	if !dropped.Empty() {
+		s.reportDrop(now, head.w, dropped)
+	}
+	if len(plans) == 0 {
+		// Every branch died: swallow the worm so upstream drains.
+		in.mode = modeSink
+		s.sinkHead(i, now)
+		return
+	}
+	s.stats.Replications += int64(len(plans) - 1)
 	in.branches = make([]*branch, len(plans))
 	for bi, p := range plans {
 		in.branches[bi] = &branch{in: i, out: p.Port, child: p.Child, reqAt: now}
 	}
 	in.minSent = 0
 	in.mode = modeActive
+}
+
+// sinkHead frees the head worm's flits as they arrive and pops it at the
+// tail, for worms whose every branch died at decode.
+func (s *Switch) sinkHead(i int, now int64) {
+	in := &s.in[i]
+	head := &in.queue[0]
+	if head.got > in.minSent {
+		delta := head.got - in.minSent
+		in.minSent = head.got
+		in.occupancy -= delta
+		if in.occupancy < 0 {
+			s.sim.Invariants().Violate(now, "ib-occupancy",
+				"%s: input %d occupancy %d while sinking", s.Name(), i, in.occupancy)
+			in.occupancy = 0
+		}
+		s.ports[i].In.ReturnCredit(now, delta)
+	}
+	if head.got == head.w.Len() {
+		in.queue = in.queue[1:]
+		in.minSent = 0
+		in.mode = modeIdle
+		s.sim.Progress()
+	}
 }
 
 func (s *Switch) acceptArrivals(now int64) {

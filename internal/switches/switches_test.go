@@ -157,9 +157,12 @@ func TestPlanBranchesForksChildren(t *testing.T) {
 	w.GoingUp = true
 	ids.Next() // burn one so children get fresh ids
 
-	plans, err := PlanBranches(r, sw, w, true, func(int) bool { return true }, rng, &ids)
+	plans, dropped, err := PlanBranches(r, sw, w, true, func(int) bool { return true }, nil, rng, &ids)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !dropped.Empty() {
+		t.Fatalf("healthy plan dropped %v", dropped.Members())
 	}
 	// Dests 1,2 under this switch; 9 ascends.
 	if len(plans) != 3 {

@@ -41,6 +41,7 @@ import (
 	"mdworm/internal/core"
 	"mdworm/internal/engine"
 	"mdworm/internal/experiments"
+	"mdworm/internal/faults"
 	"mdworm/internal/routing"
 	"mdworm/internal/stats"
 	"mdworm/internal/topology"
@@ -126,6 +127,39 @@ const (
 
 // BarrierScheme selects how Simulator.RunBarrier realizes a barrier.
 type BarrierScheme = core.BarrierScheme
+
+// FaultPlan is a deterministic fault plan injected through Config.Faults:
+// a sorted list of scheduled events applied by the engine's event loop.
+type FaultPlan = faults.Plan
+
+// FaultEvent is one scheduled fault of a FaultPlan.
+type FaultEvent = faults.Event
+
+// Fault kinds.
+const (
+	// FaultLinkDown permanently severs both directions of a switch port's
+	// link at the next worm boundary.
+	FaultLinkDown = faults.LinkDown
+	// FaultPortStuck freezes a switch port's outgoing link, permanently or
+	// for a bounded window.
+	FaultPortStuck = faults.PortStuck
+	// FaultCBShrink withdraws central-buffer chunks mid-run.
+	FaultCBShrink = faults.CBShrink
+	// FaultNICStall pauses a host's injection, permanently or for a window.
+	FaultNICStall = faults.NICStall
+)
+
+// ParseFaultSpec parses the compact fault-plan grammar, e.g.
+// "link-down@1000:sw3.p2;nic-stall@500+200:n5".
+func ParseFaultSpec(s string) (FaultPlan, error) { return faults.ParseSpec(s) }
+
+// DeadlockError reports that the watchdog observed no forward progress; the
+// structured form names the components still holding work.
+type DeadlockError = engine.DeadlockError
+
+// InvariantError reports a model-invariant violation in strict mode (see
+// Config.StrictInvariants).
+type InvariantError = engine.InvariantError
 
 // Tracer receives message-level simulation events (see Simulator.SetTracer).
 type Tracer = engine.Tracer

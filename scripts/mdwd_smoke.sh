@@ -33,6 +33,28 @@ curl -fsS "http://$addr/metrics" >"$workdir/metrics"
 grep -q '^mdwd_cache_hits 1$' "$workdir/metrics" || { echo "unexpected metrics:"; cat "$workdir/metrics"; exit 1; }
 grep -q '^mdwd_cache_misses 1$' "$workdir/metrics" || { echo "unexpected metrics:"; cat "$workdir/metrics"; exit 1; }
 
+# Fault injection: a plan keyed into the cache (miss, then byte-identical
+# hit), with the drop accounting visible in the response.
+fbody='{"config":{"stages":2,"degree":4,"warmup_cycles":200,"measure_cycles":800,"drain_cycles":50000,"op_rate":0.001,"faults_spec":"nic-stall@300+200:n3;link-down@400:sw0.p0"}}'
+curl -fsS -D "$workdir/f1" -o "$workdir/fr1" -d "$fbody" "http://$addr/v1/run"
+curl -fsS -D "$workdir/f2" -o "$workdir/fr2" -d "$fbody" "http://$addr/v1/run"
+grep -qi '^X-Mdwd-Cache: miss' "$workdir/f1" || { echo "faulted first request was not a miss"; cat "$workdir/f1"; exit 1; }
+grep -qi '^X-Mdwd-Cache: hit'  "$workdir/f2" || { echo "faulted second request was not a hit"; cat "$workdir/f2"; exit 1; }
+cmp -s "$workdir/fr1" "$workdir/fr2" || { echo "faulted cache hit is not byte-identical"; exit 1; }
+grep -q '"DestsDropped":[1-9]' "$workdir/fr1" || { echo "faulted run dropped nothing:"; cat "$workdir/fr1"; exit 1; }
+
+# A wedging fault plan returns a structured 422 deadlock error without
+# poisoning the job pool.
+dbody='{"config":{"stages":2,"degree":4,"warmup_cycles":200,"measure_cycles":800,"drain_cycles":50000,"op_rate":0.01,"seed":3,"watchdog_limit":10000,"faults_spec":"port-stuck@300:sw0.p4;port-stuck@300:sw0.p5;port-stuck@300:sw0.p6;port-stuck@300:sw0.p7"}}'
+status=$(curl -sS -o "$workdir/dr" -w '%{http_code}' -d "$dbody" "http://$addr/v1/run")
+[ "$status" = 422 ] || { echo "deadlock run returned $status:"; cat "$workdir/dr"; exit 1; }
+grep -q '"code":"deadlock"' "$workdir/dr" || { echo "deadlock error not structured:"; cat "$workdir/dr"; exit 1; }
+curl -fsS -o /dev/null -d "$body" "http://$addr/v1/run" || { echo "pool unusable after deadlock"; exit 1; }
+
+curl -fsS "http://$addr/metrics" >"$workdir/metrics"
+grep -q '^mdwd_deadlocks_total 1$' "$workdir/metrics" || { echo "unexpected metrics:"; cat "$workdir/metrics"; exit 1; }
+grep -q '^mdwd_invariant_violations_total 0$' "$workdir/metrics" || { echo "unexpected metrics:"; cat "$workdir/metrics"; exit 1; }
+
 kill -TERM "$pid"
 wait "$pid" || { code=$?; echo "mdwd exited $code after SIGTERM:"; cat "$workdir/log"; exit 1; }
 grep -q 'drained cleanly' "$workdir/log" || { echo "no clean drain reported:"; cat "$workdir/log"; exit 1; }
