@@ -56,6 +56,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		sendOv   = fs.Int("send-overhead", 64, "software send overhead in cycles")
 		recvOv   = fs.Int("recv-overhead", 64, "software receive overhead in cycles")
 		trace    = fs.String("trace", "", "write a message-level event trace to this file ('-' for stderr)")
+		timeline = fs.String("timeline", "", "write an ndjson timeline (events + occupancy samples) for mdwtrace")
+		sampleEv = fs.Int64("sample-every", 64, "occupancy sampling period in cycles for -timeline/-perfetto (0 = off)")
+		perfetto = fs.String("perfetto", "", "write a Perfetto/Chrome trace-event JSON file for ui.perfetto.dev")
 		swStats  = fs.Bool("switch-stats", false, "print aggregated switch counters after the run")
 		reps     = fs.Int("reps", 1, "replicate the run over this many consecutive seeds")
 		workers  = fs.Int("workers", 0, "concurrent replicas when -reps > 1 (0 = GOMAXPROCS)")
@@ -125,6 +128,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		traceOut = f
 	}
 
+	// Observation attaches to replica 0 only (replicas stay independent).
+	// The timeline streams to disk as the run progresses; a Perfetto export
+	// additionally retains events in memory until the end of the run.
+	var capture *mdworm.Capture
+	if *timeline != "" || *perfetto != "" {
+		capture = &mdworm.Capture{SampleEvery: *sampleEv, CaptureEvents: *perfetto != ""}
+		if *timeline != "" {
+			f, err := os.Create(*timeline)
+			if err != nil {
+				fmt.Fprintln(stderr, "mdwsim:", err)
+				return 1
+			}
+			defer f.Close()
+			capture.Stream = f
+		}
+	}
+
 	// Each replica is an independent simulator over a consecutive seed;
 	// replica 0 carries the trace and the detailed report. A canceled
 	// context skips replicas not yet started (running ones finish — a
@@ -149,6 +169,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		if r == 0 && *trace != "" {
 			sim.SetTracer(mdworm.NewWriterTracer(traceOut))
+		}
+		if r == 0 && capture != nil {
+			sim.Observe(capture)
 		}
 		res, err := sim.Run()
 		outs[r] = repOut{sim: sim, res: res, err: err}
@@ -191,6 +214,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	sim, res := outs[0].sim, outs[0].res
+
+	// Observability outputs go to stderr/files only: the stdout report stays
+	// byte-identical whether or not the run was observed.
+	if capture != nil {
+		if err := capture.StreamErr(); err != nil {
+			fmt.Fprintln(stderr, "mdwsim:", err)
+			return 1
+		}
+		if *perfetto != "" {
+			f, err := os.Create(*perfetto)
+			if err == nil {
+				err = mdworm.WritePerfetto(f, capture.Trace())
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(stderr, "mdwsim:", err)
+				return 1
+			}
+		}
+		if *timeline != "" {
+			fmt.Fprintf(stderr, "mdwsim: timeline written to %s (%d samples)\n", *timeline, len(capture.Samples))
+		}
+		if *perfetto != "" {
+			fmt.Fprintf(stderr, "mdwsim: perfetto trace written to %s\n", *perfetto)
+		}
+	}
 
 	fmt.Fprintf(stdout, "system: %d nodes, %s switches, %s multicast, seed %d\n",
 		cfg.N(), *arch, *scheme, *seed)

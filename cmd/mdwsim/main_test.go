@@ -3,11 +3,14 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mdworm"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -209,5 +212,97 @@ func TestTraceFlag(t *testing.T) {
 	}
 	if info.Size() == 0 {
 		t.Fatal("trace file is empty")
+	}
+}
+
+// TestGoldenTrace pins the exact -trace event stream for one small run.
+// Regenerate with: go test ./cmd/mdwsim -run TestGoldenTrace -update
+func TestGoldenTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), smallArgs("-trace", path), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace.golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace differs from golden (re-run with -update if intended); got %d bytes, want %d",
+			len(got), len(want))
+	}
+}
+
+// TestTimelineFlag: -timeline writes a parseable ndjson timeline whose spans
+// and samples reflect the run, and observing changes nothing about the
+// printed report (same config, same seed, same bytes).
+func TestTimelineFlag(t *testing.T) {
+	var plain, plainErr bytes.Buffer
+	if code := run(context.Background(), smallArgs(), &plain, &plainErr); code != 0 {
+		t.Fatalf("plain run: exit %d\n%s", code, plainErr.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "run.ndjson")
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), smallArgs("-timeline", path, "-sample-every", "16"), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	if !bytes.Equal(plain.Bytes(), stdout.Bytes()) {
+		t.Fatalf("observation perturbed the report:\n--- plain ---\n%s\n--- observed ---\n%s",
+			plain.String(), stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "timeline written to") {
+		t.Fatalf("stderr missing timeline note: %s", stderr.String())
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := mdworm.ReadTimeline(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta.Nodes != 16 || tr.Meta.SampleEvery != 16 {
+		t.Fatalf("timeline meta wrong: %+v", tr.Meta)
+	}
+	if len(tr.Events) == 0 || len(tr.Samples) == 0 {
+		t.Fatalf("timeline empty: %d events, %d samples", len(tr.Events), len(tr.Samples))
+	}
+	if len(tr.Ops()) == 0 {
+		t.Fatal("timeline reconstructed no operations")
+	}
+}
+
+// TestPerfettoFlag: -perfetto writes a JSON trace without requiring -timeline.
+func TestPerfettoFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), smallArgs("-perfetto", path), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("perfetto output is not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("perfetto trace has no events")
 	}
 }

@@ -1,0 +1,218 @@
+// Command mdwtrace analyzes an ndjson timeline captured by mdwsim -timeline
+// (or any obs.Capture stream): it reconstructs operation and message spans,
+// attributes the last-arrival critical path of an operation to phases
+// (host-send, forward, reserve-wait, replication, drain, transfer), and
+// exports the timeline for other viewers.
+//
+// Examples:
+//
+//	mdwsim -timeline run.ndjson -measure 4000
+//	mdwtrace run.ndjson                  # span table + slowest-op critical path
+//	mdwtrace -op 17 run.ndjson           # critical path of a specific op
+//	mdwtrace -perfetto run.json run.ndjson   # open run.json in ui.perfetto.dev
+//	mdwtrace -csv occ.csv run.ndjson     # occupancy samples as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"mdworm/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mdwtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: mdwtrace [flags] TIMELINE\n\nTIMELINE is an ndjson file from mdwsim -timeline ('-' reads stdin).\n\nFlags:")
+		fs.PrintDefaults()
+	}
+	var (
+		spans    = fs.Int("spans", 10, "operation spans to list (slowest first; 0 = none)")
+		opID     = fs.Uint64("op", 0, "attribute this op's critical path (0 = slowest completed op)")
+		perfetto = fs.String("perfetto", "", "write a Perfetto/Chrome trace-event JSON file")
+		csv      = fs.String("csv", "", "write occupancy samples as CSV")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+
+	var in io.Reader = os.Stdin
+	if name := fs.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(stderr, "mdwtrace:", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+	tr, err := obs.ReadTrace(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "mdwtrace:", err)
+		return 1
+	}
+
+	printHeader(stdout, tr)
+	if *spans > 0 {
+		printSpans(stdout, tr, *spans)
+	}
+	if code := printCriticalPath(stdout, stderr, tr, *opID); code != 0 {
+		return code
+	}
+	printPhaseSummary(stdout, tr)
+	printOccupancy(stdout, tr)
+
+	if *perfetto != "" {
+		if err := writeFile(*perfetto, func(w io.Writer) error { return obs.WritePerfetto(w, tr) }); err != nil {
+			fmt.Fprintln(stderr, "mdwtrace:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\nperfetto trace written to %s (open in ui.perfetto.dev)\n", *perfetto)
+	}
+	if *csv != "" {
+		if err := writeFile(*csv, func(w io.Writer) error { return obs.WriteCSV(w, tr) }); err != nil {
+			fmt.Fprintln(stderr, "mdwtrace:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "occupancy samples written to %s\n", *csv)
+	}
+	return 0
+}
+
+func writeFile(name string, write func(io.Writer) error) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func printHeader(w io.Writer, tr *obs.Trace) {
+	m := tr.Meta
+	fmt.Fprintf(w, "timeline: %d nodes, %s switches, %s multicast (route delay %d, link latency %d)\n",
+		m.Nodes, m.Arch, m.Scheme, m.RouteDelay, m.LinkLatency)
+	fmt.Fprintf(w, "captured: %d events, %d samples (every %d cycles), %d ops\n",
+		len(tr.Events), len(tr.Samples), m.SampleEvery, len(tr.Ops()))
+}
+
+// printSpans lists the top-n operation spans, slowest completed first, then
+// incomplete ones in start order.
+func printSpans(w io.Writer, tr *obs.Trace, n int) {
+	ops := tr.Ops()
+	if len(ops) == 0 {
+		fmt.Fprintln(w, "\nno operations in trace")
+		return
+	}
+	sorted := append([]*obs.OpSpan(nil), ops...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Completed != sorted[j].Completed {
+			return sorted[i].Completed
+		}
+		return sorted[i].Latency > sorted[j].Latency
+	})
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	fmt.Fprintf(w, "\nslowest %d of %d operations:\n", n, len(sorted))
+	fmt.Fprintf(w, "%8s %6s %6s %6s %10s %10s %10s %s\n",
+		"op", "src", "dests", "msgs", "start", "latency", "dropped", "scheme")
+	for _, op := range sorted[:n] {
+		lat := "-"
+		if op.Completed {
+			lat = fmt.Sprint(op.Latency)
+		}
+		fmt.Fprintf(w, "%8d %6d %6d %6d %10d %10s %10d %s\n",
+			op.ID, op.Src, op.NumDests, op.Msgs, op.Start, lat, op.Dropped, op.Scheme)
+	}
+}
+
+// printCriticalPath attributes one op's last-arrival critical path. A trace
+// with no completed op is not an error (short captures); a requested op that
+// cannot be attributed is.
+func printCriticalPath(w, stderr io.Writer, tr *obs.Trace, opID uint64) int {
+	if opID == 0 {
+		slowest := tr.SlowestOp()
+		if slowest == nil {
+			fmt.Fprintln(w, "\nno completed operation to attribute")
+			return 0
+		}
+		opID = slowest.ID
+	}
+	cp, err := tr.CriticalPath(opID)
+	if err != nil {
+		fmt.Fprintln(stderr, "mdwtrace:", err)
+		return 1
+	}
+	op := tr.Op(opID)
+	fmt.Fprintf(w, "\ncritical path of op %d (src %d, %d dests, last-arrival latency %d):\n",
+		opID, op.Src, op.NumDests, cp.Latency)
+	fmt.Fprintf(w, "  message chain: %v (%d injection(s))\n", cp.Chain, len(cp.Chain))
+	fmt.Fprintf(w, "%12s %12s %10s %10s  %s\n", "from", "to", "cycles", "msg", "phase")
+	for _, s := range cp.Segments {
+		fmt.Fprintf(w, "%12d %12d %10d %10d  %s\n", s.From, s.To, s.Len(), s.Msg, s.Phase)
+	}
+	fmt.Fprintln(w, "\nphase totals:")
+	printPhaseTotals(w, cp.Totals, cp.Latency)
+	return 0
+}
+
+func printPhaseTotals(w io.Writer, totals map[obs.Phase]int64, denom int64) {
+	for _, ph := range obs.Phases {
+		v := totals[ph]
+		if v == 0 {
+			continue
+		}
+		pct := 0.0
+		if denom > 0 {
+			pct = 100 * float64(v) / float64(denom)
+		}
+		fmt.Fprintf(w, "  %-14s %10d cycles  %5.1f%%\n", ph, v, pct)
+	}
+}
+
+func printPhaseSummary(w io.Writer, tr *obs.Trace) {
+	totals, attributed, skipped := tr.PhaseSummary()
+	if attributed == 0 {
+		return
+	}
+	var sum int64
+	for _, v := range totals {
+		sum += v
+	}
+	fmt.Fprintf(w, "\nphase attribution across %d op(s) (%d skipped), %d critical-path cycles total:\n",
+		attributed, skipped, sum)
+	printPhaseTotals(w, totals, sum)
+}
+
+func printOccupancy(w io.Writer, tr *obs.Trace) {
+	s := tr.Summary()
+	if s.Samples == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\noccupancy (%d samples):\n", s.Samples)
+	fmt.Fprintf(w, "  peak link flits in flight:   %d\n", s.PeakLinkFlits)
+	fmt.Fprintf(w, "  peak input-queue flits:      %d (deepest single queue %d, mean %.1f)\n",
+		s.PeakInputFlits, s.PeakInputQ, s.MeanInputFlits)
+	if s.PeakCBChunks > 0 {
+		fmt.Fprintf(w, "  peak central-buffer chunks:  %d (mean %.1f, max branch refs %d)\n",
+			s.PeakCBChunks, s.MeanCBChunks, s.PeakBranchRefs)
+	}
+	fmt.Fprintf(w, "  peak NIC send queue:         %d\n", s.PeakNICQueue)
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mdworm/internal/core"
+	"mdworm/internal/obs"
+)
+
+// writeTimeline runs one observed multicast op on the default system and
+// streams its timeline to a file, returning the path and the measured
+// last-arrival latency.
+func writeTimeline(t *testing.T) (string, int64) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.ndjson")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sim, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &obs.Capture{SampleEvery: 32, Stream: f}
+	sim.Observe(c)
+	lat, _, err := sim.RunOp(0, []int{1, 9, 18, 27, 36, 45, 54, 63}, true, 64, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StreamErr(); err != nil {
+		t.Fatal(err)
+	}
+	return path, lat
+}
+
+func TestAnalyzeTimeline(t *testing.T) {
+	path, lat := writeTimeline(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"timeline: 64 nodes, central-buffer switches, hw-bitstring multicast",
+		"critical path of op",
+		"last-arrival latency " + itoa(lat),
+		"phase totals:",
+		"transfer",
+		"phase attribution across 1 op(s)",
+		"occupancy (",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func itoa(v int64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+func TestExports(t *testing.T) {
+	path, _ := writeTimeline(t)
+	dir := t.TempDir()
+	pf := filepath.Join(dir, "run.json")
+	cf := filepath.Join(dir, "occ.csv")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-perfetto", pf, "-csv", cf, path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	b, err := os.ReadFile(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("perfetto export is not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("perfetto export has no events")
+	}
+	cb, err := os.ReadFile(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(cb), "cycle,link_flits") {
+		t.Fatalf("bad CSV header: %q", string(cb[:40]))
+	}
+}
+
+func TestStdinInput(t *testing.T) {
+	path, _ := writeTimeline(t)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdin
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdin = r
+	defer func() { os.Stdin = old }()
+	go func() {
+		w.Write(b)
+		w.Close()
+	}()
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "critical path of op") {
+		t.Fatalf("stdin analysis incomplete:\n%s", stdout.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{}, &stdout, &stderr); code != 2 {
+		t.Fatalf("no args: exit %d", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-bogus", "x"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+	stderr.Reset()
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.ndjson")}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing file: exit %d", code)
+	}
+	garbage := filepath.Join(t.TempDir(), "bad.ndjson")
+	if err := os.WriteFile(garbage, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if code := run([]string{garbage}, &stdout, &stderr); code != 1 {
+		t.Fatalf("garbage file: exit %d\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "line 1") {
+		t.Fatalf("parse error lacks line number: %s", stderr.String())
+	}
+
+	// Asking for an op the trace never saw fails cleanly.
+	path, _ := writeTimeline(t)
+	stderr.Reset()
+	if code := run([]string{"-op", "999999", path}, &stdout, &stderr); code != 1 {
+		t.Fatalf("unknown op: exit %d", code)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"mdworm/internal/engine"
 	"mdworm/internal/flit"
 	"mdworm/internal/nic"
+	"mdworm/internal/obs"
 	"mdworm/internal/routing"
 	"mdworm/internal/stats"
 	"mdworm/internal/switches"
@@ -35,6 +36,11 @@ type Simulator struct {
 
 	outstanding int // ops not yet fully delivered
 	genOn       bool
+
+	// userTracer and capture are composed into the engine's single tracer
+	// slot: SetTracer and Observe may both be in effect on one run.
+	userTracer engine.Tracer
+	capture    *obs.Capture
 
 	// deliverHook, when non-nil, observes every message delivery (after
 	// op accounting); barriers and tests use it to sequence phases.
@@ -207,7 +213,95 @@ func (s *Simulator) Net() *topology.Network { return s.net }
 // SetTracer installs an event tracer (nil removes it). Events cover
 // message-level milestones: op start/completion, injection, delivery,
 // routing decisions, reservations, and grants — never individual flits.
-func (s *Simulator) SetTracer(t engine.Tracer) { s.sim.SetTracer(t) }
+// A tracer composes with an attached observability capture (Observe).
+func (s *Simulator) SetTracer(t engine.Tracer) {
+	s.userTracer = t
+	s.installTracer()
+}
+
+// installTracer wires the engine's single tracer slot from the user tracer
+// and the event-consuming capture, whichever are present.
+func (s *Simulator) installTracer() {
+	var cap engine.Tracer
+	if s.capture != nil && s.capture.WantsEvents() {
+		cap = s.capture
+	}
+	switch {
+	case s.userTracer != nil && cap != nil:
+		s.sim.SetTracer(engine.MultiTracer{s.userTracer, cap})
+	case s.userTracer != nil:
+		s.sim.SetTracer(s.userTracer)
+	default:
+		s.sim.SetTracer(cap)
+	}
+}
+
+// Observe attaches an observability capture to the run: trace events are
+// mirrored into c (alongside any tracer installed with SetTracer), and when
+// c.SampleEvery > 0 a probe component samples fabric occupancy on that
+// period. Call once, before running; the capture's meta is stamped from the
+// configuration. A samples-only capture (WantsEvents false) leaves the
+// engine's tracer path untouched.
+func (s *Simulator) Observe(c *obs.Capture) {
+	routeDelay := s.cfg.CB.RouteDelay
+	if s.cfg.Arch == InputBuffer {
+		routeDelay = s.cfg.IB.RouteDelay
+	}
+	c.SetMeta(obs.Meta{
+		Version:     1,
+		Arch:        s.cfg.Arch.String(),
+		Scheme:      s.cfg.Scheme.String(),
+		Nodes:       s.net.N,
+		RouteDelay:  routeDelay,
+		LinkLatency: s.cfg.LinkLatency,
+		Links:       len(s.sim.Links()),
+		SampleEvery: c.SampleEvery,
+	})
+	s.capture = c
+	s.installTracer()
+	if c.SampleEvery > 0 {
+		// Registered after the fabric's components, the probe samples
+		// post-step state; it declares no inputs so it runs every cycle.
+		s.sim.AddComponent(&obs.Probe{Every: c.SampleEvery, Source: s, Cap: c})
+	}
+}
+
+// SampleGauges implements obs.GaugeSource: an instantaneous snapshot of
+// link, switch, and NIC occupancy across the fabric.
+func (s *Simulator) SampleGauges() obs.Sample {
+	var sm obs.Sample
+	for _, l := range s.sim.Links() {
+		sm.LinkFlits += l.InFlight()
+		sm.LinkCarried += l.Carried()
+	}
+	for _, sw := range s.cbs {
+		o := sw.Occupancy()
+		sm.InputFlits += o.InputFlits
+		if o.MaxInputQ > sm.MaxInputQ {
+			sm.MaxInputQ = o.MaxInputQ
+		}
+		sm.OutputFlits += o.OutputFlits
+		sm.CBChunks += o.CBChunks
+		if st := sw.Stats(); st.MaxBranchRefs > sm.MaxBranchRefs {
+			sm.MaxBranchRefs = st.MaxBranchRefs
+		}
+	}
+	for _, sw := range s.ibs {
+		o := sw.Occupancy()
+		sm.InputFlits += o.InputFlits
+		if o.MaxInputQ > sm.MaxInputQ {
+			sm.MaxInputQ = o.MaxInputQ
+		}
+	}
+	for _, n := range s.nics {
+		q := n.QueueLen()
+		sm.NICQueue += q
+		if q > sm.MaxNICQueue {
+			sm.MaxNICQueue = q
+		}
+	}
+	return sm
+}
 
 // Now returns the current simulation cycle.
 func (s *Simulator) Now() int64 { return s.sim.Now }

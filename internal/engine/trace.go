@@ -29,16 +29,52 @@ const (
 	TraceGrant
 	// TraceDrop marks destinations abandoned because of an injected fault.
 	TraceDrop
+
+	// traceKindCount counts the kinds above; keep it last so the name table
+	// below is forced to cover every constant.
+	traceKindCount
 )
+
+// traceKindNames is indexed by kind; a kind added without a name here yields
+// "" and is caught by the exhaustiveness test.
+var traceKindNames = [traceKindCount]string{
+	TraceOpStart: "op-start",
+	TraceOpDone:  "op-done",
+	TraceInject:  "inject",
+	TraceDeliver: "deliver",
+	TraceForward: "forward",
+	TraceDecode:  "decode",
+	TraceReserve: "reserve",
+	TraceAdmit:   "admit",
+	TraceGrant:   "grant",
+	TraceDrop:    "drop",
+}
 
 // String names the kind.
 func (k TraceKind) String() string {
-	names := [...]string{"op-start", "op-done", "inject", "deliver",
-		"forward", "decode", "reserve", "admit", "grant", "drop"}
-	if int(k) < len(names) {
-		return names[k]
+	if int(k) < len(traceKindNames) && traceKindNames[k] != "" {
+		return traceKindNames[k]
 	}
 	return fmt.Sprintf("trace(%d)", uint8(k))
+}
+
+// TraceKinds lists every defined kind in declaration order.
+func TraceKinds() []TraceKind {
+	out := make([]TraceKind, traceKindCount)
+	for i := range out {
+		out[i] = TraceKind(i)
+	}
+	return out
+}
+
+// ParseTraceKind resolves a name produced by TraceKind.String.
+func ParseTraceKind(name string) (TraceKind, bool) {
+	for k, n := range traceKindNames {
+		if n == name {
+			return TraceKind(k), true
+		}
+	}
+	return 0, false
 }
 
 // TraceEvent is one observation of the simulated system.
@@ -88,13 +124,45 @@ func (t *WriterTracer) Emit(e TraceEvent) {
 }
 
 // CollectTracer accumulates events in memory (for tests and analysis).
+// With Max unset it grows without bound and Events stays in arrival order;
+// with Max > 0 it keeps only the newest Max events as a ring (read them back
+// with All) and counts the overwritten ones in Dropped.
 type CollectTracer struct {
+	// Max caps the retained events; 0 means unbounded.
+	Max int
+	// Dropped counts events discarded because the cap was reached.
+	Dropped int64
+	// Events holds the retained events. When Max is 0 it is in arrival
+	// order; when the cap has wrapped it is a ring rooted at an internal
+	// head, so use All for ordered access.
 	Events []TraceEvent
+
+	head int
 }
 
 // Emit implements Tracer.
 func (t *CollectTracer) Emit(e TraceEvent) {
+	if t.Max > 0 && len(t.Events) >= t.Max {
+		t.Events[t.head] = e
+		t.head++
+		if t.head == len(t.Events) {
+			t.head = 0
+		}
+		t.Dropped++
+		return
+	}
 	t.Events = append(t.Events, e)
+}
+
+// All returns the retained events in arrival order (oldest first).
+func (t *CollectTracer) All() []TraceEvent {
+	if t.head == 0 {
+		return t.Events
+	}
+	out := make([]TraceEvent, 0, len(t.Events))
+	out = append(out, t.Events[t.head:]...)
+	out = append(out, t.Events[:t.head]...)
+	return out
 }
 
 // Count returns how many events of the kind were recorded.
@@ -106,6 +174,16 @@ func (t *CollectTracer) Count(kind TraceKind) int {
 		}
 	}
 	return n
+}
+
+// MultiTracer fans each event out to every tracer in order.
+type MultiTracer []Tracer
+
+// Emit implements Tracer.
+func (m MultiTracer) Emit(e TraceEvent) {
+	for _, t := range m {
+		t.Emit(e)
+	}
 }
 
 // SetTracer installs (or removes, with nil) the event tracer.

@@ -12,6 +12,7 @@ import (
 
 	"mdworm/internal/collective"
 	"mdworm/internal/core"
+	"mdworm/internal/obs"
 	"mdworm/internal/stats"
 )
 
@@ -71,6 +72,11 @@ type Options struct {
 	// error, and Run/RunIDs return that error. A finished sweep is never
 	// affected retroactively.
 	Context context.Context
+	// Observer, when non-nil, attaches a samples-only occupancy capture to
+	// every point's simulator and folds each point's summary into it under
+	// the point's tag. The capture carries no tracer, so measured behavior
+	// is unchanged; the per-sweep aggregate lands in SweepStats.Occupancy.
+	Observer *obs.SweepObserver
 
 	// progressMu serializes Progress writes and OnPoint calls across pool
 	// workers; installed by forRun before experiment closures capture the
@@ -242,11 +248,23 @@ func runPoint(cfg core.Config, x float64, o Options, tag string) Point {
 			o.point(PointEvent{Tag: tag, X: x, Err: err})
 			return Point{X: x, Err: err}
 		}
+		var occ *obs.Capture
+		if o.Observer != nil {
+			every := o.Observer.SampleEvery
+			if every <= 0 {
+				every = 64
+			}
+			occ = &obs.Capture{SampleEvery: every}
+			sim.Observe(occ)
+		}
 		res, err := sim.Run()
 		if err != nil {
 			err = fmt.Errorf("%s: %w", tag, err)
 			o.point(PointEvent{Tag: tag, X: x, Cycles: sim.Now(), Err: err})
 			return Point{X: x, Err: err, cycles: sim.Now()}
+		}
+		if occ != nil {
+			o.Observer.Record(tag, occ.Summary())
 		}
 		thr := res.Multicast.DeliveredPayloadPerNodeCycle + res.Unicast.DeliveredPayloadPerNodeCycle
 		line := fmt.Sprintf("  %-28s x=%-8.4g mcast=%.1f uni=%.1f thr=%.3f sat=%v",

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"mdworm/internal/obs"
 )
 
 // The parallel point runner.
@@ -34,6 +36,9 @@ type SweepStats struct {
 	Violations   int64
 	// Wall is the elapsed wall-clock time of the batch.
 	Wall time.Duration
+	// Occupancy aggregates buffer-occupancy sampling across all points; it
+	// is the zero Summary unless Options.Observer was set for the batch.
+	Occupancy obs.Summary
 }
 
 // PointsPerSec returns the resolution throughput in points per second.
@@ -134,6 +139,9 @@ func resolve(tables []*Table, o Options) SweepStats {
 		wg.Wait()
 	}
 	st := SweepStats{Workers: o.workers(), Points: len(jobs), Wall: time.Since(start)}
+	if o.Observer != nil {
+		st.Occupancy = o.Observer.Aggregate()
+	}
 	for _, t := range tables {
 		for si := range t.Series {
 			for pi := range t.Series[si].Points {

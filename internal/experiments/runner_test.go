@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"testing"
+
+	"mdworm/internal/obs"
 )
 
 // renderWith runs one experiment in quick mode with the given worker count
@@ -101,6 +103,48 @@ func TestOnPointEvents(t *testing.T) {
 		if ev.Tag == "" || ev.Cycles <= 0 {
 			t.Fatalf("incomplete event: %+v", ev)
 		}
+	}
+}
+
+// TestSweepObserver checks that attaching an occupancy observer records a
+// summary per point tag, surfaces the aggregate in SweepStats, and leaves the
+// rendered table byte-identical to an unobserved run.
+func TestSweepObserver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweeps skipped in -short mode")
+	}
+	ob := &obs.SweepObserver{}
+	tables, stats, err := RunIDs([]string{"a2"}, Options{Quick: true, Seed: 1, Workers: 4, Observer: ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := ob.Aggregate()
+	if agg.Samples == 0 {
+		t.Fatal("observer recorded no samples")
+	}
+	if agg.PeakOccupancy() == 0 {
+		t.Fatalf("observer saw no buffer occupancy: %+v", agg)
+	}
+	if stats.Occupancy != agg {
+		t.Fatalf("SweepStats.Occupancy %+v != observer aggregate %+v", stats.Occupancy, agg)
+	}
+	// Every resolved point recorded under its own tag.
+	tagged := 0
+	for _, tab := range tables {
+		for _, s := range tab.Series {
+			tagged += len(s.Points)
+		}
+	}
+	if len(ob.Points()) != tagged {
+		t.Fatalf("observer holds %d tags for %d points", len(ob.Points()), tagged)
+	}
+
+	// Observation must not perturb the measured tables.
+	plain := renderWith(t, "a2", 4)
+	var buf bytes.Buffer
+	tables[0].Format(&buf)
+	if !bytes.Equal(plain, buf.Bytes()) {
+		t.Errorf("observed sweep rendered a different table:\n--- plain ---\n%s\n--- observed ---\n%s", plain, buf.Bytes())
 	}
 }
 

@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Phase labels one kind of time on an operation's last-arrival critical
+// path. Together the phases tile the op's lifetime exactly: the sum of all
+// phase totals equals the measured last-arrival latency.
+type Phase string
+
+// Critical-path phases, in canonical report order.
+const (
+	// PhaseHostSend is op creation to first injection: send overhead and
+	// NIC send-queue time at the source.
+	PhaseHostSend Phase = "host-send"
+	// PhaseForward is delivery at a software-forwarding node to the
+	// re-injection of the forwarded message: receive+send overheads and
+	// queueing at the intermediate host.
+	PhaseForward Phase = "forward"
+	// PhaseReserveWait is time a worm on the path spent waiting for a
+	// central-buffer reservation or an input-buffer output grant.
+	PhaseReserveWait Phase = "reserve-wait"
+	// PhaseReplication is routing/decode time at switches where the worm
+	// forked into multiple branches (the multidestination replication cost).
+	PhaseReplication Phase = "replication"
+	// PhaseDrain is the tail of the pipeline: the cycles after the head
+	// reached the destination while the body was still arriving.
+	PhaseDrain Phase = "drain"
+	// PhaseTransfer is everything else: heads moving through links,
+	// single-branch decodes, and cut-through switch traversal.
+	PhaseTransfer Phase = "transfer"
+)
+
+// Phases lists every phase in canonical report order.
+var Phases = []Phase{
+	PhaseHostSend, PhaseForward, PhaseReserveWait,
+	PhaseReplication, PhaseDrain, PhaseTransfer,
+}
+
+// Segment is one attributed slice of a critical path.
+type Segment struct {
+	Phase Phase
+	Interval
+	// Msg is the message whose lifetime the slice belongs to.
+	Msg uint64
+}
+
+// CriticalPath is the chain of messages (source injection through software
+// forwards) that produced an op's last arrival — the Nupairoj/Ni latency —
+// with every cycle of it attributed to a phase.
+type CriticalPath struct {
+	Op uint64
+	// Latency is the last-arrival latency the path explains; the phase
+	// totals sum to it exactly.
+	Latency int64
+	// Chain lists the message ids from the source to the last-arriving
+	// destination.
+	Chain []uint64
+	// Segments tile [op start, last arrival) in cycle order.
+	Segments []Segment
+	// Totals is the per-phase cycle count.
+	Totals map[Phase]int64
+}
+
+// CriticalPath reconstructs the last-arrival critical path of an op: it
+// finds the op's final delivery, walks the forwarding chain back to the
+// source injection, and attributes every cycle in between. Attribution
+// within a message's network transfer is by priority — reservation/grant
+// waits first, then replication (multi-branch decode) time, then pipeline
+// drain — with the remainder counted as transfer.
+func (t *Trace) CriticalPath(opID uint64) (*CriticalPath, error) {
+	ix := t.index()
+	op := ix.ops[opID]
+	if op == nil {
+		return nil, fmt.Errorf("obs: op %d not in trace", opID)
+	}
+	if !op.Completed {
+		return nil, fmt.Errorf("obs: op %d incomplete; no critical path", opID)
+	}
+	msgs := ix.opMsgs[opID]
+	if len(msgs) == 0 {
+		return nil, fmt.Errorf("obs: op %d has no injected messages", opID)
+	}
+
+	type hop struct {
+		m *MsgSpan
+		d Delivery
+	}
+	// The op's last arrival is its latest delivery event.
+	var last hop
+	for _, m := range msgs {
+		for _, d := range m.Delivers {
+			if last.m == nil || d.Cycle > last.d.Cycle {
+				last = hop{m, d}
+			}
+		}
+	}
+	if last.m == nil {
+		return nil, fmt.Errorf("obs: op %d has no deliveries", opID)
+	}
+
+	// Walk the chain back: a message injected at a non-source NIC was
+	// forwarded there, so its cause is the op's latest delivery at that NIC
+	// no later than the injection.
+	srcActor := fmt.Sprintf("nic%d", op.Src)
+	var rev []hop
+	for cur := last; ; {
+		rev = append(rev, cur)
+		if cur.m.InjectActor == srcActor {
+			break
+		}
+		if len(rev) > len(msgs) {
+			return nil, fmt.Errorf("obs: op %d: forwarding chain does not terminate at src %s", opID, srcActor)
+		}
+		var prev hop
+		for _, m := range msgs {
+			for _, d := range m.Delivers {
+				if d.Actor != cur.m.InjectActor || d.Cycle > cur.m.Inject {
+					continue
+				}
+				if prev.m == nil || d.Cycle > prev.d.Cycle {
+					prev = hop{m, d}
+				}
+			}
+		}
+		if prev.m == nil {
+			return nil, fmt.Errorf("obs: op %d: no delivery at %s before cycle %d; chain broken",
+				opID, cur.m.InjectActor, cur.m.Inject)
+		}
+		cur = prev
+	}
+	chain := make([]hop, len(rev))
+	for i, h := range rev {
+		chain[len(rev)-1-i] = h
+	}
+
+	end := last.d.Cycle
+	cp := &CriticalPath{Op: opID, Latency: end - op.Start, Totals: map[Phase]int64{}}
+	add := func(ph Phase, iv Interval, msg uint64) {
+		if iv.To > iv.From {
+			cp.Segments = append(cp.Segments, Segment{Phase: ph, Interval: iv, Msg: msg})
+			cp.Totals[ph] += iv.Len()
+		}
+	}
+
+	add(PhaseHostSend, Interval{From: op.Start, To: chain[0].m.Inject}, chain[0].m.ID)
+	for i, h := range chain {
+		if i > 0 {
+			add(PhaseForward, Interval{From: chain[i-1].d.Cycle, To: h.m.Inject}, h.m.ID)
+		}
+		attributeTransfer(t.Meta, h.m, h.d, add)
+		cp.Chain = append(cp.Chain, h.m.ID)
+	}
+	sort.SliceStable(cp.Segments, func(i, j int) bool { return cp.Segments[i].From < cp.Segments[j].From })
+	return cp, nil
+}
+
+// attributeTransfer splits a message's network transfer [inject, deliver)
+// into phases by priority: waits, then replication decodes, then drain, then
+// the transfer remainder. The pieces partition the window exactly.
+func attributeTransfer(meta Meta, m *MsgSpan, d Delivery, add func(Phase, Interval, uint64)) {
+	seg := Interval{From: m.Inject, To: d.Cycle}
+	if seg.To <= seg.From {
+		return
+	}
+	var claimed intervalSet
+	claim := func(ph Phase, ivs []Interval) {
+		for _, iv := range mergeIntervals(ivs) {
+			iv = clip(iv, seg)
+			for _, got := range claimed.claim(iv) {
+				add(ph, got, m.ID)
+			}
+		}
+	}
+
+	claim(PhaseReserveWait, m.Waits)
+
+	if rd := int64(meta.RouteDelay); rd > 0 {
+		var reps []Interval
+		for _, dc := range m.Decodes {
+			if dc.Branches > 1 {
+				reps = append(reps, Interval{From: dc.Cycle - rd, To: dc.Cycle})
+			}
+		}
+		claim(PhaseReplication, reps)
+	}
+
+	if m.Len > 1 {
+		claim(PhaseDrain, []Interval{{From: d.Cycle - int64(m.Len-1), To: d.Cycle}})
+	}
+
+	for _, iv := range claimed.complement(seg) {
+		add(PhaseTransfer, iv, m.ID)
+	}
+}
+
+// PhaseSummary aggregates critical-path phase totals across every completed,
+// undegraded op. It returns the totals, the number of ops attributed, and
+// the number skipped (incomplete, degraded, or with a broken chain).
+func (t *Trace) PhaseSummary() (totals map[Phase]int64, attributed, skipped int) {
+	totals = map[Phase]int64{}
+	for _, op := range t.Ops() {
+		if !op.Completed || op.Dropped > 0 {
+			skipped++
+			continue
+		}
+		cp, err := t.CriticalPath(op.ID)
+		if err != nil {
+			skipped++
+			continue
+		}
+		for ph, v := range cp.Totals {
+			totals[ph] += v
+		}
+		attributed++
+	}
+	return totals, attributed, skipped
+}
+
+// clip intersects iv with bounds.
+func clip(iv, bounds Interval) Interval {
+	if iv.From < bounds.From {
+		iv.From = bounds.From
+	}
+	if iv.To > bounds.To {
+		iv.To = bounds.To
+	}
+	return iv
+}
+
+// mergeIntervals sorts and coalesces overlapping or touching intervals,
+// dropping empty ones.
+func mergeIntervals(ivs []Interval) []Interval {
+	var out []Interval
+	for _, iv := range ivs {
+		if iv.To > iv.From {
+			out = append(out, iv)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+	merged := out[:0]
+	for _, iv := range out {
+		if n := len(merged); n > 0 && iv.From <= merged[n-1].To {
+			if iv.To > merged[n-1].To {
+				merged[n-1].To = iv.To
+			}
+			continue
+		}
+		merged = append(merged, iv)
+	}
+	return merged
+}
+
+// intervalSet is a sorted, disjoint set of claimed intervals.
+type intervalSet struct {
+	ivs []Interval // sorted by From, disjoint
+}
+
+// claim marks iv as claimed and returns the parts that were not already.
+func (s *intervalSet) claim(iv Interval) []Interval {
+	fresh := subtract(iv, s.ivs)
+	if len(fresh) > 0 {
+		s.ivs = mergeIntervals(append(s.ivs, fresh...))
+	}
+	return fresh
+}
+
+// complement returns seg minus the claimed set.
+func (s *intervalSet) complement(seg Interval) []Interval {
+	return subtract(seg, s.ivs)
+}
+
+// subtract returns iv minus the sorted disjoint set.
+func subtract(iv Interval, set []Interval) []Interval {
+	var out []Interval
+	cur := iv
+	for _, sv := range set {
+		if cur.From >= cur.To {
+			return out
+		}
+		if sv.To <= cur.From {
+			continue
+		}
+		if sv.From >= cur.To {
+			break
+		}
+		if sv.From > cur.From {
+			out = append(out, Interval{From: cur.From, To: sv.From})
+		}
+		if sv.To >= cur.To {
+			return out
+		}
+		cur.From = sv.To
+	}
+	if cur.To > cur.From {
+		out = append(out, cur)
+	}
+	return out
+}

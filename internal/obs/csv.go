@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteCSV renders the trace's occupancy samples as a CSV time series, one
+// row per probe observation, ready for plotting.
+func WriteCSV(w io.Writer, t *Trace) error {
+	if _, err := fmt.Fprintln(w,
+		"cycle,link_flits,link_carried,input_flits,max_input_q,output_flits,cb_chunks,max_branch_refs,nic_queue,max_nic_queue"); err != nil {
+		return err
+	}
+	for _, s := range t.Samples {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			s.Cycle, s.LinkFlits, s.LinkCarried, s.InputFlits, s.MaxInputQ,
+			s.OutputFlits, s.CBChunks, s.MaxBranchRefs, s.NICQueue, s.MaxNICQueue); err != nil {
+			return err
+		}
+	}
+	return nil
+}

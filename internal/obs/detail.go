@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+)
+
+// The engine's trace events carry event-specific context as "key=value"
+// pairs in a detail string (e.g. "waited=12 chunks=3", "dests=[1 5] len=68").
+// These helpers pull typed values back out; they are the only place the
+// analyzer depends on those formats.
+
+// findKey returns the index just past "key=" where key starts the string or
+// follows a space, or -1.
+func findKey(detail, key string) int {
+	needle := key + "="
+	for from := 0; ; {
+		i := strings.Index(detail[from:], needle)
+		if i < 0 {
+			return -1
+		}
+		i += from
+		if i == 0 || detail[i-1] == ' ' {
+			return i + len(needle)
+		}
+		from = i + 1
+	}
+}
+
+// detailInt extracts the integer following "key=" in a detail string.
+func detailInt(detail, key string) (int64, bool) {
+	i := findKey(detail, key)
+	if i < 0 {
+		return 0, false
+	}
+	j := i
+	if j < len(detail) && detail[j] == '-' {
+		j++
+	}
+	for j < len(detail) && detail[j] >= '0' && detail[j] <= '9' {
+		j++
+	}
+	v, err := strconv.ParseInt(detail[i:j], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// detailString extracts the space-delimited token following "key=".
+func detailString(detail, key string) (string, bool) {
+	i := findKey(detail, key)
+	if i < 0 {
+		return "", false
+	}
+	j := strings.IndexByte(detail[i:], ' ')
+	if j < 0 {
+		return detail[i:], true
+	}
+	return detail[i : i+j], true
+}
+
+// detailList extracts the "[a b c]"-formatted int list following "key=".
+func detailList(detail, key string) ([]int, bool) {
+	i := findKey(detail, key)
+	if i < 0 || i >= len(detail) || detail[i] != '[' {
+		return nil, false
+	}
+	j := strings.IndexByte(detail[i:], ']')
+	if j < 0 {
+		return nil, false
+	}
+	body := detail[i+1 : i+j]
+	if body == "" {
+		return []int{}, true
+	}
+	fields := strings.Fields(body)
+	out := make([]int, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, false
+		}
+		out = append(out, v)
+	}
+	return out, true
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDetailParsers(t *testing.T) {
+	d := "src=5 dests=[1 9 18] scheme=hw-bitstring len=68 waited=-3"
+	if v, ok := detailInt(d, "src"); !ok || v != 5 {
+		t.Fatalf("src: %d %v", v, ok)
+	}
+	if v, ok := detailInt(d, "len"); !ok || v != 68 {
+		t.Fatalf("len: %d %v", v, ok)
+	}
+	if v, ok := detailInt(d, "waited"); !ok || v != -3 {
+		t.Fatalf("waited: %d %v", v, ok)
+	}
+	if _, ok := detailInt(d, "ests"); ok {
+		t.Fatal("matched key suffix 'ests' inside 'dests'")
+	}
+	if s, ok := detailString(d, "scheme"); !ok || s != "hw-bitstring" {
+		t.Fatalf("scheme: %q %v", s, ok)
+	}
+	if l, ok := detailList(d, "dests"); !ok || len(l) != 3 || l[2] != 18 {
+		t.Fatalf("dests: %v %v", l, ok)
+	}
+	if l, ok := detailList("dests=[]", "dests"); !ok || len(l) != 0 {
+		t.Fatalf("empty list: %v %v", l, ok)
+	}
+	if _, ok := detailInt(d, "missing"); ok {
+		t.Fatal("found a missing key")
+	}
+}
+
+func TestIntervalArithmetic(t *testing.T) {
+	merged := mergeIntervals([]Interval{{5, 10}, {1, 3}, {9, 12}, {3, 4}, {20, 20}})
+	want := []Interval{{1, 4}, {5, 12}}
+	if len(merged) != len(want) || merged[0] != want[0] || merged[1] != want[1] {
+		t.Fatalf("merge: %v, want %v", merged, want)
+	}
+
+	var set intervalSet
+	got := set.claim(Interval{0, 10})
+	if len(got) != 1 || got[0] != (Interval{0, 10}) {
+		t.Fatalf("first claim: %v", got)
+	}
+	got = set.claim(Interval{5, 15})
+	if len(got) != 1 || got[0] != (Interval{10, 15}) {
+		t.Fatalf("overlapping claim: %v", got)
+	}
+	got = set.claim(Interval{2, 8})
+	if len(got) != 0 {
+		t.Fatalf("fully claimed interval yielded %v", got)
+	}
+	rest := set.complement(Interval{0, 20})
+	if len(rest) != 1 || rest[0] != (Interval{15, 20}) {
+		t.Fatalf("complement: %v", rest)
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	a := Summary{Samples: 2, PeakCBChunks: 10, MeanCBChunks: 4}
+	b := Summary{Samples: 2, PeakCBChunks: 6, MeanCBChunks: 8}
+	m := a.Merge(b)
+	if m.Samples != 4 || m.PeakCBChunks != 10 || m.MeanCBChunks != 6 {
+		t.Fatalf("merge: %+v", m)
+	}
+	// Merging into a zero summary keeps the other side intact.
+	if z := (Summary{}).Merge(a); z.Samples != 2 || z.MeanCBChunks != 4 {
+		t.Fatalf("zero merge: %+v", z)
+	}
+}
+
+func TestHistogramAndPromFormat(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.N() != 5 || h.Sum() != 560.5 {
+		t.Fatalf("histogram: n=%d sum=%g", h.N(), h.Sum())
+	}
+
+	var buf bytes.Buffer
+	p := &PromWriter{W: &buf}
+	p.Gauge("g_metric", "a gauge", 3)
+	p.Counter("c_metric", "a counter", 42)
+	p.Histogram("h_metric", "a histogram", h)
+	if p.Err != nil {
+		t.Fatal(p.Err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE g_metric gauge\ng_metric 3\n",
+		"# TYPE c_metric counter\nc_metric 42\n",
+		"# TYPE h_metric histogram\n",
+		`h_metric_bucket{le="1"} 1`,
+		`h_metric_bucket{le="10"} 3`,
+		`h_metric_bucket{le="100"} 4`,
+		`h_metric_bucket{le="+Inf"} 5`,
+		"h_metric_sum 560.5",
+		"h_metric_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 4, 4)
+	want := []float64{1, 4, 16, 64}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets: %v, want %v", b, want)
+		}
+	}
+}
+
+func TestCaptureSamplesOnly(t *testing.T) {
+	c := &Capture{SampleEvery: 16}
+	if c.WantsEvents() {
+		t.Fatal("samples-only capture claims to want events")
+	}
+	c.AddSample(Sample{Cycle: 16, CBChunks: 3})
+	c.AddSample(Sample{Cycle: 32, CBChunks: 7})
+	if s := c.Summary(); s.Samples != 2 || s.PeakCBChunks != 7 {
+		t.Fatalf("summary: %+v", s)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("{not json\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader(`{"t":"ev","c":1,"k":"no-such-kind"}` + "\n")); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	// Unknown line types are skipped for forward compatibility.
+	tr, err := ReadTrace(strings.NewReader(`{"t":"future-thing","x":1}` + "\n"))
+	if err != nil || len(tr.Events) != 0 {
+		t.Fatalf("unknown line type not skipped: %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mdworm/internal/engine"
+)
+
+// Timeline line shapes. Every line is a JSON object whose "t" field selects
+// the type: "meta" (run description, first line), "ev" (trace event), or
+// "s" (occupancy sample). Unknown types are skipped on read so the format
+// can grow without breaking old analyzers.
+
+type metaLine struct {
+	T string `json:"t"`
+	Meta
+}
+
+type sampleLine struct {
+	T string `json:"t"`
+	Sample
+}
+
+type eventLine struct {
+	T string `json:"t"`
+	C int64  `json:"c"`
+	K string `json:"k"`
+	A string `json:"a,omitempty"`
+	M uint64 `json:"m,omitempty"`
+	W uint64 `json:"w,omitempty"`
+	O uint64 `json:"o,omitempty"`
+	D string `json:"d,omitempty"`
+}
+
+func eventToLine(e engine.TraceEvent) eventLine {
+	return eventLine{
+		T: "ev", C: e.Cycle, K: e.Kind.String(),
+		A: e.Actor, M: e.Msg, W: e.Worm, O: e.Op, D: e.Detail,
+	}
+}
+
+// Trace is a fully loaded timeline: the run description, the message-level
+// trace events, and the occupancy samples.
+type Trace struct {
+	Meta    Meta
+	Events  []engine.TraceEvent
+	Samples []Sample
+
+	idx *traceIndex // lazy span index
+}
+
+// ReadTrace parses an ndjson timeline (as written by Capture.Stream or
+// WriteTrace). Lines with unknown "t" values are ignored; a malformed line
+// fails the read with its line number.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var tag struct {
+			T string `json:"t"`
+		}
+		if err := json.Unmarshal(raw, &tag); err != nil {
+			return nil, fmt.Errorf("obs: timeline line %d: %w", lineNo, err)
+		}
+		switch tag.T {
+		case "meta":
+			var m metaLine
+			if err := json.Unmarshal(raw, &m); err != nil {
+				return nil, fmt.Errorf("obs: timeline line %d: %w", lineNo, err)
+			}
+			t.Meta = m.Meta
+		case "ev":
+			var l eventLine
+			if err := json.Unmarshal(raw, &l); err != nil {
+				return nil, fmt.Errorf("obs: timeline line %d: %w", lineNo, err)
+			}
+			kind, ok := engine.ParseTraceKind(l.K)
+			if !ok {
+				return nil, fmt.Errorf("obs: timeline line %d: unknown event kind %q", lineNo, l.K)
+			}
+			t.Events = append(t.Events, engine.TraceEvent{
+				Cycle: l.C, Kind: kind, Actor: l.A,
+				Msg: l.M, Worm: l.W, Op: l.O, Detail: l.D,
+			})
+		case "s":
+			var l sampleLine
+			if err := json.Unmarshal(raw, &l); err != nil {
+				return nil, fmt.Errorf("obs: timeline line %d: %w", lineNo, err)
+			}
+			t.Samples = append(t.Samples, l.Sample)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: timeline read: %w", err)
+	}
+	return t, nil
+}
+
+// WriteTrace writes the trace back out as an ndjson timeline.
+func WriteTrace(w io.Writer, t *Trace) error {
+	c := &Capture{Stream: w}
+	c.SetMeta(t.Meta)
+	// Interleave events and samples in cycle order so the stream matches
+	// what a live capture would have produced.
+	ei, si := 0, 0
+	for ei < len(t.Events) || si < len(t.Samples) {
+		if si >= len(t.Samples) || (ei < len(t.Events) && t.Events[ei].Cycle <= t.Samples[si].Cycle) {
+			c.Emit(t.Events[ei])
+			ei++
+		} else {
+			c.AddSample(t.Samples[si])
+			si++
+		}
+	}
+	return c.StreamErr()
+}
+
+// Summary condenses the trace's samples (same figures as Capture.Summary).
+func (t *Trace) Summary() Summary {
+	c := &Capture{Samples: t.Samples}
+	return c.Summary()
+}

@@ -1,0 +1,212 @@
+// Package obs is the observability layer of the simulator: it turns the
+// engine's message-level trace stream and a cycle-sampled occupancy probe
+// into spans (worm/op lifetimes with phase attribution), time series
+// (per-link utilization, input-queue depth, central-buffer occupancy, NIC
+// send-queue depth), and exporters (ndjson timelines, Perfetto/Chrome
+// trace-event JSON, CSV, Prometheus text format).
+//
+// The package deliberately imports only the engine: captures attach to a
+// simulation as an ordinary engine.Tracer plus an engine.Component probe, so
+// observation is pay-for-what-you-use — with no capture installed the engine
+// hot path keeps its zero-allocation steady state.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mdworm/internal/engine"
+)
+
+// Meta describes the run a capture observed; it becomes the first line of an
+// ndjson timeline so analyzers can interpret cycles without the config.
+type Meta struct {
+	Version     int    `json:"version"`
+	Arch        string `json:"arch,omitempty"`
+	Scheme      string `json:"scheme,omitempty"`
+	Nodes       int    `json:"nodes,omitempty"`
+	RouteDelay  int    `json:"route_delay,omitempty"`
+	LinkLatency int    `json:"link_latency,omitempty"`
+	Links       int    `json:"links,omitempty"`
+	SampleEvery int64  `json:"sample_every,omitempty"`
+}
+
+// Sample is one probe observation of fabric occupancy, taken between cycles.
+// The short JSON keys keep ndjson timelines compact.
+type Sample struct {
+	// Cycle the sample was taken at.
+	Cycle int64 `json:"c"`
+	// LinkFlits counts flits in flight across every link.
+	LinkFlits int `json:"lf,omitempty"`
+	// LinkCarried is the cumulative flit count delivered by all links;
+	// deltas between samples give aggregate link utilization.
+	LinkCarried int64 `json:"lc,omitempty"`
+	// InputFlits counts flits buffered across all switch inputs.
+	InputFlits int `json:"iq,omitempty"`
+	// MaxInputQ is the deepest single switch input queue.
+	MaxInputQ int `json:"xiq,omitempty"`
+	// OutputFlits counts flits staged in switch output FIFOs (CB arch).
+	OutputFlits int `json:"oq,omitempty"`
+	// CBChunks counts central-buffer chunks in use across all switches.
+	CBChunks int `json:"cb,omitempty"`
+	// MaxBranchRefs is the high-water mark of reader references on one
+	// buffered worm (central-buffer replication fan-out).
+	MaxBranchRefs int `json:"br,omitempty"`
+	// NICQueue counts messages waiting in NIC send queues.
+	NICQueue int `json:"nq,omitempty"`
+	// MaxNICQueue is the deepest single NIC send queue.
+	MaxNICQueue int `json:"xnq,omitempty"`
+}
+
+// Summary condenses a capture's samples into peak and mean occupancy
+// figures, cheap enough to keep per sweep point.
+type Summary struct {
+	Samples        int     `json:"samples"`
+	PeakLinkFlits  int     `json:"peak_link_flits,omitempty"`
+	PeakInputFlits int     `json:"peak_input_flits,omitempty"`
+	PeakInputQ     int     `json:"peak_input_q,omitempty"`
+	PeakCBChunks   int     `json:"peak_cb_chunks,omitempty"`
+	PeakBranchRefs int     `json:"peak_branch_refs,omitempty"`
+	PeakNICQueue   int     `json:"peak_nic_queue,omitempty"`
+	MeanInputFlits float64 `json:"mean_input_flits,omitempty"`
+	MeanCBChunks   float64 `json:"mean_cb_chunks,omitempty"`
+}
+
+// PeakOccupancy is the architecture-neutral "how full did the switch get"
+// figure: central-buffer chunks for CB runs, buffered input flits for IB.
+func (s Summary) PeakOccupancy() int {
+	if s.PeakCBChunks > s.PeakInputFlits {
+		return s.PeakCBChunks
+	}
+	return s.PeakInputFlits
+}
+
+// Merge folds another summary into this one: peaks take the maximum, means
+// are weighted by sample count.
+func (s Summary) Merge(o Summary) Summary {
+	total := s.Samples + o.Samples
+	if total > 0 {
+		s.MeanInputFlits = (s.MeanInputFlits*float64(s.Samples) + o.MeanInputFlits*float64(o.Samples)) / float64(total)
+		s.MeanCBChunks = (s.MeanCBChunks*float64(s.Samples) + o.MeanCBChunks*float64(o.Samples)) / float64(total)
+	}
+	s.Samples = total
+	s.PeakLinkFlits = maxInt(s.PeakLinkFlits, o.PeakLinkFlits)
+	s.PeakInputFlits = maxInt(s.PeakInputFlits, o.PeakInputFlits)
+	s.PeakInputQ = maxInt(s.PeakInputQ, o.PeakInputQ)
+	s.PeakCBChunks = maxInt(s.PeakCBChunks, o.PeakCBChunks)
+	s.PeakBranchRefs = maxInt(s.PeakBranchRefs, o.PeakBranchRefs)
+	s.PeakNICQueue = maxInt(s.PeakNICQueue, o.PeakNICQueue)
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Capture collects what one simulation run exposes to the observability
+// layer: trace events (as an engine.Tracer) and occupancy samples (fed by a
+// Probe). Events are retained in memory when CaptureEvents is set and/or
+// streamed as ndjson lines when Stream is set; samples are always retained
+// (they are bounded by run length / SampleEvery).
+type Capture struct {
+	// SampleEvery is the probe period in cycles; 0 disables sampling.
+	SampleEvery int64
+	// CaptureEvents retains trace events in Events for in-process analysis
+	// (span reconstruction, Perfetto export).
+	CaptureEvents bool
+	// Stream, when set, receives the meta line and every event/sample as
+	// one ndjson line each, suitable for mdwtrace.
+	Stream io.Writer
+
+	Meta    Meta
+	Events  []engine.TraceEvent
+	Samples []Sample
+
+	streamErr error
+}
+
+// NewCapture returns a capture that retains events and samples every 64
+// cycles — the right default for in-process analysis. For streaming-only or
+// samples-only captures, construct the struct directly.
+func NewCapture() *Capture {
+	return &Capture{SampleEvery: 64, CaptureEvents: true}
+}
+
+// WantsEvents reports whether the capture consumes trace events at all; a
+// samples-only capture keeps the run's tracer off (and its hot path cheap).
+func (c *Capture) WantsEvents() bool { return c.CaptureEvents || c.Stream != nil }
+
+// SetMeta records the run description and, when streaming, writes it as the
+// timeline's first line.
+func (c *Capture) SetMeta(m Meta) {
+	c.Meta = m
+	c.writeLine(metaLine{T: "meta", Meta: m})
+}
+
+// Emit implements engine.Tracer.
+func (c *Capture) Emit(e engine.TraceEvent) {
+	if c.CaptureEvents {
+		c.Events = append(c.Events, e)
+	}
+	if c.Stream != nil {
+		c.writeLine(eventToLine(e))
+	}
+}
+
+// AddSample records one probe observation.
+func (c *Capture) AddSample(s Sample) {
+	c.Samples = append(c.Samples, s)
+	if c.Stream != nil {
+		c.writeLine(sampleLine{T: "s", Sample: s})
+	}
+}
+
+// StreamErr returns the first error hit while writing the ndjson stream
+// (nil when not streaming or healthy). Emit cannot return errors — it is an
+// engine.Tracer — so stream failures latch here for the driver to check.
+func (c *Capture) StreamErr() error { return c.streamErr }
+
+func (c *Capture) writeLine(v any) {
+	if c.Stream == nil || c.streamErr != nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err == nil {
+		b = append(b, '\n')
+		_, err = c.Stream.Write(b)
+	}
+	if err != nil {
+		c.streamErr = fmt.Errorf("obs: timeline stream: %w", err)
+	}
+}
+
+// Trace packages the capture's retained data for analysis.
+func (c *Capture) Trace() *Trace {
+	return &Trace{Meta: c.Meta, Events: c.Events, Samples: c.Samples}
+}
+
+// Summary condenses the capture's samples.
+func (c *Capture) Summary() Summary {
+	var s Summary
+	var sumInput, sumCB int64
+	for _, sm := range c.Samples {
+		s.Samples++
+		s.PeakLinkFlits = maxInt(s.PeakLinkFlits, sm.LinkFlits)
+		s.PeakInputFlits = maxInt(s.PeakInputFlits, sm.InputFlits)
+		s.PeakInputQ = maxInt(s.PeakInputQ, sm.MaxInputQ)
+		s.PeakCBChunks = maxInt(s.PeakCBChunks, sm.CBChunks)
+		s.PeakBranchRefs = maxInt(s.PeakBranchRefs, sm.MaxBranchRefs)
+		s.PeakNICQueue = maxInt(s.PeakNICQueue, sm.MaxNICQueue)
+		sumInput += int64(sm.InputFlits)
+		sumCB += int64(sm.CBChunks)
+	}
+	if s.Samples > 0 {
+		s.MeanInputFlits = float64(sumInput) / float64(s.Samples)
+		s.MeanCBChunks = float64(sumCB) / float64(s.Samples)
+	}
+	return s
+}

@@ -1,0 +1,268 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+
+	"mdworm/internal/collective"
+	"mdworm/internal/core"
+	"mdworm/internal/flit"
+	"mdworm/internal/obs"
+)
+
+// spreadDests is a default-experiment-point destination set: 8 destinations
+// spread across a 64-node 3-stage fabric.
+var spreadDests = []int{1, 9, 18, 27, 36, 45, 54, 63}
+
+// captureOp runs one multicast op on an observed simulator and returns the
+// capture, the measured last-arrival latency, and the op.
+func captureOp(t *testing.T, mutate func(*core.Config)) (*obs.Capture, int64, *flit.Op) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sim, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := obs.NewCapture()
+	sim.Observe(c)
+	lat, op, err := sim.RunOp(0, spreadDests, true, 64, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, lat, op
+}
+
+// checkCriticalPath asserts the acceptance property: the critical path's
+// phase totals sum exactly to the measured op latency, and its segments
+// partition [op start, last arrival) without gaps or overlaps.
+func checkCriticalPath(t *testing.T, tr *obs.Trace, opID uint64, wantLatency int64) *obs.CriticalPath {
+	t.Helper()
+	cp, err := tr.CriticalPath(opID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Latency != wantLatency {
+		t.Fatalf("critical path latency %d, measured %d", cp.Latency, wantLatency)
+	}
+	var sum int64
+	for _, v := range cp.Totals {
+		sum += v
+	}
+	if sum != wantLatency {
+		t.Fatalf("phase totals sum to %d, measured latency %d (totals %v)", sum, wantLatency, cp.Totals)
+	}
+	segs := append([]obs.Segment(nil), cp.Segments...)
+	sort.Slice(segs, func(i, j int) bool { return segs[i].From < segs[j].From })
+	op := tr.Op(opID)
+	cursor := op.Start
+	for _, s := range segs {
+		if s.From != cursor {
+			t.Fatalf("segment gap/overlap at cycle %d (segment starts %d): %+v", cursor, s.From, segs)
+		}
+		if s.To <= s.From {
+			t.Fatalf("empty segment retained: %+v", s)
+		}
+		cursor = s.To
+	}
+	if cursor != op.Start+wantLatency {
+		t.Fatalf("segments end at %d, want %d", cursor, op.Start+wantLatency)
+	}
+	return cp
+}
+
+// TestCriticalPathSumsToLatency is the ISSUE acceptance criterion, across
+// the hardware single-worm scheme, the software forwarding tree (whose
+// chains span multiple injections), and the input-buffered architecture.
+func TestCriticalPathSumsToLatency(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"cb-hw-bitstring", nil},
+		{"cb-sw-binomial", func(c *core.Config) { c.Scheme = collective.SoftwareBinomial }},
+		{"cb-sw-separate", func(c *core.Config) { c.Scheme = collective.SoftwareSeparate }},
+		{"ib-hw-bitstring", func(c *core.Config) { c.Arch = core.InputBuffer }},
+		{"ib-sw-binomial", func(c *core.Config) {
+			c.Arch = core.InputBuffer
+			c.Scheme = collective.SoftwareBinomial
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, lat, op := captureOp(t, tc.mutate)
+			cp := checkCriticalPath(t, c.Trace(), op.ID, lat)
+			if lat != op.LastLatency() {
+				t.Fatalf("RunOp latency %d != op.LastLatency %d", lat, op.LastLatency())
+			}
+			if len(cp.Chain) == 0 {
+				t.Fatal("empty critical-path chain")
+			}
+			// Binomial trees forward through intermediate hosts, so their
+			// critical path must span more than one injection (separate
+			// addressing sends every unicast straight from the source).
+			if strings.HasSuffix(tc.name, "sw-binomial") && len(cp.Chain) < 2 {
+				t.Fatalf("software tree critical path should span forwards, chain %v", cp.Chain)
+			}
+			if cp.Totals[obs.PhaseTransfer] <= 0 {
+				t.Fatalf("no transfer time attributed: %v", cp.Totals)
+			}
+		})
+	}
+}
+
+func TestProbeSamplesOccupancy(t *testing.T) {
+	c, _, _ := captureOp(t, nil)
+	if len(c.Samples) == 0 {
+		t.Fatal("probe recorded no samples")
+	}
+	sum := c.Summary()
+	if sum.Samples != len(c.Samples) {
+		t.Fatalf("summary counted %d samples of %d", sum.Samples, len(c.Samples))
+	}
+	// A fully buffered multidestination worm must have touched the central
+	// buffer and fanned out to several readers.
+	if sum.PeakCBChunks == 0 {
+		t.Fatal("central-buffer occupancy never sampled above zero")
+	}
+	if sum.PeakBranchRefs < 2 {
+		t.Fatalf("branch refcount high-water %d, want >= 2 for an 8-dest multicast", sum.PeakBranchRefs)
+	}
+	if sum.PeakOccupancy() < sum.PeakCBChunks {
+		t.Fatalf("peak occupancy below CB chunk peak: %+v", sum)
+	}
+}
+
+func TestTimelineRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := core.DefaultConfig()
+	sim, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &obs.Capture{SampleEvery: 32, CaptureEvents: true, Stream: &buf}
+	sim.Observe(c)
+	lat, op, err := sim.RunOp(0, spreadDests, true, 64, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StreamErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta.Arch != "central-buffer" || tr.Meta.Scheme != "hw-bitstring" || tr.Meta.Nodes != 64 {
+		t.Fatalf("meta did not round-trip: %+v", tr.Meta)
+	}
+	if len(tr.Events) != len(c.Events) {
+		t.Fatalf("read %d events, captured %d", len(tr.Events), len(c.Events))
+	}
+	if len(tr.Samples) != len(c.Samples) {
+		t.Fatalf("read %d samples, captured %d", len(tr.Samples), len(c.Samples))
+	}
+	// The analyzer must reach identical conclusions from the re-read trace.
+	checkCriticalPath(t, tr, op.ID, lat)
+
+	// WriteTrace(ReadTrace(x)) parses again to the same counts.
+	var buf2 bytes.Buffer
+	if err := obs.WriteTrace(&buf2, tr); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := obs.ReadTrace(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.Events) != len(tr.Events) || len(tr2.Samples) != len(tr.Samples) {
+		t.Fatal("re-written timeline lost lines")
+	}
+}
+
+// TestObserverDoesNotPerturb pins that attaching a capture changes nothing
+// about simulated behavior: same config, same op, same latency.
+func TestObserverDoesNotPerturb(t *testing.T) {
+	run := func(observe bool) int64 {
+		cfg := core.DefaultConfig()
+		sim, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if observe {
+			sim.Observe(obs.NewCapture())
+		}
+		lat, _, err := sim.RunOp(0, spreadDests, true, 64, 200_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lat
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("observation perturbed the run: latency %d vs %d", a, b)
+	}
+}
+
+func TestPhaseSummary(t *testing.T) {
+	c, lat, _ := captureOp(t, nil)
+	totals, attributed, skipped := c.Trace().PhaseSummary()
+	if attributed != 1 || skipped != 0 {
+		t.Fatalf("attributed=%d skipped=%d, want 1/0", attributed, skipped)
+	}
+	var sum int64
+	for _, v := range totals {
+		sum += v
+	}
+	if sum != lat {
+		t.Fatalf("phase summary sums to %d, want %d", sum, lat)
+	}
+}
+
+func TestPerfettoExport(t *testing.T) {
+	c, _, _ := captureOp(t, nil)
+	var buf bytes.Buffer
+	if err := obs.WritePerfetto(&buf, c.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("perfetto output is not JSON: %v", err)
+	}
+	var haveX, haveC bool
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			haveX = true
+		case "C":
+			haveC = true
+		}
+	}
+	if !haveX || !haveC {
+		t.Fatalf("perfetto export missing span (X=%v) or counter (C=%v) events", haveX, haveC)
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	c, _, _ := captureOp(t, nil)
+	var buf bytes.Buffer
+	if err := obs.WriteCSV(&buf, c.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(c.Samples) {
+		t.Fatalf("CSV has %d lines, want header + %d samples", len(lines), len(c.Samples))
+	}
+	if !strings.HasPrefix(lines[0], "cycle,link_flits") {
+		t.Fatalf("bad CSV header: %q", lines[0])
+	}
+}

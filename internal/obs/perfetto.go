@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event format (chrome://tracing, https://ui.perfetto.dev):
+// one JSON object with a traceEvents array. One simulated cycle is rendered
+// as one microsecond.
+
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Process ids grouping the exported rows.
+const (
+	perfettoPidOps      = 1 // one thread per op, X event per lifetime
+	perfettoPidMsgs     = 2 // one thread per message
+	perfettoPidCritPath = 3 // phase segments of the slowest op
+	perfettoPidCounters = 4 // occupancy counter tracks
+)
+
+// WritePerfetto renders the trace as Chrome trace-event JSON: op and message
+// lifetimes as complete ("X") events, the slowest op's critical-path phases
+// as their own track, and the occupancy samples as counter ("C") tracks.
+func WritePerfetto(w io.Writer, t *Trace) error {
+	var evs []perfettoEvent
+	meta := func(pid int, name string) {
+		evs = append(evs, perfettoEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(perfettoPidOps, "ops")
+	meta(perfettoPidMsgs, "messages")
+	meta(perfettoPidCritPath, "critical-path (slowest op)")
+	meta(perfettoPidCounters, "occupancy")
+
+	for _, op := range t.Ops() {
+		if !op.Completed {
+			continue
+		}
+		evs = append(evs, perfettoEvent{
+			Name: fmt.Sprintf("op %d (%d dests)", op.ID, op.NumDests),
+			Ph:   "X", Ts: op.Start, Dur: op.End - op.Start,
+			Pid: perfettoPidOps, Tid: op.ID,
+			Args: map[string]any{
+				"src": op.Src, "dests": op.NumDests, "msgs": op.Msgs,
+				"scheme": op.Scheme, "latency": op.Latency,
+			},
+		})
+		for _, m := range t.OpMessages(op.ID) {
+			lastDel := int64(-1)
+			for _, d := range m.Delivers {
+				if d.Cycle > lastDel {
+					lastDel = d.Cycle
+				}
+			}
+			if !m.Injected || lastDel < m.Inject {
+				continue
+			}
+			evs = append(evs, perfettoEvent{
+				Name: fmt.Sprintf("msg %d (op %d)", m.ID, op.ID),
+				Ph:   "X", Ts: m.Inject, Dur: lastDel - m.Inject,
+				Pid: perfettoPidMsgs, Tid: m.ID,
+				Args: map[string]any{"len": m.Len, "from": m.InjectActor},
+			})
+		}
+	}
+
+	if slow := t.SlowestOp(); slow != nil {
+		if cp, err := t.CriticalPath(slow.ID); err == nil {
+			for _, seg := range cp.Segments {
+				evs = append(evs, perfettoEvent{
+					Name: string(seg.Phase),
+					Ph:   "X", Ts: seg.From, Dur: seg.Len(),
+					Pid: perfettoPidCritPath, Tid: slow.ID,
+					Args: map[string]any{"msg": seg.Msg},
+				})
+			}
+		}
+	}
+
+	counter := func(name string, ts int64, v any) {
+		evs = append(evs, perfettoEvent{
+			Name: name, Ph: "C", Ts: ts, Pid: perfettoPidCounters,
+			Args: map[string]any{"value": v},
+		})
+	}
+	var prevCarried int64
+	for i, s := range t.Samples {
+		counter("link_flits_in_flight", s.Cycle, s.LinkFlits)
+		counter("input_queue_flits", s.Cycle, s.InputFlits)
+		counter("cb_chunks_in_use", s.Cycle, s.CBChunks)
+		counter("nic_send_queue", s.Cycle, s.NICQueue)
+		if i > 0 {
+			counter("link_flits_delivered_delta", s.Cycle, s.LinkCarried-prevCarried)
+		}
+		prevCarried = s.LinkCarried
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     evs,
+		"displayTimeUnit": "ms",
+	})
+}

@@ -1,0 +1,34 @@
+package obs
+
+// GaugeSource is anything that can report instantaneous fabric occupancy;
+// core.Simulator implements it by summing link, switch, and NIC state.
+type GaugeSource interface {
+	// SampleGauges snapshots current occupancy. The probe stamps the cycle.
+	SampleGauges() Sample
+}
+
+// Probe is an engine.Component that samples a GaugeSource every Every cycles
+// into a Capture. It declares no inputs, so the scheduler steps it every
+// cycle; registered after the fabric's components, it observes post-step
+// state. It holds no work of its own and so never delays a drain.
+type Probe struct {
+	Every  int64
+	Source GaugeSource
+	Cap    *Capture
+}
+
+// Name identifies the probe in diagnostics.
+func (p *Probe) Name() string { return "obs-probe" }
+
+// Quiesced implements engine.Component; the probe never holds work.
+func (p *Probe) Quiesced() bool { return true }
+
+// Step samples the source on probe-period boundaries.
+func (p *Probe) Step(now int64) {
+	if p.Every <= 0 || now%p.Every != 0 {
+		return
+	}
+	s := p.Source.SampleGauges()
+	s.Cycle = now
+	p.Cap.AddSample(s)
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Histogram is a fixed-bucket histogram matching the Prometheus exposition
+// model: cumulative bucket counts, a sum, and a total count. It is not
+// thread-safe; callers that share one (the mdwd pool) guard it with their
+// own lock.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []int64   // len(bounds)+1, non-cumulative per bucket
+	sum    float64
+	n      int64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be ascending")
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// ExpBuckets returns n bounds starting at start and growing by factor —
+// the usual shape for latency and occupancy histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Clone returns an independent copy (for rendering outside the owner's lock).
+func (h *Histogram) Clone() *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), h.bounds...),
+		counts: append([]int64(nil), h.counts...),
+		sum:    h.sum,
+		n:      h.n,
+	}
+}
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE comment lines followed by sample lines.
+type PromWriter struct {
+	W io.Writer
+	// Err latches the first write error so call sites can chain freely.
+	Err error
+}
+
+// PromContentType is the Content-Type a server must use when serving the
+// output of a PromWriter.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.Err != nil {
+		return
+	}
+	_, p.Err = fmt.Fprintf(p.W, format, args...)
+}
+
+func (p *PromWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Gauge writes one gauge metric.
+func (p *PromWriter) Gauge(name, help string, v float64) {
+	p.header(name, help, "gauge")
+	p.printf("%s %s\n", name, promFloat(v))
+}
+
+// Counter writes one counter metric.
+func (p *PromWriter) Counter(name, help string, v float64) {
+	p.header(name, help, "counter")
+	p.printf("%s %s\n", name, promFloat(v))
+}
+
+// Histogram writes one histogram metric with cumulative le-labelled buckets.
+func (p *PromWriter) Histogram(name, help string, h *Histogram) {
+	p.header(name, help, "histogram")
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		p.printf("%s_bucket{le=%q} %d\n", name, promFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	p.printf("%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	p.printf("%s_sum %s\n", name, promFloat(h.sum))
+	p.printf("%s_count %d\n", name, h.n)
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"mdworm/internal/engine"
+)
+
+// OpSpan is the reconstructed lifetime of one collective operation.
+type OpSpan struct {
+	ID        uint64
+	Src       int
+	NumDests  int
+	Scheme    string
+	Start     int64 // op-start cycle
+	End       int64 // op-done cycle (meaningful when Completed)
+	Latency   int64 // last-arrival latency reported at op-done
+	Msgs      int   // messages the op sent (reported at op-done)
+	Dropped   int   // destinations dropped (faulted runs)
+	Completed bool
+}
+
+// Delivery is one complete message arrival at a NIC.
+type Delivery struct {
+	Cycle int64
+	Actor string // "nicN"
+}
+
+// Interval is a half-open cycle range [From, To).
+type Interval struct {
+	From, To int64
+}
+
+// Len returns the interval length in cycles.
+func (iv Interval) Len() int64 { return iv.To - iv.From }
+
+// Decode is one routing decision a message's worm took at a switch.
+type Decode struct {
+	Cycle    int64
+	Branches int
+}
+
+// MsgSpan is the reconstructed lifetime of one message: injection, the
+// deliveries of its (possibly replicated) worms, and the waits and routing
+// decisions observed along the way.
+type MsgSpan struct {
+	ID          uint64
+	Op          uint64
+	Inject      int64
+	InjectActor string // "nicN" that injected it
+	Injected    bool
+	Len         int // message length in flits (header + payload)
+	Delivers    []Delivery
+	Waits       []Interval // reservation (admit) and grant waits
+	Decodes     []Decode
+	Forwarded   bool // spawned software-forwarding children
+}
+
+// traceIndex is the span view of a trace, built once per Trace.
+type traceIndex struct {
+	ops      map[uint64]*OpSpan
+	msgs     map[uint64]*MsgSpan
+	opMsgs   map[uint64][]*MsgSpan // op id -> its messages, inject order
+	opOrder  []uint64              // op ids in op-start order
+	badSpans int                   // events referencing ids never started
+}
+
+// index builds (and caches) the span view.
+func (t *Trace) index() *traceIndex {
+	if t.idx != nil {
+		return t.idx
+	}
+	ix := &traceIndex{
+		ops:    make(map[uint64]*OpSpan),
+		msgs:   make(map[uint64]*MsgSpan),
+		opMsgs: make(map[uint64][]*MsgSpan),
+	}
+	msg := func(e engine.TraceEvent) *MsgSpan {
+		m := ix.msgs[e.Msg]
+		if m == nil {
+			m = &MsgSpan{ID: e.Msg, Op: e.Op}
+			ix.msgs[e.Msg] = m
+		}
+		if m.Op == 0 {
+			m.Op = e.Op
+		}
+		return m
+	}
+	for _, e := range t.Events {
+		switch e.Kind {
+		case engine.TraceOpStart:
+			op := &OpSpan{ID: e.Op, Start: e.Cycle, Src: -1}
+			if v, ok := detailInt(e.Detail, "src"); ok {
+				op.Src = int(v)
+			}
+			if l, ok := detailList(e.Detail, "dests"); ok {
+				op.NumDests = len(l)
+			}
+			if s, ok := detailString(e.Detail, "scheme"); ok {
+				op.Scheme = s
+			}
+			ix.ops[e.Op] = op
+			ix.opOrder = append(ix.opOrder, e.Op)
+		case engine.TraceOpDone:
+			op := ix.ops[e.Op]
+			if op == nil {
+				ix.badSpans++
+				continue
+			}
+			op.End = e.Cycle
+			op.Completed = true
+			if v, ok := detailInt(e.Detail, "latency"); ok {
+				op.Latency = v
+			}
+			if v, ok := detailInt(e.Detail, "msgs"); ok {
+				op.Msgs = int(v)
+			}
+			if v, ok := detailInt(e.Detail, "dropped"); ok {
+				op.Dropped = int(v)
+			}
+		case engine.TraceInject:
+			m := msg(e)
+			m.Inject = e.Cycle
+			m.InjectActor = e.Actor
+			m.Injected = true
+			if v, ok := detailInt(e.Detail, "len"); ok {
+				m.Len = int(v)
+			}
+			ix.opMsgs[m.Op] = append(ix.opMsgs[m.Op], m)
+		case engine.TraceDeliver:
+			m := msg(e)
+			m.Delivers = append(m.Delivers, Delivery{Cycle: e.Cycle, Actor: e.Actor})
+		case engine.TraceAdmit, engine.TraceGrant:
+			if w, ok := detailInt(e.Detail, "waited"); ok && w > 0 {
+				m := msg(e)
+				m.Waits = append(m.Waits, Interval{From: e.Cycle - w, To: e.Cycle})
+			}
+		case engine.TraceDecode:
+			m := msg(e)
+			if b, ok := detailInt(e.Detail, "branches"); ok {
+				m.Decodes = append(m.Decodes, Decode{Cycle: e.Cycle, Branches: int(b)})
+			}
+		case engine.TraceForward:
+			msg(e).Forwarded = true
+		}
+	}
+	t.idx = ix
+	return ix
+}
+
+// Ops returns every op span in start order.
+func (t *Trace) Ops() []*OpSpan {
+	ix := t.index()
+	out := make([]*OpSpan, 0, len(ix.opOrder))
+	for _, id := range ix.opOrder {
+		out = append(out, ix.ops[id])
+	}
+	return out
+}
+
+// Op returns the span of one op (nil if the trace never saw it start).
+func (t *Trace) Op(id uint64) *OpSpan { return t.index().ops[id] }
+
+// OpMessages returns the messages of an op in injection order.
+func (t *Trace) OpMessages(id uint64) []*MsgSpan {
+	ms := t.index().opMsgs[id]
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].Inject < ms[j].Inject })
+	return ms
+}
+
+// SlowestOp returns the completed, undegraded op with the largest
+// last-arrival latency (nil when none completed).
+func (t *Trace) SlowestOp() *OpSpan {
+	var best *OpSpan
+	for _, op := range t.Ops() {
+		if !op.Completed || op.Dropped > 0 {
+			continue
+		}
+		if best == nil || op.Latency > best.Latency {
+			best = op
+		}
+	}
+	return best
+}
+
+// String renders an op span as one table row fragment.
+func (op *OpSpan) String() string {
+	state := "incomplete"
+	if op.Completed {
+		state = fmt.Sprintf("latency=%d", op.Latency)
+	}
+	return fmt.Sprintf("op %d src=%d dests=%d msgs=%d start=%d %s",
+		op.ID, op.Src, op.NumDests, op.Msgs, op.Start, state)
+}

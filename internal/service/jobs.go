@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mdworm/internal/engine"
+	"mdworm/internal/obs"
 )
 
 // ErrJobPanic wraps a panic escaping a job function. The worker recovers it,
@@ -34,6 +35,9 @@ type JobStats struct {
 	Cycles int64
 	// Violations counts model-invariant checker hits across those runs.
 	Violations int64
+	// Occupancy is the peak sampled buffer occupancy across the job's runs
+	// (central-buffer chunks or input-buffer flits; 0 when not sampled).
+	Occupancy int
 }
 
 // Job is one scheduled unit of work: a single run or an experiment sweep.
@@ -92,6 +96,10 @@ type Pool struct {
 	violations int64
 	deadlocks  int64
 	busy       time.Duration
+
+	// Distributions for /metrics; guarded by mu, cloned for rendering.
+	jobSeconds   *obs.Histogram
+	runOccupancy *obs.Histogram
 }
 
 // NewPool starts workers goroutines servicing a backlog of pending jobs
@@ -106,6 +114,10 @@ func NewPool(workers, backlog int) *Pool {
 	p := &Pool{
 		jobs:  make(map[string]*Job),
 		tasks: make(chan *Job, backlog),
+		// Job latency from 1ms to ~17min; occupancy from one chunk/flit to
+		// well past any configured buffer size.
+		jobSeconds:   obs.NewHistogram(obs.ExpBuckets(0.001, 4, 10)...),
+		runOccupancy: obs.NewHistogram(obs.ExpBuckets(1, 4, 8)...),
 	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -141,6 +153,10 @@ func (p *Pool) worker() {
 			p.deadlocks++
 		}
 		p.busy += j.finished.Sub(j.started)
+		p.jobSeconds.Observe(j.finished.Sub(j.started).Seconds())
+		if stats.Occupancy > 0 {
+			p.runOccupancy.Observe(float64(stats.Occupancy))
+		}
 		p.mu.Unlock()
 		close(j.done)
 	}
@@ -267,6 +283,14 @@ func (p *Pool) FaultTotals() (violations, deadlocks int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.violations, p.deadlocks
+}
+
+// Histograms returns independent copies of the pool's latency and occupancy
+// distributions for rendering.
+func (p *Pool) Histograms() (jobSeconds, runOccupancy *obs.Histogram) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.jobSeconds.Clone(), p.runOccupancy.Clone()
 }
 
 // Err returns the failure error of a terminal job (nil otherwise); the

@@ -12,6 +12,7 @@ import (
 	"mdworm/internal/core"
 	"mdworm/internal/engine"
 	"mdworm/internal/experiments"
+	"mdworm/internal/obs"
 	"mdworm/internal/stats"
 )
 
@@ -171,8 +172,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return JobStats{}, err
 		}
+		// A coarse samples-only capture (no tracer) feeds the occupancy
+		// histogram of /metrics without perturbing the run.
+		occ := &obs.Capture{SampleEvery: 256}
+		sim.Observe(occ)
 		res, err := sim.Run()
-		st := JobStats{Points: 1, Cycles: sim.Now(), Violations: sim.Invariants().Total()}
+		st := JobStats{Points: 1, Cycles: sim.Now(), Violations: sim.Invariants().Total(),
+			Occupancy: occ.Summary().PeakOccupancy()}
 		if err != nil {
 			return st, err
 		}
@@ -319,11 +325,13 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.pool.Submit("experiment", req.ID, func() (JobStats, error) {
 		defer close(events)
+		observer := &obs.SweepObserver{SampleEvery: 256}
 		opts := experiments.Options{
-			Quick:   req.Quick,
-			Seed:    req.Seed,
-			Workers: req.Workers,
-			Context: ctx,
+			Quick:    req.Quick,
+			Seed:     req.Seed,
+			Workers:  req.Workers,
+			Context:  ctx,
+			Observer: observer,
 			OnPoint: func(ev experiments.PointEvent) {
 				out := StreamEvent{
 					Type: "point", Tag: ev.Tag, X: ev.X,
@@ -339,7 +347,8 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			},
 		}
 		tables, st, err := experiments.RunIDs([]string{req.ID}, opts)
-		jst := JobStats{Points: st.Points, Cycles: st.Cycles, Violations: st.Violations}
+		jst := JobStats{Points: st.Points, Cycles: st.Cycles, Violations: st.Violations,
+			Occupancy: st.Occupancy.PeakOccupancy()}
 		if err != nil {
 			emit(StreamEvent{Type: "error", ID: req.ID, Err: err.Error()})
 			return jst, err
@@ -406,13 +415,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleMetrics reports plain-text counters in the same currency as
-// BENCH_sweep.json: points and simulated cycles, with rates over in-job
-// (busy) wall time. See README.md for the field reference.
+// handleMetrics reports the daemon's counters in the Prometheus text
+// exposition format (version 0.0.4): the historical metric names (same
+// currency as BENCH_sweep.json — points and simulated cycles, with rates
+// over in-job busy time) plus job-latency and run-occupancy histograms. See
+// README.md for the field reference.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counts := s.pool.Counts()
 	points, cycles, busy := s.pool.Totals()
 	violations, deadlocks := s.pool.FaultTotals()
+	jobSeconds, runOccupancy := s.pool.Histograms()
 	hits, misses, entries := s.cache.Stats()
 
 	var pps, cps float64
@@ -421,25 +433,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cps = float64(cycles) / sec
 	}
 
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "mdwd_up_seconds %.3f\n", time.Since(s.start).Seconds())
-	fmt.Fprintf(w, "mdwd_workers %d\n", s.cfg.Workers)
+	w.Header().Set("Content-Type", obs.PromContentType)
+	p := &obs.PromWriter{W: w}
+	p.Gauge("mdwd_up_seconds", "Seconds since the daemon started.", time.Since(s.start).Seconds())
+	p.Gauge("mdwd_workers", "Size of the simulation worker pool.", float64(s.cfg.Workers))
 	states := make([]string, 0, len(counts))
 	for st := range counts {
 		states = append(states, string(st))
 	}
 	sort.Strings(states)
 	for _, st := range states {
-		fmt.Fprintf(w, "mdwd_jobs_%s %d\n", st, counts[JobState(st)])
+		p.Gauge("mdwd_jobs_"+st, "Jobs currently in the "+st+" state.", float64(counts[JobState(st)]))
 	}
-	fmt.Fprintf(w, "mdwd_cache_hits %d\n", hits)
-	fmt.Fprintf(w, "mdwd_cache_misses %d\n", misses)
-	fmt.Fprintf(w, "mdwd_cache_entries %d\n", entries)
-	fmt.Fprintf(w, "mdwd_points_total %d\n", points)
-	fmt.Fprintf(w, "mdwd_simulated_cycles_total %d\n", cycles)
-	fmt.Fprintf(w, "mdwd_invariant_violations_total %d\n", violations)
-	fmt.Fprintf(w, "mdwd_deadlocks_total %d\n", deadlocks)
-	fmt.Fprintf(w, "mdwd_busy_seconds %.3f\n", busy.Seconds())
-	fmt.Fprintf(w, "mdwd_points_per_sec %.6g\n", pps)
-	fmt.Fprintf(w, "mdwd_cycles_per_sec %.6g\n", cps)
+	p.Counter("mdwd_cache_hits", "Result-cache hits.", float64(hits))
+	p.Counter("mdwd_cache_misses", "Result-cache misses.", float64(misses))
+	p.Gauge("mdwd_cache_entries", "Result-cache entries resident in memory.", float64(entries))
+	p.Counter("mdwd_points_total", "Independent simulator runs resolved.", float64(points))
+	p.Counter("mdwd_simulated_cycles_total", "Simulated cycles across all runs.", float64(cycles))
+	p.Counter("mdwd_invariant_violations_total", "Model-invariant checker hits across all runs.", float64(violations))
+	p.Counter("mdwd_deadlocks_total", "Watchdog-reported deadlocks across all jobs.", float64(deadlocks))
+	p.Counter("mdwd_busy_seconds", "In-job wall time across all workers.", busy.Seconds())
+	p.Gauge("mdwd_points_per_sec", "Points resolved per busy second.", pps)
+	p.Gauge("mdwd_cycles_per_sec", "Simulated cycles per busy second.", cps)
+	p.Histogram("mdwd_job_seconds", "Job wall time in seconds.", jobSeconds)
+	p.Histogram("mdwd_run_occupancy", "Peak sampled buffer occupancy per job (CB chunks or IB flits).", runOccupancy)
 }

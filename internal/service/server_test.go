@@ -8,10 +8,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"mdworm/internal/obs"
 )
 
 // tinyRun is a request body that simulates in a few milliseconds: a 16-node
@@ -551,6 +555,134 @@ func TestRunFaultErrors(t *testing.T) {
 		if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != tc.code {
 			t.Errorf("%s: error %s, want code %q", tc.body, body, tc.code)
 		}
+	}
+}
+
+// TestMetricsPrometheusFormat: /metrics serves the Prometheus text exposition
+// format — versioned content type, HELP/TYPE headers for every family, valid
+// sample lines, and well-formed (cumulative) histograms — while keeping the
+// historical metric names.
+func TestMetricsPrometheusFormat(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	if resp, body := postRun(t, ts.URL, tinyRun(5)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("content type %q, want %q", ct, obs.PromContentType)
+	}
+
+	types := map[string]string{}          // family -> TYPE
+	samples := map[string]float64{}       // sample name (no labels) -> last value
+	buckets := map[string][]float64{}     // histogram family -> cumulative bucket counts
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+	typeRe := regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	helpRe := regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if m := typeRe.FindStringSubmatch(line); m != nil {
+				types[m[1]] = m[2]
+			} else if helpRe.MatchString(line) {
+				// fine
+			} else {
+				t.Fatalf("malformed comment line: %q", line)
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		samples[m[1]] = v
+		// Every sample must belong to a declared family (histograms declare
+		// the base name; samples append _bucket/_sum/_count).
+		base := m[1]
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(m[1], suf) && types[strings.TrimSuffix(m[1], suf)] == "histogram" {
+				base = strings.TrimSuffix(m[1], suf)
+			}
+		}
+		if _, ok := types[base]; !ok {
+			t.Fatalf("sample %q has no # TYPE declaration", m[1])
+		}
+		if strings.HasSuffix(m[1], "_bucket") {
+			buckets[strings.TrimSuffix(m[1], "_bucket")] = append(buckets[strings.TrimSuffix(m[1], "_bucket")], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Historical names survive the format change.
+	for name, typ := range map[string]string{
+		"mdwd_up_seconds":             "gauge",
+		"mdwd_workers":                "gauge",
+		"mdwd_jobs_done":              "gauge",
+		"mdwd_cache_hits":             "counter",
+		"mdwd_points_total":           "counter",
+		"mdwd_simulated_cycles_total": "counter",
+		"mdwd_busy_seconds":           "counter",
+		"mdwd_job_seconds":            "histogram",
+		"mdwd_run_occupancy":          "histogram",
+	} {
+		if types[name] != typ {
+			t.Errorf("%s: TYPE %q, want %q", name, types[name], typ)
+		}
+	}
+	if samples["mdwd_points_total"] != 1 || samples["mdwd_jobs_done"] != 1 {
+		t.Fatalf("counters after one run: points=%v done=%v",
+			samples["mdwd_points_total"], samples["mdwd_jobs_done"])
+	}
+
+	// Histogram invariants: one observation, cumulative non-decreasing
+	// buckets ending at _count, +Inf bucket == _count.
+	for _, h := range []string{"mdwd_job_seconds", "mdwd_run_occupancy"} {
+		count := samples[h+"_count"]
+		bs := buckets[h]
+		if len(bs) == 0 {
+			t.Fatalf("%s: no buckets", h)
+		}
+		for i := 1; i < len(bs); i++ {
+			if bs[i] < bs[i-1] {
+				t.Fatalf("%s: buckets not cumulative: %v", h, bs)
+			}
+		}
+		if bs[len(bs)-1] != count {
+			t.Fatalf("%s: +Inf bucket %v != count %v", h, bs[len(bs)-1], count)
+		}
+	}
+	if samples["mdwd_job_seconds_count"] != 1 {
+		t.Fatalf("mdwd_job_seconds_count = %v after one job", samples["mdwd_job_seconds_count"])
+	}
+}
+
+// TestRunRecordsOccupancy: a completed run feeds the occupancy histogram —
+// the per-job peak lands in /metrics without any observability request.
+func TestRunRecordsOccupancy(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	// A higher-rate run so the coarse 256-cycle probe catches non-empty
+	// buffers deterministically.
+	body := `{"config":{"stages":2,"degree":4,"warmup_cycles":200,"measure_cycles":800,"drain_cycles":50000,"op_rate":0.01,"seed":3}}`
+	if resp, b := postRun(t, ts.URL, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d %s", resp.StatusCode, b)
+	}
+	_, occ := s.pool.Histograms()
+	if occ.N() != 1 || occ.Sum() <= 0 {
+		t.Fatalf("occupancy histogram after one busy run: n=%d sum=%g", occ.N(), occ.Sum())
 	}
 }
 

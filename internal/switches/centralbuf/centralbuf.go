@@ -115,6 +115,7 @@ type Stats struct {
 	AdmittedMcasts  int64 // multidestination worms admitted to the central buffer
 	ReserveWaitSum  int64 // total cycles multicasts waited for reservation
 	MaxChunksInUse  int   // high-water mark of allocated chunks
+	MaxBranchRefs   int   // high-water mark of output references (readers) on one buffered worm
 	UnicastCBEnters int64 // unicast packets diverted through the central buffer (busy output)
 	TokensCombined  int64 // barrier tokens absorbed by the combining logic
 	TokensEmitted   int64 // barrier tokens generated (combined-up or release)
@@ -284,6 +285,24 @@ func (s *Switch) Name() string {
 
 // Stats returns a snapshot of the switch counters.
 func (s *Switch) Stats() Stats { return s.stats }
+
+// Occupancy returns an instantaneous snapshot of the buffered state for the
+// observability probe.
+func (s *Switch) Occupancy() switches.Occupancy {
+	var o switches.Occupancy
+	for i := range s.in {
+		n := s.in[i].q.Len()
+		o.InputFlits += n
+		if n > o.MaxInputQ {
+			o.MaxInputQ = n
+		}
+	}
+	for i := range s.out {
+		o.OutputFlits += len(s.out[i].fifo)
+	}
+	o.CBChunks = s.chunksInUse
+	return o
+}
 
 // InputCredits returns the credit count to grant on links feeding this
 // switch (the input FIFO capacity).
@@ -588,6 +607,9 @@ func (s *Switch) admit(pb *packetBuf, now int64) {
 	in.pb = pb
 	if pb.multicast {
 		s.stats.AdmittedMcasts++
+	}
+	if n := len(pb.branches); n > s.stats.MaxBranchRefs {
+		s.stats.MaxBranchRefs = n
 	}
 	s.stats.ReserveWaitSum += now - in.waitSince
 	if s.sim.Tracing() {

@@ -105,6 +105,22 @@ func (rr *RoundRobin) Pick(want func(i int) bool) int {
 	return -1
 }
 
+// Occupancy is an instantaneous snapshot of the buffered state inside one
+// switch, taken by the observability probe between cycles.
+type Occupancy struct {
+	// InputFlits is the total number of flits buffered across input
+	// FIFOs/buffers.
+	InputFlits int
+	// MaxInputQ is the deepest single input FIFO/buffer.
+	MaxInputQ int
+	// OutputFlits is the total staged in output FIFOs (central-buffer
+	// model only; the input-buffered model has no output staging).
+	OutputFlits int
+	// CBChunks is the number of central-buffer chunks currently allocated
+	// (central-buffer model only).
+	CBChunks int
+}
+
 // Stats aggregates counters common to all switch models.
 type Stats struct {
 	FlitsIn      int64 // flits accepted from input links

@@ -174,6 +174,20 @@ func (s *Switch) Name() string {
 // Stats returns a snapshot of the switch counters.
 func (s *Switch) Stats() Stats { return s.stats }
 
+// Occupancy returns an instantaneous snapshot of the buffered state for the
+// observability probe.
+func (s *Switch) Occupancy() switches.Occupancy {
+	var o switches.Occupancy
+	for i := range s.in {
+		n := s.in[i].occupancy
+		o.InputFlits += n
+		if n > o.MaxInputQ {
+			o.MaxInputQ = n
+		}
+	}
+	return o
+}
+
 // InputCredits returns the credit count to grant on links feeding this
 // switch (the input buffer capacity).
 func (s *Switch) InputCredits() int { return s.cfg.BufFlits }

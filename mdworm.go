@@ -42,6 +42,7 @@ import (
 	"mdworm/internal/engine"
 	"mdworm/internal/experiments"
 	"mdworm/internal/faults"
+	"mdworm/internal/obs"
 	"mdworm/internal/routing"
 	"mdworm/internal/stats"
 	"mdworm/internal/topology"
@@ -169,6 +170,34 @@ type TraceEvent = engine.TraceEvent
 
 // NewWriterTracer returns a tracer that formats one line per event on w.
 func NewWriterTracer(w io.Writer) Tracer { return &engine.WriterTracer{W: w} }
+
+// Capture collects a run's observability data — trace events and cycle-
+// sampled buffer occupancy — when attached via Simulator.Observe. Set Stream
+// to write an ndjson timeline for cmd/mdwtrace; set CaptureEvents for
+// in-process analysis (Trace, WritePerfetto).
+type Capture = obs.Capture
+
+// Timeline is the analyzable form of a captured run: reconstructed operation
+// and message spans, the occupancy time series, and last-arrival critical
+// paths with per-phase attribution.
+type Timeline = obs.Trace
+
+// OccupancySummary condenses a run's occupancy samples into peaks and means.
+type OccupancySummary = obs.Summary
+
+// SweepObserver aggregates occupancy summaries across an experiment sweep;
+// attach one through ExperimentOptions.Observer and read SweepStats.Occupancy.
+type SweepObserver = obs.SweepObserver
+
+// NewCapture returns a capture that retains events and samples occupancy
+// every 64 cycles — the defaults for in-process analysis.
+func NewCapture() *Capture { return obs.NewCapture() }
+
+// ReadTimeline parses an ndjson timeline written by a streaming Capture.
+func ReadTimeline(r io.Reader) (*Timeline, error) { return obs.ReadTrace(r) }
+
+// WritePerfetto exports a timeline as Perfetto/Chrome trace-event JSON.
+func WritePerfetto(w io.Writer, t *Timeline) error { return obs.WritePerfetto(w, t) }
 
 // DefaultConfig returns the experiments' baseline system: a 64-node 3-stage
 // BMIN of 8-port central-buffer switches with hardware bit-string multicast.
