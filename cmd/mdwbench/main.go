@@ -31,9 +31,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -76,6 +78,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		workers  = fs.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS)")
 		benchOut = fs.String("bench-out", "", "append batch timing stats (points/sec, cycles/sec) to this JSON history file")
 		daemon   = fs.String("daemon", "", "run experiments on an mdwd daemon at this base URL (e.g. http://localhost:8080)")
+		retries  = fs.Int("retries", 5, "with -daemon: retry a busy, draining, or unreachable daemon this many times (exponential backoff honoring Retry-After)")
 		verbose  = fs.Bool("v", false, "per-point progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -100,7 +103,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		points, cycles, wall, err = runRemote(ctx, *daemon, ids, remoteOpts{
-			Quick: *quick, Seed: *seed, Workers: *workers, Verbose: *verbose,
+			Quick: *quick, Seed: *seed, Workers: *workers, Verbose: *verbose, Retries: *retries,
 		}, stdout, stderr)
 		wkrs = *workers
 	} else {
@@ -210,6 +213,7 @@ type remoteOpts struct {
 	Seed    uint64
 	Workers int
 	Verbose bool
+	Retries int
 }
 
 // runRemote drives each experiment on an mdwd daemon via POST /v1/experiment,
@@ -225,13 +229,7 @@ func runRemote(ctx context.Context, base string, ids []string, o remoteOpts, std
 		if err != nil {
 			return points, cycles, wall, err
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-			base+"/v1/experiment", strings.NewReader(string(reqBody)))
-		if err != nil {
-			return points, cycles, wall, err
-		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := client.Do(req)
+		resp, err := postWithRetry(ctx, client, base+"/v1/experiment", string(reqBody), o.Retries, o.Verbose, stderr)
 		if err != nil {
 			if ctx.Err() != nil {
 				return points, cycles, wall, ctx.Err()
@@ -251,6 +249,63 @@ func runRemote(ctx context.Context, base string, ids []string, o remoteOpts, std
 		wall += w
 	}
 	return points, cycles, wall, nil
+}
+
+// postWithRetry posts body to url, retrying an unreachable daemon
+// (connection refused while it restarts) and 429/503 backpressure rejections
+// with exponential backoff plus jitter, honoring the server's Retry-After
+// hint when one is present. Any other response returns to the caller as-is.
+func postWithRetry(ctx context.Context, client *http.Client, url, body string, retries int, verbose bool, stderr io.Writer) (*http.Response, error) {
+	backoff := time.Second
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		wait := time.Duration(0)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			wait = backoff
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			wait = backoff
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+		default:
+			return resp, nil
+		}
+		if attempt >= retries {
+			if err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("daemon still rejecting (%s) after %d retries", resp.Status, retries)
+		}
+		// Full jitter on the upper half of the window keeps a fleet of
+		// retrying clients from re-colliding on the same instant.
+		wait = wait/2 + time.Duration(rand.Int63n(int64(wait/2)+1))
+		if verbose {
+			fmt.Fprintf(stderr, "mdwbench: daemon busy or unreachable, retrying in %s (attempt %d/%d)\n",
+				wait.Round(time.Millisecond), attempt+1, retries)
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		backoff *= 2
+		if backoff > time.Minute {
+			backoff = time.Minute
+		}
+	}
 }
 
 // consumeStream reads one /v1/experiment JSON-lines response to completion.

@@ -53,18 +53,26 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		maxCycles    = fs.Int64("max-cycles", 5_000_000, "per-request simulated-cycle ceiling (0 = unlimited)")
 		runTimeout   = fs.Duration("run-timeout", 2*time.Minute, "how long /v1/run waits before handing the job to the background")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+		ckptEvery    = fs.Int64("checkpoint-every", 0, "checkpoint running jobs every N simulated cycles so a restart resumes them (needs -cache-dir; 0 = off)")
+		jobDeadline  = fs.Duration("job-deadline", 0, "fail jobs that waited queued longer than this instead of running them (0 = no deadline)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	if *ckptEvery > 0 && *cacheDir == "" {
+		fmt.Fprintln(stderr, "mdwd: -checkpoint-every needs -cache-dir (checkpoints and the job journal live there)")
+		return 2
+	}
 	srv, err := service.New(service.Config{
-		Workers:      *workers,
-		Backlog:      *backlog,
-		CacheEntries: *cacheEntries,
-		CacheDir:     *cacheDir,
-		MaxCycles:    *maxCycles,
-		RunTimeout:   *runTimeout,
+		Workers:         *workers,
+		Backlog:         *backlog,
+		CacheEntries:    *cacheEntries,
+		CacheDir:        *cacheDir,
+		MaxCycles:       *maxCycles,
+		RunTimeout:      *runTimeout,
+		CheckpointEvery: *ckptEvery,
+		JobDeadline:     *jobDeadline,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "mdwd:", err)

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mdworm"
+)
+
+// smallConfig mirrors smallArgs at the library level, for planting snapshot
+// files the CLI then resumes from. restoreSnapshot verifies the mapping, so
+// drift between the two fails these tests loudly rather than silently.
+func smallConfig() mdworm.Config {
+	cfg := mdworm.DefaultConfig()
+	cfg.Stages = 2
+	cfg.Seed = 1
+	cfg.WarmupCycles = 200
+	cfg.MeasureCycles = 800
+	cfg.Traffic.Degree = 4
+	cfg.Traffic.OpRate = cfg.Traffic.RateForLoad(0.05)
+	return cfg
+}
+
+func TestCheckpointFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"checkpoint with reps", smallArgs("-checkpoint", "x.ckpt", "-reps", "2"), "-reps 1"},
+		{"checkpoint with trace", smallArgs("-checkpoint", "x.ckpt", "-trace", "-"), "incompatible"},
+		{"every without file", smallArgs("-checkpoint-every", "100"), "-checkpoint FILE"},
+		{"negative every", smallArgs("-checkpoint", "x.ckpt", "-checkpoint-every", "-1"), "positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(context.Background(), tc.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Fatalf("stderr %q does not mention %q", stderr.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestCheckpointedRunOutputUnchanged: a run that checkpoints along the way
+// prints the byte-identical report of an unobserved run and cleans up its
+// snapshot file on success — zero cost to the normal path's contract.
+func TestCheckpointedRunOutputUnchanged(t *testing.T) {
+	var plain, plainErr bytes.Buffer
+	if code := run(context.Background(), smallArgs(), &plain, &plainErr); code != 0 {
+		t.Fatalf("plain run: exit %d\n%s", code, plainErr.String())
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	var ck, ckErr bytes.Buffer
+	args := smallArgs("-checkpoint", ckpt, "-checkpoint-every", "250")
+	if code := run(context.Background(), args, &ck, &ckErr); code != 0 {
+		t.Fatalf("checkpointed run: exit %d\n%s", code, ckErr.String())
+	}
+	if !bytes.Equal(plain.Bytes(), ck.Bytes()) {
+		t.Fatalf("checkpointing changed the report:\n--- plain ---\n%s\n--- checkpointed ---\n%s", plain.String(), ck.String())
+	}
+	if _, err := os.Stat(ckpt); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("snapshot file survived a completed run (stat: %v)", err)
+	}
+}
+
+// TestResumeMatchesUninterrupted: a snapshot taken mid-run and resumed via
+// -resume renders the byte-identical report of the uninterrupted run.
+func TestResumeMatchesUninterrupted(t *testing.T) {
+	var want, wantErr bytes.Buffer
+	if code := run(context.Background(), smallArgs(), &want, &wantErr); code != 0 {
+		t.Fatalf("reference run: exit %d\n%s", code, wantErr.String())
+	}
+
+	sim, err := mdworm.New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := errors.New("crash")
+	var blob []byte
+	_, err = sim.RunCheckpointed(250, func(data []byte, cycle int64) error {
+		blob = data
+		return crash
+	})
+	if !errors.Is(err, crash) {
+		t.Fatalf("run ended with %v before the snapshot", err)
+	}
+	file := filepath.Join(t.TempDir(), "mid.ckpt")
+	if err := os.WriteFile(file, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var got, gotErr bytes.Buffer
+	if code := run(context.Background(), smallArgs("-resume", file), &got, &gotErr); code != 0 {
+		t.Fatalf("resumed run: exit %d\n%s", code, gotErr.String())
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("resumed report differs from uninterrupted run:\n--- want ---\n%s\n--- got ---\n%s", want.String(), got.String())
+	}
+}
+
+// TestResumeRejectsMismatchedFlags: resuming under flags that describe a
+// different system must fail loudly, not print a report with wrong labels.
+func TestResumeRejectsMismatchedFlags(t *testing.T) {
+	sim, err := mdworm.New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := errors.New("crash")
+	var blob []byte
+	if _, err := sim.RunCheckpointed(250, func(data []byte, cycle int64) error {
+		blob = data
+		return crash
+	}); !errors.Is(err, crash) {
+		t.Fatalf("run ended with %v before the snapshot", err)
+	}
+	file := filepath.Join(t.TempDir(), "mid.ckpt")
+	if err := os.WriteFile(file, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	args := smallArgs("-resume", file, "-seed", "99") // seed disagrees with the blob
+	if code := run(context.Background(), args, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "different configuration") {
+		t.Fatalf("stderr %q does not explain the mismatch", stderr.String())
+	}
+}

@@ -11,15 +11,23 @@
 // the first replica prints the full report and a seed-spread summary follows.
 // Ctrl-C (or SIGTERM) stops cleanly: running replicas finish, pending ones
 // are skipped, and the process exits 130.
+//
+// Long runs survive crashes with -checkpoint FILE -checkpoint-every N: the
+// snapshot file is atomically replaced every N simulated cycles and removed
+// on success. To resume, rerun the same command plus -resume FILE; the
+// report is byte-identical to the uninterrupted run.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -64,6 +72,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		workers  = fs.Int("workers", 0, "concurrent replicas when -reps > 1 (0 = GOMAXPROCS)")
 		faultArg = fs.String("faults", "", "fault plan spec like 'link-down@1000:sw3.p2;nic-stall@500+200:n5', or @file holding one")
 		strict   = fs.Bool("strict", false, "upgrade model-invariant violations to hard run failures")
+		ckptFile = fs.String("checkpoint", "", "write a resumable snapshot to this file (atomic replace) every -checkpoint-every cycles")
+		ckptEv   = fs.Int64("checkpoint-every", 0, "checkpoint period in simulated cycles (0 with -checkpoint = 100000)")
+		resume   = fs.String("resume", "", "resume from a snapshot written by -checkpoint; rerun with the original flags plus -resume")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -117,6 +128,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mdwsim: -reps must be >= 1")
 		return 2
 	}
+	if (*ckptFile != "" || *resume != "") && *reps != 1 {
+		fmt.Fprintln(stderr, "mdwsim: -checkpoint/-resume require -reps 1 (a snapshot holds exactly one simulator)")
+		return 2
+	}
+	if *ckptFile != "" && (*trace != "" || *timeline != "" || *perfetto != "") {
+		// Snapshot refuses attached observers rather than silently dropping
+		// them, so refuse the combination up front with a better message.
+		fmt.Fprintln(stderr, "mdwsim: -checkpoint is incompatible with -trace/-timeline/-perfetto")
+		return 2
+	}
+	if *ckptEv < 0 || (*ckptEv > 0 && *ckptFile == "") {
+		fmt.Fprintln(stderr, "mdwsim: -checkpoint-every needs -checkpoint FILE and a positive period")
+		return 2
+	}
+	if *ckptFile != "" && *ckptEv == 0 {
+		*ckptEv = 100_000
+	}
 	traceOut := stderr
 	if *trace != "" && *trace != "-" {
 		f, err := os.Create(*trace)
@@ -162,7 +190,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		c := cfg
 		c.Seed = *seed + uint64(r)
-		sim, err := mdworm.New(c)
+		var sim *mdworm.Simulator
+		var err error
+		if r == 0 && *resume != "" {
+			sim, err = restoreSnapshot(*resume, c)
+		} else {
+			sim, err = mdworm.New(c)
+		}
 		if err != nil {
 			outs[r].err = err
 			return
@@ -173,7 +207,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if r == 0 && capture != nil {
 			sim.Observe(capture)
 		}
-		res, err := sim.Run()
+		var res mdworm.Results
+		if r == 0 && *ckptEv > 0 {
+			// A checkpoint the user asked for that cannot be written is a
+			// hard failure — silent loss of durability defeats the flag.
+			res, err = sim.RunCheckpointed(*ckptEv, func(data []byte, cycle int64) error {
+				if werr := atomicWrite(*ckptFile, data); werr != nil {
+					return fmt.Errorf("checkpoint at cycle %d: %w", cycle, werr)
+				}
+				return nil
+			})
+		} else {
+			res, err = sim.Run()
+		}
 		outs[r] = repOut{sim: sim, res: res, err: err}
 	}
 	w := *workers
@@ -214,6 +260,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	sim, res := outs[0].sim, outs[0].res
+	if *ckptFile != "" {
+		os.Remove(*ckptFile) // the completed report supersedes the snapshot
+	}
 
 	// Observability outputs go to stderr/files only: the stdout report stays
 	// byte-identical whether or not the run was observed.
@@ -302,6 +351,66 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		printSwitchStats(stdout, sim)
 	}
 	return 0
+}
+
+// restoreSnapshot loads a -checkpoint blob and verifies the command line
+// describes the same system the snapshot embeds, so the printed report's
+// labels (arch, scheme, load, seed) stay truthful.
+func restoreSnapshot(path string, flagCfg mdworm.Config) (*mdworm.Simulator, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := mdworm.Restore(blob)
+	if err != nil {
+		return nil, err
+	}
+	canon, err := flagCfg.Canonicalize()
+	if err != nil {
+		return nil, err
+	}
+	want, err := json.Marshal(canon)
+	if err != nil {
+		return nil, err
+	}
+	got, err := json.Marshal(sim.Config())
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(want, got) {
+		return nil, fmt.Errorf("snapshot %s was taken under a different configuration; rerun with the original flags plus -resume", path)
+	}
+	return sim, nil
+}
+
+// atomicWrite replaces path via temp file, fsync, and rename, so an
+// interrupted write never leaves a torn snapshot behind.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".mdwsim-ckpt-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
 }
 
 // printSwitchStats aggregates per-switch counters across the fabric.

@@ -1,0 +1,169 @@
+package ckpt
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestPrimitiveRoundTrip checks every primitive through one encode/decode.
+func TestPrimitiveRoundTrip(t *testing.T) {
+	var e Enc
+	e.U8(0xab)
+	e.Bool(true)
+	e.Bool(false)
+	e.U64(math.MaxUint64)
+	e.I64(-42)
+	e.Int(123456789)
+	e.F64(3.14159)
+	e.F64(math.Inf(-1))
+	e.Bytes64([]byte{1, 2, 3})
+	e.Bytes64(nil)
+	e.String("hello")
+
+	d := NewDec(e.Bytes())
+	if got := d.U8(); got != 0xab {
+		t.Errorf("U8 = %x", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := d.U64(); got != math.MaxUint64 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.Int(); got != 123456789 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := d.F64(); got != 3.14159 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := d.F64(); !math.IsInf(got, -1) {
+		t.Errorf("F64 inf = %v", got)
+	}
+	if got := d.Bytes64(); len(got) != 3 || got[0] != 1 {
+		t.Errorf("Bytes64 = %v", got)
+	}
+	if got := d.Bytes64(); len(got) != 0 {
+		t.Errorf("empty Bytes64 = %v", got)
+	}
+	if got := d.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode error: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("%d bytes left over", d.Remaining())
+	}
+}
+
+// TestDecStickyError checks that reads past the end set the error once and
+// every subsequent read returns zero without panicking.
+func TestDecStickyError(t *testing.T) {
+	d := NewDec([]byte{1, 2})
+	_ = d.U64() // needs 8 bytes, only 2 present
+	if d.Err() == nil {
+		t.Fatal("expected error on short read")
+	}
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("error %v does not wrap ErrCorrupt", d.Err())
+	}
+	first := d.Err()
+	if got := d.Int(); got != 0 {
+		t.Errorf("read after error = %d", got)
+	}
+	d.Fail("later failure")
+	if d.Err() != first {
+		t.Error("sticky error was overwritten")
+	}
+}
+
+// TestDecBadBool checks that bool bytes other than 0/1 are corruption.
+func TestDecBadBool(t *testing.T) {
+	d := NewDec([]byte{2})
+	_ = d.Bool()
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("bool byte 2 gave %v", d.Err())
+	}
+}
+
+// TestCountBound checks hostile counts are rejected before allocation.
+func TestCountBound(t *testing.T) {
+	var e Enc
+	e.Int(1 << 40) // claims 2^40 elements
+	d := NewDec(e.Bytes())
+	if n := d.Count(8); n != 0 || d.Err() == nil {
+		t.Fatalf("Count = %d, err %v", n, d.Err())
+	}
+	var neg Enc
+	neg.Int(-1)
+	d = NewDec(neg.Bytes())
+	if n := d.Count(1); n != 0 || d.Err() == nil {
+		t.Fatalf("negative Count = %d, err %v", n, d.Err())
+	}
+}
+
+// TestWriterReaderRoundTrip checks the container format end to end.
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Section("alpha").U64(7)
+	w.Section("beta").String("payload")
+	w.Section("alpha").Int(9) // appends to the existing section
+	blob := w.Finish()
+
+	r, err := NewReader(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Section("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.U64() != 7 || a.Int() != 9 || a.Err() != nil {
+		t.Error("alpha section corrupted")
+	}
+	b, err := r.Section("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "payload" || b.Err() != nil {
+		t.Error("beta section corrupted")
+	}
+	if !r.Has("alpha") || r.Has("gamma") {
+		t.Error("Has misreports sections")
+	}
+	if _, err := r.Section("gamma"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("missing section gave %v", err)
+	}
+}
+
+// TestReaderRejectsCorruption flips, truncates, and mangles a valid blob and
+// checks every case is a structured error.
+func TestReaderRejectsCorruption(t *testing.T) {
+	w := NewWriter()
+	w.Section("s").String("some section payload")
+	blob := w.Finish()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     blob[:len(Magic)+4],
+		"bad magic": append([]byte("NOTCKPT1"), blob[len(Magic):]...),
+		"truncated": blob[:len(blob)-3],
+	}
+	flipped := append([]byte(nil), blob...)
+	flipped[len(flipped)-1] ^= 0x01
+	cases["bit flip"] = flipped
+
+	for name, b := range cases {
+		if _, err := NewReader(b); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got %v, want ErrCorrupt", name, err)
+		}
+	}
+
+	if _, err := NewReader(blob); err != nil {
+		t.Fatalf("pristine blob rejected: %v", err)
+	}
+}

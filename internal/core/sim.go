@@ -37,6 +37,16 @@ type Simulator struct {
 	outstanding int // ops not yet fully delivered
 	genOn       bool
 
+	// Run's phase machine, checkpointable mid-run: phase tracks how far the
+	// methodology has advanced, backlog is the NIC queue depth measured at
+	// the end of the load phase (a saturation input), and drainEnd is the
+	// drain budget's absolute deadline. fdrv is the registered fault driver,
+	// if any (its event cursor is part of a checkpoint).
+	phase    runPhase
+	backlog  int
+	drainEnd int64
+	fdrv     *faultDriver
+
 	// userTracer and capture are composed into the engine's single tracer
 	// slot: SetTracer and Observe may both be in effect on one run.
 	userTracer engine.Tracer
@@ -166,7 +176,8 @@ func (s *Simulator) build() {
 	// takes effect at the start of its scheduled cycle. It declares no
 	// inputs, so the scheduler steps it every cycle.
 	if !cfg.Faults.Empty() {
-		s.sim.AddComponent(newFaultDriver(s, cfg.Faults))
+		s.fdrv = newFaultDriver(s, cfg.Faults)
+		s.sim.AddComponent(s.fdrv)
 	}
 
 	// Switches. Declaring the input links makes a switch eligible for
@@ -454,11 +465,33 @@ func (s *Simulator) generate() error {
 	return nil
 }
 
+// runPhase tracks how far Run's methodology has advanced, so a simulator
+// restored from a mid-run checkpoint resumes exactly where it stopped.
+type runPhase uint8
+
+const (
+	phaseNew   runPhase = iota // Run not yet started
+	phaseLoad                  // warmup + measurement, generation on
+	phaseDrain                 // generation off, draining outstanding ops
+	phaseDone                  // methodology complete
+)
+
 // Run executes the full methodology: warmup and measurement with load on,
 // then a drain with load off until every operation completes. It returns
 // the measured results; the error is non-nil only for protocol failures
 // (deadlock watchdog, invalid configuration interactions).
-func (s *Simulator) Run() (r stats.Results, err error) {
+func (s *Simulator) Run() (stats.Results, error) {
+	return s.RunCheckpointed(0, nil)
+}
+
+// RunCheckpointed is Run with periodic checkpointing: when every > 0, sink
+// receives a serialized Snapshot at each cycle divisible by every (taken
+// between cycles, after the step completes). A sink error aborts the run.
+// With every <= 0 or a nil sink the hot loop is exactly Run's — no snapshot
+// machinery is touched. A simulator restored from a checkpoint continues
+// from its saved phase, producing output byte-identical to the
+// uninterrupted run.
+func (s *Simulator) RunCheckpointed(every int64, sink func(data []byte, cycle int64) error) (r stats.Results, err error) {
 	// In strict mode invariant violations surface as panics from deep in
 	// the model; convert them into ordinary run errors.
 	defer func() {
@@ -470,30 +503,81 @@ func (s *Simulator) Run() (r stats.Results, err error) {
 			r, err = stats.Results{}, ie
 		}
 	}()
-	s.col.WarmupEnd = s.sim.Now + s.cfg.WarmupCycles
-	s.col.MeasureEnd = s.col.WarmupEnd + s.cfg.MeasureCycles
-
-	s.genOn = true
-	for s.sim.Now < s.col.MeasureEnd {
-		if err := s.generate(); err != nil {
-			return stats.Results{}, err
+	checkpointing := every > 0 && sink != nil
+	checkpoint := func() error {
+		if !checkpointing || s.sim.Now%every != 0 {
+			return nil
 		}
-		s.sim.Step()
-		if err := s.watchdog(); err != nil {
-			return stats.Results{}, err
+		data, err := s.Snapshot()
+		if err != nil {
+			return err
 		}
+		return sink(data, s.sim.Now)
 	}
-	backlog := 0
-	for _, n := range s.nics {
-		backlog += n.QueueLen()
-	}
-	s.genOn = false
 
-	drained, err := s.sim.RunUntil(func() bool {
-		return s.outstanding == 0 && s.sim.Quiesced()
-	}, s.cfg.DrainCycles)
-	if err != nil {
-		return stats.Results{}, err
+	if s.phase == phaseNew {
+		s.col.WarmupEnd = s.sim.Now + s.cfg.WarmupCycles
+		s.col.MeasureEnd = s.col.WarmupEnd + s.cfg.MeasureCycles
+		s.genOn = true
+		s.phase = phaseLoad
+	}
+
+	if s.phase == phaseLoad {
+		for s.sim.Now < s.col.MeasureEnd {
+			if err := s.generate(); err != nil {
+				return stats.Results{}, err
+			}
+			s.sim.Step()
+			if err := s.watchdog(); err != nil {
+				return stats.Results{}, err
+			}
+			if err := checkpoint(); err != nil {
+				return stats.Results{}, err
+			}
+		}
+		s.backlog = 0
+		for _, n := range s.nics {
+			s.backlog += n.QueueLen()
+		}
+		s.genOn = false
+		s.drainEnd = s.sim.Now + s.cfg.DrainCycles
+		s.phase = phaseDrain
+	}
+
+	// The drain replicates RunUntil's semantics (predicate checked before
+	// each step, and again at budget exhaustion) so results are identical
+	// to the pre-checkpoint engine-driven loop.
+	drained := false
+	if s.phase == phaseDrain {
+		pred := func() bool {
+			return s.outstanding == 0 && s.sim.Quiesced()
+		}
+		if s.cfg.DrainCycles <= 0 {
+			// Delegate to RunUntil for the identical budget-rejection error.
+			_, rerr := s.sim.RunUntil(pred, s.cfg.DrainCycles)
+			return stats.Results{}, rerr
+		}
+		for s.sim.Now < s.drainEnd {
+			if pred() {
+				drained = true
+				break
+			}
+			s.sim.Step()
+			if err := s.watchdog(); err != nil {
+				return stats.Results{}, err
+			}
+			if err := checkpoint(); err != nil {
+				return stats.Results{}, err
+			}
+		}
+		if !drained {
+			drained = pred()
+		}
+		s.phase = phaseDone
+	} else {
+		// Finalizing from a checkpoint taken at phaseDone (possible only
+		// through direct API use) re-evaluates the predicate.
+		drained = s.outstanding == 0 && s.sim.Quiesced()
 	}
 
 	maxQ := 0
@@ -508,7 +592,7 @@ func (s *Simulator) Run() (r stats.Results, err error) {
 	// Saturation: the drain never finishing, or a backlog at measure end
 	// exceeding a couple of ops per node, means generation outran the
 	// network and latencies reflect queue growth.
-	r.Saturated = r.Saturated || !drained || backlog > 2*s.net.N
+	r.Saturated = r.Saturated || !drained || s.backlog > 2*s.net.N
 	return r, nil
 }
 

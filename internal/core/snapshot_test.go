@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"mdworm/internal/ckpt"
+	"mdworm/internal/engine"
+	"mdworm/internal/flit"
+	"mdworm/internal/obs"
+)
+
+// snapTestConfig is a small, fast workload exercising both traffic classes.
+func snapTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Arity = 4
+	cfg.Stages = 2
+	cfg.WarmupCycles = 200
+	cfg.MeasureCycles = 600
+	cfg.DrainCycles = 60_000
+	cfg.Traffic.OpRate = 0.002
+	cfg.Traffic.MulticastFraction = 0.5
+	cfg.Traffic.Degree = 6
+	return cfg
+}
+
+// errSnapAbort is the sentinel a test sink returns to simulate a crash at a
+// checkpoint boundary.
+var errSnapAbort = errors.New("snapshot taken, aborting run")
+
+// snapshotAt runs cfg until the first checkpoint at a cycle divisible by
+// every and returns the blob (simulating a crash right after the write).
+func snapshotAt(t *testing.T, cfg Config, every int64) []byte {
+	t.Helper()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blob []byte
+	_, err = sim.RunCheckpointed(every, func(data []byte, cycle int64) error {
+		blob = data
+		return errSnapAbort
+	})
+	if !errors.Is(err, errSnapAbort) {
+		t.Fatalf("run ended with %v before the first checkpoint", err)
+	}
+	return blob
+}
+
+// TestSnapshotRestoreByteStable checks that restoring a snapshot and
+// immediately snapshotting again reproduces the exact bytes: the state
+// overlay is lossless and the encoding deterministic.
+func TestSnapshotRestoreByteStable(t *testing.T) {
+	blob := snapshotAt(t, snapTestConfig(), 500)
+	sim, err := Restore(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := sim.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, again) {
+		t.Fatalf("restore→snapshot changed the blob: %d bytes vs %d", len(blob), len(again))
+	}
+}
+
+// TestSnapshotRefusals checks that attachments living outside the
+// checkpoint — captures, tracers, delivery hooks — make Snapshot refuse
+// rather than silently drop them.
+func TestSnapshotRefusals(t *testing.T) {
+	mk := func() *Simulator {
+		sim, err := New(snapTestConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+
+	sim := mk()
+	sim.Observe(&obs.Capture{SampleEvery: 64})
+	if _, err := sim.Snapshot(); err == nil {
+		t.Error("snapshot with capture attached succeeded")
+	}
+
+	sim = mk()
+	sim.SetTracer(&engine.WriterTracer{W: io.Discard})
+	if _, err := sim.Snapshot(); err == nil {
+		t.Error("snapshot with tracer installed succeeded")
+	}
+
+	sim = mk()
+	sim.deliverHook = func(m *flit.Message, proc int, now int64) {}
+	if _, err := sim.Snapshot(); err == nil {
+		t.Error("snapshot with delivery hook succeeded")
+	}
+
+	sim = mk()
+	if _, err := sim.Snapshot(); err != nil {
+		t.Errorf("bare simulator refused to snapshot: %v", err)
+	}
+}
+
+// TestRestoreRejectsCorruption flips one byte at a sample of positions and
+// checks Restore reports a structured error (or, where the flip lands in
+// unvalidated numeric slack, restores something) — and never panics.
+func TestRestoreRejectsCorruption(t *testing.T) {
+	blob := snapshotAt(t, snapTestConfig(), 500)
+
+	if _, err := Restore(nil); !errors.Is(err, ckpt.ErrCorrupt) {
+		t.Errorf("nil blob gave %v", err)
+	}
+	if _, err := Restore(blob[:len(blob)/2]); !errors.Is(err, ckpt.ErrCorrupt) {
+		t.Errorf("truncated blob gave %v", err)
+	}
+
+	// The container CRC catches every single-byte flip in the body.
+	for _, pos := range []int{0, 5, len(blob) / 2, len(blob) - 1} {
+		mut := append([]byte(nil), blob...)
+		mut[pos] ^= 0x40
+		if _, err := Restore(mut); err == nil {
+			t.Errorf("flip at %d restored successfully", pos)
+		}
+	}
+}
+
+// FuzzSnapshotRoundTrip feeds corrupted and truncated snapshot bytes to
+// Restore: any outcome but a clean error or a consistent simulator is a
+// bug, and panics are failures by construction.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	cfg := snapTestConfig()
+	cfg.Traffic.OpRate = 0.004
+	sim, err := New(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seed []byte
+	_, err = sim.RunCheckpointed(300, func(data []byte, cycle int64) error {
+		seed = data
+		return errSnapAbort
+	})
+	if !errors.Is(err, errSnapAbort) {
+		f.Fatalf("seed run ended with %v", err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/3])
+	f.Add([]byte(ckpt.Magic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sim, err := Restore(data)
+		if err != nil {
+			if sim != nil {
+				t.Fatal("Restore returned both a simulator and an error")
+			}
+			return
+		}
+		// A blob that passes every validation must yield a simulator whose
+		// state is internally consistent enough to re-snapshot.
+		if _, err := sim.Snapshot(); err != nil {
+			t.Fatalf("restored simulator cannot snapshot: %v", err)
+		}
+	})
+}

@@ -1,0 +1,23 @@
+package flit
+
+// RestoreOp rebuilds an Op from checkpointed state, including the private
+// remaining-destination count that NewOp derives and Deliver/DropN mutate.
+// It exists so the checkpoint codec can live outside this package without
+// exporting the field.
+func RestoreOp(id uint64, class Class, src, numDests int, created int64, phases, remaining int,
+	firstArrival, lastArrival, sumArrival int64, messagesSent, dropped int) *Op {
+	return &Op{
+		ID:           id,
+		Class:        class,
+		Src:          src,
+		NumDests:     numDests,
+		Created:      created,
+		Phases:       phases,
+		remaining:    remaining,
+		FirstArrival: firstArrival,
+		LastArrival:  lastArrival,
+		SumArrival:   sumArrival,
+		MessagesSent: messagesSent,
+		Dropped:      dropped,
+	}
+}

@@ -15,6 +15,19 @@ import (
 // to a 500.
 var ErrJobPanic = errors.New("service: job panicked")
 
+// ErrDraining rejects submissions to a pool that has begun shutdown; the
+// handler maps it to 503 with a Retry-After hint.
+var ErrDraining = errors.New("service: draining, not accepting new jobs")
+
+// ErrPoolFull rejects submissions beyond the backlog bound; the handler maps
+// it to 429 with a Retry-After hint.
+var ErrPoolFull = errors.New("service: job backlog full")
+
+// ErrJobDeadline fails a job that waited in the queue past the pool's
+// per-job deadline instead of running it against a client that gave up long
+// ago.
+var ErrJobDeadline = errors.New("service: job exceeded its deadline while queued")
+
 // JobState is the lifecycle of a scheduled request.
 type JobState string
 
@@ -85,6 +98,19 @@ type Pool struct {
 	order    []string
 	seq      int
 	draining bool
+	workers  int
+
+	// deadline, when > 0, bounds how long a job may sit queued: a worker
+	// dequeuing a job older than this fails it with ErrJobDeadline instead
+	// of running it.
+	deadline time.Duration
+
+	// onStart and onFinish observe job state transitions (the journal hooks
+	// into them). Set them before the first Submit; they are called outside
+	// the pool lock, on the worker goroutine, reading only a job's immutable
+	// identity fields.
+	onStart  func(j *Job)
+	onFinish func(j *Job, err error)
 
 	tasks     chan *Job
 	closeOnce sync.Once
@@ -95,6 +121,7 @@ type Pool struct {
 	cycles     int64
 	violations int64
 	deadlocks  int64
+	completed  int64
 	busy       time.Duration
 
 	// Distributions for /metrics; guarded by mu, cloned for rendering.
@@ -112,8 +139,9 @@ func NewPool(workers, backlog int) *Pool {
 		backlog = 4 * workers
 	}
 	p := &Pool{
-		jobs:  make(map[string]*Job),
-		tasks: make(chan *Job, backlog),
+		jobs:    make(map[string]*Job),
+		workers: workers,
+		tasks:   make(chan *Job, backlog),
 		// Job latency from 1ms to ~17min; occupancy from one chunk/flit to
 		// well past any configured buffer size.
 		jobSeconds:   obs.NewHistogram(obs.ExpBuckets(0.001, 4, 10)...),
@@ -130,9 +158,29 @@ func (p *Pool) worker() {
 	defer p.wg.Done()
 	for j := range p.tasks {
 		p.mu.Lock()
+		deadline := p.deadline
+		waited := time.Since(j.created)
+		if deadline > 0 && waited > deadline {
+			// The client that queued this gave up long ago; fail it
+			// without burning a worker on the simulation.
+			j.state = JobFailed
+			j.err = fmt.Errorf("%w: waited %s, deadline %s", ErrJobDeadline, waited.Round(time.Millisecond), deadline)
+			j.finished = time.Now()
+			p.completed++
+			err := j.err
+			p.mu.Unlock()
+			if p.onFinish != nil {
+				p.onFinish(j, err)
+			}
+			close(j.done)
+			continue
+		}
 		j.state = JobRunning
 		j.started = time.Now()
 		p.mu.Unlock()
+		if p.onStart != nil {
+			p.onStart(j)
+		}
 
 		stats, err := runJob(j.fn)
 
@@ -152,12 +200,16 @@ func (p *Pool) worker() {
 		if errors.As(err, &de) {
 			p.deadlocks++
 		}
+		p.completed++
 		p.busy += j.finished.Sub(j.started)
 		p.jobSeconds.Observe(j.finished.Sub(j.started).Seconds())
 		if stats.Occupancy > 0 {
 			p.runOccupancy.Observe(float64(stats.Occupancy))
 		}
 		p.mu.Unlock()
+		if p.onFinish != nil {
+			p.onFinish(j, err)
+		}
 		close(j.done)
 	}
 }
@@ -174,14 +226,43 @@ func runJob(fn func() (JobStats, error)) (st JobStats, err error) {
 }
 
 // Submit schedules fn as a new job and returns its record immediately. It
-// fails when the pool is draining or the backlog is full (the caller maps
-// both to 503).
+// fails with ErrDraining once shutdown began and ErrPoolFull past the
+// backlog bound (the caller maps those to 503 and 429 with Retry-After).
 func (p *Pool) Submit(kind, detail string, fn func() (JobStats, error)) (*Job, error) {
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.draining {
-		p.mu.Unlock()
-		return nil, fmt.Errorf("service: draining, not accepting new jobs")
+		return nil, ErrDraining
 	}
+	// The whole admission — drain check, channel send, record — happens in
+	// one critical section, the same one Drain closes the channel under, so
+	// a send can never race the close (a send on a closed channel panics).
+	p.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("j%d", p.seq),
+		Kind:    kind,
+		Detail:  detail,
+		state:   JobQueued,
+		created: time.Now(),
+		fn:      fn,
+		done:    make(chan struct{}),
+	}
+	select {
+	case p.tasks <- j:
+	default:
+		return nil, ErrPoolFull
+	}
+	p.jobs[j.ID] = j
+	p.order = append(p.order, j.ID)
+	return j, nil
+}
+
+// enqueueRecovered schedules a journal-replayed job with a blocking send
+// instead of Submit's bounded one. Recovery runs during New, before the HTTP
+// listener exists and before Drain can close the channel, so waiting for a
+// pool slot is safe and guarantees no replayed job is dropped for backlog.
+func (p *Pool) enqueueRecovered(kind, detail string, fn func() (JobStats, error)) *Job {
+	p.mu.Lock()
 	p.seq++
 	j := &Job{
 		ID:      fmt.Sprintf("j%d", p.seq),
@@ -195,19 +276,8 @@ func (p *Pool) Submit(kind, detail string, fn func() (JobStats, error)) (*Job, e
 	p.jobs[j.ID] = j
 	p.order = append(p.order, j.ID)
 	p.mu.Unlock()
-
-	select {
-	case p.tasks <- j:
-		return j, nil
-	default:
-		p.mu.Lock()
-		j.state = JobFailed
-		j.err = fmt.Errorf("service: job backlog full")
-		j.finished = time.Now()
-		p.mu.Unlock()
-		close(j.done)
-		return nil, fmt.Errorf("service: job backlog full")
-	}
+	p.tasks <- j
+	return j
 }
 
 // Get returns the job record for id.
@@ -318,13 +388,67 @@ func (p *Pool) Draining() bool {
 	return p.draining
 }
 
+// SetDeadline installs the queued-job deadline (0 disables). Call before
+// the first Submit.
+func (p *Pool) SetDeadline(d time.Duration) {
+	p.mu.Lock()
+	p.deadline = d
+	p.mu.Unlock()
+}
+
+// QueueDepth returns the number of jobs admitted but not yet finished
+// (queued plus running).
+func (p *Pool) QueueDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, j := range p.jobs {
+		if j.state == JobQueued || j.state == JobRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// RetryAfter estimates when a rejected client should try again: the current
+// queue depth times the observed mean job cost, divided across the workers,
+// clamped to [1s, 5min]. Before any job has finished a conservative default
+// cost stands in.
+func (p *Pool) RetryAfter() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	depth := 0
+	for _, j := range p.jobs {
+		if j.state == JobQueued || j.state == JobRunning {
+			depth++
+		}
+	}
+	avg := 2 * time.Second
+	if p.completed > 0 {
+		avg = p.busy / time.Duration(p.completed)
+	}
+	est := time.Duration(depth+1) * avg / time.Duration(p.workers)
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 5*time.Minute {
+		est = 5 * time.Minute
+	}
+	return est
+}
+
 // Drain stops intake, lets queued and running jobs finish, and waits up to
 // timeout for the workers to exit. It reports whether the pool drained fully
 // within the deadline (workers still running a job keep running either way;
 // the process exiting is the final backstop). Safe to call repeatedly.
 func (p *Pool) Drain(timeout time.Duration) bool {
 	p.BeginDrain()
+	// Close under the pool lock: Submit's send happens in the same critical
+	// section after re-checking draining, so no send can hit a closed
+	// channel.
+	p.mu.Lock()
 	p.closeOnce.Do(func() { close(p.tasks) })
+	p.mu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		p.wg.Wait()

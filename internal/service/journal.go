@@ -1,0 +1,193 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// The job journal is mdwd's write-ahead log: one append-only ndjson file
+// under the cache directory recording every job's lifecycle
+// (accepted → running → checkpoint… → done|failed), fsync'd at each
+// transition. A daemon restarted over the same directory replays the
+// journal, re-enqueues unfinished run jobs from their last checkpoint (or
+// from scratch), and reports interrupted experiment streams as failed — an
+// accepted job is never silently lost, and a finished one never re-runs.
+
+// journalName is the journal file within the cache directory.
+const journalName = "journal.ndjson"
+
+// Journal record kinds. Unknown kinds are skipped on replay, so future
+// daemons can add kinds without breaking older ones reading the same
+// directory.
+const (
+	recAccepted   = "accepted"
+	recRunning    = "running"
+	recCheckpoint = "checkpoint"
+	recDone       = "done"
+	recFailed     = "failed"
+)
+
+// JournalRec is one journal line. Hash keys the job (the canonical config
+// hash for runs, the experiment id for experiments); Config carries the
+// canonical configuration of accepted run jobs so a restarted daemon can
+// rebuild the work without the original request.
+type JournalRec struct {
+	Kind    string          `json:"kind"`
+	Hash    string          `json:"hash"`
+	JobKind string          `json:"job_kind,omitempty"` // "run" or "experiment"
+	Config  json.RawMessage `json:"config,omitempty"`
+	// File and Cycle reference the latest checkpoint blob of a running job.
+	File  string `json:"file,omitempty"`
+	Cycle int64  `json:"cycle,omitempty"`
+	Error string `json:"error,omitempty"`
+	At    string `json:"at,omitempty"` // RFC3339Nano, informational only
+}
+
+// Journal appends records durably. Safe for concurrent use.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal opens (creating if needed) the journal of a cache directory
+// for appending.
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: journal dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: open journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// Append writes one record and fsyncs: when Append returns, the transition
+// survives a crash.
+func (j *Journal) Append(rec JournalRec) error {
+	if rec.At == "" {
+		rec.At = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("service: journal encode: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("service: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("service: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// PendingJob is a job the journal shows as accepted but not finished.
+type PendingJob struct {
+	Hash    string
+	JobKind string
+	Config  json.RawMessage
+	// Checkpoint and Cycle reference the job's last journaled checkpoint
+	// ("" when it never checkpointed — rerun from scratch).
+	Checkpoint string
+	Cycle      int64
+}
+
+// ReplayJournal reads a cache directory's journal and returns the jobs
+// still pending, in first-accepted order. A missing journal is an empty
+// replay. The reader is deliberately tolerant: a truncated or garbled line
+// (the partial write of a crash) and records of unknown kind are skipped,
+// never fatal.
+func ReplayJournal(dir string) ([]PendingJob, error) {
+	f, err := os.Open(filepath.Join(dir, journalName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: open journal: %w", err)
+	}
+	defer f.Close()
+
+	pending := make(map[string]*PendingJob)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec JournalRec
+		if json.Unmarshal(line, &rec) != nil || rec.Hash == "" {
+			continue // partial write at a crash, or foreign junk
+		}
+		switch rec.Kind {
+		case recAccepted:
+			if _, dup := pending[rec.Hash]; !dup {
+				pending[rec.Hash] = &PendingJob{Hash: rec.Hash, JobKind: rec.JobKind, Config: rec.Config}
+				order = append(order, rec.Hash)
+			}
+		case recRunning:
+			// State transition only; nothing to record.
+		case recCheckpoint:
+			if p, ok := pending[rec.Hash]; ok {
+				p.Checkpoint = rec.File
+				p.Cycle = rec.Cycle
+			}
+		case recDone, recFailed:
+			delete(pending, rec.Hash)
+		default:
+			// Unknown kind: written by a newer daemon; skip.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("service: journal read: %w", err)
+	}
+
+	out := make([]PendingJob, 0, len(pending))
+	for _, h := range order {
+		if p, ok := pending[h]; ok {
+			out = append(out, *p)
+		}
+	}
+	return out, nil
+}
+
+// ResetJournal atomically replaces the journal with an empty file and
+// returns it open for appending — the compaction step of recovery, run
+// after ReplayJournal so the new journal restarts from only the re-accepted
+// jobs.
+func ResetJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: journal dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "journal-*")
+	if err != nil {
+		return nil, fmt.Errorf("service: journal reset: %w", err)
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return nil, fmt.Errorf("service: journal reset: %w", err)
+	}
+	if err := os.Rename(name, filepath.Join(dir, journalName)); err != nil {
+		os.Remove(name)
+		return nil, fmt.Errorf("service: journal reset: %w", err)
+	}
+	return OpenJournal(dir)
+}

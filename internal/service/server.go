@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -36,16 +39,28 @@ type Config struct {
 	// job keeps running (and populates the cache) after the handler gives
 	// up with 504. 0 = 2 minutes.
 	RunTimeout time.Duration
+	// CheckpointEvery, when > 0 and CacheDir is set, checkpoints every run
+	// job's simulator state every that many simulated cycles and journals
+	// the blob reference, so a killed daemon resumes interrupted runs from
+	// the last checkpoint on restart instead of starting over. 0 disables
+	// mid-run checkpointing (interrupted runs then re-run from scratch).
+	CheckpointEvery int64
+	// JobDeadline, when > 0, fails a job that waited in the queue longer
+	// than this instead of running it (its client has long given up; the
+	// cache would still have been populated had it run, but the queue slot
+	// is better spent on live requests). 0 = no deadline.
+	JobDeadline time.Duration
 }
 
 // Server is the mdwd HTTP daemon: request resolution, the content-addressed
 // cache, the job pool, and the metrics counters behind one http.Handler.
 type Server struct {
-	cfg   Config
-	pool  *Pool
-	cache *Cache
-	mux   *http.ServeMux
-	start time.Time
+	cfg     Config
+	pool    *Pool
+	cache   *Cache
+	journal *Journal // nil without a cache directory
+	mux     *http.ServeMux
+	start   time.Time
 }
 
 // New builds a server and starts its worker pool.
@@ -69,6 +84,12 @@ func New(cfg Config) (*Server, error) {
 		cache: cache,
 		mux:   http.NewServeMux(),
 		start: time.Now(),
+	}
+	s.pool.SetDeadline(cfg.JobDeadline)
+	if cfg.CacheDir != "" {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
 	}
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
@@ -95,12 +116,48 @@ type apiError struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
 	Job     string `json:"job,omitempty"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429/503 rejections
+	// so structured clients need not parse headers.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
 }
 
 func writeErr(w http.ResponseWriter, status int, e apiError) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]apiError{"error": e})
+}
+
+// writeRejected maps a Submit failure to its backpressure response: 429
+// "busy" for a full backlog, 503 "draining" during shutdown (distinct codes,
+// so clients know whether to retry soon or find another daemon), both with a
+// Retry-After estimate in header and body.
+func (s *Server) writeRejected(w http.ResponseWriter, err error) {
+	secs := int(s.pool.RetryAfter().Round(time.Second).Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	switch {
+	case errors.Is(err, ErrPoolFull):
+		writeErr(w, http.StatusTooManyRequests, apiError{
+			Code: "busy", Message: err.Error(), RetryAfterSeconds: secs})
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, apiError{
+			Code: "draining", Message: err.Error(), RetryAfterSeconds: secs})
+	default:
+		writeErr(w, http.StatusServiceUnavailable, apiError{
+			Code: "unavailable", Message: err.Error(), RetryAfterSeconds: secs})
+	}
+}
+
+// journalAppend records a job transition when journaling is on. Journal
+// failures must not fail requests: the journal is durability for restarts,
+// not a correctness dependency of the running daemon.
+func (s *Server) journalAppend(rec JournalRec) {
+	if s.journal == nil {
+		return
+	}
+	_ = s.journal.Append(rec)
 }
 
 // RunRequest is the body of POST /v1/run.
@@ -166,32 +223,26 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Write-ahead: the job is journaled accepted (with its canonical config)
+	// before it is queued, so a crash at any later point can rebuild it.
+	canonJSON, err := json.Marshal(canon)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, apiError{Code: "internal", Message: err.Error()})
+		return
+	}
+	s.journalAppend(JournalRec{Kind: recAccepted, Hash: hash, JobKind: "run", Config: canonJSON})
+
 	var body []byte
 	job, err := s.pool.Submit("run", hash, func() (JobStats, error) {
-		sim, err := core.New(canon)
-		if err != nil {
-			return JobStats{}, err
-		}
-		// A coarse samples-only capture (no tracer) feeds the occupancy
-		// histogram of /metrics without perturbing the run.
-		occ := &obs.Capture{SampleEvery: 256}
-		sim.Observe(occ)
-		res, err := sim.Run()
-		st := JobStats{Points: 1, Cycles: sim.Now(), Violations: sim.Invariants().Total(),
-			Occupancy: occ.Summary().PeakOccupancy()}
-		if err != nil {
-			return st, err
-		}
-		b, err := json.Marshal(RunResponse{Hash: hash, Config: canon, Results: res})
-		if err != nil {
-			return st, err
-		}
+		b, st, err := s.executeRun(hash, canon, "")
 		body = b
-		s.cache.Put(hash, b)
-		return st, nil
+		return st, err
 	})
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, apiError{Code: "unavailable", Message: err.Error()})
+		// The WAL entry must not outlive the rejection, or a restart would
+		// resurrect a job whose client was told to retry.
+		s.journalAppend(JournalRec{Kind: recFailed, Hash: hash, JobKind: "run", Error: err.Error()})
+		s.writeRejected(w, err)
 		return
 	}
 
@@ -219,6 +270,168 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Mdwd-Hash", hash)
 	w.Header().Set("X-Mdwd-Job", job.ID)
 	w.Write(body)
+}
+
+// checkpointPath returns where a run job's checkpoint blob lives; the hash
+// key is already restricted to hex (validKey), so it cannot escape the
+// cache directory.
+func (s *Server) checkpointPath(hash string) string {
+	return filepath.Join(s.cfg.CacheDir, hash+".ckpt")
+}
+
+// checkpointing reports whether run jobs snapshot their simulator mid-run.
+func (s *Server) checkpointing() bool {
+	return s.cfg.CheckpointEvery > 0 && s.journal != nil
+}
+
+// executeRun performs one run job: build a simulator (restoring from a
+// checkpoint blob when resumeFrom names one), run it — checkpointed when
+// configured — and publish the response bytes to the cache. A corrupt or
+// missing checkpoint degrades to a scratch re-run: recovery is never worse
+// than not having checkpointed, and determinism makes the result identical
+// either way.
+func (s *Server) executeRun(hash string, canon core.Config, resumeFrom string) ([]byte, JobStats, error) {
+	var sim *core.Simulator
+	if resumeFrom != "" {
+		if blob, err := os.ReadFile(resumeFrom); err == nil {
+			if restored, err := core.Restore(blob); err == nil {
+				sim = restored
+			}
+		}
+	}
+	if sim == nil {
+		fresh, err := core.New(canon)
+		if err != nil {
+			return nil, JobStats{}, err
+		}
+		sim = fresh
+	}
+
+	var res stats.Results
+	var err error
+	occupancy := 0
+	if s.checkpointing() {
+		// A snapshotting run carries no occupancy capture (Snapshot refuses
+		// attachments that live outside the checkpoint); durability wins
+		// over one /metrics histogram.
+		ckptFile := s.checkpointPath(hash)
+		res, err = sim.RunCheckpointed(s.cfg.CheckpointEvery, func(data []byte, cycle int64) error {
+			if werr := atomicWriteFile(ckptFile, data); werr != nil {
+				return nil // best-effort durability; the run itself continues
+			}
+			s.journalAppend(JournalRec{Kind: recCheckpoint, Hash: hash, JobKind: "run", File: ckptFile, Cycle: cycle})
+			return nil
+		})
+	} else {
+		// A coarse samples-only capture (no tracer) feeds the occupancy
+		// histogram of /metrics without perturbing the run.
+		occ := &obs.Capture{SampleEvery: 256}
+		sim.Observe(occ)
+		res, err = sim.Run()
+		occupancy = occ.Summary().PeakOccupancy()
+	}
+	st := JobStats{Points: 1, Cycles: sim.Now(), Violations: sim.Invariants().Total(), Occupancy: occupancy}
+	if err != nil {
+		return nil, st, err
+	}
+	b, err := json.Marshal(RunResponse{Hash: hash, Config: canon, Results: res})
+	if err != nil {
+		return nil, st, err
+	}
+	s.cache.Put(hash, b)
+	os.Remove(s.checkpointPath(hash)) // the published result supersedes any checkpoint
+	return b, st, nil
+}
+
+// atomicWriteFile publishes data at path via temp file, fsync, and rename,
+// so a crash mid-write never leaves a torn blob where a reader (or a
+// restarted daemon) expects a checkpoint.
+func atomicWriteFile(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// recover replays the cache directory's journal, compacts it, and closes
+// out every job the previous process left behind: finished-but-unjournaled
+// runs are marked done (their result is in the cache), unfinished runs are
+// re-enqueued — from their last checkpoint when one survives, from scratch
+// otherwise — and unfinished experiments are failed, since their streaming
+// clients are gone and their points land in no cache. An accepted job is
+// therefore never silently lost, and a finished one never re-runs.
+func (s *Server) recover() error {
+	pending, err := ReplayJournal(s.cfg.CacheDir)
+	if err != nil {
+		return err
+	}
+	j, err := ResetJournal(s.cfg.CacheDir)
+	if err != nil {
+		return err
+	}
+	s.journal = j
+	s.pool.onStart = func(job *Job) {
+		s.journalAppend(JournalRec{Kind: recRunning, Hash: job.Detail, JobKind: job.Kind})
+	}
+	s.pool.onFinish = func(job *Job, jerr error) {
+		rec := JournalRec{Kind: recDone, Hash: job.Detail, JobKind: job.Kind}
+		if jerr != nil {
+			rec.Kind = recFailed
+			rec.Error = jerr.Error()
+		}
+		s.journalAppend(rec)
+	}
+
+	for _, p := range pending {
+		switch {
+		case p.JobKind == "experiment":
+			s.journalAppend(JournalRec{Kind: recFailed, Hash: p.Hash, JobKind: p.JobKind,
+				Error: "interrupted by daemon restart"})
+		case len(p.Config) == 0:
+			s.journalAppend(JournalRec{Kind: recFailed, Hash: p.Hash, JobKind: p.JobKind,
+				Error: "journal carries no configuration for this job"})
+		default:
+			if _, ok := s.cache.Get(p.Hash); ok {
+				// The run finished and published its result, but the crash
+				// beat the journal's done record; close it out.
+				s.journalAppend(JournalRec{Kind: recDone, Hash: p.Hash, JobKind: "run"})
+				continue
+			}
+			var canon core.Config
+			if err := json.Unmarshal(p.Config, &canon); err != nil {
+				s.journalAppend(JournalRec{Kind: recFailed, Hash: p.Hash, JobKind: "run",
+					Error: fmt.Sprintf("journaled config does not parse: %v", err)})
+				continue
+			}
+			s.journalAppend(JournalRec{Kind: recAccepted, Hash: p.Hash, JobKind: "run", Config: p.Config})
+			hash, resume := p.Hash, p.Checkpoint
+			s.pool.enqueueRecovered("run", hash, func() (JobStats, error) {
+				_, st, err := s.executeRun(hash, canon, resume)
+				return st, err
+			})
+		}
+	}
+	return nil
 }
 
 // writeRunErr maps a failed run job to a structured error: deadlocks and
@@ -323,6 +536,10 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		case <-ctx.Done():
 		}
 	}
+	// Experiments are journaled too — not to re-run them (their stream dies
+	// with the client), but so a restart can report them failed instead of
+	// losing an accepted job without a trace.
+	s.journalAppend(JournalRec{Kind: recAccepted, Hash: req.ID, JobKind: "experiment"})
 	job, err := s.pool.Submit("experiment", req.ID, func() (JobStats, error) {
 		defer close(events)
 		observer := &obs.SweepObserver{SampleEvery: 256}
@@ -363,7 +580,8 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		return jst, nil
 	})
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, apiError{Code: "unavailable", Message: err.Error()})
+		s.journalAppend(JournalRec{Kind: recFailed, Hash: req.ID, JobKind: "experiment", Error: err.Error()})
+		s.writeRejected(w, err)
 		return
 	}
 
@@ -408,6 +626,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.pool.Draining() {
+		// Load balancers and retrying clients read the hint even off the
+		// plain-text health probe.
+		secs := int(s.pool.RetryAfter().Round(time.Second).Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
 		return

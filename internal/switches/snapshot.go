@@ -1,0 +1,101 @@
+package switches
+
+import (
+	"mdworm/internal/ckpt"
+	"mdworm/internal/flit"
+)
+
+// CollectState adds every worm buffered in the FIFO to the checkpoint graph.
+func (f *FIFO) CollectState(g *ckpt.Graph) {
+	for i := range f.segs {
+		g.AddWorm(f.segs[i].w)
+	}
+}
+
+// EncodeState writes the FIFO as its (worm, first, count) segments.
+func (f *FIFO) EncodeState(e *ckpt.Enc, g *ckpt.Graph) {
+	e.Int(len(f.segs))
+	for i := range f.segs {
+		s := &f.segs[i]
+		e.U64(g.WormID(s.w))
+		e.Int(s.first)
+		e.Int(s.n)
+	}
+}
+
+// DecodeState restores the FIFO contents, validating segment ranges against
+// the worms they reference.
+func (f *FIFO) DecodeState(d *ckpt.Dec, g *ckpt.Graph) {
+	f.segs = nil
+	f.size = 0
+	n := d.Count(24)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		w := g.WormAt(d, d.U64())
+		first := d.Int()
+		cnt := d.Int()
+		if d.Err() != nil {
+			return
+		}
+		if w == nil || cnt < 1 || first < 0 || first+cnt > w.Len() {
+			d.Fail("fifo: segment %d/%d out of range", i, n)
+			return
+		}
+		f.segs = append(f.segs, fseg{w: w, first: first, n: cnt})
+		f.size += cnt
+	}
+}
+
+// Last returns the arbiter's pointer (index of the previous grant).
+func (rr *RoundRobin) Last() int { return rr.last }
+
+// SetLast repositions the arbiter pointer; out-of-range values panic, so
+// checkpoint decoders must validate first (N returns the valid bound).
+func (rr *RoundRobin) SetLast(last int) {
+	if last < 0 || last >= rr.n {
+		panic("switches: RoundRobin pointer out of range")
+	}
+	rr.last = last
+}
+
+// N returns the number of requesters the arbiter serves.
+func (rr *RoundRobin) N() int { return rr.n }
+
+// EncodeStats writes the common switch counters.
+func EncodeStats(e *ckpt.Enc, s *Stats) {
+	e.I64(s.FlitsIn)
+	e.I64(s.FlitsOut)
+	e.I64(s.Decodes)
+	e.I64(s.Replications)
+	e.I64(s.WormsDropped)
+	e.I64(s.DestsDropped)
+}
+
+// DecodeStats restores the common switch counters.
+func DecodeStats(d *ckpt.Dec, s *Stats) {
+	s.FlitsIn = d.I64()
+	s.FlitsOut = d.I64()
+	s.Decodes = d.I64()
+	s.Replications = d.I64()
+	s.WormsDropped = d.I64()
+	s.DestsDropped = d.I64()
+}
+
+// EncodeRef writes one flit reference.
+func EncodeRef(e *ckpt.Enc, g *ckpt.Graph, r flit.Ref) {
+	e.U64(g.WormID(r.W))
+	e.Int(r.Idx)
+}
+
+// DecodeRef reads one flit reference, validating the index range.
+func DecodeRef(d *ckpt.Dec, g *ckpt.Graph) flit.Ref {
+	w := g.WormAt(d, d.U64())
+	idx := d.Int()
+	if d.Err() != nil {
+		return flit.Ref{}
+	}
+	if w == nil || idx < 0 || idx >= w.Len() {
+		d.Fail("flit ref out of range")
+		return flit.Ref{}
+	}
+	return flit.Ref{W: w, Idx: idx}
+}

@@ -206,6 +206,12 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // New builds a simulator, raising buffer parameters as the workload needs.
 func New(cfg Config) (*Simulator, error) { return core.New(cfg) }
 
+// Restore rebuilds a simulator from a Simulator.Snapshot blob. The restored
+// simulator continues the run cycle-exactly: its results are byte-identical
+// to those of the uninterrupted original. Corrupt or truncated blobs fail
+// with a structured error, never a panic.
+func Restore(data []byte) (*Simulator, error) { return core.Restore(data) }
+
 // ExperimentTable is one reproduced figure or table.
 type ExperimentTable = experiments.Table
 

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Chaos test of mdwd crash-safety: kill -9 a daemon mid-job (one running and
+# checkpointed, one still queued), restart it over the same cache directory,
+# and require both jobs to complete on their own — the resumed results
+# byte-identical to an uninterrupted daemon's, each job reported done exactly
+# once. CI runs this after the unit tests; it needs bash, curl, and go.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+trap 'kill -9 "${pid:-}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+addr=127.0.0.1:18090
+go build -o "$workdir/mdwd" ./cmd/mdwd
+
+wait_healthy() {
+    for i in $(seq 1 50); do
+        curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && return 0
+        kill -0 "$pid" 2>/dev/null || { echo "mdwd died at startup:"; cat "$1"; exit 1; }
+        sleep 0.2
+    done
+    echo "mdwd never became healthy"; exit 1
+}
+
+# Long enough to be killed mid-run, small enough to finish in seconds.
+bodyA='{"config":{"stages":2,"degree":4,"warmup_cycles":1000,"measure_cycles":2000000,"drain_cycles":200000,"op_rate":0.001,"seed":11}}'
+bodyB='{"config":{"stages":2,"degree":4,"warmup_cycles":1000,"measure_cycles":2000000,"drain_cycles":200000,"op_rate":0.001,"seed":12}}'
+
+# Reference results from an undisturbed daemon.
+"$workdir/mdwd" -addr "$addr" -workers 2 >"$workdir/ref.log" 2>&1 &
+pid=$!
+wait_healthy "$workdir/ref.log"
+curl -fsS -D "$workdir/refhA" -o "$workdir/refA" -d "$bodyA" "http://$addr/v1/run"
+curl -fsS -D "$workdir/refhB" -o "$workdir/refB" -d "$bodyB" "http://$addr/v1/run"
+hashA=$(sed -n 's/^X-Mdwd-Hash: \([0-9a-f]*\).*/\1/pi' "$workdir/refhA")
+hashB=$(sed -n 's/^X-Mdwd-Hash: \([0-9a-f]*\).*/\1/pi' "$workdir/refhB")
+[ -n "$hashA" ] && [ -n "$hashB" ] || { echo "no X-Mdwd-Hash headers"; exit 1; }
+kill -TERM "$pid"; wait "$pid" || true
+
+# Chaos daemon: one worker so job A runs while job B sits queued.
+cachedir="$workdir/cache"
+journal="$cachedir/journal.ndjson"
+"$workdir/mdwd" -addr "$addr" -workers 1 -cache-dir "$cachedir" -checkpoint-every 200000 \
+    >"$workdir/chaos.log" 2>&1 &
+pid=$!
+wait_healthy "$workdir/chaos.log"
+# The clients die with the daemon at kill -9; their errors are expected noise.
+curl -s -o /dev/null -d "$bodyA" "http://$addr/v1/run" 2>/dev/null &
+clientA=$!
+# Job A must be accepted first so it owns the single worker.
+for i in $(seq 1 100); do
+    grep -q "\"kind\":\"running\",\"hash\":\"$hashA\"" "$journal" 2>/dev/null && break
+    sleep 0.1
+done
+curl -s -o /dev/null -d "$bodyB" "http://$addr/v1/run" 2>/dev/null &
+clientB=$!
+
+# Wait until A has checkpointed and B is journaled accepted, then pull the rug.
+for i in $(seq 1 200); do
+    grep -q "\"kind\":\"checkpoint\",\"hash\":\"$hashA\"" "$journal" 2>/dev/null &&
+        grep -q "\"kind\":\"accepted\",\"hash\":\"$hashB\"" "$journal" 2>/dev/null && break
+    kill -0 "$pid" 2>/dev/null || { echo "daemon exited early:"; cat "$workdir/chaos.log"; exit 1; }
+    sleep 0.05
+done
+grep -q "\"kind\":\"checkpoint\",\"hash\":\"$hashA\"" "$journal" || { echo "job A never checkpointed"; cat "$journal"; exit 1; }
+grep -q "\"kind\":\"accepted\",\"hash\":\"$hashB\"" "$journal" || { echo "job B never journaled"; cat "$journal"; exit 1; }
+if [ -f "$cachedir/$hashA.json" ]; then
+    echo "job A finished before the kill; nothing was interrupted"; exit 1
+fi
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+wait "$clientA" 2>/dev/null || true
+wait "$clientB" 2>/dev/null || true
+
+# Restart over the same directory: recovery must finish both jobs unprompted.
+"$workdir/mdwd" -addr "$addr" -workers 1 -cache-dir "$cachedir" -checkpoint-every 200000 \
+    >"$workdir/recover.log" 2>&1 &
+pid=$!
+wait_healthy "$workdir/recover.log"
+for i in $(seq 1 600); do
+    [ -f "$cachedir/$hashA.json" ] && [ -f "$cachedir/$hashB.json" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "recovered daemon exited early:"; cat "$workdir/recover.log"; exit 1; }
+    sleep 0.1
+done
+[ -f "$cachedir/$hashA.json" ] || { echo "interrupted job A never completed"; cat "$journal"; exit 1; }
+[ -f "$cachedir/$hashB.json" ] || { echo "queued job B never completed"; cat "$journal"; exit 1; }
+
+cmp -s "$workdir/refA" "$cachedir/$hashA.json" || { echo "resumed job A result differs from reference"; exit 1; }
+cmp -s "$workdir/refB" "$cachedir/$hashB.json" || { echo "recovered job B result differs from reference"; exit 1; }
+
+# Each job reported done exactly once: nothing lost, nothing double-counted.
+for h in "$hashA" "$hashB"; do
+    n=$(grep -c "\"kind\":\"done\",\"hash\":\"$h\"" "$journal" || true)
+    [ "$n" = 1 ] || { echo "job $h has $n done records, want 1:"; cat "$journal"; exit 1; }
+done
+
+kill -TERM "$pid"
+wait "$pid" || { code=$?; echo "recovered mdwd exited $code after SIGTERM:"; cat "$workdir/recover.log"; exit 1; }
+
+echo "mdwd chaos: kill -9 mid-job recovered; resumed results byte-identical, each job done exactly once"

@@ -59,4 +59,31 @@ kill -TERM "$pid"
 wait "$pid" || { code=$?; echo "mdwd exited $code after SIGTERM:"; cat "$workdir/log"; exit 1; }
 grep -q 'drained cleanly' "$workdir/log" || { echo "no clean drain reported:"; cat "$workdir/log"; exit 1; }
 
-echo "mdwd smoke: miss/hit byte-identical, metrics correct, graceful drain OK"
+# Restart over a persistent cache directory: results computed by one daemon
+# generation are served byte-identical (as hits) by the next.
+cachedir="$workdir/cache"
+"$workdir/mdwd" -addr "$addr" -workers 2 -cache-dir "$cachedir" >"$workdir/log2" 2>&1 &
+pid=$!
+for i in $(seq 1 50); do
+    curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
+    kill -0 "$pid" 2>/dev/null || { echo "mdwd died at restart:"; cat "$workdir/log2"; exit 1; }
+    sleep 0.2
+done
+curl -fsS -o "$workdir/p1" -d "$body" "http://$addr/v1/run"
+kill -TERM "$pid"
+wait "$pid" || { code=$?; echo "mdwd exited $code after SIGTERM:"; cat "$workdir/log2"; exit 1; }
+
+"$workdir/mdwd" -addr "$addr" -workers 2 -cache-dir "$cachedir" >"$workdir/log3" 2>&1 &
+pid=$!
+for i in $(seq 1 50); do
+    curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
+    kill -0 "$pid" 2>/dev/null || { echo "mdwd died at second restart:"; cat "$workdir/log3"; exit 1; }
+    sleep 0.2
+done
+curl -fsS -D "$workdir/ph2" -o "$workdir/p2" -d "$body" "http://$addr/v1/run"
+grep -qi '^X-Mdwd-Cache: hit' "$workdir/ph2" || { echo "restarted daemon missed the persisted cache"; cat "$workdir/ph2"; exit 1; }
+cmp -s "$workdir/p1" "$workdir/p2" || { echo "persisted cache hit is not byte-identical"; exit 1; }
+kill -TERM "$pid"
+wait "$pid" || { code=$?; echo "mdwd exited $code after SIGTERM:"; cat "$workdir/log3"; exit 1; }
+
+echo "mdwd smoke: miss/hit byte-identical, persistent cache survives restart, metrics correct, graceful drain OK"
