@@ -11,6 +11,8 @@
 //	mdwbench -workers 8      # sweep-point pool size (0 = GOMAXPROCS)
 //	mdwbench -bench-out f    # append batch timing stats to a JSON history
 //	mdwbench -daemon URL     # run on an mdwd daemon instead of in-process
+//	mdwbench -cpuprofile f   # write a pprof CPU profile of the run
+//	mdwbench -memprofile f   # write a pprof heap profile on exit
 //	mdwbench -v              # per-point progress on stderr
 //
 // Sweep points are independent simulator instances, so -workers only
@@ -35,12 +37,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"mdworm"
+	"mdworm/internal/engine"
+	"mdworm/internal/prof"
 	"mdworm/internal/service"
 )
 
@@ -49,6 +54,8 @@ import (
 // trajectory across commits is preserved; see appendBenchHistory.
 type benchReport struct {
 	Timestamp      string   `json:"timestamp,omitempty"`
+	Kernel         string   `json:"kernel,omitempty"`
+	GoVersion      string   `json:"go_version,omitempty"`
 	Quick          bool     `json:"quick"`
 	Seed           uint64   `json:"seed"`
 	Experiments    []string `json:"experiments"`
@@ -78,6 +85,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		workers  = fs.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS)")
 		benchOut = fs.String("bench-out", "", "append batch timing stats (points/sec, cycles/sec) to this JSON history file")
 		daemon   = fs.String("daemon", "", "run experiments on an mdwd daemon at this base URL (e.g. http://localhost:8080)")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		retries  = fs.Int("retries", 5, "with -daemon: retry a busy, draining, or unreachable daemon this many times (exponential backoff honoring Retry-After)")
 		verbose  = fs.Bool("v", false, "per-point progress on stderr")
 	)
@@ -90,6 +99,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(stderr, "mdwbench:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, "mdwbench:", err)
+		}
+	}()
 
 	var (
 		points int
@@ -149,6 +169,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *benchOut != "" {
 		rep := benchReport{
 			Timestamp:      time.Now().UTC().Format(time.RFC3339),
+			Kernel:         engine.Kernel,
+			GoVersion:      runtime.Version(),
 			Quick:          *quick,
 			Seed:           *seed,
 			Experiments:    ids,

@@ -34,6 +34,7 @@ import (
 	"syscall"
 
 	"mdworm"
+	"mdworm/internal/prof"
 	"mdworm/internal/service"
 )
 
@@ -75,10 +76,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		ckptFile = fs.String("checkpoint", "", "write a resumable snapshot to this file (atomic replace) every -checkpoint-every cycles")
 		ckptEv   = fs.Int64("checkpoint-every", 0, "checkpoint period in simulated cycles (0 with -checkpoint = 100000)")
 		resume   = fs.String("resume", "", "resume from a snapshot written by -checkpoint; rerun with the original flags plus -resume")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(stderr, "mdwsim:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, "mdwsim:", err)
+		}
+	}()
 
 	cfg := mdworm.DefaultConfig()
 	cfg.Stages = *stages

@@ -169,6 +169,21 @@ func (s Set) Intersects(t Set) bool {
 	return false
 }
 
+// SubsetOf reports whether every member of s is also a member of t. It is
+// a word-wise test (no per-member iteration, no allocation), used on hot
+// paths in place of materializing s.AndNot(t) just to check emptiness.
+func (s Set) SubsetOf(t Set) bool {
+	for i, w := range s.words {
+		if i < len(t.words) {
+			w &^= t.words[i]
+		}
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // trim clears any bits at or beyond capacity that crept in via word ops.
 func (s Set) trim() {
 	if len(s.words) == 0 {

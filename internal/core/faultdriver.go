@@ -45,6 +45,19 @@ func (d *faultDriver) Step(now int64) {
 	}
 }
 
+// NextWake implements engine.NextWaker: the driver needs stepping every
+// cycle while a finite stall window feeds the watchdog, at the next
+// scheduled fault otherwise. With the plan exhausted it sleeps for good.
+func (d *faultDriver) NextWake(now int64) (int64, bool) {
+	if now < d.activeUntil {
+		return now + 1, true
+	}
+	if d.next < len(d.events) {
+		return d.events[d.next].At, true
+	}
+	return 0, false
+}
+
 func (d *faultDriver) apply(e faults.Event, now int64) {
 	// until covers the stuck/stall kinds: a zero Duration means permanent.
 	until := int64(math.MaxInt64)

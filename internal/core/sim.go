@@ -29,6 +29,7 @@ type Simulator struct {
 	gen    *traffic.Generator
 	col    stats.Collector
 	ids    engine.IDGen
+	ops    flit.OpArena
 
 	// ports holds each switch's per-port link pair; the fault driver uses
 	// it to fail or stall specific links at their scheduled cycles.
@@ -173,11 +174,14 @@ func (s *Simulator) build() {
 	}
 
 	// Fault driver, registered before the switches so every injected fault
-	// takes effect at the start of its scheduled cycle. It declares no
-	// inputs, so the scheduler steps it every cycle.
+	// takes effect at the start of its scheduled cycle. Its event source is
+	// the fault timetable: the kernel sleeps it until the next scheduled
+	// event (or steps it every cycle while a stall window feeds the
+	// watchdog).
 	if !cfg.Faults.Empty() {
 		s.fdrv = newFaultDriver(s, cfg.Faults)
 		s.sim.AddComponent(s.fdrv)
+		s.sim.DeclareEventDriven(s.fdrv)
 	}
 
 	// Switches. Declaring the input links makes a switch eligible for
@@ -272,8 +276,11 @@ func (s *Simulator) Observe(c *obs.Capture) {
 	s.installTracer()
 	if c.SampleEvery > 0 {
 		// Registered after the fabric's components, the probe samples
-		// post-step state; it declares no inputs so it runs every cycle.
-		s.sim.AddComponent(&obs.Probe{Every: c.SampleEvery, Source: s, Cap: c})
+		// post-step state; its event source is the sampling period, so the
+		// kernel sleeps it between boundaries.
+		probe := &obs.Probe{Every: c.SampleEvery, Source: s, Cap: c}
+		s.sim.AddComponent(probe)
+		s.sim.DeclareEventDriven(probe)
 	}
 }
 
@@ -420,7 +427,7 @@ func (s *Simulator) startOpScheme(scheme collective.Scheme, src int, dests []int
 	if multicast {
 		class = flit.ClassMulticast
 	}
-	op := flit.NewOp(s.ids.Next(), class, src, len(dests), now)
+	op := s.ops.New(s.ids.Next(), class, src, len(dests), now)
 	fac := &factory{cfg: &s.cfg, net: s.net, ids: &s.ids}
 	var msgs []*flit.Message
 	var err error
@@ -545,8 +552,12 @@ func (s *Simulator) RunCheckpointed(every int64, sink func(data []byte, cycle in
 	}
 
 	// The drain replicates RunUntil's semantics (predicate checked before
-	// each step, and again at budget exhaustion) so results are identical
-	// to the pre-checkpoint engine-driven loop.
+	// each advance, and again at budget exhaustion) so results are identical
+	// to the pre-checkpoint engine-driven loop. Advance steps cycle by cycle
+	// while any component is awake and jumps the clock across fully idle
+	// spans (wire latency, fault timetables); with checkpointing on, each
+	// jump is capped at the next checkpoint cycle so the sink observes the
+	// exact same snapshot cadence as per-cycle stepping.
 	drained := false
 	if s.phase == phaseDrain {
 		pred := func() bool {
@@ -562,8 +573,13 @@ func (s *Simulator) RunCheckpointed(every int64, sink func(data []byte, cycle in
 				drained = true
 				break
 			}
-			s.sim.Step()
-			if err := s.watchdog(); err != nil {
+			limit := s.drainEnd
+			if checkpointing {
+				if next := s.sim.Now - s.sim.Now%every + every; next < limit {
+					limit = next
+				}
+			}
+			if err := s.sim.Advance(limit); err != nil {
 				return stats.Results{}, err
 			}
 			if err := checkpoint(); err != nil {

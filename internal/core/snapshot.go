@@ -28,6 +28,10 @@ const (
 	secSwitches   = "switches"
 	secNICs       = "nics"
 	secFaults     = "faults"
+	// secEvents holds the event kernel's queued wake events (versioned
+	// inside the section); blobs that predate it restore with every
+	// component woken, which re-derives the queue from link and timer state.
+	secEvents = "events"
 )
 
 // Snapshot serializes the simulator's complete mutable state. It must be
@@ -78,6 +82,7 @@ func (s *Simulator) Snapshot() ([]byte, error) {
 	w.Section(secIDs).U64(s.ids.State())
 	g.Encode(w.Section(secObjects))
 	s.sim.EncodeState(w.Section(secEngine), g)
+	s.sim.EncodeEvents(w.Section(secEvents))
 	s.sim.Invariants().EncodeState(w.Section(secInvariants))
 	s.col.EncodeState(w.Section(secStats))
 
@@ -151,6 +156,17 @@ func (s *Simulator) restoreInto(r *ckpt.Reader) error {
 		s.sim.DecodeState(d, g)
 	}); err != nil {
 		return err
+	}
+	if r.Has(secEvents) {
+		if err := withSection(r, secEvents, func(d *ckpt.Dec) {
+			s.sim.DecodeEvents(d)
+		}); err != nil {
+			return err
+		}
+	} else {
+		// Pre-event-kernel blob: wake everything; spuriously awake
+		// components step as no-ops and re-derive their wake events.
+		s.sim.WakeAll()
 	}
 	if err := withSection(r, secInvariants, func(d *ckpt.Dec) {
 		s.sim.Invariants().DecodeState(d)

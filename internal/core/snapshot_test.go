@@ -149,6 +149,26 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 	f.Add([]byte(ckpt.Magic))
 	f.Add([]byte{})
 
+	// A seed whose event-queue section is non-empty: checkpoint every cycle
+	// until a snapshot catches sleeping components with queued wake events,
+	// so the fuzzer mutates the events section too, not just engine state.
+	simEv, err := New(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seedEvents []byte
+	_, err = simEv.RunCheckpointed(1, func(data []byte, cycle int64) error {
+		if simEv.sim.PendingEvents() == 0 {
+			return nil
+		}
+		seedEvents = data
+		return errSnapAbort
+	})
+	if !errors.Is(err, errSnapAbort) {
+		f.Fatalf("no checkpoint caught a non-empty event queue (run ended with %v)", err)
+	}
+	f.Add(seedEvents)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sim, err := Restore(data)
 		if err != nil {

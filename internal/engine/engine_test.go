@@ -349,7 +349,10 @@ func TestRunUntilBudget(t *testing.T) {
 	if sim.Now != 10 {
 		t.Fatalf("advanced %d cycles, want 10", sim.Now)
 	}
-	if calls < 10 {
+	// The event kernel jumps over spans where every component sleeps, so
+	// the predicate is no longer polled once per cycle — but it must be
+	// checked before advancing and once more when the budget runs out.
+	if calls < 2 {
 		t.Fatalf("predicate called %d times", calls)
 	}
 }

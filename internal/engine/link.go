@@ -24,9 +24,10 @@ type Link struct {
 	lastSend int64 // cycle of most recent Send, for the 1 flit/cycle limit
 	lastTake int64 // cycle of most recent TakeArrived
 
-	carried  int64  // flits delivered over the lifetime of the link
-	activity *int64 // simulation activity counter
-	wake     func() // arms the receiving component's scheduler slot, if any
+	carried  int64       // flits delivered over the lifetime of the link
+	activity *int64      // simulation activity counter
+	sim      *Simulation // owning kernel; nil for standalone links
+	recv     int32       // receiving component index, -1 if undeclared
 
 	capacity   int   // initial credit count, the overflow ceiling
 	failed     bool  // LinkDown fault: refuse new worms at the next boundary
@@ -97,7 +98,7 @@ func NewLink(name string, latency, credits int) *Link {
 		panic("engine: link credits must be >= 1")
 	}
 	var noop int64
-	return &Link{
+	l := &Link{
 		name:     name,
 		latency:  int64(latency),
 		credits:  credits,
@@ -105,7 +106,17 @@ func NewLink(name string, latency, credits int) *Link {
 		lastSend: -1,
 		lastTake: -1,
 		activity: &noop,
+		recv:     -1,
 	}
+	// Credit discipline bounds both rings at the credit capacity, so size
+	// them up front instead of growing through the first busy worms.
+	size := 4
+	for size < credits {
+		size *= 2
+	}
+	l.inflight.buf = make([]timed[flit.Ref], size)
+	l.creditsQ.buf = make([]timed[int], size)
+	return l
 }
 
 // Name returns the link's diagnostic name.
@@ -160,10 +171,13 @@ func (l *Link) Send(now int64, r flit.Ref) {
 	l.credits--
 	l.lastSend = now
 	l.midWorm = !r.Tail()
+	if l.inflight.len() == 0 && l.sim != nil {
+		l.sim.busyLinks++
+	}
 	l.inflight.push(timed[flit.Ref]{v: r, at: now + l.latency})
 	*l.activity++
-	if l.wake != nil {
-		l.wake()
+	if l.recv >= 0 {
+		l.sim.noteSend(l.recv, now+l.latency)
 	}
 }
 
@@ -214,6 +228,9 @@ func (l *Link) TakeArrived(now int64) flit.Ref {
 		panic(fmt.Sprintf("engine: link %s: TakeArrived with nothing arrived at cycle %d", l.name, now))
 	}
 	l.inflight.pop()
+	if l.inflight.len() == 0 && l.sim != nil {
+		l.sim.busyLinks--
+	}
 	l.lastTake = now
 	l.carried++
 	return r

@@ -2,8 +2,15 @@ package engine
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"strings"
 )
+
+// Kernel names the scheduling discipline compiled into this engine, for
+// benchmark attribution ("event" = calendar-queue event kernel, "cycle" =
+// the pre-event per-cycle sweep).
+const Kernel = "event"
 
 // Component is a clocked element of the simulated system (a switch or a
 // NIC). Step is called exactly once per cycle in registration order; because
@@ -15,6 +22,16 @@ type Component interface {
 	Quiesced() bool
 	// Name identifies the component in diagnostics.
 	Name() string
+}
+
+// NextWaker is implemented by components whose stimulus is a timetable
+// rather than link traffic: fault-plan drivers, periodic probes, watchdog
+// timers. NextWake returns the next cycle strictly after now at which the
+// component needs to be stepped, or ok=false if it has no pending deadline
+// (it then sleeps until an explicit Wake). The kernel queries it when the
+// component quiesces and schedules a wake event for the returned cycle.
+type NextWaker interface {
+	NextWake(now int64) (at int64, ok bool)
 }
 
 // DeadlockError reports that the watchdog observed no forward progress for
@@ -32,40 +49,40 @@ func (e *DeadlockError) Error() string {
 		e.Limit, e.Cycle, strings.Join(e.Stuck, ", "))
 }
 
+// noWake marks a component with no pending wake event.
+const noWake = int64(math.MaxInt64)
+
 // compEntry tracks one registered component plus its scheduling state. A
-// component with declared input links may be put to sleep (skipped by Step)
-// once it is quiesced and none of its inputs carries a flit; it is re-armed
-// by a Send on an input link or an explicit Wake. Components that never
-// declared inputs are stepped every cycle, exactly like the pre-active-set
-// engine, so ad-hoc harnesses keep their semantics.
+// component with declared event sources (input links via DeclareInputs, or
+// a timetable via DeclareEventDriven) may be put to sleep — skipped by Step
+// and excluded from clock-jump decisions — once it is quiesced and nothing
+// has arrived for it; a queued wake event, a Send on an input link, or an
+// explicit Wake re-arms it. Components that never declared event sources
+// are stepped every cycle, exactly like the pre-event-kernel engine, so
+// ad-hoc harnesses keep their semantics.
 type compEntry struct {
-	c      Component
-	inputs []*Link
-	asleep bool
+	c         Component
+	inputs    []*Link
+	nw        NextWaker
+	sleepable bool
+	asleep    bool
+	// wakeAt is the earliest queued wake event for this component (noWake
+	// if none); it suppresses redundant events for later cycles.
+	wakeAt int64
 }
 
-// unstimulated reports whether no declared input link holds a flit that
-// could stimulate the component.
-func (e *compEntry) unstimulated() bool {
-	for _, l := range e.inputs {
-		if l.inflight.len() > 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// Simulation owns the clock, the components, and the links. It advances all
-// components cycle by cycle and enforces a global progress watchdog.
+// Simulation owns the clock, the components, and the links. It is a
+// discrete-event kernel: components declare their event sources, sleep when
+// quiesced, and are re-armed by wake events queued in a calendar queue
+// (link deliveries at now+latency, fault-plan activations, probe
+// deadlines). While any component is awake the clock steps cycle by cycle;
+// when every component sleeps, Run/RunUntil jump the clock straight to the
+// next queued event (or the watchdog deadline, or the budget limit).
 //
-// Components whose inputs are declared via DeclareInputs participate in
-// active-set scheduling: once such a component reports Quiesced and no flit
-// is in flight toward it, Step skips it until a link Send re-arms it (or
-// Wake is called after out-of-band stimulation such as a message submit).
 // Because an idle component's Step is required to be a no-op — the model
 // components draw no randomness and mutate no arbitration state while idle —
-// skipping preserves exact cycle semantics while removing the per-cycle cost
-// of the (often large) idle fraction of the fabric.
+// skipping and jumping preserve exact cycle semantics while removing the
+// per-cycle cost of the (often dominant) idle fraction of the fabric.
 type Simulation struct {
 	// Now is the current cycle, visible to components mid-step.
 	Now int64
@@ -74,9 +91,19 @@ type Simulation struct {
 	// DeadlockError (if components still hold work). Zero disables it.
 	WatchdogLimit int64
 
-	comps        []compEntry
-	compIdx      map[Component]int
-	links        []*Link
+	comps      []compEntry
+	compIdx    map[Component]int
+	awake      []uint64 // bitmap over comps; set = stepped each cycle
+	awakeCount int
+	evq        eventQueue
+
+	links []*Link
+	// linkSlab backs Simulation-created links in contiguous chunks so a
+	// fabric's link state is cache-adjacent instead of heap-scattered.
+	linkSlab []Link
+	// busyLinks counts links with at least one flit on the wire, so
+	// quiescence and jump decisions are O(1) instead of a fabric scan.
+	busyLinks    int
 	activity     int64
 	lastActivity int64
 	tracer       Tracer
@@ -98,46 +125,127 @@ func NewSimulation(watchdogLimit int64) *Simulation {
 // report violations through it; drivers read the counters after a run.
 func (s *Simulation) Invariants() *Invariants { return s.inv }
 
-// AddComponent registers a component; it will be stepped each cycle.
+// AddComponent registers a component; it will be stepped each cycle until
+// it declares event sources and quiesces.
 func (s *Simulation) AddComponent(c Component) {
-	s.compIdx[c] = len(s.comps)
-	s.comps = append(s.comps, compEntry{c: c})
+	i := len(s.comps)
+	s.compIdx[c] = i
+	s.comps = append(s.comps, compEntry{c: c, wakeAt: noWake})
+	if i>>6 >= len(s.awake) {
+		s.awake = append(s.awake, 0)
+	}
+	s.awake[i>>6] |= 1 << uint(i&63)
+	s.awakeCount++
 }
 
 // DeclareInputs tells the scheduler which links feed component c, making c
-// eligible for active-set skipping: while c is quiesced and none of these
-// links carries a flit, Step does not call c. A Send on any declared link
-// re-arms c. Callers whose components receive stimulus outside the link
-// fabric (message submission, barrier drivers) must pair this with Wake.
+// eligible for sleeping: while c is quiesced and none of these links holds
+// an arrived flit, Step does not call c; a Send on any declared link queues
+// a wake event for the flit's arrival cycle. Callers whose components
+// receive stimulus outside the link fabric (message submission, barrier
+// drivers) must pair this with Wake.
 func (s *Simulation) DeclareInputs(c Component, inputs ...*Link) {
 	i, ok := s.compIdx[c]
 	if !ok {
 		panic("engine: DeclareInputs for unregistered component " + c.Name())
 	}
 	e := &s.comps[i]
+	e.sleepable = true
 	for _, l := range inputs {
 		if l == nil {
 			continue
 		}
 		e.inputs = append(e.inputs, l)
-		l.wake = func() { s.comps[i].asleep = false }
+		l.sim = s
+		l.recv = int32(i)
 	}
 }
 
-// Wake re-arms a sleeping component after out-of-band stimulation (for
-// example, a message submitted to an idle NIC). Unregistered components are
-// ignored.
+// DeclareEventDriven registers c's timetable as an event source: when c
+// quiesces, the kernel asks its NextWake for the next deadline and sleeps
+// it until then. c must implement NextWaker. May be combined with
+// DeclareInputs; the earlier of link arrival and deadline wins.
+func (s *Simulation) DeclareEventDriven(c Component) {
+	i, ok := s.compIdx[c]
+	if !ok {
+		panic("engine: DeclareEventDriven for unregistered component " + c.Name())
+	}
+	nw, ok := c.(NextWaker)
+	if !ok {
+		panic("engine: DeclareEventDriven component " + c.Name() + " does not implement NextWaker")
+	}
+	e := &s.comps[i]
+	e.sleepable = true
+	e.nw = nw
+}
+
+// Wake re-arms a sleeping component immediately (it steps on the current
+// cycle), for out-of-band stimulation such as a message submitted to an
+// idle NIC. Unregistered components are ignored.
 func (s *Simulation) Wake(c Component) {
 	if i, ok := s.compIdx[c]; ok {
-		s.comps[i].asleep = false
+		s.wakeIdx(int32(i))
+	}
+}
+
+// ScheduleWakeAt queues a wake event for c at the given future cycle.
+// Scheduling in the past (at <= Now) is an error — the kernel never
+// reorders time — as is an unregistered component.
+func (s *Simulation) ScheduleWakeAt(c Component, at int64) error {
+	i, ok := s.compIdx[c]
+	if !ok {
+		return fmt.Errorf("engine: ScheduleWakeAt for unregistered component %s", c.Name())
+	}
+	if at <= s.Now {
+		return fmt.Errorf("engine: ScheduleWakeAt for %s at cycle %d, not after now (%d)", c.Name(), at, s.Now)
+	}
+	s.scheduleWake(int32(i), at)
+	return nil
+}
+
+// wakeIdx clears the sleep state of component i, effective this cycle.
+func (s *Simulation) wakeIdx(i int32) {
+	e := &s.comps[i]
+	e.wakeAt = noWake
+	if e.asleep {
+		e.asleep = false
+		s.awake[i>>6] |= 1 << uint(i&63)
+		s.awakeCount++
+	}
+}
+
+// scheduleWake queues a wake event for component i at cycle at, unless an
+// event at the same or an earlier cycle is already queued for it.
+func (s *Simulation) scheduleWake(i int32, at int64) {
+	e := &s.comps[i]
+	if e.wakeAt <= at {
+		return
+	}
+	e.wakeAt = at
+	s.evq.push(at, i)
+}
+
+// noteSend is the link-delivery event source: a Send toward a sleeping
+// receiver queues its wake for the arrival cycle. Awake receivers need
+// nothing — they will see the arrival when they step.
+func (s *Simulation) noteSend(recv int32, arriveAt int64) {
+	if s.comps[recv].asleep {
+		s.scheduleWake(recv, arriveAt)
 	}
 }
 
 // NewLink creates a link registered with this simulation so that flit
-// movement feeds the progress watchdog.
+// movement feeds the progress watchdog and the busy-link census. Link
+// structs are carved from contiguous slabs.
 func (s *Simulation) NewLink(name string, latency, credits int) *Link {
-	l := NewLink(name, latency, credits)
+	if len(s.linkSlab) == 0 {
+		s.linkSlab = make([]Link, 64)
+	}
+	l := &s.linkSlab[0]
+	s.linkSlab = s.linkSlab[1:]
+	*l = *NewLink(name, latency, credits)
 	l.bindActivity(&s.activity)
+	l.sim = s
 	l.inv = s.inv
 	s.links = append(s.links, l)
 	return l
@@ -151,38 +259,139 @@ func (s *Simulation) Links() []*Link { return s.links }
 // real work advances without flits moving.
 func (s *Simulation) Progress() { s.activity++ }
 
-// Quiesced reports whether every component and link is idle.
+// Quiesced reports whether every component and link is idle. Sleeping
+// components are quiesced by construction (sleep is only entered from a
+// quiesced state and asleep components are never stepped), so the check
+// scans only busy links and awake components.
 func (s *Simulation) Quiesced() bool {
-	for i := range s.comps {
-		if !s.comps[i].c.Quiesced() {
-			return false
-		}
+	if s.busyLinks > 0 {
+		return false
 	}
-	for _, l := range s.links {
-		if !l.Quiesced() {
-			return false
+	for w, word := range s.awake {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			if !s.comps[w<<6+b].c.Quiesced() {
+				return false
+			}
 		}
 	}
 	return true
 }
 
-// Step advances the simulation one cycle.
+// dispatchDue pops every queued event with at <= Now and wakes its
+// component. Stale events (the component woke earlier for another reason)
+// degenerate to a no-op step and are harmless.
+func (s *Simulation) dispatchDue() {
+	if s.evq.len() == 0 {
+		return
+	}
+	s.evq.popDue(s.Now, s.wakeIdx)
+}
+
+// Step advances the simulation one cycle: due wake events fire, then every
+// awake component steps in registration order, then components that
+// quiesced with no pending arrival go to sleep (queueing a wake for their
+// next known stimulus). Step never jumps the clock — drivers that need the
+// jump use Run/RunUntil/Advance.
 func (s *Simulation) Step() {
+	s.dispatchDue()
 	before := s.activity
-	for i := range s.comps {
-		e := &s.comps[i]
-		if e.asleep {
-			continue
-		}
-		e.c.Step(s.Now)
-		if e.inputs != nil && e.c.Quiesced() && e.unstimulated() {
-			e.asleep = true
+	for w := range s.awake {
+		visited := uint64(0)
+		for {
+			word := s.awake[w] &^ visited
+			if word == 0 {
+				break
+			}
+			b := bits.TrailingZeros64(word)
+			visited |= 1 << uint(b)
+			i := w<<6 + b
+			e := &s.comps[i]
+			e.c.Step(s.Now)
+			s.maybeSleep(i, e)
 		}
 	}
 	if s.activity != before {
 		s.lastActivity = s.Now
 	}
 	s.Now++
+}
+
+// maybeSleep puts component i to sleep if it is quiesced and nothing has
+// arrived for it, queueing a wake event for its earliest future stimulus
+// (the head flit of an in-flight input, or its NextWake deadline). A
+// stimulus due next cycle keeps it awake — sleeping for one cycle buys
+// nothing over stepping.
+func (s *Simulation) maybeSleep(i int, e *compEntry) {
+	if !e.sleepable || !e.c.Quiesced() {
+		return
+	}
+	wakeAt := noWake
+	for _, l := range e.inputs {
+		if l.inflight.len() == 0 {
+			continue
+		}
+		at := l.inflight.front().at
+		if at <= s.Now {
+			return // arrived but unconsumed: stay awake
+		}
+		if at < wakeAt {
+			wakeAt = at
+		}
+	}
+	if e.nw != nil {
+		if at, ok := e.nw.NextWake(s.Now); ok {
+			if at <= s.Now {
+				return
+			}
+			if at < wakeAt {
+				wakeAt = at
+			}
+		}
+	}
+	if wakeAt == s.Now+1 {
+		return
+	}
+	e.asleep = true
+	s.awake[i>>6] &^= 1 << uint(i&63)
+	s.awakeCount--
+	if wakeAt != noWake {
+		s.scheduleWake(int32(i), wakeAt)
+	}
+}
+
+// Advance moves the clock toward limit (exclusive upper bound on Now after
+// the call): while any component is awake it steps one cycle; once every
+// component sleeps it jumps Now directly to the earliest of the next queued
+// event, the watchdog deadline, and limit. With a tracer attached it never
+// jumps, so per-cycle traces stay exact.
+func (s *Simulation) Advance(limit int64) error {
+	if s.awakeCount > 0 || s.tracer != nil {
+		s.Step()
+		return s.checkWatchdog()
+	}
+	// Everyone is asleep, hence quiesced; only wire latency and queued
+	// deadlines separate us from the next state change.
+	target := limit
+	if at, ok := s.evq.peek(); ok && at < target {
+		target = at
+	}
+	if s.WatchdogLimit > 0 && s.busyLinks > 0 {
+		// Do not jump past the cycle where the watchdog would have fired
+		// under per-cycle stepping, so deadlock reports keep their exact
+		// cycle and stuck set.
+		if dl := s.lastActivity + s.WatchdogLimit + 1; dl < target {
+			target = dl
+		}
+	}
+	if target <= s.Now {
+		s.Step()
+		return s.checkWatchdog()
+	}
+	s.Now = target
+	s.dispatchDue()
+	return s.checkWatchdog()
 }
 
 // Run advances the simulation by the given number of cycles, returning a
@@ -194,17 +403,20 @@ func (s *Simulation) Run(cycles int64) error {
 	}
 	end := s.Now + cycles
 	for s.Now < end {
-		s.Step()
-		if err := s.checkWatchdog(); err != nil {
+		if err := s.Advance(end); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// RunUntil steps the simulation until pred returns true, the cycle budget is
-// exhausted, or the watchdog fires. It reports whether pred was satisfied.
-// A non-positive budget is rejected with an error.
+// RunUntil advances the simulation until pred returns true, the cycle
+// budget is exhausted, or the watchdog fires. It reports whether pred was
+// satisfied. A non-positive budget is rejected with an error.
+//
+// pred must depend only on component, link, and statistics state — never on
+// the raw clock — because the kernel skips it over spans where no component
+// steps (no state it may legally read can change there).
 func (s *Simulation) RunUntil(pred func() bool, maxCycles int64) (bool, error) {
 	if maxCycles <= 0 {
 		return false, fmt.Errorf("engine: RunUntil needs a positive cycle budget, got %d", maxCycles)
@@ -214,8 +426,7 @@ func (s *Simulation) RunUntil(pred func() bool, maxCycles int64) (bool, error) {
 		if pred() {
 			return true, nil
 		}
-		s.Step()
-		if err := s.checkWatchdog(); err != nil {
+		if err := s.Advance(end); err != nil {
 			return false, err
 		}
 	}
@@ -227,6 +438,13 @@ func (s *Simulation) RunUntil(pred func() bool, maxCycles int64) (bool, error) {
 func (s *Simulation) Drain(maxCycles int64) (bool, error) {
 	return s.RunUntil(s.Quiesced, maxCycles)
 }
+
+// AwakeCount returns the number of components currently stepped each cycle.
+func (s *Simulation) AwakeCount() int { return s.awakeCount }
+
+// PendingEvents returns the number of queued wake events (stale duplicates
+// included).
+func (s *Simulation) PendingEvents() int { return s.evq.len() }
 
 // CheckWatchdog lets external drivers that call Step directly run the same
 // progress check Run performs.

@@ -163,6 +163,115 @@ func (s *Simulation) DecodeState(d *ckpt.Dec, g *ckpt.Graph) {
 			return
 		}
 	}
+	// Rebuild the derived scheduler state: the awake bitmap mirrors the
+	// asleep flags, the busy-link census mirrors the decoded wires, and the
+	// event queue starts empty (DecodeEvents or WakeAll fills in wakes).
+	for i := range s.awake {
+		s.awake[i] = 0
+	}
+	s.awakeCount = 0
+	for i := range s.comps {
+		s.comps[i].wakeAt = noWake
+		if !s.comps[i].asleep {
+			s.awake[i>>6] |= 1 << uint(i&63)
+			s.awakeCount++
+		}
+	}
+	s.busyLinks = 0
+	for _, l := range s.links {
+		if l.inflight.len() > 0 {
+			s.busyLinks++
+		}
+	}
+	s.evq.reset(s.Now)
+}
+
+// eventSectionVersion tags the encoding of the kernel's event-queue
+// section so future layouts can coexist with old blobs.
+const eventSectionVersion = 1
+
+// EncodeEvents writes the kernel's queued wake events — sorted by (cycle,
+// component) into a canonical order so restore followed by re-snapshot is
+// byte-stable — plus each component's pending-wake marker, which suppresses
+// redundant event pushes and must survive the round trip exactly for a
+// resumed run to schedule the same events as the original.
+func (s *Simulation) EncodeEvents(e *ckpt.Enc) {
+	e.Int(eventSectionVersion)
+	events := s.evq.collect(nil)
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].comp < events[j].comp
+	})
+	e.Int(len(events))
+	for _, ev := range events {
+		e.I64(ev.at)
+		e.Int(int(ev.comp))
+	}
+	e.Int(len(s.comps))
+	for i := range s.comps {
+		if s.comps[i].wakeAt == noWake {
+			e.Bool(false)
+		} else {
+			e.Bool(true)
+			e.I64(s.comps[i].wakeAt)
+		}
+	}
+}
+
+// DecodeEvents restores the event queue and pending-wake markers written by
+// EncodeEvents. It must run after DecodeState (it validates against the
+// restored clock and component set).
+func (s *Simulation) DecodeEvents(d *ckpt.Dec) {
+	if v := d.Int(); v != eventSectionVersion {
+		d.Fail("events: unsupported section version %d", v)
+		return
+	}
+	s.evq.reset(s.Now)
+	n := d.Count(16)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		at := d.I64()
+		comp := d.Int()
+		if d.Err() != nil {
+			return
+		}
+		if comp < 0 || comp >= len(s.comps) {
+			d.Fail("events: component %d outside [0,%d)", comp, len(s.comps))
+			return
+		}
+		if at < s.Now {
+			d.Fail("events: wake at cycle %d before clock %d", at, s.Now)
+			return
+		}
+		s.evq.push(at, int32(comp))
+	}
+	nc := d.Count(1)
+	if d.Err() != nil {
+		return
+	}
+	if nc != len(s.comps) {
+		d.Fail("events: %d components, checkpoint has %d", len(s.comps), nc)
+		return
+	}
+	for i := 0; i < nc && d.Err() == nil; i++ {
+		if d.Bool() {
+			s.comps[i].wakeAt = d.I64()
+		} else {
+			s.comps[i].wakeAt = noWake
+		}
+	}
+}
+
+// WakeAll clears every component's sleep state and empties the event
+// queue. It is the safe fallback when restoring a checkpoint that predates
+// the event-queue section: a spuriously awake component steps as a no-op
+// and re-sleeps, re-deriving its wake events from link and timer state.
+func (s *Simulation) WakeAll() {
+	for i := range s.comps {
+		s.wakeIdx(int32(i))
+	}
+	s.evq.reset(s.Now)
 }
 
 // EncodeState writes the checker's counters and bounded samples. Strict is

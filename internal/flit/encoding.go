@@ -83,10 +83,9 @@ func EncodeBitString(dests bitset.Set, flitBits int) []uint64 {
 	}
 	n := dests.Cap()
 	out := make([]uint64, ceilDiv(n, flitBits))
-	for _, d := range dests.Members() {
-		fi := d / flitBits
-		out[fi] |= 1 << uint(d%flitBits)
-	}
+	dests.ForEach(func(d int) {
+		out[d/flitBits] |= 1 << uint(d%flitBits)
+	})
 	return out
 }
 

@@ -201,10 +201,20 @@ type Worm struct {
 	GoingUp bool
 	// Hops counts switch traversals of this branch (root worm inherits 0).
 	Hops int
+
+	// cachedLen memoizes Msg.Len()+1 (0 = not yet computed): Len sits on
+	// the per-flit hot path of every switch model, and reading it from the
+	// worm itself spares the Message pointer chase.
+	cachedLen int32
 }
 
 // Len returns the total flit count of the worm, header included.
-func (w *Worm) Len() int { return w.Msg.Len() }
+func (w *Worm) Len() int {
+	if w.cachedLen == 0 {
+		w.cachedLen = int32(w.Msg.Len()) + 1
+	}
+	return int(w.cachedLen) - 1
+}
 
 // HeaderFlits returns the number of leading flits that carry routing
 // information.

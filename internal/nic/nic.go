@@ -75,6 +75,7 @@ type NIC struct {
 	sim     *engine.Simulation
 	factory collective.MessageFactory
 	onDelv  DeliveredFunc
+	arena   flit.WormArena
 
 	sendQ         []*flit.Message
 	overheadLeft  int
@@ -277,7 +278,8 @@ func (nc *NIC) stepInject(now int64) {
 		nc.sendQ = nc.sendQ[1:]
 		nc.overheadSpent = false
 		dests := bitset.FromSlice(nc.n, m.Dests)
-		nc.curWorm = &flit.Worm{
+		nc.curWorm = nc.arena.New()
+		*nc.curWorm = flit.Worm{
 			ID:      nc.ids.Next(),
 			Msg:     m,
 			Dests:   dests,

@@ -8,9 +8,10 @@ type GaugeSource interface {
 }
 
 // Probe is an engine.Component that samples a GaugeSource every Every cycles
-// into a Capture. It declares no inputs, so the scheduler steps it every
-// cycle; registered after the fabric's components, it observes post-step
-// state. It holds no work of its own and so never delays a drain.
+// into a Capture. It implements engine.NextWaker with its sampling
+// timetable, so the event kernel sleeps it between period boundaries;
+// registered after the fabric's components, it observes post-step state. It
+// holds no work of its own and so never delays a drain.
 type Probe struct {
 	Every  int64
 	Source GaugeSource
@@ -31,4 +32,13 @@ func (p *Probe) Step(now int64) {
 	s := p.Source.SampleGauges()
 	s.Cycle = now
 	p.Cap.AddSample(s)
+}
+
+// NextWake implements engine.NextWaker: the probe's next deadline is the
+// next sampling-period boundary.
+func (p *Probe) NextWake(now int64) (int64, bool) {
+	if p.Every <= 0 {
+		return 0, false
+	}
+	return now - now%p.Every + p.Every, true
 }

@@ -1,0 +1,54 @@
+// Package prof backs the -cpuprofile/-memprofile flags of the commands.
+// Both mdwbench and mdwsim translate SIGINT/SIGTERM into context
+// cancellation and return from run normally, so a deferred Stop runs on
+// interrupted runs too and the profile files are always flushed and closed.
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuFile (when non-empty) and arranges for
+// a heap profile to be written to memFile (when non-empty) by the returned
+// stop function. Defer the stop function in run; it is idempotent.
+func Start(cpuFile, memFile string) (stop func() error, err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, err
+		}
+	}
+	done := false
+	return func() error {
+		if done {
+			return nil
+		}
+		done = true
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return err
+			}
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // settle the live heap so the profile reflects steady state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}

@@ -100,29 +100,35 @@ func (r *Router) Route(sw *topology.Switch, dests bitset.Set, ascending bool) (D
 	}
 	var dec Decision
 
-	within := dests.And(sw.ReachAll())
-	residue := dests.AndNot(sw.ReachAll())
-
-	if !ascending && !residue.Empty() {
+	// covered means no residue above this switch: dests ⊆ ReachAll. The
+	// word-wise subset test avoids materializing within/residue sets on the
+	// common paths (a descending worm is always covered; an ascending
+	// unicast below its LCA never is).
+	covered := dests.SubsetOf(sw.ReachAll())
+	if !ascending && !covered {
 		return Decision{}, fmt.Errorf("routing: descending worm at switch %d has unreachable destinations %v",
-			sw.ID, residue.Members())
+			sw.ID, dests.AndNot(sw.ReachAll()).Members())
+	}
+	within := dests
+	if !covered {
+		within = dests.And(sw.ReachAll())
 	}
 
-	coverDown := ascending && (r.ReplicateOnUpPath || residue.Empty()) || !ascending
+	coverDown := ascending && (r.ReplicateOnUpPath || covered) || !ascending
 	if coverDown {
 		for _, pn := range sw.DownPorts() {
-			sub := within.And(sw.Ports[pn].Reach)
-			if !sub.Empty() {
-				dec.Down = append(dec.Down, Branch{Port: pn, Dests: sub})
+			if !within.Intersects(sw.Ports[pn].Reach) {
+				continue
 			}
+			dec.Down = append(dec.Down, Branch{Port: pn, Dests: within.And(sw.Ports[pn].Reach)})
 		}
 	}
 
 	switch {
-	case residue.Empty():
+	case covered:
 		// Fully covered below; nothing ascends.
 	case r.ReplicateOnUpPath:
-		dec.UpDests = residue
+		dec.UpDests = dests.AndNot(sw.ReachAll())
 	default:
 		// Ascend undivided; replication happens past the LCA stage.
 		dec.UpDests = dests.Clone()
@@ -157,14 +163,19 @@ func (r *Router) RouteAvoid(sw *topology.Switch, dests bitset.Set, ascending boo
 		return Decision{}, bitset.Set{}, fmt.Errorf("routing: empty destination set at switch %d", sw.ID)
 	}
 
-	within := dests.And(sw.ReachAll())
-	residue := dests.AndNot(sw.ReachAll())
-	if !ascending && !residue.Empty() {
+	covered := dests.SubsetOf(sw.ReachAll())
+	if !ascending && !covered {
 		return Decision{}, bitset.Set{}, fmt.Errorf("routing: descending worm at switch %d has unreachable destinations %v",
-			sw.ID, residue.Members())
+			sw.ID, dests.AndNot(sw.ReachAll()).Members())
+	}
+	within := dests
+	var residue bitset.Set
+	if !covered {
+		within = dests.And(sw.ReachAll())
+		residue = dests.AndNot(sw.ReachAll())
 	}
 
-	needUp := !residue.Empty()
+	needUp := !covered
 	if needUp && len(sw.UpPorts()) == 0 {
 		return Decision{}, bitset.Set{}, fmt.Errorf("routing: switch %d must ascend for %v but has no up ports",
 			sw.ID, residue.Members())
@@ -184,10 +195,10 @@ func (r *Router) RouteAvoid(sw *topology.Switch, dests bitset.Set, ascending boo
 	coverDown := !ascending || !needUp || r.ReplicateOnUpPath || upSevered
 	if coverDown {
 		for _, pn := range sw.DownPorts() {
-			sub := within.And(sw.Ports[pn].Reach)
-			if sub.Empty() {
+			if !within.Intersects(sw.Ports[pn].Reach) {
 				continue
 			}
+			sub := within.And(sw.Ports[pn].Reach)
 			if dead(pn) {
 				dropped.OrIn(sub)
 				continue

@@ -159,12 +159,22 @@ func TestRecoveryCompletesInterruptedRun(t *testing.T) {
 	}
 
 	// The compacted journal must show the job re-accepted and finished once —
-	// recovery neither loses nor double-reports it.
+	// recovery neither loses nor double-reports it. The done record lands
+	// after the result is cached (durability before completion), so give the
+	// worker a moment to journal it.
 	var done int
-	for _, rec := range readJournal(t, dir) {
-		if rec.Hash == hash && rec.Kind == recDone {
-			done++
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done = 0
+		for _, rec := range readJournal(t, dir) {
+			if rec.Hash == hash && rec.Kind == recDone {
+				done++
+			}
 		}
+		if done == 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 	if done != 1 {
 		t.Fatalf("journal reports %d done records for the recovered job, want 1", done)

@@ -162,7 +162,7 @@ const (
 )
 
 type outputState struct {
-	fifo    []flit.Ref
+	fifo    refFIFO
 	mode    outputMode
 	boundIn int       // input index when mode == outBypass
 	cur     *cbBranch // branch being served when mode == outCB
@@ -218,6 +218,7 @@ type Switch struct {
 	rng    *engine.RNG
 	ids    *engine.IDGen
 	sim    *engine.Simulation
+	arena  flit.WormArena
 
 	in  []inputState
 	out []outputState
@@ -298,7 +299,7 @@ func (s *Switch) Occupancy() switches.Occupancy {
 		}
 	}
 	for i := range s.out {
-		o.OutputFlits += len(s.out[i].fifo)
+		o.OutputFlits += s.out[i].fifo.Len()
 	}
 	o.CBChunks = s.chunksInUse
 	return o
@@ -322,7 +323,7 @@ func (s *Switch) Quiesced() bool {
 		}
 	}
 	for o := range s.out {
-		if s.out[o].mode != outIdle || len(s.out[o].fifo) != 0 || len(s.out[o].queue) != 0 {
+		if s.out[o].mode != outIdle || s.out[o].fifo.Len() != 0 || len(s.out[o].queue) != 0 {
 			return false
 		}
 	}
@@ -371,14 +372,13 @@ func (s *Switch) stepOutputsDrain(now int64) {
 	for o := range s.out {
 		st := &s.out[o]
 		out := s.ports[o].Out
-		if len(st.fifo) == 0 || out == nil {
+		if st.fifo.Len() == 0 || out == nil {
 			continue
 		}
 		if out.CanSend(now) {
-			out.Send(now, st.fifo[0])
-			st.fifo = st.fifo[1:]
+			out.Send(now, st.fifo.Pop())
 			s.stats.FlitsOut++
-		} else if out.Dead() && !out.MidWorm() && st.fifo[0].Head() {
+		} else if out.Dead() && !out.MidWorm() && st.fifo.Front().Head() {
 			// The head worm never started transmission and never will;
 			// discard it at this clean boundary instead of wedging.
 			s.discardOutput(o, now)
@@ -392,7 +392,7 @@ func (s *Switch) stepOutputsDrain(now int64) {
 // so upstream state drains and the drop is accounted.
 func (s *Switch) discardOutput(o int, now int64) {
 	st := &s.out[o]
-	head := st.fifo[0]
+	head := st.fifo.Front()
 	if head.W.Msg.Class == flit.ClassBarrier {
 		// A severed barrier tree cannot complete; leave the token for the
 		// watchdog to convert into a structured deadlock report.
@@ -427,13 +427,14 @@ func (s *Switch) discardOutput(o int, now int64) {
 // purgeFIFO removes every flit of worm w from the output FIFO, preserving
 // the order of other worms' flits.
 func (s *Switch) purgeFIFO(st *outputState, w *flit.Worm) {
-	kept := st.fifo[:0]
-	for _, r := range st.fifo {
+	live := st.fifo.All()
+	kept := live[:0]
+	for _, r := range live {
 		if r.W != w {
 			kept = append(kept, r)
 		}
 	}
-	st.fifo = kept
+	st.fifo.Rebuild(kept)
 }
 
 // reportDrop accounts destinations abandoned because of an injected fault.
@@ -481,11 +482,11 @@ func (s *Switch) stepOutputsServe(now int64) {
 			continue
 		}
 		b := st.cur
-		if s.rdBudget == 0 || len(st.fifo) >= s.cfg.OutFIFOFlits || b.read >= b.pb.written {
+		if s.rdBudget == 0 || st.fifo.Len() >= s.cfg.OutFIFOFlits || b.read >= b.pb.written {
 			continue
 		}
 		s.rdBudget--
-		st.fifo = append(st.fifo, flit.Ref{W: b.child, Idx: b.read})
+		st.fifo.Push(flit.Ref{W: b.child, Idx: b.read})
 		b.read++
 		s.advanceFreeing(b.pb, now)
 		if b.read == b.pb.total {
@@ -712,7 +713,7 @@ func (s *Switch) decode(i int, now int64) {
 			return out != nil && out.Dead()
 		}
 	}
-	plans, dropped, err := switches.PlanBranches(s.router, s.node, in.worm, ascending, free, dead, s.rng, s.ids)
+	plans, dropped, err := switches.PlanBranches(s.router, s.node, in.worm, ascending, free, dead, s.rng, s.ids, &s.arena)
 	if err != nil {
 		panic(fmt.Sprintf("%s: input %d: %v", s.Name(), i, err))
 	}
@@ -809,12 +810,12 @@ func (s *Switch) pushBypass(i int, now int64) {
 	in := &s.in[i]
 	o := in.bypassOut
 	st := &s.out[o]
-	if in.q.Empty() || in.q.HeadWorm() != in.worm || len(st.fifo) >= s.cfg.OutFIFOFlits {
+	if in.q.Empty() || in.q.HeadWorm() != in.worm || st.fifo.Len() >= s.cfg.OutFIFOFlits {
 		return
 	}
 	r := in.q.Pop()
 	s.ports[i].In.ReturnCredit(now, 1)
-	st.fifo = append(st.fifo, flit.Ref{W: in.plans[0].Child, Idx: r.Idx})
+	st.fifo.Push(flit.Ref{W: in.plans[0].Child, Idx: r.Idx})
 	s.stats.BypassFlits++
 	if r.Tail() {
 		st.mode = outIdle

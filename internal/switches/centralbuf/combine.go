@@ -92,7 +92,8 @@ func (s *Switch) emitToken(port int, dest *int, op *flit.Op) {
 		msg.Dests = []int{*dest}
 		dests.Add(*dest)
 	}
-	w := &flit.Worm{ID: s.ids.Next(), Msg: msg, Dests: dests}
+	w := s.arena.New()
+	*w = flit.Worm{ID: s.ids.Next(), Msg: msg, Dests: dests}
 	s.pendingTok = append(s.pendingTok, pendingToken{port: port, worm: w})
 	s.sim.Progress()
 }
@@ -107,9 +108,9 @@ func (s *Switch) drainTokens() {
 	for _, pt := range s.pendingTok {
 		st := &s.out[pt.port]
 		boundary := st.mode == outIdle && len(st.queue) == 0 &&
-			(len(st.fifo) == 0 || st.fifo[len(st.fifo)-1].Tail())
-		if boundary && len(st.fifo) < s.cfg.OutFIFOFlits {
-			st.fifo = append(st.fifo, flit.Ref{W: pt.worm, Idx: 0})
+			(st.fifo.Len() == 0 || st.fifo.Last().Tail())
+		if boundary && st.fifo.Len() < s.cfg.OutFIFOFlits {
+			st.fifo.Push(flit.Ref{W: pt.worm, Idx: 0})
 			s.stats.TokensEmitted++
 			s.sim.Progress()
 			continue

@@ -34,10 +34,10 @@ func (s *Switch) Dump() string {
 	}
 	for o := range s.out {
 		st := &s.out[o]
-		if st.mode == outIdle && len(st.fifo) == 0 && len(st.queue) == 0 {
+		if st.mode == outIdle && st.fifo.Len() == 0 && len(st.queue) == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "  out%d mode=%s fifo=%d queue=%d", o, outModes[st.mode], len(st.fifo), len(st.queue))
+		fmt.Fprintf(&b, "  out%d mode=%s fifo=%d queue=%d", o, outModes[st.mode], st.fifo.Len(), len(st.queue))
 		if st.mode == outBypass {
 			fmt.Fprintf(&b, " boundIn=%d", st.boundIn)
 		}

@@ -1,0 +1,52 @@
+package centralbuf
+
+import "mdworm/internal/flit"
+
+// refFIFO is a flit queue over a reusable backing array. The output FIFOs
+// push and pop one flit nearly every busy cycle; a head index over a
+// recycled buffer keeps that path allocation-free, where a pop-by-reslice
+// slice would force append to grow forever.
+type refFIFO struct {
+	buf  []flit.Ref
+	head int
+}
+
+func (f *refFIFO) Len() int        { return len(f.buf) - f.head }
+func (f *refFIFO) Front() flit.Ref { return f.buf[f.head] }
+func (f *refFIFO) Last() flit.Ref  { return f.buf[len(f.buf)-1] }
+
+// All returns the live contents front to back, valid until the next Push.
+func (f *refFIFO) All() []flit.Ref { return f.buf[f.head:] }
+
+func (f *refFIFO) Push(r flit.Ref) {
+	if f.head > 0 && len(f.buf) == cap(f.buf) {
+		// Reclaim the popped prefix instead of growing.
+		n := copy(f.buf, f.buf[f.head:])
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	f.buf = append(f.buf, r)
+}
+
+func (f *refFIFO) Pop() flit.Ref {
+	r := f.buf[f.head]
+	f.buf[f.head] = flit.Ref{} // release the worm pointer for GC
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	}
+	return r
+}
+
+// Rebuild replaces the contents with kept, which must alias All() (the
+// fault-path purge filters in place and hands back the kept prefix).
+func (f *refFIFO) Rebuild(kept []flit.Ref) {
+	n := copy(f.buf[f.head:], kept)
+	f.buf = f.buf[:f.head+n]
+}
+
+func (f *refFIFO) Reset() {
+	f.buf = f.buf[:0]
+	f.head = 0
+}

@@ -102,7 +102,7 @@ func (s *Switch) CollectState(g *ckpt.Graph) {
 		}
 	}
 	for o := range s.out {
-		for _, r := range s.out[o].fifo {
+		for _, r := range s.out[o].fifo.All() {
 			g.AddWorm(r.W)
 		}
 	}
@@ -166,8 +166,8 @@ func (s *Switch) EncodeState(e *ckpt.Enc, g *ckpt.Graph) {
 	e.Int(len(s.out))
 	for o := range s.out {
 		st := &s.out[o]
-		e.Int(len(st.fifo))
-		for _, r := range st.fifo {
+		e.Int(st.fifo.Len())
+		for _, r := range st.fifo.All() {
 			switches.EncodeRef(e, g, r)
 		}
 		e.U8(uint8(st.mode))
@@ -347,13 +347,13 @@ func (s *Switch) DecodeState(d *ckpt.Dec, g *ckpt.Graph) {
 		if d.Err() != nil {
 			return
 		}
-		st.fifo = nil
+		st.fifo.Reset()
 		for k := 0; k < nf; k++ {
 			r := switches.DecodeRef(d, g)
 			if d.Err() != nil {
 				return
 			}
-			st.fifo = append(st.fifo, r)
+			st.fifo.Push(r)
 		}
 		st.mode = outputMode(d.U8())
 		st.boundIn = d.Int()

@@ -42,7 +42,7 @@ type Planned struct {
 // dropped. A plan may legitimately be empty when every branch died.
 func PlanBranches(r *routing.Router, sw *topology.Switch, w *flit.Worm, ascending bool,
 	free func(port int) bool, dead func(port int) bool,
-	rng *engine.RNG, ids *engine.IDGen) ([]Planned, bitset.Set, error) {
+	rng *engine.RNG, ids *engine.IDGen, arena *flit.WormArena) ([]Planned, bitset.Set, error) {
 
 	dec, dropped, err := r.RouteAvoid(sw, w.Dests, ascending, dead)
 	if err != nil {
@@ -50,11 +50,11 @@ func PlanBranches(r *routing.Router, sw *topology.Switch, w *flit.Worm, ascendin
 	}
 	plans := make([]Planned, 0, dec.NumBranches())
 	for _, b := range dec.Down {
-		plans = append(plans, Planned{Port: b.Port, Child: fork(w, b.Dests, false, ids)})
+		plans = append(plans, Planned{Port: b.Port, Child: fork(w, b.Dests, false, ids, arena)})
 	}
 	if !dec.UpDests.Empty() {
 		port := r.PickUp(&dec, w.Msg, free, rng)
-		plans = append(plans, Planned{Port: port, Child: fork(w, dec.UpDests, true, ids)})
+		plans = append(plans, Planned{Port: port, Child: fork(w, dec.UpDests, true, ids, arena)})
 	}
 	return plans, dropped, nil
 }
@@ -71,14 +71,16 @@ func AnyDeadOut(ports []PortIO) bool {
 	return false
 }
 
-func fork(w *flit.Worm, dests bitset.Set, goingUp bool, ids *engine.IDGen) *flit.Worm {
-	return &flit.Worm{
+func fork(w *flit.Worm, dests bitset.Set, goingUp bool, ids *engine.IDGen, arena *flit.WormArena) *flit.Worm {
+	child := arena.New()
+	*child = flit.Worm{
 		ID:      ids.Next(),
 		Msg:     w.Msg,
 		Dests:   dests,
 		GoingUp: goingUp,
 		Hops:    w.Hops + 1,
 	}
+	return child
 }
 
 // RoundRobin is a fair pick-one arbiter over n requesters.

@@ -11,6 +11,7 @@ import (
 // segments instead of individual flits, keeping per-cycle work constant.
 type FIFO struct {
 	segs []fseg
+	head int // index of the front segment; popped segments are reused
 	size int
 }
 
@@ -29,13 +30,19 @@ func (f *FIFO) Empty() bool { return f.size == 0 }
 // Push appends a flit. Flits of a worm must arrive contiguously and in
 // index order; Push panics otherwise (a model invariant violation).
 func (f *FIFO) Push(r flit.Ref) {
-	if n := len(f.segs); n > 0 && f.segs[n-1].w == r.W {
+	if n := len(f.segs); n > f.head && f.segs[n-1].w == r.W {
 		seg := &f.segs[n-1]
 		if r.Idx != seg.first+seg.n {
 			panic(fmt.Sprintf("switches: non-contiguous flit %v (expected idx %d)", r, seg.first+seg.n))
 		}
 		seg.n++
 	} else {
+		if f.head > 0 && len(f.segs) == cap(f.segs) {
+			// Reclaim the popped prefix instead of growing.
+			n := copy(f.segs, f.segs[f.head:])
+			f.segs = f.segs[:n]
+			f.head = 0
+		}
 		f.segs = append(f.segs, fseg{w: r.W, first: r.Idx, n: 1})
 	}
 	f.size++
@@ -46,7 +53,7 @@ func (f *FIFO) HeadWorm() *flit.Worm {
 	if f.size == 0 {
 		return nil
 	}
-	return f.segs[0].w
+	return f.segs[f.head].w
 }
 
 // HeadAvail returns how many flits of the front worm are buffered.
@@ -54,7 +61,7 @@ func (f *FIFO) HeadAvail() int {
 	if f.size == 0 {
 		return 0
 	}
-	return f.segs[0].n
+	return f.segs[f.head].n
 }
 
 // HeadIdx returns the flit index at the front of the queue.
@@ -62,7 +69,7 @@ func (f *FIFO) HeadIdx() int {
 	if f.size == 0 {
 		panic("switches: HeadIdx on empty FIFO")
 	}
-	return f.segs[0].first
+	return f.segs[f.head].first
 }
 
 // Pop removes and returns the front flit.
@@ -70,12 +77,17 @@ func (f *FIFO) Pop() flit.Ref {
 	if f.size == 0 {
 		panic("switches: Pop on empty FIFO")
 	}
-	seg := &f.segs[0]
+	seg := &f.segs[f.head]
 	r := flit.Ref{W: seg.w, Idx: seg.first}
 	seg.first++
 	seg.n--
 	if seg.n == 0 {
-		f.segs = f.segs[1:]
+		seg.w = nil // release the worm pointer for GC
+		f.head++
+		if f.head == len(f.segs) {
+			f.segs = f.segs[:0]
+			f.head = 0
+		}
 	}
 	f.size--
 	return r

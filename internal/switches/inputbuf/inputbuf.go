@@ -130,9 +130,16 @@ type Switch struct {
 	rng    *engine.RNG
 	ids    *engine.IDGen
 	sim    *engine.Simulation
+	arena  flit.WormArena
 
 	in  []inputState
 	out []outputState
+
+	// reqBits[o] has bit i set while input i holds a requestable (created,
+	// ungranted, not yet done) branch for output o, so arbitration skips
+	// outputs and inputs with nothing to ask in O(1) instead of rescanning
+	// every branch list every cycle.
+	reqBits []uint64
 
 	// Barrier combining state (see combine.go).
 	combineCount int
@@ -149,16 +156,20 @@ func New(cfg Config, node *topology.Switch, router *routing.Router, ports []swit
 	if len(ports) != node.NumPorts() {
 		panic("inputbuf: port count mismatch")
 	}
+	if len(ports) > 64 {
+		panic("inputbuf: request bitmap supports at most 64 ports")
+	}
 	s := &Switch{
-		cfg:    cfg,
-		node:   node,
-		router: router,
-		ports:  ports,
-		rng:    rng,
-		ids:    ids,
-		sim:    sim,
-		in:     make([]inputState, len(ports)),
-		out:    make([]outputState, len(ports)),
+		cfg:     cfg,
+		node:    node,
+		router:  router,
+		ports:   ports,
+		rng:     rng,
+		ids:     ids,
+		sim:     sim,
+		in:      make([]inputState, len(ports)),
+		out:     make([]outputState, len(ports)),
+		reqBits: make([]uint64, len(ports)),
 	}
 	for o := range s.out {
 		s.out[o].arb = switches.NewRoundRobin(len(ports))
@@ -244,6 +255,9 @@ func (s *Switch) dropDeadBranches(now int64) {
 			b.sent = in.queue[0].w.Len()
 			if b.granted && s.out[b.out].bound == b {
 				s.out[b.out].bound = nil
+			}
+			if !b.granted {
+				s.reqBits[b.out] &^= 1 << uint(i)
 			}
 		}
 	}
@@ -415,20 +429,12 @@ func (s *Switch) finishHeads(now int64) {
 func (s *Switch) arbitrate(now int64) {
 	for o := range s.out {
 		st := &s.out[o]
-		if st.bound != nil {
+		if st.bound != nil || s.reqBits[o] == 0 {
 			continue
 		}
+		req := s.reqBits[o]
 		picked := st.arb.Pick(func(i int) bool {
-			in := &s.in[i]
-			if in.mode != modeActive {
-				return false
-			}
-			for _, b := range in.branches {
-				if b.out == o && !b.granted && !b.done {
-					return true
-				}
-			}
-			return false
+			return req&(1<<uint(i)) != 0
 		})
 		if picked < 0 {
 			continue
@@ -437,6 +443,7 @@ func (s *Switch) arbitrate(now int64) {
 		for _, b := range in.branches {
 			if b.out == o && !b.granted && !b.done {
 				b.granted = true
+				s.reqBits[o] &^= 1 << uint(picked)
 				st.bound = b
 				s.stats.GrantWaitSum += now - b.reqAt
 				if s.sim.Tracing() {
@@ -517,7 +524,7 @@ func (s *Switch) decode(i int, now int64) {
 			return out != nil && out.Dead()
 		}
 	}
-	plans, dropped, err := switches.PlanBranches(s.router, s.node, head.w, ascending, free, dead, s.rng, s.ids)
+	plans, dropped, err := switches.PlanBranches(s.router, s.node, head.w, ascending, free, dead, s.rng, s.ids, &s.arena)
 	if err != nil {
 		panic(fmt.Sprintf("%s: input %d: %v", s.Name(), i, err))
 	}
@@ -540,6 +547,7 @@ func (s *Switch) decode(i int, now int64) {
 	in.branches = make([]*branch, len(plans))
 	for bi, p := range plans {
 		in.branches[bi] = &branch{in: i, out: p.Port, child: p.Child, reqAt: now}
+		s.reqBits[p.Port] |= 1 << uint(i)
 	}
 	in.minSent = 0
 	in.mode = modeActive

@@ -140,6 +140,9 @@ func (s *Switch) DecodeState(d *ckpt.Dec, g *ckpt.Graph) {
 				d.Fail("%s: input %d branch %d inconsistent", s.Name(), i, k)
 				return
 			}
+			if !b.granted && !b.done {
+				s.reqBits[b.out] |= 1 << uint(i)
+			}
 			in.branches = append(in.branches, b)
 		}
 		in.minSent = d.Int()

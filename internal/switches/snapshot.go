@@ -7,15 +7,15 @@ import (
 
 // CollectState adds every worm buffered in the FIFO to the checkpoint graph.
 func (f *FIFO) CollectState(g *ckpt.Graph) {
-	for i := range f.segs {
+	for i := f.head; i < len(f.segs); i++ {
 		g.AddWorm(f.segs[i].w)
 	}
 }
 
 // EncodeState writes the FIFO as its (worm, first, count) segments.
 func (f *FIFO) EncodeState(e *ckpt.Enc, g *ckpt.Graph) {
-	e.Int(len(f.segs))
-	for i := range f.segs {
+	e.Int(len(f.segs) - f.head)
+	for i := f.head; i < len(f.segs); i++ {
 		s := &f.segs[i]
 		e.U64(g.WormID(s.w))
 		e.Int(s.first)
@@ -27,6 +27,7 @@ func (f *FIFO) EncodeState(e *ckpt.Enc, g *ckpt.Graph) {
 // the worms they reference.
 func (f *FIFO) DecodeState(d *ckpt.Dec, g *ckpt.Graph) {
 	f.segs = nil
+	f.head = 0
 	f.size = 0
 	n := d.Count(24)
 	for i := 0; i < n && d.Err() == nil; i++ {

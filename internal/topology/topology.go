@@ -350,14 +350,8 @@ func (n *Network) LCAStage(src int, dests bitset.Set) int {
 	sw, _ := n.ProcAttach(src)
 	cur := n.Switches[sw]
 	for s := 0; ; s++ {
-		covered := true
-		for _, d := range dests.Members() {
-			if !cur.ReachAll().Has(d) {
-				covered = false
-				break
-			}
-		}
-		if covered {
+		// Word-wise subset test: no per-destination loop, no allocation.
+		if dests.SubsetOf(cur.ReachAll()) {
 			return s
 		}
 		ups := cur.UpPorts()
