@@ -22,7 +22,10 @@
 //
 // With -daemon the experiments execute on a running mdwd server (repeat
 // runs are served from its result cache); tables stream back identical to
-// the in-process rendering. Only -format text is available remotely.
+// the in-process rendering. Only -format text is available remotely. The
+// URL may equally point at a cluster coordinator (mdwd -coordinator): the
+// API and the rendered tables are identical, with the sweep sharded across
+// the coordinator's worker fleet.
 package main
 
 import (

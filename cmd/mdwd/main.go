@@ -15,28 +15,48 @@
 // GET /metrics. See the README "Run as a service" section for the full
 // reference.
 //
+// Cluster mode scales the same API across machines: `mdwd -coordinator
+// -peers=http://w1:8080,http://w2:8080` serves /v1/run and /v1/experiment by
+// sharding work over the peer worker daemons (consistent hashing on the
+// config hash keeps each worker's cache hot on a disjoint key range), while
+// plain worker daemons may also announce themselves to a coordinator with
+// `-join http://coord:8080`. mdwbench -daemon works unchanged against either
+// mode. See the README "Cluster mode" section.
+//
 // SIGINT/SIGTERM drain gracefully: new jobs are rejected, running jobs
 // finish (up to -drain-timeout), and the process exits 0.
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"mdworm/internal/cluster"
 	"mdworm/internal/service"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// daemon is the mode-independent surface run needs: both service.Server
+// (single node) and cluster.Coordinator satisfy it.
+type daemon interface {
+	Handler() http.Handler
+	BeginDrain()
+	Drain(time.Duration) bool
 }
 
 // run is main with its environment made explicit; ready (when non-nil)
@@ -55,6 +75,14 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
 		ckptEvery    = fs.Int64("checkpoint-every", 0, "checkpoint running jobs every N simulated cycles so a restart resumes them (needs -cache-dir; 0 = off)")
 		jobDeadline  = fs.Duration("job-deadline", 0, "fail jobs that waited queued longer than this instead of running them (0 = no deadline)")
+		journalMax   = fs.Int64("journal-max-bytes", 0, "compact the job journal once it exceeds this size (0 = 8MiB, negative = only at restart)")
+
+		coordinator = fs.Bool("coordinator", false, "serve as a cluster coordinator sharding work across -peers instead of simulating locally")
+		peers       = fs.String("peers", "", "comma-separated worker base URLs for -coordinator (more may join via /v1/cluster/join)")
+		join        = fs.String("join", "", "coordinator base URL this worker announces itself to (repeating every -heartbeat)")
+		advertise   = fs.String("advertise", "", "base URL the coordinator should dial this worker at (default http://127.0.0.1:<port>)")
+		heartbeat   = fs.Duration("heartbeat", time.Second, "peer health-probe and join-announce period")
+		hedgeAfter  = fs.Duration("hedge-after", 0, "coordinator: race one extra attempt for a shard still unresolved after this long (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -64,19 +92,55 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintln(stderr, "mdwd: -checkpoint-every needs -cache-dir (checkpoints and the job journal live there)")
 		return 2
 	}
-	srv, err := service.New(service.Config{
-		Workers:         *workers,
-		Backlog:         *backlog,
-		CacheEntries:    *cacheEntries,
-		CacheDir:        *cacheDir,
-		MaxCycles:       *maxCycles,
-		RunTimeout:      *runTimeout,
-		CheckpointEvery: *ckptEvery,
-		JobDeadline:     *jobDeadline,
-	})
-	if err != nil {
-		fmt.Fprintln(stderr, "mdwd:", err)
-		return 1
+	if *coordinator && *join != "" {
+		fmt.Fprintln(stderr, "mdwd: -coordinator and -join are mutually exclusive (a daemon is either the coordinator or a worker)")
+		return 2
+	}
+
+	var (
+		srv  daemon
+		mode string
+	)
+	if *coordinator {
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		coord, err := cluster.New(cluster.Config{
+			Peers:           peerList,
+			CacheDir:        *cacheDir,
+			CacheEntries:    *cacheEntries,
+			HedgeAfter:      *hedgeAfter,
+			HeartbeatEvery:  *heartbeat,
+			JournalMaxBytes: *journalMax,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "mdwd:", err)
+			return 1
+		}
+		defer coord.Close()
+		srv = coord
+		mode = fmt.Sprintf("coordinator, peers=%d", len(peerList))
+	} else {
+		s, err := service.New(service.Config{
+			Workers:         *workers,
+			Backlog:         *backlog,
+			CacheEntries:    *cacheEntries,
+			CacheDir:        *cacheDir,
+			MaxCycles:       *maxCycles,
+			RunTimeout:      *runTimeout,
+			CheckpointEvery: *ckptEvery,
+			JobDeadline:     *jobDeadline,
+			JournalMaxBytes: *journalMax,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "mdwd:", err)
+			return 1
+		}
+		srv = s
+		mode = fmt.Sprintf("workers=%d", *workers)
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -85,17 +149,26 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintln(stderr, "mdwd:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "mdwd: listening on %s (workers=%d, cache=%d entries, dir=%q)\n",
-		ln.Addr(), *workers, *cacheEntries, *cacheDir)
+	fmt.Fprintf(stdout, "mdwd: listening on %s (%s, cache=%d entries, dir=%q)\n",
+		ln.Addr(), mode, *cacheEntries, *cacheDir)
 	if ready != nil {
 		ready <- ln.Addr().String()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *join != "" {
+		self := *advertise
+		if self == "" {
+			self = advertiseURL(ln.Addr())
+		}
+		go joinLoop(ctx, strings.TrimRight(*join, "/"), self, *heartbeat, stderr)
 	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	select {
 	case err := <-serveErr:
 		fmt.Fprintln(stderr, "mdwd:", err)
@@ -118,4 +191,59 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintln(stderr, "mdwd: drain deadline exceeded, abandoning remaining jobs")
 	}
 	return 0
+}
+
+// advertiseURL derives a dialable base URL from the bound listen address: a
+// wildcard host becomes the loopback (right for single-machine clusters and
+// CI; multi-machine deployments pass -advertise explicitly).
+func advertiseURL(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return "http://" + a.String()
+	}
+	ip := net.ParseIP(host)
+	if host == "" || host == "::" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
+// joinLoop announces this worker to the coordinator immediately and then on
+// every heartbeat — the join doubles as a liveness signal, and a restarted
+// coordinator relearns its fleet within one period without configuration.
+func joinLoop(ctx context.Context, coord, self string, every time.Duration, stderr io.Writer) {
+	if every <= 0 {
+		every = time.Second
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	body := fmt.Sprintf(`{"peer":%q}`, self)
+	announced := false
+	post := func() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			coord+"/v1/cluster/join", bytes.NewReader([]byte(body)))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && !announced {
+			announced = true
+			fmt.Fprintf(stderr, "mdwd: joined cluster at %s as %s\n", coord, self)
+		}
+	}
+	post()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			post()
+		}
+	}
 }

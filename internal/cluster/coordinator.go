@@ -1,0 +1,527 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdworm/internal/core"
+	"mdworm/internal/experiments"
+	"mdworm/internal/service"
+	"mdworm/internal/stats"
+)
+
+// Journal record kinds private to the coordinator. All three are unknown to
+// ReplayJournal and deliberately skipped on replay: shard records are the
+// fleet's dispatch audit trail ("which peer ran which point, how often"),
+// while recoverability rides on the job-level accepted/done records. The
+// terminal shard kinds are distinct from "done"/"failed" so a /v1/run job —
+// whose job hash equals its single shard's hash — cannot have its pending
+// state closed out by its shard's completion record alone.
+const (
+	recShardDispatch = service.RecShard
+	recShardDone     = "shard_done"
+	recShardFailed   = "shard_failed"
+)
+
+// Config parameterizes a coordinator.
+type Config struct {
+	// Peers are the initial worker base URLs (e.g. "http://10.0.0.2:7077");
+	// more may join at runtime through POST /v1/cluster/join.
+	Peers []string
+	// CacheDir, when non-empty, persists the coordinator's job journal
+	// there, giving the fleet "never lost, never double-run" across
+	// coordinator restarts.
+	CacheDir string
+	// CacheEntries bounds the in-memory merged-result cache (0 = 1024).
+	CacheEntries int
+	// SweepWorkers bounds how many shards one experiment keeps in flight
+	// (0 = 4 per peer + 4, refreshed per sweep).
+	SweepWorkers int
+	// HedgeAfter, when > 0, races one extra attempt on the next ring
+	// successor for a shard that has produced no result after this long —
+	// bounded straggler insurance, at most one hedge per shard. 0 disables.
+	HedgeAfter time.Duration
+	// HeartbeatEvery is the peer health-probe period (0 = 1s).
+	HeartbeatEvery time.Duration
+	// MirrorEvery is the checkpoint-mirror poll period for in-flight shards
+	// (0 = 250ms).
+	MirrorEvery time.Duration
+	// DispatchTimeout bounds one shard attempt's /v1/run round trip
+	// (0 = 5m).
+	DispatchTimeout time.Duration
+	// RetryDelay is the pause before re-asking a busy peer (0 = 250ms).
+	RetryDelay time.Duration
+	// JournalMaxBytes mirrors service.Config.JournalMaxBytes for the
+	// coordinator's journal (0 = service.DefaultJournalMaxBytes; negative
+	// disables size-triggered compaction).
+	JournalMaxBytes int64
+}
+
+// Coordinator is the cluster front end: the same /v1 API surface as a
+// single mdwd daemon, backed by a fleet of them.
+type Coordinator struct {
+	cfg     Config
+	peers   *PeerSet
+	cache   *service.Cache
+	journal *service.Journal // nil without a cache directory
+	client  *http.Client
+	mux     *http.ServeMux
+	start   time.Time
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	mu       sync.Mutex
+	inflight map[string]*call
+
+	shardsInflight atomic.Int64
+	hedges         atomic.Int64
+	migrations     atomic.Int64
+	jobSeq         atomic.Int64
+
+	draining atomic.Bool
+	jobs     sync.WaitGroup
+}
+
+// New builds a coordinator, recovers its journal, and starts the peer
+// health-probe loop.
+func New(cfg Config) (*Coordinator, error) {
+	cache, err := service.NewCache(max(cfg.CacheEntries, 1024), "")
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:      cfg,
+		peers:    NewPeerSet(cfg.Peers),
+		cache:    cache,
+		client:   &http.Client{},
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		baseCtx:  ctx,
+		stop:     cancel,
+		inflight: make(map[string]*call),
+	}
+	if cfg.CacheDir != "" {
+		if err := c.recover(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	c.mux.HandleFunc("POST /v1/run", c.handleRun)
+	c.mux.HandleFunc("POST /v1/experiment", c.handleExperiment)
+	c.mux.HandleFunc("GET /v1/experiments", c.handleExperiments)
+	c.mux.HandleFunc("POST /v1/cluster/join", c.handleJoin)
+	c.mux.HandleFunc("GET /v1/cluster/status", c.handleStatus)
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	go c.probeLoop()
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Close stops the probe loop and background machinery. In-flight shard
+// attempts are cut off at their next context check.
+func (c *Coordinator) Close() { c.stop() }
+
+// BeginDrain rejects new job-creating requests with 503 while letting
+// in-flight work finish.
+func (c *Coordinator) BeginDrain() { c.draining.Store(true) }
+
+// Drain stops intake and waits up to timeout for in-flight requests.
+func (c *Coordinator) Drain(timeout time.Duration) bool {
+	c.BeginDrain()
+	done := make(chan struct{})
+	go func() { c.jobs.Wait(); close(done) }()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// probeLoop keeps peer health marks fresh.
+func (c *Coordinator) probeLoop() {
+	every := c.cfg.HeartbeatEvery
+	if every <= 0 {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.baseCtx.Done():
+			return
+		case <-t.C:
+			c.peers.ProbeAll(c.baseCtx, c.client)
+		}
+	}
+}
+
+// journalAppend mirrors service.Server.journalAppend: durability for
+// restarts, never a correctness dependency of the running coordinator.
+func (c *Coordinator) journalAppend(rec service.JournalRec) {
+	if c.journal == nil {
+		return
+	}
+	_ = c.journal.Append(rec)
+}
+
+// recover replays the coordinator's journal and closes out what the previous
+// process left behind: pending run jobs are re-dispatched in the background
+// (worker caches make a re-dispatch of finished-but-unjournaled work a cheap
+// cache hit), pending experiments are failed — their streaming clients died
+// with the old process and their points live in worker caches anyway.
+func (c *Coordinator) recover() error {
+	pending, err := service.ReplayJournal(c.cfg.CacheDir)
+	if err != nil {
+		return err
+	}
+	j, err := service.ResetJournal(c.cfg.CacheDir)
+	if err != nil {
+		return err
+	}
+	c.journal = j
+	switch {
+	case c.cfg.JournalMaxBytes > 0:
+		j.SetMaxBytes(c.cfg.JournalMaxBytes)
+	case c.cfg.JournalMaxBytes == 0:
+		j.SetMaxBytes(service.DefaultJournalMaxBytes)
+	}
+
+	for _, p := range pending {
+		switch {
+		case p.JobKind == "experiment":
+			c.journalAppend(service.JournalRec{Kind: service.RecFailed, Hash: p.Hash,
+				JobKind: p.JobKind, Error: "interrupted by coordinator restart"})
+		case len(p.Config) == 0:
+			c.journalAppend(service.JournalRec{Kind: service.RecFailed, Hash: p.Hash,
+				JobKind: p.JobKind, Error: "journal carries no configuration for this job"})
+		default:
+			var canon core.Config
+			if err := json.Unmarshal(p.Config, &canon); err != nil {
+				c.journalAppend(service.JournalRec{Kind: service.RecFailed, Hash: p.Hash,
+					JobKind: "run", Error: fmt.Sprintf("journaled config does not parse: %v", err)})
+				continue
+			}
+			c.journalAppend(service.JournalRec{Kind: service.RecAccepted, Hash: p.Hash,
+				JobKind: "run", Config: p.Config})
+			hash := p.Hash
+			c.jobs.Add(1)
+			go func() {
+				defer c.jobs.Done()
+				_, err := c.resolveShard(c.baseCtx, hash, canon)
+				c.finishJob(hash, "run", err)
+			}()
+		}
+	}
+	return nil
+}
+
+// finishJob writes a job-level terminal record.
+func (c *Coordinator) finishJob(hash, jobKind string, err error) {
+	rec := service.JournalRec{Kind: service.RecDone, Hash: hash, JobKind: jobKind}
+	if err != nil {
+		rec.Kind = service.RecFailed
+		rec.Error = err.Error()
+	}
+	c.journalAppend(rec)
+}
+
+// apiError mirrors the service package's error body so clients cannot tell
+// coordinator and single daemon apart.
+type apiError struct {
+	Code              string `json:"code"`
+	Message           string `json:"message"`
+	Job               string `json:"job,omitempty"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
+}
+
+func writeErr(w http.ResponseWriter, status int, e apiError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]apiError{"error": e})
+}
+
+// rejectDraining answers a job-creating request during shutdown.
+func rejectDraining(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeErr(w, http.StatusServiceUnavailable, apiError{
+		Code: "draining", Message: "coordinator is draining", RetryAfterSeconds: 1})
+}
+
+func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
+	if c.draining.Load() {
+		rejectDraining(w)
+		return
+	}
+	var req service.RunRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	var cfg core.Config
+	if req.RawConfig != nil {
+		cfg = *req.RawConfig
+	} else {
+		resolved, err := req.Config.Resolve()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, apiError{Code: "bad_config", Message: err.Error()})
+			return
+		}
+		cfg = resolved
+	}
+	hash, canon, err := service.Hash(cfg)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, apiError{Code: "invalid_config", Message: err.Error()})
+		return
+	}
+
+	if body, ok := c.cache.Get(hash); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Mdwd-Cache", "hit")
+		w.Header().Set("X-Mdwd-Hash", hash)
+		w.Write(body)
+		return
+	}
+
+	canonJSON, err := json.Marshal(canon)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, apiError{Code: "internal", Message: err.Error()})
+		return
+	}
+	c.jobs.Add(1)
+	defer c.jobs.Done()
+	c.journalAppend(service.JournalRec{Kind: service.RecAccepted, Hash: hash,
+		JobKind: "run", Config: canonJSON})
+	res, err := c.resolveShard(r.Context(), hash, canon)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// Client gone; the shard continues and its completion will be
+			// journaled by whoever owns the singleflight call. The job-level
+			// record is closed out by a later identical request or restart
+			// re-dispatch — both cache hits.
+			return
+		}
+		c.finishJob(hash, "run", err)
+		writeErr(w, http.StatusUnprocessableEntity, apiError{Code: "run_failed", Message: err.Error()})
+		return
+	}
+	c.finishJob(hash, "run", nil)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Mdwd-Cache", "miss")
+	w.Header().Set("X-Mdwd-Hash", hash)
+	w.Write(res.body)
+}
+
+// sweepWorkers returns the shard fan-out bound for one experiment.
+func (c *Coordinator) sweepWorkers() int {
+	if c.cfg.SweepWorkers > 0 {
+		return c.cfg.SweepWorkers
+	}
+	return 4*max(c.peers.HealthyCount(), 1) + 4
+}
+
+func (c *Coordinator) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	if c.draining.Load() {
+		rejectDraining(w)
+		return
+	}
+	var req service.ExperimentRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	known := false
+	for _, id := range experiments.IDs() {
+		if id == req.ID {
+			known = true
+			break
+		}
+	}
+	if !known {
+		writeErr(w, http.StatusNotFound, apiError{Code: "unknown_experiment",
+			Message: fmt.Sprintf("unknown experiment %q (GET /v1/experiments lists ids)", req.ID)})
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+
+	c.jobs.Add(1)
+	defer c.jobs.Done()
+	c.journalAppend(service.JournalRec{Kind: service.RecAccepted, Hash: req.ID, JobKind: "experiment"})
+
+	// The sweep runs on this handler goroutine's pool; only this goroutine
+	// writes the response. Events flow: shard completion (any order) →
+	// reorder buffer (table order) → ndjson stream.
+	ctx := r.Context()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var wmu sync.Mutex
+	emitEvent := func(ev service.StreamEvent) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	emitEvent(service.StreamEvent{Type: "start", ID: req.ID, Job: fmt.Sprintf("c%d", c.jobSeq.Add(1))})
+
+	st, tables, err := c.runSweep(ctx, req, emitEvent)
+	if err != nil {
+		c.finishJob(req.ID, "experiment", err)
+		emitEvent(service.StreamEvent{Type: "error", ID: req.ID, Err: err.Error()})
+		return
+	}
+	for _, t := range tables {
+		var buf strings.Builder
+		t.Format(&buf)
+		emitEvent(service.StreamEvent{Type: "table", ID: t.ID, Text: buf.String()})
+	}
+	c.finishJob(req.ID, "experiment", nil)
+	emitEvent(service.StreamEvent{Type: "done", ID: req.ID, Points: st.Points,
+		Cycles: st.Cycles, WallSeconds: st.Wall.Seconds()})
+}
+
+// runSweep plans one experiment, resolves its standard points through the
+// cluster (custom-harness points run locally; see experiments.Options
+// .Resolver), and emits point events in deterministic table order through
+// the reorder buffer.
+func (c *Coordinator) runSweep(ctx context.Context, req service.ExperimentRequest,
+	emitEvent func(service.StreamEvent)) (experiments.SweepStats, []*experiments.Table, error) {
+	// rb is installed after Plan (PlannedTags needs the planned tables);
+	// events only fire during Finish, after the assignment below.
+	var rb *reorder
+	opts := experiments.Options{
+		Quick:   req.Quick,
+		Seed:    req.Seed,
+		Workers: c.sweepWorkers(),
+		Context: ctx,
+		OnPoint: func(ev experiments.PointEvent) { rb.add(ev) },
+		Resolver: func(cfg core.Config, tag string) (stats.Results, int64, error) {
+			hash, canon, err := service.Hash(cfg)
+			if err != nil {
+				return stats.Results{}, 0, err
+			}
+			res, err := c.resolveShard(ctx, hash, canon)
+			if err != nil {
+				return stats.Results{}, 0, err
+			}
+			return res.res, res.cycles, nil
+		},
+	}
+	tables, err := experiments.Plan([]string{req.ID}, opts)
+	if err != nil {
+		return experiments.SweepStats{}, nil, err
+	}
+	rb = newReorder(experiments.PlannedTags(tables), func(ev experiments.PointEvent) {
+		out := service.StreamEvent{
+			Type: "point", Tag: ev.Tag, X: ev.X,
+			McastLat: ev.McastLatency, UniLat: ev.UniLatency,
+			Throughput: ev.Throughput, Saturated: ev.Saturated,
+			Dropped: ev.DestsDropped, Violations: ev.Violations,
+			Cycles: ev.Cycles,
+		}
+		if ev.Err != nil {
+			out.Err = ev.Err.Error()
+		}
+		emitEvent(out)
+	})
+	st, err := experiments.Finish([]string{req.ID}, tables, opts)
+	rb.flush()
+	return st, tables, err
+}
+
+func (c *Coordinator) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string][]string{"experiments": experiments.IDs()})
+}
+
+// JoinRequest is the body of POST /v1/cluster/join.
+type JoinRequest struct {
+	// Peer is the joining worker's base URL as the coordinator should dial
+	// it.
+	Peer string `json:"peer"`
+}
+
+// JoinResponse acknowledges a join with the current membership.
+type JoinResponse struct {
+	Peers []string `json:"peers"`
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	if !strings.HasPrefix(req.Peer, "http://") && !strings.HasPrefix(req.Peer, "https://") {
+		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_peer",
+			Message: fmt.Sprintf("peer %q is not an http(s) base URL", req.Peer)})
+		return
+	}
+	c.peers.Join(strings.TrimRight(req.Peer, "/"))
+	views := c.peers.Views()
+	urls := make([]string, len(views))
+	for i, v := range views {
+		urls[i] = v.URL
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(JoinResponse{Peers: urls})
+}
+
+// StatusResponse is the body of GET /v1/cluster/status.
+type StatusResponse struct {
+	Peers           []PeerView `json:"peers"`
+	HealthyPeers    int        `json:"healthy_peers"`
+	ShardsInflight  int64      `json:"shards_inflight"`
+	HedgesTotal     int64      `json:"hedges_total"`
+	MigrationsTotal int64      `json:"migrations_total"`
+	JournalBytes    int64      `json:"journal_bytes,omitempty"`
+	Draining        bool       `json:"draining"`
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := StatusResponse{
+		Peers:           c.peers.Views(),
+		HealthyPeers:    c.peers.HealthyCount(),
+		ShardsInflight:  c.shardsInflight.Load(),
+		HedgesTotal:     c.hedges.Load(),
+		MigrationsTotal: c.migrations.Load(),
+		Draining:        c.draining.Load(),
+	}
+	if c.journal != nil {
+		st.JournalBytes = c.journal.Size()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if c.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

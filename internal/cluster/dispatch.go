@@ -1,0 +1,397 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"mdworm/internal/core"
+	"mdworm/internal/service"
+	"mdworm/internal/stats"
+)
+
+// The shard dispatcher.
+//
+// One shard = one canonical configuration = one /v1/run on some worker. The
+// consistent-hash ring names the shard's owner; the dispatcher walks the
+// owner's ring-successor sequence when the owner is down or dies mid-run
+// (migration), optionally races one bounded hedge attempt against a straggler,
+// and deduplicates concurrent requests for the same hash through a
+// singleflight table. While a shard is in flight its worker's checkpoint blob
+// is mirrored into coordinator memory, so a worker killed without warning
+// (kill -9 — its disk unreachable) still leaves the coordinator a blob to
+// resume the migrated shard from. Determinism makes every path — scratch
+// re-run, checkpoint resume, hedge winner — produce byte-identical results.
+
+// shardResult is one resolved shard: the worker's raw response body (for
+// forwarding through /v1/run verbatim) plus its decoded measurement.
+type shardResult struct {
+	body   []byte
+	res    stats.Results
+	cycles int64
+}
+
+// call is one in-flight singleflight entry.
+type call struct {
+	done chan struct{}
+	res  shardResult
+	err  error
+}
+
+// mirror holds the latest checkpoint blob pulled from a shard's worker.
+type mirror struct {
+	mu   sync.Mutex
+	blob []byte
+}
+
+func (m *mirror) set(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.blob = b
+	m.mu.Unlock()
+}
+
+func (m *mirror) get() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.blob
+}
+
+// resolveShard resolves one canonical config through the cluster: cache,
+// then singleflight, then dispatch. ctx is the requesting client's context —
+// it bounds this caller's wait, never the shard itself, which (like a
+// single-node job whose client hung up) runs to completion and populates the
+// cache and journal for whoever asks next.
+func (c *Coordinator) resolveShard(ctx context.Context, hash string, canon core.Config) (shardResult, error) {
+	if body, ok := c.cache.Get(hash); ok {
+		return decodeShard(body)
+	}
+	c.mu.Lock()
+	if cl, ok := c.inflight[hash]; ok {
+		c.mu.Unlock()
+		select {
+		case <-cl.done:
+			return cl.res, cl.err
+		case <-ctx.Done():
+			return shardResult{}, ctx.Err()
+		}
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[hash] = cl
+	c.mu.Unlock()
+
+	go func() {
+		cl.res, cl.err = c.runShard(hash, canon)
+		c.mu.Lock()
+		delete(c.inflight, hash)
+		c.mu.Unlock()
+		close(cl.done)
+	}()
+	select {
+	case <-cl.done:
+		return cl.res, cl.err
+	case <-ctx.Done():
+		return shardResult{}, ctx.Err()
+	}
+}
+
+// runShard executes one shard to completion: primary attempt sequence on the
+// ring owner, at most one hedge sequence on the next ring successor after
+// HedgeAfter without a result, first success wins. Exactly one done (or
+// failed) journal record is written per shard, here and only here — attempt
+// sequences write only RecShard dispatch-audit records.
+func (c *Coordinator) runShard(hash string, canon core.Config) (shardResult, error) {
+	c.shardsInflight.Add(1)
+	defer c.shardsInflight.Add(-1)
+
+	m := &mirror{}
+	type outcome struct {
+		res shardResult
+		err error
+	}
+	results := make(chan outcome, 2)
+	launch := func(start int) {
+		go func() {
+			res, err := c.attemptFrom(hash, canon, start, m)
+			results <- outcome{res, err}
+		}()
+	}
+	launch(0)
+	outstanding := 1
+	var hedge <-chan time.Time
+	if c.cfg.HedgeAfter > 0 {
+		t := time.NewTimer(c.cfg.HedgeAfter)
+		defer t.Stop()
+		hedge = t.C
+	}
+	var lastErr error
+	for outstanding > 0 {
+		select {
+		case out := <-results:
+			outstanding--
+			if out.err == nil {
+				c.finishShard(hash, nil)
+				c.cache.Put(hash, out.res.body)
+				return out.res, nil
+			}
+			lastErr = out.err
+		case <-hedge:
+			hedge = nil
+			c.hedges.Add(1)
+			c.journalAppend(service.JournalRec{Kind: recShardDispatch, Hash: hash,
+				JobKind: "shard", Error: "hedge"})
+			launch(1)
+			outstanding++
+		}
+	}
+	c.finishShard(hash, lastErr)
+	return shardResult{}, lastErr
+}
+
+// finishShard writes the shard's single terminal journal record (a
+// coordinator-private kind, skipped on replay — see coordinator.go).
+func (c *Coordinator) finishShard(hash string, err error) {
+	rec := service.JournalRec{Kind: recShardDone, Hash: hash, JobKind: "shard"}
+	if err != nil {
+		rec.Kind = recShardFailed
+		rec.Error = err.Error()
+	}
+	c.journalAppend(rec)
+}
+
+// Attempt verdicts.
+type verdict int
+
+const (
+	vOK      verdict = iota
+	vRetry           // transient on this peer (busy, run still in flight): retry same peer
+	vMigrate         // peer dead or rejecting: mark down, move to next ring successor
+	vFatal           // the config itself fails (deadlock, invariant): stop
+)
+
+// attemptFrom walks the shard's candidate sequence starting at the given
+// ring-successor offset, retrying transient rejections on the same peer and
+// migrating past dead peers with the latest mirrored checkpoint attached.
+// With no healthy peer left it degrades to running the shard locally on the
+// coordinator — never a wrong answer, only a colder cache.
+func (c *Coordinator) attemptFrom(hash string, canon core.Config, start int, m *mirror) (shardResult, error) {
+	cands := c.peers.Candidates(hash)
+	idx := start
+	budget := 2*len(cands) + 6 // attempts, not peers: bounded even with retries
+	var lastErr error
+	for attempt := 0; attempt < budget; attempt++ {
+		peer := ""
+		for k := 0; k < len(cands); k++ {
+			p := cands[(idx+k)%max(len(cands), 1)]
+			if c.peers.Healthy(p) {
+				peer = p
+				idx = idx + k
+				break
+			}
+		}
+		if peer == "" {
+			return c.runLocal(hash, canon)
+		}
+		res, v, err := c.attempt(peer, hash, canon, m)
+		switch v {
+		case vOK:
+			c.peers.markHealth(peer, true)
+			return res, nil
+		case vRetry:
+			lastErr = err
+			time.Sleep(c.retryDelay())
+		case vMigrate:
+			lastErr = err
+			c.peers.markHealth(peer, false)
+			c.migrations.Add(1)
+			c.journalAppend(service.JournalRec{Kind: recShardDispatch, Hash: hash,
+				JobKind: "shard", Peer: peer, Error: "migrate: " + err.Error()})
+			idx++
+		case vFatal:
+			return shardResult{}, err
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: shard %s: attempt budget exhausted", hash)
+	}
+	return shardResult{}, fmt.Errorf("cluster: shard %s: %w", hash, lastErr)
+}
+
+// retryDelay is the pause before re-asking a busy peer.
+func (c *Coordinator) retryDelay() time.Duration {
+	if c.cfg.RetryDelay > 0 {
+		return c.cfg.RetryDelay
+	}
+	return 250 * time.Millisecond
+}
+
+// attempt dispatches the shard to one peer and classifies the outcome. While
+// the request is in flight, the peer's checkpoint blob for this hash is
+// polled into the mirror so a later migration can resume mid-run.
+func (c *Coordinator) attempt(peer, hash string, canon core.Config, m *mirror) (shardResult, verdict, error) {
+	c.journalAppend(service.JournalRec{Kind: recShardDispatch, Hash: hash, JobKind: "shard", Peer: peer})
+	release := c.peers.beginShard(peer)
+	defer release()
+
+	// Checkpoint mirroring runs for the attempt's lifetime.
+	mirrorDone := make(chan struct{})
+	defer close(mirrorDone)
+	go c.mirrorLoop(peer, hash, m, mirrorDone)
+
+	reqBody, err := json.Marshal(service.RunRequest{RawConfig: &canon, Resume: m.get()})
+	if err != nil {
+		return shardResult{}, vFatal, err
+	}
+	ctx, cancel := context.WithTimeout(c.baseCtx, c.dispatchTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/run", bytes.NewReader(reqBody))
+	if err != nil {
+		return shardResult{}, vFatal, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return shardResult{}, vMigrate, fmt.Errorf("peer %s: %w", peer, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return shardResult{}, vMigrate, fmt.Errorf("peer %s: %w", peer, err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		res, err := decodeShard(body)
+		if err != nil {
+			return shardResult{}, vMigrate, fmt.Errorf("peer %s: %w", peer, err)
+		}
+		return res, vOK, nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		time.Sleep(retryAfter(resp, c.retryDelay()))
+		return shardResult{}, vRetry, fmt.Errorf("peer %s busy", peer)
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		// The worker's run outlived its wait deadline but continues server-side;
+		// re-asking eventually returns its cache hit.
+		return shardResult{}, vRetry, fmt.Errorf("peer %s still running %s", peer, hash)
+	case resp.StatusCode >= 500:
+		return shardResult{}, vMigrate, fmt.Errorf("peer %s: %s: %s", peer, resp.Status, apiErrMsg(body))
+	default:
+		// 4xx: the configuration itself is rejected (deadlock, invariant
+		// violation, budget) — no other peer will disagree.
+		return shardResult{}, vFatal, fmt.Errorf("peer %s: %s: %s", peer, resp.Status, apiErrMsg(body))
+	}
+}
+
+// mirrorLoop polls the peer's checkpoint blob for the shard until done.
+func (c *Coordinator) mirrorLoop(peer, hash string, m *mirror, done <-chan struct{}) {
+	every := c.cfg.MirrorEvery
+	if every <= 0 {
+		every = 250 * time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-c.baseCtx.Done():
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(c.baseCtx, every)
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+				peer+"/v1/cluster/checkpoint/"+hash, nil)
+			if err != nil {
+				cancel()
+				return
+			}
+			resp, err := c.client.Do(req)
+			if err != nil {
+				cancel()
+				continue
+			}
+			if resp.StatusCode == http.StatusOK {
+				if blob, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20)); err == nil {
+					m.set(blob)
+				}
+			}
+			resp.Body.Close()
+			cancel()
+		}
+	}
+}
+
+// runLocal is the no-healthy-peers fallback: the coordinator runs the shard
+// itself, producing the identical response body a worker would have.
+func (c *Coordinator) runLocal(hash string, canon core.Config) (shardResult, error) {
+	c.journalAppend(service.JournalRec{Kind: recShardDispatch, Hash: hash,
+		JobKind: "shard", Peer: "local"})
+	sim, err := core.New(canon)
+	if err != nil {
+		return shardResult{}, err
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return shardResult{}, err
+	}
+	body, err := json.Marshal(service.RunResponse{Hash: hash, Config: canon,
+		Results: res, SimulatedCycles: sim.Now()})
+	if err != nil {
+		return shardResult{}, err
+	}
+	return shardResult{body: body, res: res, cycles: sim.Now()}, nil
+}
+
+// dispatchTimeout bounds one attempt's POST /v1/run round trip.
+func (c *Coordinator) dispatchTimeout() time.Duration {
+	if c.cfg.DispatchTimeout > 0 {
+		return c.cfg.DispatchTimeout
+	}
+	return 5 * time.Minute
+}
+
+// decodeShard parses a worker's RunResponse body.
+func decodeShard(body []byte) (shardResult, error) {
+	var rr service.RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		return shardResult{}, fmt.Errorf("cluster: bad run response: %w", err)
+	}
+	return shardResult{body: body, res: rr.Results, cycles: rr.SimulatedCycles}, nil
+}
+
+// retryAfter extracts a bounded Retry-After hint.
+func retryAfter(resp *http.Response, fallback time.Duration) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			d := time.Duration(secs) * time.Second
+			if d > 5*time.Second {
+				d = 5 * time.Second
+			}
+			return d
+		}
+	}
+	return fallback
+}
+
+// apiErrMsg extracts the message of a structured error body, or echoes the
+// raw body truncated.
+func apiErrMsg(body []byte) string {
+	var e struct {
+		Error struct {
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error.Message != "" {
+		return e.Error.Message
+	}
+	if len(body) > 200 {
+		body = body[:200]
+	}
+	return string(bytes.TrimSpace(body))
+}

@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"net/http"
+	"time"
+
+	"mdworm/internal/obs"
+)
+
+// handleMetrics reports the coordinator's counters in the Prometheus text
+// exposition format (version 0.0.4): the cluster-wide gauges the alerts
+// watch (healthy peers, shards in flight, hedge and migration totals) plus
+// per-peer health and load broken out by the peer label.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	views := c.peers.Views()
+	hits, misses, entries := c.cache.Stats()
+
+	w.Header().Set("Content-Type", obs.PromContentType)
+	p := &obs.PromWriter{W: w}
+	p.Gauge("mdwd_up_seconds", "Seconds since the coordinator started.", time.Since(c.start).Seconds())
+	p.Gauge("mdwd_coordinator", "1 on a cluster coordinator (0 or absent on a worker daemon).", 1)
+	p.Gauge("mdwd_peers", "Cluster members on the hash ring, healthy or not.", float64(len(views)))
+	p.Gauge("mdwd_peers_healthy", "Cluster members currently passing health probes.", float64(c.peers.HealthyCount()))
+	p.Gauge("mdwd_shards_inflight", "Shards currently dispatched and unresolved.", float64(c.shardsInflight.Load()))
+	p.Counter("mdwd_shard_hedges_total", "Hedge attempts raced against straggler shards.", float64(c.hedges.Load()))
+	p.Counter("mdwd_shard_migrations_total", "Shards migrated off a dead or rejecting peer.", float64(c.migrations.Load()))
+	p.Counter("mdwd_cache_hits", "Merged-result cache hits.", float64(hits))
+	p.Counter("mdwd_cache_misses", "Merged-result cache misses.", float64(misses))
+	p.Gauge("mdwd_cache_entries", "Merged-result cache entries resident in memory.", float64(entries))
+	if c.journal != nil {
+		p.Gauge("mdwd_journal_bytes", "Size of the coordinator's job journal.", float64(c.journal.Size()))
+	}
+
+	healthy := make([]obs.LabeledSample, 0, len(views))
+	inflight := make([]obs.LabeledSample, 0, len(views))
+	dispatched := make([]obs.LabeledSample, 0, len(views))
+	for _, v := range views {
+		labels := [][2]string{{"peer", v.URL}}
+		h := 0.0
+		if v.Healthy {
+			h = 1
+		}
+		healthy = append(healthy, obs.LabeledSample{Labels: labels, Value: h})
+		inflight = append(inflight, obs.LabeledSample{Labels: labels, Value: float64(v.Inflight)})
+		dispatched = append(dispatched, obs.LabeledSample{Labels: labels, Value: float64(v.Dispatched)})
+	}
+	p.LabeledGauge("mdwd_peer_healthy", "Per-peer health mark (1 healthy, 0 down).", healthy)
+	p.LabeledGauge("mdwd_peer_shards_inflight", "Shards currently dispatched to the peer.", inflight)
+	p.LabeledGauge("mdwd_peer_shards_dispatched", "Shards dispatched to the peer over the coordinator's lifetime.", dispatched)
+}

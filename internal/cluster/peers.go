@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// peerState is one worker daemon as the coordinator sees it.
+type peerState struct {
+	URL     string
+	Healthy bool
+	// LastSeen is the last successful probe, join, or shard completion.
+	LastSeen time.Time
+	// Inflight counts shards currently dispatched to the peer; Dispatched
+	// counts them over the coordinator's lifetime.
+	Inflight   int
+	Dispatched int64
+}
+
+// PeerView is the read-only snapshot of one peer for /v1/cluster/status and
+// /metrics.
+type PeerView struct {
+	URL        string    `json:"url"`
+	Healthy    bool      `json:"healthy"`
+	LastSeen   time.Time `json:"last_seen"`
+	Inflight   int       `json:"inflight"`
+	Dispatched int64     `json:"dispatched"`
+}
+
+// PeerSet tracks cluster membership, health, and per-peer dispatch load,
+// and owns the consistent-hash ring. The ring holds every member — healthy
+// or not — so shard ownership is stable across a peer's brief outage
+// (membership changes remap keys, health changes only reroute around the
+// owner via ring successors).
+type PeerSet struct {
+	mu    sync.Mutex
+	peers map[string]*peerState
+	ring  *Ring
+}
+
+// NewPeerSet builds a peer set over the given worker base URLs, all
+// initially presumed healthy until a probe says otherwise.
+func NewPeerSet(urls []string) *PeerSet {
+	ps := &PeerSet{peers: make(map[string]*peerState), ring: NewRing(0)}
+	for _, u := range urls {
+		ps.Join(u)
+	}
+	return ps
+}
+
+// Join adds a peer (idempotent) and marks it healthy — a joining worker just
+// proved it is alive.
+func (ps *PeerSet) Join(url string) {
+	if url == "" {
+		return
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	p, ok := ps.peers[url]
+	if !ok {
+		p = &peerState{URL: url}
+		ps.peers[url] = p
+		ps.ring.Add(url)
+	}
+	p.Healthy = true
+	p.LastSeen = time.Now()
+}
+
+// markHealth records a probe or dispatch outcome for a peer.
+func (ps *PeerSet) markHealth(url string, healthy bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if p, ok := ps.peers[url]; ok {
+		p.Healthy = healthy
+		if healthy {
+			p.LastSeen = time.Now()
+		}
+	}
+}
+
+// beginShard accounts a dispatch to a peer; the returned func closes it out.
+func (ps *PeerSet) beginShard(url string) func() {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	p, ok := ps.peers[url]
+	if !ok {
+		return func() {}
+	}
+	p.Inflight++
+	p.Dispatched++
+	return func() {
+		ps.mu.Lock()
+		defer ps.mu.Unlock()
+		if p.Inflight > 0 {
+			p.Inflight--
+		}
+	}
+}
+
+// Healthy reports whether the peer is currently marked healthy.
+func (ps *PeerSet) Healthy(url string) bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	p, ok := ps.peers[url]
+	return ok && p.Healthy
+}
+
+// Candidates returns the shard's failover sequence — the key's ring owner
+// first, then its distinct ring successors — over all members, healthy or
+// not. The dispatcher walks it skipping unhealthy peers, so ownership stays
+// stable while a peer is merely slow.
+func (ps *PeerSet) Candidates(key string) []string {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.ring.Successors(key, ps.ring.Len())
+}
+
+// Views returns a snapshot of every peer, sorted by URL.
+func (ps *PeerSet) Views() []PeerView {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	out := make([]PeerView, 0, len(ps.peers))
+	for _, u := range ps.ring.Peers() {
+		p := ps.peers[u]
+		out = append(out, PeerView{URL: p.URL, Healthy: p.Healthy, LastSeen: p.LastSeen,
+			Inflight: p.Inflight, Dispatched: p.Dispatched})
+	}
+	return out
+}
+
+// HealthyCount returns how many peers are currently healthy.
+func (ps *PeerSet) HealthyCount() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	n := 0
+	for _, p := range ps.peers {
+		if p.Healthy {
+			n++
+		}
+	}
+	return n
+}
+
+// probe checks one peer's /healthz. A draining worker answers 503, which
+// counts as unhealthy for new shards without removing it from the ring.
+func probe(ctx context.Context, client *http.Client, url string) bool {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// ProbeAll probes every member once and updates health marks.
+func (ps *PeerSet) ProbeAll(ctx context.Context, client *http.Client) {
+	ps.mu.Lock()
+	urls := ps.ring.Peers()
+	ps.mu.Unlock()
+	for _, u := range urls {
+		ps.markHealth(u, probe(ctx, client, u))
+	}
+}

@@ -1,0 +1,140 @@
+// Package cluster implements mdwd's coordinator/worker scale-out: a
+// coordinator daemon that accepts the unchanged /v1/run and /v1/experiment
+// API, shards work across peer worker daemons by consistent hashing on the
+// canonical config hash (so each worker's result cache stays hot on a
+// disjoint key range), streams merged experiment output in deterministic
+// point order, and survives worker death mid-shard by migrating the shard —
+// resuming from the last mirrored checkpoint blob — to a healthy peer.
+// Determinism end to end keeps the merged output byte-identical to a
+// single-node run for any peer count, any failure schedule.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// defaultReplicas is the virtual-node count per peer: enough that the load
+// split across a handful of peers stays within a few percent of even, small
+// enough that ring rebuilds stay trivial.
+const defaultReplicas = 128
+
+// Ring is a consistent-hash ring over peer names with virtual nodes. A key
+// is owned by the peer whose nearest clockwise virtual node follows the
+// key's point; adding or removing one peer therefore remaps only the keys
+// adjacent to that peer's virtual nodes — about 1/N of the space — leaving
+// every other worker's cache locality intact.
+//
+// Ring is not goroutine-safe; PeerSet guards it.
+type Ring struct {
+	replicas int
+	vnodes   []vnode // sorted by point
+	peers    map[string]bool
+}
+
+type vnode struct {
+	point uint64
+	peer  string
+}
+
+// NewRing builds an empty ring with the given virtual-node count per peer
+// (0 = defaultReplicas).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	return &Ring{replicas: replicas, peers: make(map[string]bool)}
+}
+
+// ringPoint hashes a string to its position on the ring. sha256 rather than
+// a fast non-cryptographic hash: ring placement is computed once per peer
+// join and once per shard, and the even distribution matters more than the
+// nanoseconds.
+func ringPoint(s string) uint64 {
+	h := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// Add inserts a peer (idempotent).
+func (r *Ring) Add(peer string) {
+	if r.peers[peer] {
+		return
+	}
+	r.peers[peer] = true
+	for i := 0; i < r.replicas; i++ {
+		r.vnodes = append(r.vnodes, vnode{ringPoint(fmt.Sprintf("%s#%d", peer, i)), peer})
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool { return r.vnodes[a].point < r.vnodes[b].point })
+}
+
+// Remove deletes a peer (idempotent). Only the removed peer's keys remap.
+func (r *Ring) Remove(peer string) {
+	if !r.peers[peer] {
+		return
+	}
+	delete(r.peers, peer)
+	live := r.vnodes[:0]
+	for _, v := range r.vnodes {
+		if v.peer != peer {
+			live = append(live, v)
+		}
+	}
+	r.vnodes = live
+}
+
+// Len returns the number of peers on the ring.
+func (r *Ring) Len() int { return len(r.peers) }
+
+// Peers returns the member names in sorted order.
+func (r *Ring) Peers() []string {
+	out := make([]string, 0, len(r.peers))
+	for p := range r.peers {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the peer owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.vnodes) == 0 {
+		return ""
+	}
+	return r.vnodes[r.search(key)].peer
+}
+
+// Successors returns up to n distinct peers in ring order starting at the
+// key's owner — the failover sequence of a shard: the owner first, then the
+// peers that would own the key were the ones before them removed.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.vnodes) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	start := r.search(key)
+	for i := 0; i < len(r.vnodes) && len(out) < n; i++ {
+		p := r.vnodes[(start+i)%len(r.vnodes)].peer
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// search returns the index of the first virtual node at or clockwise of the
+// key's point.
+func (r *Ring) search(key string) int {
+	pt := ringPoint(key)
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].point >= pt })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return i
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Hex-ish strings shaped like config hashes.
+		keys[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return keys
+}
+
+// TestRingDistribution: with virtual nodes, each of a handful of peers owns
+// a share of the key space within a modest factor of fair.
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(0)
+	peers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	for _, p := range peers {
+		r.Add(p)
+	}
+	keys := ringKeys(20000)
+	counts := make(map[string]int)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	fair := float64(len(keys)) / float64(len(peers))
+	for _, p := range peers {
+		share := float64(counts[p])
+		if share < 0.5*fair || share > 1.5*fair {
+			t.Errorf("peer %s owns %d keys, fair share is %.0f (outside [0.5, 1.5]x)", p, counts[p], fair)
+		}
+	}
+}
+
+// TestRingJoinRemapBound: adding one peer to N remaps at most ~1/(N+1) of
+// the keys (bounded here at 2/(N+1)) — the consistent-hashing property that
+// keeps worker caches hot across membership changes.
+func TestRingJoinRemapBound(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		r := NewRing(0)
+		for i := 0; i < n; i++ {
+			r.Add(fmt.Sprintf("http://w%d:1", i))
+		}
+		keys := ringKeys(20000)
+		before := make(map[string]string, len(keys))
+		for _, k := range keys {
+			before[k] = r.Owner(k)
+		}
+		r.Add("http://new:1")
+		moved := 0
+		for _, k := range keys {
+			owner := r.Owner(k)
+			if owner != before[k] {
+				moved++
+				if owner != "http://new:1" {
+					t.Fatalf("N=%d: key moved between surviving peers (%s -> %s) on join", n, before[k], owner)
+				}
+			}
+		}
+		bound := 2.0 / float64(n+1) * float64(len(keys))
+		if float64(moved) > bound {
+			t.Errorf("N=%d: join remapped %d/%d keys, bound is %.0f", n, moved, len(keys), bound)
+		}
+		if moved == 0 {
+			t.Errorf("N=%d: join remapped nothing — the new peer owns no keys", n)
+		}
+	}
+}
+
+// TestRingLeaveMovesOnlyRemovedKeys: removing a peer remaps exactly that
+// peer's keys; every other key keeps its owner.
+func TestRingLeaveMovesOnlyRemovedKeys(t *testing.T) {
+	r := NewRing(0)
+	peers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	for _, p := range peers {
+		r.Add(p)
+	}
+	keys := ringKeys(20000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+	gone := peers[1]
+	r.Remove(gone)
+	moved := 0
+	for _, k := range keys {
+		owner := r.Owner(k)
+		if before[k] == gone {
+			moved++
+			if owner == gone {
+				t.Fatalf("key still owned by removed peer")
+			}
+			continue
+		}
+		if owner != before[k] {
+			t.Fatalf("key owned by surviving peer %s moved to %s on unrelated removal", before[k], owner)
+		}
+	}
+	bound := 2.0 / float64(len(peers)) * float64(len(keys))
+	if float64(moved) > bound {
+		t.Errorf("leave remapped %d/%d keys, bound is %.0f", moved, len(keys), bound)
+	}
+}
+
+// TestRingSuccessors: the failover sequence starts at the owner, holds
+// distinct peers, and never exceeds the membership.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(0)
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	for _, p := range peers {
+		r.Add(p)
+	}
+	for _, k := range ringKeys(100) {
+		succ := r.Successors(k, 10)
+		if len(succ) != len(peers) {
+			t.Fatalf("got %d successors, want %d", len(succ), len(peers))
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("successors[0] = %s, owner = %s", succ[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, p := range succ {
+			if seen[p] {
+				t.Fatalf("duplicate successor %s", p)
+			}
+			seen[p] = true
+		}
+	}
+	if got := r.Successors("anything", 0); got != nil {
+		t.Errorf("Successors(n=0) = %v, want nil", got)
+	}
+	empty := NewRing(0)
+	if got := empty.Owner("k"); got != "" {
+		t.Errorf("empty ring owner = %q, want empty", got)
+	}
+}

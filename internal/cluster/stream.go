@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+
+	"mdworm/internal/experiments"
+)
+
+// reorder is the coordinator's point-event merge buffer. Shards complete in
+// whatever order the fleet resolves them, but the merged ndjson stream must
+// be deterministic — identical for any peer count and any failure schedule —
+// so events are buffered by their planned sequence number (table order, from
+// experiments.PlannedTags) and released as the contiguous prefix grows.
+type reorder struct {
+	mu   sync.Mutex
+	seq  map[string]int
+	buf  map[int]experiments.PointEvent
+	next int
+	emit func(experiments.PointEvent)
+}
+
+// newReorder builds a buffer over the planned tag order. Duplicate tags
+// cannot occur: tags embed experiment id, series, and sweep coordinate.
+func newReorder(tags []string, emit func(experiments.PointEvent)) *reorder {
+	seq := make(map[string]int, len(tags))
+	for i, t := range tags {
+		seq[t] = i
+	}
+	return &reorder{seq: seq, buf: make(map[int]experiments.PointEvent), emit: emit}
+}
+
+// add accepts one completed point event and emits every event of the now
+// contiguous prefix, in order.
+func (r *reorder) add(ev experiments.PointEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.seq[ev.Tag]
+	if !ok {
+		// Not a planned point (cannot happen today); pass it through rather
+		// than stall the stream.
+		r.emit(ev)
+		return
+	}
+	r.buf[i] = ev
+	r.drainLocked()
+}
+
+func (r *reorder) drainLocked() {
+	for {
+		ev, ok := r.buf[r.next]
+		if !ok {
+			return
+		}
+		delete(r.buf, r.next)
+		r.next++
+		r.emit(ev)
+	}
+}
+
+// flush emits whatever is still buffered, in sequence order — called after
+// the sweep finishes, when gaps can exist (a canceled sweep fails points
+// without emitting events).
+func (r *reorder) flush() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx := make([]int, 0, len(r.buf))
+	for i := range r.buf {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		r.emit(r.buf[i])
+		delete(r.buf, i)
+	}
+}

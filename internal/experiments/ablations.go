@@ -324,8 +324,8 @@ func A8Barrier(o Options) (*Table, error) {
 			cfg.Stages = st
 			cfg.Traffic.OpRate = 0
 			CBHW.Apply(&cfg)
-			s.Points = append(s.Points, Point{X: float64(cfg.N()), deferred: func() Point {
-				tag := fmt.Sprintf("a8/%s/N%d", bs, cfg.N())
+			tag := fmt.Sprintf("a8/%s/N%d", bs, cfg.N())
+			s.Points = append(s.Points, Point{X: float64(cfg.N()), Tag: tag, deferred: func() Point {
 				sim, err := core.New(cfg)
 				if err != nil {
 					o.point(PointEvent{Tag: tag, X: float64(cfg.N()), Err: err})

@@ -33,7 +33,9 @@ func sweepLoads(o Options, tag string, shape func(cfg *core.Config), contenders 
 			shape(&cfg)
 			c.Apply(&cfg)
 			cfg.Traffic.OpRate = cfg.Traffic.RateForLoad(load)
-			s.Points = append(s.Points, runPoint(cfg, load, o, tag+"/"+c.Name))
+			// The load coordinate keeps tags unique within a series — the
+			// cluster stream merge keys its ordering on the tag.
+			s.Points = append(s.Points, runPoint(cfg, load, o, fmt.Sprintf("%s/%s/load=%.2f", tag, c.Name, load)))
 		}
 		out = append(out, s)
 	}
@@ -255,7 +257,7 @@ func E8SingleMulticast(o Options) (*Table, error) {
 // singleOpPoint schedules one idle-network multicast measurement (averaged
 // over a few deterministic draws) as a deferred point.
 func singleOpPoint(cfg core.Config, degree int, o Options, tag string) Point {
-	return Point{X: float64(degree), deferred: func() Point {
+	return Point{X: float64(degree), Tag: tag, deferred: func() Point {
 		const draws = 16
 		sim, err := core.New(cfg)
 		if err != nil {

@@ -77,6 +77,17 @@ type Options struct {
 	// the point's tag. The capture carries no tracer, so measured behavior
 	// is unchanged; the per-sweep aggregate lands in SweepStats.Occupancy.
 	Observer *obs.SweepObserver
+	// Resolver, when non-nil, replaces local simulator execution for every
+	// standard measurement point: it receives the point's fully prepared
+	// configuration and tag and returns the measured results plus the
+	// simulated-cycle cost. The cluster coordinator uses it to run points on
+	// peer daemons — determinism makes a remote measurement byte-identical
+	// to a local one, so rendered tables are unchanged. Points that measure
+	// through a custom harness rather than a standard Run (e8's idle-network
+	// single ops, a8's barriers) ignore the Resolver and execute locally;
+	// Observer is likewise ignored on resolver-backed points (occupancy is
+	// not carried over the wire).
+	Resolver func(cfg core.Config, tag string) (stats.Results, int64, error)
 
 	// progressMu serializes Progress writes and OnPoint calls across pool
 	// workers; installed by forRun before experiment closures capture the
@@ -111,10 +122,15 @@ func (o Options) point(ev PointEvent) {
 }
 
 // Point is one measurement of one series. Until resolved by the runner, a
-// point may be deferred: X and table position are fixed, and the deferred
-// closure produces the measurement when a pool worker executes it.
+// point may be deferred: X, Tag, and table position are fixed, and the
+// deferred closure produces the measurement when a pool worker executes it.
 type Point struct {
-	X       float64
+	X float64
+	// Tag identifies the point within its experiment (series plus sweep
+	// parameter, e.g. "e1/cb-hw/load=0.2"); it is fixed at planning time, so
+	// PlannedTags can report the deterministic point order of a sweep before
+	// anything runs.
+	Tag     string
 	Results stats.Results
 	Err     error
 
@@ -240,13 +256,17 @@ func baseConfig(o Options) core.Config {
 }
 
 // runPoint schedules one configuration as a deferred point at x; the runner
-// pool builds and runs the simulator when the point resolves.
+// pool builds and runs the simulator when the point resolves — or, when a
+// Resolver is installed, hands the configuration to it instead.
 func runPoint(cfg core.Config, x float64, o Options, tag string) Point {
-	return Point{X: x, deferred: func() Point {
+	return Point{X: x, Tag: tag, deferred: func() Point {
+		if o.Resolver != nil {
+			return resolveRemote(cfg, x, o, tag)
+		}
 		sim, err := core.New(cfg)
 		if err != nil {
 			o.point(PointEvent{Tag: tag, X: x, Err: err})
-			return Point{X: x, Err: err}
+			return Point{X: x, Tag: tag, Err: err}
 		}
 		var occ *obs.Capture
 		if o.Observer != nil {
@@ -261,35 +281,56 @@ func runPoint(cfg core.Config, x float64, o Options, tag string) Point {
 		if err != nil {
 			err = fmt.Errorf("%s: %w", tag, err)
 			o.point(PointEvent{Tag: tag, X: x, Cycles: sim.Now(), Err: err})
-			return Point{X: x, Err: err, cycles: sim.Now()}
+			return Point{X: x, Tag: tag, Err: err, cycles: sim.Now()}
 		}
 		if occ != nil {
 			o.Observer.Record(tag, occ.Summary())
 		}
-		thr := res.Multicast.DeliveredPayloadPerNodeCycle + res.Unicast.DeliveredPayloadPerNodeCycle
-		line := fmt.Sprintf("  %-28s x=%-8.4g mcast=%.1f uni=%.1f thr=%.3f sat=%v",
-			tag, x,
-			res.Multicast.LastArrival.Mean, res.Unicast.LastArrival.Mean,
-			thr, res.Saturated)
-		// Fault-free runs keep the historical line format byte-for-byte.
-		if res.DestsDropped > 0 || res.InvariantViolations > 0 {
-			line += fmt.Sprintf(" dropped=%d violations=%d", res.DestsDropped, res.InvariantViolations)
-		}
-		o.progress("%s", line)
-		o.point(PointEvent{
-			Tag:          tag,
-			X:            x,
-			McastLatency: res.Multicast.LastArrival.Mean,
-			UniLatency:   res.Unicast.LastArrival.Mean,
-			Throughput:   thr,
-			Saturated:    res.Saturated,
-			OpsDegraded:  res.OpsDegraded,
-			DestsDropped: res.DestsDropped,
-			Violations:   res.InvariantViolations,
-			Cycles:       sim.Now(),
-		})
-		return Point{X: x, Results: res, cycles: sim.Now()}
+		finishPoint(o, tag, x, res, sim.Now())
+		return Point{X: x, Tag: tag, Results: res, cycles: sim.Now()}
 	}}
+}
+
+// resolveRemote materializes one standard point through Options.Resolver:
+// identical event and result handling to the local path, with the
+// measurement itself performed elsewhere.
+func resolveRemote(cfg core.Config, x float64, o Options, tag string) Point {
+	res, cycles, err := o.Resolver(cfg, tag)
+	if err != nil {
+		err = fmt.Errorf("%s: %w", tag, err)
+		o.point(PointEvent{Tag: tag, X: x, Cycles: cycles, Err: err})
+		return Point{X: x, Tag: tag, Err: err, cycles: cycles}
+	}
+	finishPoint(o, tag, x, res, cycles)
+	return Point{X: x, Tag: tag, Results: res, cycles: cycles}
+}
+
+// finishPoint emits the progress line and structured event of a successful
+// standard measurement; shared by the local and resolver-backed paths so
+// their observable output is identical.
+func finishPoint(o Options, tag string, x float64, res stats.Results, cycles int64) {
+	thr := res.Multicast.DeliveredPayloadPerNodeCycle + res.Unicast.DeliveredPayloadPerNodeCycle
+	line := fmt.Sprintf("  %-28s x=%-8.4g mcast=%.1f uni=%.1f thr=%.3f sat=%v",
+		tag, x,
+		res.Multicast.LastArrival.Mean, res.Unicast.LastArrival.Mean,
+		thr, res.Saturated)
+	// Fault-free runs keep the historical line format byte-for-byte.
+	if res.DestsDropped > 0 || res.InvariantViolations > 0 {
+		line += fmt.Sprintf(" dropped=%d violations=%d", res.DestsDropped, res.InvariantViolations)
+	}
+	o.progress("%s", line)
+	o.point(PointEvent{
+		Tag:          tag,
+		X:            x,
+		McastLatency: res.Multicast.LastArrival.Mean,
+		UniLatency:   res.Unicast.LastArrival.Mean,
+		Throughput:   thr,
+		Saturated:    res.Saturated,
+		OpsDegraded:  res.OpsDegraded,
+		DestsDropped: res.DestsDropped,
+		Violations:   res.InvariantViolations,
+		Cycles:       cycles,
+	})
 }
 
 // Registry maps experiment ids to their runners.
@@ -362,37 +403,77 @@ func Run(id string, o Options) (*Table, error) {
 	return t, nil
 }
 
+// Plan builds the given experiments' tables with every point still deferred.
+// Together with Finish it is the two-phase form of RunIDs, exported for the
+// cluster coordinator, which needs the deterministic point order of a sweep
+// (see PlannedTags) before resolution begins. Closures built here capture o,
+// so OnPoint, Progress, and Resolver must be set before Plan, and the same o
+// must be passed to Finish.
+func Plan(ids []string, o Options) ([]*Table, error) {
+	o = o.forRun()
+	tables := make([]*Table, 0, len(ids))
+	for _, id := range ids {
+		r, ok := registry[id]
+		if !ok {
+			return tables, fmt.Errorf("experiments: unknown experiment %q (known, in definition order: %s)",
+				id, strings.Join(IDs(), " "))
+		}
+		t, err := r(o)
+		if err != nil {
+			return tables, fmt.Errorf("experiment %s: %w", id, err)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// PlannedTags returns the tags of every still-deferred point of the given
+// tables, in table order — the deterministic point order a sweep resolves
+// in, and the order the cluster coordinator streams merged results in.
+func PlannedTags(tables []*Table) []string {
+	var tags []string
+	for _, t := range tables {
+		for si := range t.Series {
+			for pi := range t.Series[si].Points {
+				if p := &t.Series[si].Points[pi]; p.deferred != nil {
+					tags = append(tags, p.Tag)
+				}
+			}
+		}
+	}
+	return tags
+}
+
+// Finish resolves planned tables across the worker pool and applies the
+// strict-table error promotion; ids must parallel tables (as returned by
+// Plan) and o must be the value Plan captured.
+func Finish(ids []string, tables []*Table, o Options) (SweepStats, error) {
+	st := resolve(tables, o)
+	if cerr := o.canceled(); cerr != nil {
+		return st, cerr
+	}
+	for i, t := range tables {
+		if t.strict {
+			if perr := firstPointErr(t); perr != nil {
+				return st, fmt.Errorf("experiment %s: %w", ids[i], perr)
+			}
+		}
+	}
+	return st, nil
+}
+
 // RunIDs executes the given experiments, resolving the points of all of
 // them through one shared worker pool so parallelism spans experiment
 // boundaries. Tables are returned in argument order regardless of how the
 // pool interleaves execution.
 func RunIDs(ids []string, o Options) ([]*Table, SweepStats, error) {
 	o = o.forRun()
-	tables := make([]*Table, 0, len(ids))
-	for _, id := range ids {
-		r, ok := registry[id]
-		if !ok {
-			return tables, SweepStats{}, fmt.Errorf("experiments: unknown experiment %q (known, in definition order: %s)",
-				id, strings.Join(IDs(), " "))
-		}
-		t, err := r(o)
-		if err != nil {
-			return tables, SweepStats{}, fmt.Errorf("experiment %s: %w", id, err)
-		}
-		tables = append(tables, t)
+	tables, err := Plan(ids, o)
+	if err != nil {
+		return tables, SweepStats{}, err
 	}
-	st := resolve(tables, o)
-	if cerr := o.canceled(); cerr != nil {
-		return tables, st, cerr
-	}
-	for i, t := range tables {
-		if t.strict {
-			if perr := firstPointErr(t); perr != nil {
-				return tables, st, fmt.Errorf("experiment %s: %w", ids[i], perr)
-			}
-		}
-	}
-	return tables, st, nil
+	st, err := Finish(ids, tables, o)
+	return tables, st, err
 }
 
 // RunAll executes every registered experiment in definition order.

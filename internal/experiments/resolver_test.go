@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"mdworm/internal/core"
+	"mdworm/internal/stats"
+)
+
+// TestResolverByteIdentical: a sweep resolved through Options.Resolver (the
+// cluster-coordinator path) renders tables byte-identical to the plain local
+// sweep, the Resolver sees every planned tag exactly once, and PlannedTags
+// lists the deterministic table order.
+func TestResolverByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick sweep")
+	}
+	const id = "e1"
+	base := Options{Quick: true, Seed: 1, Workers: 4}
+
+	local, _, err := RunIDs([]string{id}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	local[0].Format(&want)
+
+	var (
+		mu    sync.Mutex
+		calls = map[string]int{}
+	)
+	o := base
+	o.Resolver = func(cfg core.Config, tag string) (stats.Results, int64, error) {
+		mu.Lock()
+		calls[tag]++
+		mu.Unlock()
+		// A "remote" measurement is just the same deterministic simulation
+		// performed elsewhere.
+		sim, err := core.New(cfg)
+		if err != nil {
+			return stats.Results{}, 0, err
+		}
+		res, err := sim.Run()
+		if err != nil {
+			return stats.Results{}, 0, err
+		}
+		return res, sim.Now(), nil
+	}
+	tables, err := Plan([]string{id}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := PlannedTags(tables)
+	if len(tags) == 0 {
+		t.Fatal("no planned tags")
+	}
+	for i := 1; i < len(tags); i++ {
+		if tags[i] == tags[i-1] {
+			t.Fatalf("duplicate planned tag %q", tags[i])
+		}
+	}
+	if _, err := Finish([]string{id}, tables, o); err != nil {
+		t.Fatal(err)
+	}
+	var got strings.Builder
+	tables[0].Format(&got)
+	if got.String() != want.String() {
+		t.Errorf("resolver-backed table differs from local table:\n--- resolver ---\n%s\n--- local ---\n%s",
+			got.String(), want.String())
+	}
+	if len(calls) != len(tags) {
+		t.Errorf("resolver saw %d distinct tags, planned %d", len(calls), len(tags))
+	}
+	for _, tag := range tags {
+		if calls[tag] != 1 {
+			t.Errorf("tag %s resolved %d times, want 1", tag, calls[tag])
+		}
+	}
+}
+
+// TestResolverSkipsCustomHarness: a8's barrier points measure through a
+// custom harness, not a standard Run — the Resolver must never see them and
+// the sweep must still succeed locally.
+func TestResolverSkipsCustomHarness(t *testing.T) {
+	o := Options{Quick: true, Seed: 1, Workers: 2}
+	o.Resolver = func(cfg core.Config, tag string) (stats.Results, int64, error) {
+		t.Errorf("resolver called for custom-harness point %s", tag)
+		return stats.Results{}, 0, nil
+	}
+	tables, err := Plan([]string{"a8"}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Custom-harness points still appear in the planned order (the stream
+	// merge needs their tags) — they just never route through the Resolver.
+	if n := len(PlannedTags(tables)); n == 0 {
+		t.Fatal("a8 planned no points")
+	}
+	if _, err := Finish([]string{"a8"}, tables, o); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Histogram is a fixed-bucket histogram matching the Prometheus exposition
@@ -112,6 +113,38 @@ func (p *PromWriter) Gauge(name, help string, v float64) {
 func (p *PromWriter) Counter(name, help string, v float64) {
 	p.header(name, help, "counter")
 	p.printf("%s %s\n", name, promFloat(v))
+}
+
+// LabeledSample is one labelled sample of a metric family written by
+// LabeledGauge.
+type LabeledSample struct {
+	// Labels are name/value pairs, written in slice order.
+	Labels [][2]string
+	Value  float64
+}
+
+// promLabel escapes a label value per the exposition format (backslash,
+// double quote, newline).
+func promLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// LabeledGauge writes one gauge family with one sample line per label set —
+// the per-peer gauges of a cluster coordinator, for one. An empty sample
+// list writes just the HELP/TYPE header, keeping the family discoverable.
+func (p *PromWriter) LabeledGauge(name, help string, samples []LabeledSample) {
+	p.header(name, help, "gauge")
+	for _, s := range samples {
+		var lb strings.Builder
+		for i, kv := range s.Labels {
+			if i > 0 {
+				lb.WriteByte(',')
+			}
+			fmt.Fprintf(&lb, `%s="%s"`, kv[0], promLabel(kv[1]))
+		}
+		p.printf("%s{%s} %s\n", name, lb.String(), promFloat(s.Value))
+	}
 }
 
 // Histogram writes one histogram metric with cumulative le-labelled buckets.

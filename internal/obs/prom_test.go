@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLabeledGauge: one sample line per label set, with backslash, quote and
+// newline escaped per the text exposition format; an empty family still
+// writes its HELP/TYPE header.
+func TestLabeledGauge(t *testing.T) {
+	var b strings.Builder
+	p := &PromWriter{W: &b}
+	p.LabeledGauge("mdwd_peer_healthy", "Peer health.", []LabeledSample{
+		{Labels: [][2]string{{"peer", "http://w1:8080"}}, Value: 1},
+		{Labels: [][2]string{{"peer", `a"b\c` + "\nd"}, {"zone", "z1"}}, Value: 0},
+	})
+	p.LabeledGauge("mdwd_empty_family", "Nothing yet.", nil)
+	if p.Err != nil {
+		t.Fatal(p.Err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP mdwd_peer_healthy Peer health.\n",
+		"# TYPE mdwd_peer_healthy gauge\n",
+		`mdwd_peer_healthy{peer="http://w1:8080"} 1` + "\n",
+		`mdwd_peer_healthy{peer="a\"b\\c\nd",zone="z1"} 0` + "\n",
+		"# TYPE mdwd_empty_family gauge\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "mdwd_empty_family") {
+			t.Errorf("empty family wrote a sample line %q", line)
+		}
+	}
+}

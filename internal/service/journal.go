@@ -18,6 +18,11 @@ import (
 // journal, re-enqueues unfinished run jobs from their last checkpoint (or
 // from scratch), and reports interrupted experiment streams as failed — an
 // accepted job is never silently lost, and a finished one never re-runs.
+//
+// The same file and record grammar carry the cluster coordinator's journal
+// (internal/cluster): shard-scoped kinds are simply additional record types
+// this replayer skips, so the fleet-wide "never lost, never double-run"
+// guarantee rides on the identical durability machinery.
 
 // journalName is the journal file within the cache directory.
 const journalName = "journal.ndjson"
@@ -33,6 +38,19 @@ const (
 	recFailed     = "failed"
 )
 
+// Exported record kinds, for the cluster coordinator (internal/cluster),
+// which journals through the same machinery: the standard lifecycle kinds
+// plus RecShard, a dispatch-audit record ReplayJournal deliberately skips
+// (shard dispatches are not pending jobs — the job-level accepted record
+// already carries recoverability).
+const (
+	RecAccepted = recAccepted
+	RecRunning  = recRunning
+	RecDone     = recDone
+	RecFailed   = recFailed
+	RecShard    = "shard"
+)
+
 // JournalRec is one journal line. Hash keys the job (the canonical config
 // hash for runs, the experiment id for experiments); Config carries the
 // canonical configuration of accepted run jobs so a restarted daemon can
@@ -40,19 +58,45 @@ const (
 type JournalRec struct {
 	Kind    string          `json:"kind"`
 	Hash    string          `json:"hash"`
-	JobKind string          `json:"job_kind,omitempty"` // "run" or "experiment"
+	JobKind string          `json:"job_kind,omitempty"` // "run", "experiment", or "shard"
 	Config  json.RawMessage `json:"config,omitempty"`
 	// File and Cycle reference the latest checkpoint blob of a running job.
 	File  string `json:"file,omitempty"`
 	Cycle int64  `json:"cycle,omitempty"`
+	// Peer names the worker daemon a cluster shard was dispatched to.
+	Peer  string `json:"peer,omitempty"`
 	Error string `json:"error,omitempty"`
 	At    string `json:"at,omitempty"` // RFC3339Nano, informational only
 }
 
 // Journal appends records durably. Safe for concurrent use.
+//
+// It also tracks the records still needed to rebuild pending jobs (accepted
+// without a matching done/failed, plus their latest checkpoint reference):
+// when SetMaxBytes installs a size threshold, a journal grown past it is
+// compacted in place down to exactly those records, so long-running daemons
+// — a cluster coordinator journaling thousands of shard records per sweep —
+// never grow the file without bound. Compaction preserves replay semantics
+// exactly: ReplayJournal over a compacted file returns the same pending set.
 type Journal struct {
-	mu sync.Mutex
-	f  *os.File
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	size int64
+
+	// maxBytes, when > 0, triggers compaction once the file exceeds it.
+	maxBytes int64
+
+	// pending mirrors the replay state machine for compaction: the records
+	// that must survive a rewrite, keyed by job hash in first-accepted order.
+	pending map[string]*pendingRecs
+	order   []string
+}
+
+// pendingRecs is the minimal record set that reconstructs one pending job.
+type pendingRecs struct {
+	accepted   JournalRec
+	checkpoint *JournalRec
 }
 
 // OpenJournal opens (creating if needed) the journal of a cache directory
@@ -61,11 +105,26 @@ func OpenJournal(dir string) (*Journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: journal dir: %w", err)
 	}
-	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("service: open journal: %w", err)
 	}
-	return &Journal{f: f}, nil
+	size := int64(0)
+	if st, err := f.Stat(); err == nil {
+		size = st.Size()
+	}
+	return &Journal{f: f, path: path, size: size, pending: make(map[string]*pendingRecs)}, nil
+}
+
+// SetMaxBytes installs the size threshold beyond which Append compacts the
+// journal down to its pending-job records (0 disables size-triggered
+// compaction). Call it right after OpenJournal/ResetJournal, before records
+// accumulate.
+func (j *Journal) SetMaxBytes(n int64) {
+	j.mu.Lock()
+	j.maxBytes = n
+	j.mu.Unlock()
 }
 
 // Append writes one record and fsyncs: when Append returns, the transition
@@ -81,13 +140,123 @@ func (j *Journal) Append(rec JournalRec) error {
 	line = append(line, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.track(rec)
 	if _, err := j.f.Write(line); err != nil {
 		return fmt.Errorf("service: journal append: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("service: journal sync: %w", err)
 	}
+	j.size += int64(len(line))
+	if j.maxBytes > 0 && j.size > j.maxBytes {
+		// Compaction failures leave the oversized-but-valid journal in
+		// place; durability of appended records is never at risk.
+		j.compactLocked()
+	}
 	return nil
+}
+
+// track advances the pending-state mirror for one appended record. Caller
+// holds the lock.
+func (j *Journal) track(rec JournalRec) {
+	if rec.Hash == "" {
+		return
+	}
+	switch rec.Kind {
+	case recAccepted:
+		if _, dup := j.pending[rec.Hash]; !dup {
+			j.pending[rec.Hash] = &pendingRecs{accepted: rec}
+			j.order = append(j.order, rec.Hash)
+		}
+	case recCheckpoint:
+		if p, ok := j.pending[rec.Hash]; ok {
+			cp := rec
+			p.checkpoint = &cp
+		}
+	case recDone, recFailed:
+		delete(j.pending, rec.Hash)
+		// Keep the first-accepted order list from growing without bound on
+		// long-lived daemons: prune finished hashes once they dominate it.
+		if len(j.order) > 2*len(j.pending)+64 {
+			live := j.order[:0]
+			for _, h := range j.order {
+				if _, ok := j.pending[h]; ok {
+					live = append(live, h)
+				}
+			}
+			j.order = live
+		}
+	}
+}
+
+// compactLocked rewrites the journal to exactly the records reconstructing
+// the pending jobs, atomically (write temp, fsync, rename, reopen). Caller
+// holds the lock. Best-effort: any failure keeps the current file.
+func (j *Journal) compactLocked() {
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, "journal-compact-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	fail := func() { tmp.Close(); os.Remove(name) }
+	var written int64
+	live := make([]string, 0, len(j.pending))
+	for _, h := range j.order {
+		if _, ok := j.pending[h]; ok {
+			live = append(live, h)
+		}
+	}
+	for _, h := range live {
+		p := j.pending[h]
+		recs := []JournalRec{p.accepted}
+		if p.checkpoint != nil {
+			recs = append(recs, *p.checkpoint)
+		}
+		for _, rec := range recs {
+			line, err := json.Marshal(rec)
+			if err != nil {
+				fail()
+				return
+			}
+			line = append(line, '\n')
+			n, err := tmp.Write(line)
+			if err != nil {
+				fail()
+				return
+			}
+			written += int64(n)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		fail()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, j.path); err != nil {
+		os.Remove(name)
+		return
+	}
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The compacted file is valid; appends resume on next open. Keep the
+		// old handle so in-flight appends at least hit a file descriptor.
+		return
+	}
+	j.f.Close()
+	j.f = f
+	j.size = written
+	j.order = live
+}
+
+// Size returns the journal file's current size in bytes.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
 }
 
 // Close closes the journal file.
@@ -152,7 +321,8 @@ func ReplayJournal(dir string) ([]PendingJob, error) {
 		case recDone, recFailed:
 			delete(pending, rec.Hash)
 		default:
-			// Unknown kind: written by a newer daemon; skip.
+			// Unknown kind: written by a newer daemon (cluster shard
+			// dispatch records, for one); skip.
 		}
 	}
 	if err := sc.Err(); err != nil {

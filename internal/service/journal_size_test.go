@@ -1,0 +1,110 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestJournalSizeCompaction: a journal with a size threshold compacts itself
+// mid-flight once finished-job records push it past the limit, while the
+// records that reconstruct still-pending jobs survive verbatim.
+func TestJournalSizeCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	const maxBytes = 4096
+	j.SetMaxBytes(maxBytes)
+
+	// One job stays pending for the whole test, with a checkpoint.
+	pendingHash := "deadbeef"
+	mustAppend := func(rec JournalRec) {
+		t.Helper()
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAppend(JournalRec{Kind: recAccepted, Hash: pendingHash, JobKind: "run",
+		Config: []byte(`{"stages":2}`)})
+	mustAppend(JournalRec{Kind: recCheckpoint, Hash: pendingHash, File: "ckpt-deadbeef", Cycle: 1200})
+
+	// Churn: hundreds of short-lived jobs, far more bytes than maxBytes.
+	for i := 0; i < 400; i++ {
+		h := fmt.Sprintf("%08x", i)
+		mustAppend(JournalRec{Kind: recAccepted, Hash: h, JobKind: "run",
+			Config: []byte(`{"stages":3,"degree":4,"op_rate":0.25}`)})
+		mustAppend(JournalRec{Kind: recRunning, Hash: h})
+		mustAppend(JournalRec{Kind: recDone, Hash: h})
+	}
+
+	// Compaction must have kept the file near the pending set's size, far
+	// below both the churn volume and the threshold.
+	if sz := j.Size(); sz > maxBytes {
+		t.Errorf("journal size %d exceeds threshold %d after churn", sz, maxBytes)
+	}
+
+	// Replay sees exactly the pending job, checkpoint intact.
+	pend, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pend) != 1 {
+		t.Fatalf("pending jobs after compaction: %d, want 1 (%+v)", len(pend), pend)
+	}
+	p := pend[0]
+	if p.Hash != pendingHash || p.Checkpoint != "ckpt-deadbeef" || p.Cycle != 1200 {
+		t.Errorf("pending job corrupted by compaction: %+v", p)
+	}
+	if string(p.Config) != `{"stages":2}` {
+		t.Errorf("pending config corrupted: %s", p.Config)
+	}
+
+	// Finishing the pending job and appending one more record compacts down
+	// to (near) empty.
+	mustAppend(JournalRec{Kind: recDone, Hash: pendingHash})
+	for i := 0; i < 64; i++ {
+		h := fmt.Sprintf("tail%04x", i)
+		mustAppend(JournalRec{Kind: recAccepted, Hash: h, Config: []byte(`{"stages":4}`)})
+		mustAppend(JournalRec{Kind: recDone, Hash: h})
+	}
+	pend, err = ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pend) != 0 {
+		t.Errorf("pending jobs after finishing everything: %+v", pend)
+	}
+}
+
+// TestJournalNoCompactionWithoutThreshold: with no SetMaxBytes the journal
+// is append-only, exactly the pre-cluster behavior.
+func TestJournalNoCompactionWithoutThreshold(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	var want int64
+	for i := 0; i < 100; i++ {
+		h := fmt.Sprintf("%08x", i)
+		for _, k := range []string{recAccepted, recDone} {
+			if err := j.Append(JournalRec{Kind: k, Hash: h}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want = j.Size()
+	if want == 0 {
+		t.Fatal("journal empty after 200 appends")
+	}
+	// Growth is monotone: one more append only adds bytes.
+	if err := j.Append(JournalRec{Kind: recAccepted, Hash: "zz"}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Size() <= want {
+		t.Errorf("size %d did not grow past %d", j.Size(), want)
+	}
+}

@@ -196,7 +196,7 @@ func TestRecoveryResumesFromCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantBody, err := json.Marshal(RunResponse{Hash: hash, Config: canon, Results: refRes})
+	wantBody, err := json.Marshal(RunResponse{Hash: hash, Config: canon, Results: refRes, SimulatedCycles: ref.Now()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,7 +50,17 @@ type Config struct {
 	// cache would still have been populated had it run, but the queue slot
 	// is better spent on live requests). 0 = no deadline.
 	JobDeadline time.Duration
+	// JournalMaxBytes bounds the job journal's file size: past it, the
+	// journal is compacted in place down to its pending-job records, so
+	// long runs (a cluster coordinator's shard records especially) cannot
+	// grow it unboundedly. 0 = 8 MiB; negative disables size-triggered
+	// compaction (restart compaction still applies).
+	JournalMaxBytes int64
 }
+
+// DefaultJournalMaxBytes is the journal size threshold when
+// Config.JournalMaxBytes is 0.
+const DefaultJournalMaxBytes = 8 << 20
 
 // Server is the mdwd HTTP daemon: request resolution, the content-addressed
 // cache, the job pool, and the metrics counters behind one http.Handler.
@@ -98,6 +108,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/cluster/checkpoint/{hash}", s.handleCheckpoint)
 	return s, nil
 }
 
@@ -163,10 +174,22 @@ func (s *Server) journalAppend(rec JournalRec) {
 // RunRequest is the body of POST /v1/run.
 type RunRequest struct {
 	Config ConfigRequest `json:"config"`
+	// RawConfig, when present, is a fully resolved core.Config and takes
+	// precedence over Config. It is the daemon-to-daemon dispatch form: a
+	// cluster coordinator forwards the exact canonical config it hashed, so
+	// worker-side resolution cannot drift from the coordinator's shard key.
+	RawConfig *core.Config `json:"raw_config,omitempty"`
 	// CycleBudget caps this run's simulated cycles
 	// (warmup+measure+drain); it may tighten the server's MaxCycles,
 	// never exceed it.
 	CycleBudget int64 `json:"cycle_budget,omitempty"`
+	// Resume, when non-empty, is a checkpoint blob (core.Snapshot bytes) to
+	// resume the run from instead of starting at cycle zero — the shard
+	// migration path: a coordinator re-dispatching a dead worker's shard
+	// attaches the last mirrored checkpoint. The blob's embedded config must
+	// hash to this request's config hash, or it is ignored and the run
+	// starts from scratch (determinism makes the result identical).
+	Resume []byte `json:"resume,omitempty"`
 }
 
 // RunResponse is the body of a successful POST /v1/run. Cache hits return
@@ -176,6 +199,9 @@ type RunResponse struct {
 	Hash    string        `json:"hash"`
 	Config  core.Config   `json:"config"`
 	Results stats.Results `json:"results"`
+	// SimulatedCycles is sim.Now() at the end of the run, so remote
+	// resolvers can report the same per-point cycle counts local runs do.
+	SimulatedCycles int64 `json:"simulated_cycles"`
 }
 
 // totalCycles is the simulated-cycle ceiling of a resolved config: warmup
@@ -192,10 +218,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_request", Message: err.Error()})
 		return
 	}
-	cfg, err := req.Config.Resolve()
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_config", Message: err.Error()})
-		return
+	var cfg core.Config
+	if req.RawConfig != nil {
+		cfg = *req.RawConfig
+	} else {
+		resolved, err := req.Config.Resolve()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, apiError{Code: "bad_config", Message: err.Error()})
+			return
+		}
+		cfg = resolved
 	}
 	hash, canon, err := Hash(cfg)
 	if err != nil {
@@ -233,8 +265,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.journalAppend(JournalRec{Kind: recAccepted, Hash: hash, JobKind: "run", Config: canonJSON})
 
 	var body []byte
+	resume := req.Resume
 	job, err := s.pool.Submit("run", hash, func() (JobStats, error) {
-		b, st, err := s.executeRun(hash, canon, "")
+		b, st, err := s.executeRun(hash, canon, resume)
 		body = b
 		return st, err
 	})
@@ -285,16 +318,19 @@ func (s *Server) checkpointing() bool {
 }
 
 // executeRun performs one run job: build a simulator (restoring from a
-// checkpoint blob when resumeFrom names one), run it — checkpointed when
-// configured — and publish the response bytes to the cache. A corrupt or
-// missing checkpoint degrades to a scratch re-run: recovery is never worse
-// than not having checkpointed, and determinism makes the result identical
-// either way.
-func (s *Server) executeRun(hash string, canon core.Config, resumeFrom string) ([]byte, JobStats, error) {
+// checkpoint blob when resume is non-empty), run it — checkpointed when
+// configured — and publish the response bytes to the cache. A corrupt,
+// missing, or mismatched checkpoint degrades to a scratch re-run: recovery
+// is never worse than not having checkpointed, and determinism makes the
+// result identical either way. The blob's embedded config must hash back to
+// this job's hash — a cluster coordinator attaches blobs across the network,
+// and a stale or misrouted blob must not silently compute a different
+// config's result under this hash.
+func (s *Server) executeRun(hash string, canon core.Config, resume []byte) ([]byte, JobStats, error) {
 	var sim *core.Simulator
-	if resumeFrom != "" {
-		if blob, err := os.ReadFile(resumeFrom); err == nil {
-			if restored, err := core.Restore(blob); err == nil {
+	if len(resume) > 0 {
+		if restored, err := core.Restore(resume); err == nil {
+			if h, _, err := Hash(restored.Config()); err == nil && h == hash {
 				sim = restored
 			}
 		}
@@ -334,7 +370,7 @@ func (s *Server) executeRun(hash string, canon core.Config, resumeFrom string) (
 	if err != nil {
 		return nil, st, err
 	}
-	b, err := json.Marshal(RunResponse{Hash: hash, Config: canon, Results: res})
+	b, err := json.Marshal(RunResponse{Hash: hash, Config: canon, Results: res, SimulatedCycles: sim.Now()})
 	if err != nil {
 		return nil, st, err
 	}
@@ -390,6 +426,12 @@ func (s *Server) recover() error {
 		return err
 	}
 	s.journal = j
+	switch {
+	case s.cfg.JournalMaxBytes > 0:
+		j.SetMaxBytes(s.cfg.JournalMaxBytes)
+	case s.cfg.JournalMaxBytes == 0:
+		j.SetMaxBytes(DefaultJournalMaxBytes)
+	}
 	s.pool.onStart = func(job *Job) {
 		s.journalAppend(JournalRec{Kind: recRunning, Hash: job.Detail, JobKind: job.Kind})
 	}
@@ -424,8 +466,12 @@ func (s *Server) recover() error {
 				continue
 			}
 			s.journalAppend(JournalRec{Kind: recAccepted, Hash: p.Hash, JobKind: "run", Config: p.Config})
-			hash, resume := p.Hash, p.Checkpoint
+			hash, ckptFile := p.Hash, p.Checkpoint
 			s.pool.enqueueRecovered("run", hash, func() (JobStats, error) {
+				var resume []byte
+				if ckptFile != "" {
+					resume, _ = os.ReadFile(ckptFile) // absent blob → scratch re-run
+				}
 				_, st, err := s.executeRun(hash, canon, resume)
 				return st, err
 			})
@@ -621,6 +667,35 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(v)
+}
+
+// handleCheckpoint serves the current checkpoint blob of a run job, keyed by
+// config hash. A cluster coordinator mirrors these while a shard is in
+// flight, so that when the worker later dies without warning (kill -9) the
+// coordinator still holds a blob to migrate the shard with. 404 simply means
+// "no checkpoint right now" — not yet written, already superseded by a
+// published result, or checkpointing disabled — and the mirroring client
+// treats it as a no-op.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !validKey(hash) {
+		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_hash",
+			Message: fmt.Sprintf("%q is not a config hash", hash)})
+		return
+	}
+	if s.cfg.CacheDir == "" {
+		writeErr(w, http.StatusNotFound, apiError{Code: "no_checkpoint",
+			Message: "daemon runs without a cache directory"})
+		return
+	}
+	blob, err := os.ReadFile(s.checkpointPath(hash))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, apiError{Code: "no_checkpoint",
+			Message: fmt.Sprintf("no checkpoint for %s", hash)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(blob)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
