@@ -13,6 +13,8 @@
 //	mdwbench -daemon URL     # run on an mdwd daemon instead of in-process
 //	mdwbench -cpuprofile f   # write a pprof CPU profile of the run
 //	mdwbench -memprofile f   # write a pprof heap profile on exit
+//	mdwbench -api-key K      # authenticate -daemon requests (mdwd -tenants)
+//	mdwbench -load 30s       # open-loop soak of a daemon instead of a sweep
 //	mdwbench -v              # per-point progress on stderr
 //
 // Sweep points are independent simulator instances, so -workers only
@@ -25,7 +27,14 @@
 // the in-process rendering. Only -format text is available remotely. The
 // URL may equally point at a cluster coordinator (mdwd -coordinator): the
 // API and the rendered tables are identical, with the sweep sharded across
-// the coordinator's worker fleet.
+// the coordinator's worker fleet. Against a daemon running with -tenants,
+// pass -api-key (sweeps) or -load-keys (soaks) to authenticate.
+//
+// With -load the tool becomes a load generator: per-tenant open-loop Poisson
+// arrivals against -daemon for the given duration, with per-tenant latency
+// percentiles and error counts appended to -load-out (BENCH_load.json) and
+// optional regression gates -load-fail-5xx and -load-max-p99. See the README
+// "Multi-tenancy" section.
 package main
 
 import (
@@ -92,9 +101,61 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		retries  = fs.Int("retries", 5, "with -daemon: retry a busy, draining, or unreachable daemon this many times (exponential backoff honoring Retry-After)")
 		verbose  = fs.Bool("v", false, "per-point progress on stderr")
+		apiKey   = fs.String("api-key", "", "with -daemon: authenticate as \"Authorization: Bearer <key>\" (multi-tenant daemons)")
+
+		loadDur     = fs.Duration("load", 0, "soak mode: open-loop load test against -daemon for this duration instead of running experiments")
+		loadRate    = fs.Float64("load-rate", 20, "soak: aggregate target arrival rate in req/s (Poisson, split evenly across tenants)")
+		loadClients = fs.Int("load-clients", 4, "soak: max in-flight requests per tenant")
+		loadKeys    = fs.String("load-keys", "", "soak: comma-separated name=APIkey tenant pairs (empty = one anonymous tenant)")
+		loadOut     = fs.String("load-out", "BENCH_load.json", "soak: append per-tenant latency percentiles to this JSON history file (empty = don't record)")
+		loadMaxP99  = fs.Duration("load-max-p99", 0, "soak: fail if any tenant's p99 latency exceeds this (0 = no gate)")
+		loadFail5xx = fs.Bool("load-fail-5xx", false, "soak: fail on any 5xx or transport error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *loadDur > 0 {
+		if *daemon == "" {
+			fmt.Fprintln(stderr, "mdwbench: -load needs -daemon (the soak drives a running mdwd)")
+			return 2
+		}
+		tenants, err := parseLoadKeys(*loadKeys)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		rep, err := runLoad(ctx, loadOpts{
+			Base:     *daemon,
+			Duration: *loadDur,
+			Rate:     *loadRate,
+			Clients:  *loadClients,
+			Tenants:  tenants,
+			Seed:     *seed,
+			Verbose:  *verbose,
+		}, stderr)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(stderr, "mdwbench: interrupted, soak results discarded")
+				return 130
+			}
+			fmt.Fprintf(stderr, "mdwbench: %v\n", err)
+			return 1
+		}
+		formatLoadReport(stdout, rep)
+		if *loadOut != "" {
+			n, err := appendLoadHistory(*loadOut, rep)
+			if err != nil {
+				fmt.Fprintln(stderr, "mdwbench:", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "mdwbench: soak recorded -> %s (%d runs)\n", *loadOut, n)
+		}
+		if err := checkLoadGates(rep, *loadFail5xx, *loadMaxP99); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
 	}
 
 	ids, err := expand(*expFlag)
@@ -127,6 +188,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		points, cycles, wall, err = runRemote(ctx, *daemon, ids, remoteOpts{
 			Quick: *quick, Seed: *seed, Workers: *workers, Verbose: *verbose, Retries: *retries,
+			APIKey: *apiKey,
 		}, stdout, stderr)
 		wkrs = *workers
 	} else {
@@ -239,6 +301,7 @@ type remoteOpts struct {
 	Workers int
 	Verbose bool
 	Retries int
+	APIKey  string
 }
 
 // runRemote drives each experiment on an mdwd daemon via POST /v1/experiment,
@@ -254,7 +317,7 @@ func runRemote(ctx context.Context, base string, ids []string, o remoteOpts, std
 		if err != nil {
 			return points, cycles, wall, err
 		}
-		resp, err := postWithRetry(ctx, client, base+"/v1/experiment", string(reqBody), o.Retries, o.Verbose, stderr)
+		resp, err := postWithRetry(ctx, client, base+"/v1/experiment", string(reqBody), o.APIKey, o.Retries, o.Verbose, stderr)
 		if err != nil {
 			if ctx.Err() != nil {
 				return points, cycles, wall, ctx.Err()
@@ -280,7 +343,7 @@ func runRemote(ctx context.Context, base string, ids []string, o remoteOpts, std
 // (connection refused while it restarts) and 429/503 backpressure rejections
 // with exponential backoff plus jitter, honoring the server's Retry-After
 // hint when one is present. Any other response returns to the caller as-is.
-func postWithRetry(ctx context.Context, client *http.Client, url, body string, retries int, verbose bool, stderr io.Writer) (*http.Response, error) {
+func postWithRetry(ctx context.Context, client *http.Client, url, body, apiKey string, retries int, verbose bool, stderr io.Writer) (*http.Response, error) {
 	backoff := time.Second
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
@@ -288,6 +351,9 @@ func postWithRetry(ctx context.Context, client *http.Client, url, body string, r
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if apiKey != "" {
+			req.Header.Set("Authorization", "Bearer "+apiKey)
+		}
 		resp, err := client.Do(req)
 		wait := time.Duration(0)
 		switch {

@@ -76,6 +76,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		ckptEvery    = fs.Int64("checkpoint-every", 0, "checkpoint running jobs every N simulated cycles so a restart resumes them (needs -cache-dir; 0 = off)")
 		jobDeadline  = fs.Duration("job-deadline", 0, "fail jobs that waited queued longer than this instead of running them (0 = no deadline)")
 		journalMax   = fs.Int64("journal-max-bytes", 0, "compact the job journal once it exceeds this size (0 = 8MiB, negative = only at restart)")
+		tenantsFile  = fs.String("tenants", "", "multi-tenant mode: tenants file (\"<key> <name> <weight> [priority=N] [max-queued=N] [max-running=N]\" per line); requests must then send \"Authorization: Bearer <key>\"")
+		workerKey    = fs.String("worker-key", "", "coordinator: API key presented to workers on shard dispatch (needed when the workers run with -tenants)")
 
 		coordinator = fs.Bool("coordinator", false, "serve as a cluster coordinator sharding work across -peers instead of simulating locally")
 		peers       = fs.String("peers", "", "comma-separated worker base URLs for -coordinator (more may join via /v1/cluster/join)")
@@ -96,6 +98,20 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintln(stderr, "mdwd: -coordinator and -join are mutually exclusive (a daemon is either the coordinator or a worker)")
 		return 2
 	}
+	if *workerKey != "" && !*coordinator {
+		fmt.Fprintln(stderr, "mdwd: -worker-key only applies to -coordinator (workers accept keys via -tenants)")
+		return 2
+	}
+
+	var tenants *service.TenantSet
+	if *tenantsFile != "" {
+		ts, err := service.LoadTenants(*tenantsFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "mdwd:", err)
+			return 2
+		}
+		tenants = ts
+	}
 
 	var (
 		srv  daemon
@@ -115,6 +131,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			HedgeAfter:      *hedgeAfter,
 			HeartbeatEvery:  *heartbeat,
 			JournalMaxBytes: *journalMax,
+			Tenants:         tenants,
+			WorkerKey:       *workerKey,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "mdwd:", err)
@@ -134,6 +152,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			CheckpointEvery: *ckptEvery,
 			JobDeadline:     *jobDeadline,
 			JournalMaxBytes: *journalMax,
+			Tenants:         tenants,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "mdwd:", err)
@@ -141,6 +160,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		}
 		srv = s
 		mode = fmt.Sprintf("workers=%d", *workers)
+	}
+	if tenants != nil {
+		mode += fmt.Sprintf(", tenants=%d", len(tenants.Tenants()))
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -61,6 +61,18 @@ type Config struct {
 	// coordinator's journal (0 = service.DefaultJournalMaxBytes; negative
 	// disables size-triggered compaction).
 	JournalMaxBytes int64
+	// Tenants, when non-nil, requires every job-creating request to
+	// authenticate with "Authorization: Bearer <key>" against this set,
+	// attributes journal records to tenants, and breaks request counters out
+	// per tenant on /metrics. Nil = open front door, exactly as before.
+	// Worker-side fair-share scheduling is the workers' own -tenants
+	// configuration; the coordinator only authenticates and attributes.
+	Tenants *service.TenantSet
+	// WorkerKey, when non-empty, is presented as "Authorization: Bearer
+	// <key>" on every shard dispatch and checkpoint-mirror request, so the
+	// workers themselves may run with -tenants (the coordinator then occupies
+	// one configured tenant slot there, typically high-weight).
+	WorkerKey string
 }
 
 // Coordinator is the cluster front end: the same /v1 API surface as a
@@ -79,6 +91,11 @@ type Coordinator struct {
 
 	mu       sync.Mutex
 	inflight map[string]*call
+
+	// tmu guards tenantsSeen, the per-tenant request counters (multi-tenant
+	// mode only).
+	tmu         sync.Mutex
+	tenantsSeen map[string]*tenantCounters
 
 	shardsInflight atomic.Int64
 	hedges         atomic.Int64
@@ -107,6 +124,8 @@ func New(cfg Config) (*Coordinator, error) {
 		baseCtx:  ctx,
 		stop:     cancel,
 		inflight: make(map[string]*call),
+
+		tenantsSeen: make(map[string]*tenantCounters),
 	}
 	if cfg.CacheDir != "" {
 		if err := c.recover(); err != nil {
@@ -259,9 +278,63 @@ func rejectDraining(w http.ResponseWriter) {
 		Code: "draining", Message: "coordinator is draining", RetryAfterSeconds: 1})
 }
 
+// tenantCounters is one tenant's request accounting at the coordinator
+// front door.
+type tenantCounters struct{ runs, experiments, hits, misses int64 }
+
+// tenantFor authenticates a request against the coordinator's tenant set,
+// mirroring the service-layer semantics: anonymous when no tenants are
+// configured, structured 401 otherwise (already written when ok is false).
+func (c *Coordinator) tenantFor(w http.ResponseWriter, r *http.Request) (t *service.Tenant, ok bool) {
+	if c.cfg.Tenants == nil {
+		return service.AnonymousTenant(), true
+	}
+	unauthorized := func(msg string) {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="mdwd"`)
+		writeErr(w, http.StatusUnauthorized, apiError{Code: "unauthorized", Message: msg})
+	}
+	h := r.Header.Get("Authorization")
+	if h == "" {
+		unauthorized(`missing Authorization header (want "Bearer <key>")`)
+		return nil, false
+	}
+	scheme, key, found := strings.Cut(h, " ")
+	key = strings.TrimSpace(key)
+	if !found || !strings.EqualFold(scheme, "Bearer") || key == "" {
+		unauthorized(`malformed Authorization header (want "Bearer <key>")`)
+		return nil, false
+	}
+	t = c.cfg.Tenants.LookupKey(key)
+	if t == nil {
+		unauthorized("unknown API key")
+		return nil, false
+	}
+	return t, true
+}
+
+// countTenant applies one accounting update for a tenant (multi-tenant mode
+// only).
+func (c *Coordinator) countTenant(t *service.Tenant, f func(*tenantCounters)) {
+	if c.cfg.Tenants == nil {
+		return
+	}
+	c.tmu.Lock()
+	defer c.tmu.Unlock()
+	tc := c.tenantsSeen[t.Name]
+	if tc == nil {
+		tc = &tenantCounters{}
+		c.tenantsSeen[t.Name] = tc
+	}
+	f(tc)
+}
+
 func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 	if c.draining.Load() {
 		rejectDraining(w)
+		return
+	}
+	tn, ok := c.tenantFor(w, r)
+	if !ok {
 		return
 	}
 	var req service.RunRequest
@@ -289,12 +362,14 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if body, ok := c.cache.Get(hash); ok {
+		c.countTenant(tn, func(tc *tenantCounters) { tc.runs++; tc.hits++ })
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Mdwd-Cache", "hit")
 		w.Header().Set("X-Mdwd-Hash", hash)
 		w.Write(body)
 		return
 	}
+	c.countTenant(tn, func(tc *tenantCounters) { tc.runs++; tc.misses++ })
 
 	canonJSON, err := json.Marshal(canon)
 	if err != nil {
@@ -304,7 +379,7 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 	c.jobs.Add(1)
 	defer c.jobs.Done()
 	c.journalAppend(service.JournalRec{Kind: service.RecAccepted, Hash: hash,
-		JobKind: "run", Config: canonJSON})
+		JobKind: "run", Tenant: tn.Name, Config: canonJSON})
 	res, err := c.resolveShard(r.Context(), hash, canon)
 	if err != nil {
 		if r.Context().Err() != nil {
@@ -338,6 +413,10 @@ func (c *Coordinator) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		rejectDraining(w)
 		return
 	}
+	tn, ok := c.tenantFor(w, r)
+	if !ok {
+		return
+	}
 	var req service.ExperimentRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -361,9 +440,10 @@ func (c *Coordinator) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		req.Seed = 1
 	}
 
+	c.countTenant(tn, func(tc *tenantCounters) { tc.experiments++ })
 	c.jobs.Add(1)
 	defer c.jobs.Done()
-	c.journalAppend(service.JournalRec{Kind: service.RecAccepted, Hash: req.ID, JobKind: "experiment"})
+	c.journalAppend(service.JournalRec{Kind: service.RecAccepted, Hash: req.ID, JobKind: "experiment", Tenant: tn.Name})
 
 	// The sweep runs on this handler goroutine's pool; only this goroutine
 	// writes the response. Events flow: shard completion (any order) →

@@ -257,6 +257,9 @@ func (c *Coordinator) attempt(peer, hash string, canon core.Config, m *mirror) (
 		return shardResult{}, vFatal, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.cfg.WorkerKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.cfg.WorkerKey)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return shardResult{}, vMigrate, fmt.Errorf("peer %s: %w", peer, err)
@@ -310,6 +313,9 @@ func (c *Coordinator) mirrorLoop(peer, hash string, m *mirror, done <-chan struc
 			if err != nil {
 				cancel()
 				return
+			}
+			if c.cfg.WorkerKey != "" {
+				req.Header.Set("Authorization", "Bearer "+c.cfg.WorkerKey)
 			}
 			resp, err := c.client.Do(req)
 			if err != nil {

@@ -47,4 +47,34 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.LabeledGauge("mdwd_peer_healthy", "Per-peer health mark (1 healthy, 0 down).", healthy)
 	p.LabeledGauge("mdwd_peer_shards_inflight", "Shards currently dispatched to the peer.", inflight)
 	p.LabeledGauge("mdwd_peer_shards_dispatched", "Shards dispatched to the peer over the coordinator's lifetime.", dispatched)
+
+	// Per-tenant front-door accounting, multi-tenant mode only (the
+	// single-tenant exposition stays byte-compatible).
+	if ts := c.cfg.Tenants; ts != nil {
+		c.tmu.Lock()
+		counters := make(map[string]tenantCounters, len(c.tenantsSeen))
+		for name, tc := range c.tenantsSeen {
+			counters[name] = *tc
+		}
+		c.tmu.Unlock()
+		tenants := ts.Tenants()
+		sample := func(get func(tc tenantCounters) float64) []obs.LabeledSample {
+			out := make([]obs.LabeledSample, 0, len(tenants))
+			for _, t := range tenants {
+				out = append(out, obs.LabeledSample{
+					Labels: [][2]string{{"tenant", t.Name}},
+					Value:  get(counters[t.Name]),
+				})
+			}
+			return out
+		}
+		p.LabeledGauge("mdwd_tenant_runs_total", "Run requests accepted per tenant.",
+			sample(func(tc tenantCounters) float64 { return float64(tc.runs) }))
+		p.LabeledGauge("mdwd_tenant_experiments_total", "Experiment requests accepted per tenant.",
+			sample(func(tc tenantCounters) float64 { return float64(tc.experiments) }))
+		p.LabeledGauge("mdwd_tenant_cache_hits", "Merged-result cache hits per tenant.",
+			sample(func(tc tenantCounters) float64 { return float64(tc.hits) }))
+		p.LabeledGauge("mdwd_tenant_cache_misses", "Merged-result cache misses per tenant.",
+			sample(func(tc tenantCounters) float64 { return float64(tc.misses) }))
+	}
 }

@@ -1,0 +1,283 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The fairness property tests drive the pool's scheduler directly: one
+// worker, a gate job pinning it, tenant queues filled while the gate holds,
+// then the gate released — with a single worker the completion order IS the
+// dispatch order, so weighted-share and priority properties are assertable
+// exactly instead of statistically.
+
+// gatedPool builds a pool whose single worker is pinned by an anonymous gate
+// job; the returned release function frees it. Jobs submitted while the gate
+// holds stay queued, so tests control the exact backlog the scheduler sees.
+func gatedPool(t *testing.T, backlog int) (*Pool, func()) {
+	t.Helper()
+	p := NewPool(1, backlog)
+	gate := make(chan struct{})
+	if _, err := p.Submit("run", "gate", func() (JobStats, error) {
+		<-gate
+		return JobStats{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, p, JobRunning, 1)
+	var once sync.Once
+	release := func() { once.Do(func() { close(gate) }) }
+	t.Cleanup(func() {
+		release()
+		p.Drain(30 * time.Second)
+	})
+	return p, release
+}
+
+// waitCount polls until n jobs are in the given state.
+func waitCount(t *testing.T, p *Pool, state JobState, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Counts()[state] == n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("never saw %d jobs %s (have %v)", n, state, p.Counts())
+}
+
+// recorder returns a job fn that appends name to a shared completion log.
+func recorder(mu *sync.Mutex, order *[]string, name string) func() (JobStats, error) {
+	return func() (JobStats, error) {
+		mu.Lock()
+		*order = append(*order, name)
+		mu.Unlock()
+		return JobStats{}, nil
+	}
+}
+
+// TestFairShareConvergesToWeights: tenants at weights 1/2/4 saturating one
+// worker receive dispatch shares equal to their weights. Smooth weighted
+// round-robin makes the share exact over every full round (7 dispatches),
+// not just in the limit; the tolerance only absorbs the round boundary.
+func TestFairShareConvergesToWeights(t *testing.T) {
+	p, release := gatedPool(t, 10000)
+	a := &Tenant{Name: "a", Weight: 1}
+	b := &Tenant{Name: "b", Weight: 2}
+	c := &Tenant{Name: "c", Weight: 4}
+
+	var mu sync.Mutex
+	var order []string
+	const per = 40
+	for i := 0; i < per; i++ {
+		for _, tn := range []*Tenant{a, b, c} {
+			if _, err := p.SubmitTenant("run", fmt.Sprintf("%s%d", tn.Name, i), tn,
+				recorder(&mu, &order, tn.Name)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	release()
+	if !p.Drain(60 * time.Second) {
+		t.Fatal("pool did not drain")
+	}
+
+	// Every queue stays nonempty through at least the first 70 dispatches
+	// (c, the heaviest, drains its 40 jobs in 70); judge the first 9 full
+	// rounds = 63 dispatches, where shares must be 9/18/36.
+	counts := map[string]int{}
+	for _, name := range order[:63] {
+		counts[name]++
+	}
+	want := map[string]int{"a": 9, "b": 18, "c": 36}
+	for name, w := range want {
+		if d := counts[name] - w; d < -2 || d > 2 {
+			t.Errorf("tenant %s got %d of the first 63 dispatches, want %d±2 (counts %v)",
+				name, counts[name], w, counts)
+		}
+	}
+
+	// The cumulative accounting agrees with the log.
+	for _, st := range p.TenantStats() {
+		if st.Name == "" {
+			continue // the gate's anonymous queue
+		}
+		if st.Completed != per || st.Failed != 0 {
+			t.Errorf("tenant %s stats: completed=%d failed=%d, want %d/0", st.Name, st.Completed, st.Failed, per)
+		}
+	}
+}
+
+// TestFloodingTenantCannotStarve: a tenant flooding the queue at 8x the
+// victim's weight still cannot push the victim's single job past one
+// scheduler round — bounded wait, never starvation.
+func TestFloodingTenantCannotStarve(t *testing.T) {
+	p, release := gatedPool(t, 10000)
+	flood := &Tenant{Name: "flood", Weight: 8}
+	victim := &Tenant{Name: "victim", Weight: 1}
+
+	var mu sync.Mutex
+	var order []string
+	for i := 0; i < 200; i++ {
+		if _, err := p.SubmitTenant("run", fmt.Sprintf("f%d", i), flood,
+			recorder(&mu, &order, "flood")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.SubmitTenant("run", "v0", victim, recorder(&mu, &order, "victim")); err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if !p.Drain(60 * time.Second) {
+		t.Fatal("pool did not drain")
+	}
+
+	pos := -1
+	for i, name := range order {
+		if name == "victim" {
+			pos = i
+			break
+		}
+	}
+	// One full round is weight 8 + 1 = 9 dispatches; the victim must land
+	// inside it regardless of the flood's 200-deep backlog.
+	if pos < 0 || pos >= 9 {
+		t.Fatalf("victim dispatched at position %d, want within the first 9", pos)
+	}
+}
+
+// TestPriorityClassOrdering: a higher priority class is always dispatched
+// before lower-class queued work (but never preempts the running job — the
+// gate, class 0, finishes first by construction).
+func TestPriorityClassOrdering(t *testing.T) {
+	p, release := gatedPool(t, 10000)
+	low := &Tenant{Name: "low", Weight: 4}
+	high := &Tenant{Name: "high", Weight: 1, Priority: 5}
+
+	var mu sync.Mutex
+	var order []string
+	for i := 0; i < 10; i++ {
+		if _, err := p.SubmitTenant("run", fmt.Sprintf("l%d", i), low,
+			recorder(&mu, &order, "low")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := p.SubmitTenant("run", fmt.Sprintf("h%d", i), high,
+			recorder(&mu, &order, "high")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	release()
+	if !p.Drain(60 * time.Second) {
+		t.Fatal("pool did not drain")
+	}
+	for i, name := range order {
+		want := "high"
+		if i >= 5 {
+			want = "low"
+		}
+		if name != want {
+			t.Fatalf("dispatch %d = %s, want %s (order %v)", i, name, want, order)
+		}
+	}
+}
+
+// TestInFlightCapLeavesWorkersToOthers: a tenant at its max-running cap
+// holds its queued jobs back, and the freed worker serves other tenants
+// instead of idling.
+func TestInFlightCapLeavesWorkersToOthers(t *testing.T) {
+	p := NewPool(2, 100)
+	t.Cleanup(func() { p.Drain(30 * time.Second) })
+	capped := &Tenant{Name: "capped", Weight: 8, MaxRunning: 1}
+	other := &Tenant{Name: "other", Weight: 1}
+
+	releaseCapped := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		if _, err := p.SubmitTenant("run", fmt.Sprintf("c%d", i), capped, func() (JobStats, error) {
+			<-releaseCapped
+			return JobStats{}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The cap must pin exactly one capped job running, one queued.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var st TenantStat
+		for _, s := range p.TenantStats() {
+			if s.Name == "capped" {
+				st = s
+			}
+		}
+		if st.Running == 1 && st.Queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("capped tenant never settled at running=1 queued=1 (have %+v)", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	done := make(chan struct{})
+	if _, err := p.SubmitTenant("run", "o0", other, func() (JobStats, error) {
+		close(done)
+		return JobStats{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("second worker never served the other tenant past the capped queue")
+	}
+	close(releaseCapped)
+}
+
+// TestTenantQueueQuota: the per-tenant queue cap rejects with
+// ErrTenantQueueFull while other tenants keep submitting.
+func TestTenantQueueQuota(t *testing.T) {
+	p, _ := gatedPool(t, 100)
+	q := &Tenant{Name: "quota", Weight: 1, MaxQueued: 2}
+	free := &Tenant{Name: "free", Weight: 1}
+
+	noop := func() (JobStats, error) { return JobStats{}, nil }
+	for i := 0; i < 2; i++ {
+		if _, err := p.SubmitTenant("run", fmt.Sprintf("q%d", i), q, noop); err != nil {
+			t.Fatalf("submit %d under quota: %v", i, err)
+		}
+	}
+	if _, err := p.SubmitTenant("run", "q2", q, noop); !errors.Is(err, ErrTenantQueueFull) {
+		t.Fatalf("over-quota submit = %v, want ErrTenantQueueFull", err)
+	}
+	if _, err := p.SubmitTenant("run", "f0", free, noop); err != nil {
+		t.Fatalf("other tenant rejected by someone else's quota: %v", err)
+	}
+}
+
+// TestRetryAfterPerTenantAsymmetric is the bugfix regression at the pool
+// level: Retry-After derives from the asking tenant's own backlog, so a
+// deep-queued tenant and a shallow one get different estimates.
+func TestRetryAfterPerTenantAsymmetric(t *testing.T) {
+	p, _ := gatedPool(t, 1000)
+	deep := &Tenant{Name: "deep", Weight: 1}
+	shallow := &Tenant{Name: "shallow", Weight: 1}
+
+	noop := func() (JobStats, error) { return JobStats{}, nil }
+	for i := 0; i < 10; i++ {
+		if _, err := p.SubmitTenant("run", fmt.Sprintf("d%d", i), deep, noop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.SubmitTenant("run", "s0", shallow, noop); err != nil {
+		t.Fatal(err)
+	}
+	rd, rs := p.RetryAfterTenant(deep), p.RetryAfterTenant(shallow)
+	if rd <= rs {
+		t.Fatalf("Retry-After deep=%s shallow=%s: the 10-deep tenant must wait longer than the 1-deep one", rd, rs)
+	}
+}

@@ -23,6 +23,12 @@ var ErrDraining = errors.New("service: draining, not accepting new jobs")
 // it to 429 with a Retry-After hint.
 var ErrPoolFull = errors.New("service: job backlog full")
 
+// ErrTenantQueueFull rejects a submission beyond the tenant's own queue
+// quota; the handler maps it to 429 with a Retry-After computed from that
+// tenant's queue alone — a quota-limited tenant is never told to wait for
+// other tenants' backlogs.
+var ErrTenantQueueFull = errors.New("service: tenant queue quota exceeded")
+
 // ErrJobDeadline fails a job that waited in the queue past the pool's
 // per-job deadline instead of running it against a client that gave up long
 // ago.
@@ -60,6 +66,7 @@ type Job struct {
 	ID     string
 	Kind   string // "run" or "experiment"
 	Detail string // content hash or experiment id
+	Tenant string // owning tenant's name ("" = anonymous)
 
 	state    JobState
 	created  time.Time
@@ -77,28 +84,73 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 
 // JobView is the JSON projection of a job for /v1/jobs.
 type JobView struct {
-	ID       string  `json:"id"`
-	Kind     string  `json:"kind"`
-	Detail   string  `json:"detail"`
+	ID       string   `json:"id"`
+	Kind     string   `json:"kind"`
+	Detail   string   `json:"detail"`
+	Tenant   string   `json:"tenant,omitempty"`
 	State    JobState `json:"state"`
-	Created  string  `json:"created"`
-	Started  string  `json:"started,omitempty"`
-	Finished string  `json:"finished,omitempty"`
-	Error    string  `json:"error,omitempty"`
-	Points   int     `json:"points,omitempty"`
-	Cycles   int64   `json:"simulated_cycles,omitempty"`
-	Seconds  float64 `json:"seconds,omitempty"`
+	Created  string   `json:"created"`
+	Started  string   `json:"started,omitempty"`
+	Finished string   `json:"finished,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	Points   int      `json:"points,omitempty"`
+	Cycles   int64    `json:"simulated_cycles,omitempty"`
+	Seconds  float64  `json:"seconds,omitempty"`
+}
+
+// tenantQueue is one tenant's slice of the pool: its FIFO backlog, live
+// occupancy, scheduling state, and cumulative accounting. Guarded by the
+// pool's lock.
+type tenantQueue struct {
+	name       string
+	weight     int
+	priority   int
+	maxQueued  int
+	maxRunning int
+
+	jobs    []*Job
+	running int
+
+	// credit is the smooth-weighted-round-robin state: every dispatch round
+	// each eligible queue gains its weight, the richest queue wins, and the
+	// winner pays the round's total weight — dispatch shares converge to
+	// weights with bounded (one-round) unfairness and no starvation.
+	credit float64
+
+	// Cumulative accounting for /metrics and per-tenant Retry-After.
+	completed int64 // terminal jobs (done + failed)
+	failed    int64
+	points    int64
+	cycles    int64
+	busy      time.Duration
+}
+
+// eligibleLocked reports whether this queue can supply the next dispatch:
+// work queued and in-flight cap not yet reached. Caller holds the pool lock.
+func (q *tenantQueue) eligibleLocked() bool {
+	return len(q.jobs) > 0 && (q.maxRunning <= 0 || q.running < q.maxRunning)
 }
 
 // Pool schedules jobs on a bounded set of workers and keeps their records
-// for /v1/jobs. Submission is rejected once draining begins.
+// for /v1/jobs. Each tenant owns a FIFO queue; workers dispatch across
+// queues by priority class first (strict, but running jobs are never
+// preempted) and smooth weighted round-robin within the winning class.
+// Submission is rejected once draining begins.
 type Pool struct {
 	mu       sync.Mutex
+	cond     *sync.Cond // job dispatchable, job finished, or drain began
 	jobs     map[string]*Job
 	order    []string
 	seq      int
 	draining bool
 	workers  int
+	backlog  int
+
+	tenants *TenantSet // resolves journal-replayed tenant names; may be nil
+
+	queues      map[string]*tenantQueue
+	queueList   []*tenantQueue // creation order: deterministic scheduling
+	queuedTotal int
 
 	// deadline, when > 0, bounds how long a job may sit queued: a worker
 	// dequeuing a job older than this fails it with ErrJobDeadline instead
@@ -112,9 +164,7 @@ type Pool struct {
 	onStart  func(j *Job)
 	onFinish func(j *Job, err error)
 
-	tasks     chan *Job
-	closeOnce sync.Once
-	wg        sync.WaitGroup
+	wg sync.WaitGroup
 
 	// Cumulative accounting for /metrics.
 	points     int64
@@ -141,12 +191,14 @@ func NewPool(workers, backlog int) *Pool {
 	p := &Pool{
 		jobs:    make(map[string]*Job),
 		workers: workers,
-		tasks:   make(chan *Job, backlog),
+		backlog: backlog,
+		queues:  make(map[string]*tenantQueue),
 		// Job latency from 1ms to ~17min; occupancy from one chunk/flit to
 		// well past any configured buffer size.
 		jobSeconds:   obs.NewHistogram(obs.ExpBuckets(0.001, 4, 10)...),
 		runOccupancy: obs.NewHistogram(obs.ExpBuckets(1, 4, 8)...),
 	}
+	p.cond = sync.NewCond(&p.mu)
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -154,10 +206,89 @@ func NewPool(workers, backlog int) *Pool {
 	return p
 }
 
+// SetTenants installs the tenant table journal replay resolves names
+// against. Call before the first Submit.
+func (p *Pool) SetTenants(ts *TenantSet) {
+	p.mu.Lock()
+	p.tenants = ts
+	p.mu.Unlock()
+}
+
+// queueFor returns (creating if needed) the tenant's queue. Caller holds the
+// lock.
+func (p *Pool) queueFor(t *Tenant) *tenantQueue {
+	if t == nil {
+		t = anonymous
+	}
+	q, ok := p.queues[t.Name]
+	if !ok {
+		q = &tenantQueue{
+			name:       t.Name,
+			weight:     max(t.Weight, 1),
+			priority:   t.Priority,
+			maxQueued:  t.MaxQueued,
+			maxRunning: t.MaxRunning,
+		}
+		p.queues[t.Name] = q
+		p.queueList = append(p.queueList, q)
+	}
+	return q
+}
+
+// nextLocked picks and dequeues the next job to dispatch, or nil when no
+// queue is eligible. The highest priority class with an eligible queue wins
+// outright; within the class, smooth weighted round-robin. Caller holds the
+// lock.
+func (p *Pool) nextLocked() (*Job, *tenantQueue) {
+	top := -1
+	for _, q := range p.queueList {
+		if q.eligibleLocked() && q.priority > top {
+			top = q.priority
+		}
+	}
+	if top < 0 {
+		return nil, nil
+	}
+	total := 0
+	var pick *tenantQueue
+	for _, q := range p.queueList {
+		if !q.eligibleLocked() || q.priority != top {
+			continue
+		}
+		total += q.weight
+		q.credit += float64(q.weight)
+		if pick == nil || q.credit > pick.credit {
+			pick = q
+		}
+	}
+	pick.credit -= float64(total)
+	j := pick.jobs[0]
+	pick.jobs[0] = nil // release the reference for the collector
+	pick.jobs = pick.jobs[1:]
+	if len(pick.jobs) == 0 {
+		pick.jobs = nil // reset the backing array so an idle queue holds nothing
+	}
+	p.queuedTotal--
+	return j, pick
+}
+
 func (p *Pool) worker() {
 	defer p.wg.Done()
-	for j := range p.tasks {
+	for {
 		p.mu.Lock()
+		var j *Job
+		var q *tenantQueue
+		for {
+			j, q = p.nextLocked()
+			if j != nil {
+				break
+			}
+			if p.draining && p.queuedTotal == 0 {
+				p.mu.Unlock()
+				return
+			}
+			p.cond.Wait()
+		}
 		deadline := p.deadline
 		waited := time.Since(j.created)
 		if deadline > 0 && waited > deadline {
@@ -167,7 +298,10 @@ func (p *Pool) worker() {
 			j.err = fmt.Errorf("%w: waited %s, deadline %s", ErrJobDeadline, waited.Round(time.Millisecond), deadline)
 			j.finished = time.Now()
 			p.completed++
+			q.completed++
+			q.failed++
 			err := j.err
+			p.cond.Broadcast() // queue shrank: drain-waiters must re-check
 			p.mu.Unlock()
 			if p.onFinish != nil {
 				p.onFinish(j, err)
@@ -177,6 +311,7 @@ func (p *Pool) worker() {
 		}
 		j.state = JobRunning
 		j.started = time.Now()
+		q.running++
 		p.mu.Unlock()
 		if p.onStart != nil {
 			p.onStart(j)
@@ -185,11 +320,13 @@ func (p *Pool) worker() {
 		stats, err := runJob(j.fn)
 
 		p.mu.Lock()
+		q.running--
 		j.finished = time.Now()
 		j.stats = stats
 		if err != nil {
 			j.state = JobFailed
 			j.err = err
+			q.failed++
 		} else {
 			j.state = JobDone
 		}
@@ -202,10 +339,16 @@ func (p *Pool) worker() {
 		}
 		p.completed++
 		p.busy += j.finished.Sub(j.started)
+		q.completed++
+		q.points += int64(stats.Points)
+		q.cycles += stats.Cycles
+		q.busy += j.finished.Sub(j.started)
 		p.jobSeconds.Observe(j.finished.Sub(j.started).Seconds())
 		if stats.Occupancy > 0 {
 			p.runOccupancy.Observe(float64(stats.Occupancy))
 		}
+		// A finished job may free an in-flight cap slot or complete a drain.
+		p.cond.Broadcast()
 		p.mu.Unlock()
 		if p.onFinish != nil {
 			p.onFinish(j, err)
@@ -225,58 +368,74 @@ func runJob(fn func() (JobStats, error)) (st JobStats, err error) {
 	return fn()
 }
 
-// Submit schedules fn as a new job and returns its record immediately. It
-// fails with ErrDraining once shutdown began and ErrPoolFull past the
-// backlog bound (the caller maps those to 503 and 429 with Retry-After).
+// Submit schedules fn as an anonymous-tenant job — the whole API when no
+// tenants are configured, and byte-identical to the pre-tenant pool.
 func (p *Pool) Submit(kind, detail string, fn func() (JobStats, error)) (*Job, error) {
+	return p.SubmitTenant(kind, detail, nil, fn)
+}
+
+// SubmitTenant schedules fn as a new job on t's queue (nil = anonymous) and
+// returns its record immediately. It fails with ErrDraining once shutdown
+// began, ErrTenantQueueFull past the tenant's queue quota, and ErrPoolFull
+// past the global backlog bound (the caller maps those to 503 and 429 with
+// Retry-After).
+func (p *Pool) SubmitTenant(kind, detail string, t *Tenant, fn func() (JobStats, error)) (*Job, error) {
+	if t == nil {
+		t = anonymous
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.draining {
 		return nil, ErrDraining
 	}
-	// The whole admission — drain check, channel send, record — happens in
-	// one critical section, the same one Drain closes the channel under, so
-	// a send can never race the close (a send on a closed channel panics).
-	p.seq++
-	j := &Job{
-		ID:      fmt.Sprintf("j%d", p.seq),
-		Kind:    kind,
-		Detail:  detail,
-		state:   JobQueued,
-		created: time.Now(),
-		fn:      fn,
-		done:    make(chan struct{}),
+	q := p.queueFor(t)
+	if q.maxQueued > 0 && len(q.jobs) >= q.maxQueued {
+		return nil, fmt.Errorf("%w: tenant %q has %d jobs queued (cap %d)",
+			ErrTenantQueueFull, q.name, len(q.jobs), q.maxQueued)
 	}
-	select {
-	case p.tasks <- j:
-	default:
+	if p.queuedTotal >= p.backlog {
 		return nil, ErrPoolFull
 	}
-	p.jobs[j.ID] = j
-	p.order = append(p.order, j.ID)
+	j := p.enqueueLocked(kind, detail, q, fn)
+	p.cond.Signal()
 	return j, nil
 }
 
-// enqueueRecovered schedules a journal-replayed job with a blocking send
-// instead of Submit's bounded one. Recovery runs during New, before the HTTP
-// listener exists and before Drain can close the channel, so waiting for a
-// pool slot is safe and guarantees no replayed job is dropped for backlog.
-func (p *Pool) enqueueRecovered(kind, detail string, fn func() (JobStats, error)) *Job {
-	p.mu.Lock()
+// enqueueLocked creates a job record on q's backlog. Caller holds the lock.
+func (p *Pool) enqueueLocked(kind, detail string, q *tenantQueue, fn func() (JobStats, error)) *Job {
 	p.seq++
 	j := &Job{
 		ID:      fmt.Sprintf("j%d", p.seq),
 		Kind:    kind,
 		Detail:  detail,
+		Tenant:  q.name,
 		state:   JobQueued,
 		created: time.Now(),
 		fn:      fn,
 		done:    make(chan struct{}),
 	}
+	q.jobs = append(q.jobs, j)
+	p.queuedTotal++
 	p.jobs[j.ID] = j
 	p.order = append(p.order, j.ID)
-	p.mu.Unlock()
-	p.tasks <- j
+	return j
+}
+
+// enqueueRecovered schedules a journal-replayed job onto its original
+// tenant's queue, bypassing the backlog and quota bounds: recovery runs
+// during New, before the HTTP listener exists, and an already-accepted job
+// must never be dropped for capacity. A tenant since removed from the
+// configuration still gets its own weight-1 queue under the journaled name,
+// preserving isolation.
+func (p *Pool) enqueueRecovered(kind, detail, tenant string, fn func() (JobStats, error)) *Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := p.tenants.ByName(tenant)
+	if t == nil {
+		t = &Tenant{Name: tenant, Weight: 1}
+	}
+	j := p.enqueueLocked(kind, detail, p.queueFor(t), fn)
+	p.cond.Signal()
 	return j
 }
 
@@ -293,11 +452,21 @@ func (p *Pool) Get(id string) (JobView, bool) {
 
 // List returns every job record in submission order.
 func (p *Pool) List() []JobView {
+	return p.ListTenant("*")
+}
+
+// ListTenant returns the job records of one tenant in submission order
+// ("*" = every tenant).
+func (p *Pool) ListTenant(tenant string) []JobView {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	out := make([]JobView, 0, len(p.order))
 	for _, id := range p.order {
-		out = append(out, p.view(p.jobs[id]))
+		j := p.jobs[id]
+		if tenant != "*" && j.Tenant != tenant {
+			continue
+		}
+		out = append(out, p.view(j))
 	}
 	return out
 }
@@ -308,6 +477,7 @@ func (p *Pool) view(j *Job) JobView {
 		ID:      j.ID,
 		Kind:    j.Kind,
 		Detail:  j.Detail,
+		Tenant:  j.Tenant,
 		State:   j.state,
 		Created: j.created.UTC().Format(time.RFC3339Nano),
 		Points:  j.stats.Points,
@@ -363,6 +533,43 @@ func (p *Pool) Histograms() (jobSeconds, runOccupancy *obs.Histogram) {
 	return p.jobSeconds.Clone(), p.runOccupancy.Clone()
 }
 
+// TenantStat is one tenant's live and cumulative pool accounting, for the
+// mdwd_tenant_* metric families.
+type TenantStat struct {
+	Name      string
+	Weight    int
+	Priority  int
+	Queued    int
+	Running   int
+	Completed int64
+	Failed    int64
+	Points    int64
+	Cycles    int64
+	Busy      time.Duration
+}
+
+// TenantStats returns per-tenant accounting in queue-creation order.
+func (p *Pool) TenantStats() []TenantStat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]TenantStat, 0, len(p.queueList))
+	for _, q := range p.queueList {
+		out = append(out, TenantStat{
+			Name:      q.name,
+			Weight:    q.weight,
+			Priority:  q.priority,
+			Queued:    len(q.jobs),
+			Running:   q.running,
+			Completed: q.completed,
+			Failed:    q.failed,
+			Points:    q.points,
+			Cycles:    q.cycles,
+			Busy:      q.busy,
+		})
+	}
+	return out
+}
+
 // Err returns the failure error of a terminal job (nil otherwise); the
 // handler inspects it with errors.As to map structured failure codes.
 func (p *Pool) Err(id string) error {
@@ -378,6 +585,7 @@ func (p *Pool) Err(id string) error {
 func (p *Pool) BeginDrain() {
 	p.mu.Lock()
 	p.draining = true
+	p.cond.Broadcast()
 	p.mu.Unlock()
 }
 
@@ -427,12 +635,55 @@ func (p *Pool) RetryAfter() time.Duration {
 	if p.completed > 0 {
 		avg = p.busy / time.Duration(p.completed)
 	}
-	est := time.Duration(depth+1) * avg / time.Duration(p.workers)
+	return clampRetry(time.Duration(float64(depth+1) * float64(avg) / float64(p.workers)))
+}
+
+// RetryAfterTenant estimates when a rejected tenant should try again, from
+// that tenant's own backlog: its queued+running depth, its own observed mean
+// job cost (the pool-wide mean before it has completions), and its
+// weight-proportional share of the workers among the currently active
+// tenants. Two tenants under asymmetric load therefore receive different
+// hints — a quota-limited tenant is never told to wait out other tenants'
+// backlogs.
+func (p *Pool) RetryAfterTenant(t *Tenant) time.Duration {
+	if t == nil {
+		t = anonymous
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	depth := 0
+	weight := max(t.Weight, 1)
+	avg := 2 * time.Second
+	if p.completed > 0 {
+		avg = p.busy / time.Duration(p.completed)
+	}
+	q := p.queues[t.Name]
+	if q != nil {
+		depth = len(q.jobs) + q.running
+		weight = q.weight
+		if q.completed > 0 {
+			avg = q.busy / time.Duration(q.completed)
+		}
+	}
+	// The total weight competing for workers: every active tenant, plus this
+	// one whether or not it is active yet (its next request activates it).
+	totalW := weight
+	for _, other := range p.queueList {
+		if other != q && len(other.jobs)+other.running > 0 {
+			totalW += other.weight
+		}
+	}
+	effWorkers := float64(p.workers) * float64(weight) / float64(totalW)
+	return clampRetry(time.Duration(float64(depth+1) * float64(avg) / effWorkers))
+}
+
+// clampRetry bounds a Retry-After estimate to [1s, 5min].
+func clampRetry(est time.Duration) time.Duration {
 	if est < time.Second {
-		est = time.Second
+		return time.Second
 	}
 	if est > 5*time.Minute {
-		est = 5 * time.Minute
+		return 5 * time.Minute
 	}
 	return est
 }
@@ -443,12 +694,6 @@ func (p *Pool) RetryAfter() time.Duration {
 // the process exiting is the final backstop). Safe to call repeatedly.
 func (p *Pool) Drain(timeout time.Duration) bool {
 	p.BeginDrain()
-	// Close under the pool lock: Submit's send happens in the same critical
-	// section after re-checking draining, so no send can hit a closed
-	// channel.
-	p.mu.Lock()
-	p.closeOnce.Do(func() { close(p.tasks) })
-	p.mu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		p.wg.Wait()

@@ -59,6 +59,7 @@ type JournalRec struct {
 	Kind    string          `json:"kind"`
 	Hash    string          `json:"hash"`
 	JobKind string          `json:"job_kind,omitempty"` // "run", "experiment", or "shard"
+	Tenant  string          `json:"tenant,omitempty"`   // owning tenant's name ("" = anonymous)
 	Config  json.RawMessage `json:"config,omitempty"`
 	// File and Cycle reference the latest checkpoint blob of a running job.
 	File  string `json:"file,omitempty"`
@@ -270,6 +271,7 @@ func (j *Journal) Close() error {
 type PendingJob struct {
 	Hash    string
 	JobKind string
+	Tenant  string // owning tenant's name; replay re-enqueues into this queue
 	Config  json.RawMessage
 	// Checkpoint and Cycle reference the job's last journaled checkpoint
 	// ("" when it never checkpointed — rerun from scratch).
@@ -308,7 +310,7 @@ func ReplayJournal(dir string) ([]PendingJob, error) {
 		switch rec.Kind {
 		case recAccepted:
 			if _, dup := pending[rec.Hash]; !dup {
-				pending[rec.Hash] = &PendingJob{Hash: rec.Hash, JobKind: rec.JobKind, Config: rec.Config}
+				pending[rec.Hash] = &PendingJob{Hash: rec.Hash, JobKind: rec.JobKind, Tenant: rec.Tenant, Config: rec.Config}
 				order = append(order, rec.Hash)
 			}
 		case recRunning:

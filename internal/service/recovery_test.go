@@ -438,3 +438,76 @@ func TestJobDeadline(t *testing.T) {
 		t.Fatalf("stale job error = %v, want a deadline failure", err)
 	}
 }
+
+// TestRecoveryPreservesTenantQueues: jobs journaled across three tenants
+// before a crash are each re-enqueued into their original tenant's queue
+// exactly once on restart — including a "ghost" tenant that was since
+// removed from the tenants file, which gets a synthesized weight-1 queue
+// rather than being silently folded into someone else's share.
+func TestRecoveryPreservesTenantQueues(t *testing.T) {
+	dir := t.TempDir()
+	hashA, _, rawA := tinyCanon(t, 71)
+	hashB, _, rawB := tinyCanon(t, 72)
+	hashC, _, rawC := tinyCanon(t, 73)
+	writeJournalLines(t, dir,
+		`{"kind":"accepted","hash":"`+hashA+`","job_kind":"run","tenant":"alpha","config":`+string(rawA)+`}`,
+		`{"kind":"running","hash":"`+hashA+`","job_kind":"run","tenant":"alpha"}`,
+		`{"kind":"accepted","hash":"`+hashB+`","job_kind":"run","tenant":"beta","config":`+string(rawB)+`}`,
+		`{"kind":"accepted","hash":"`+hashC+`","job_kind":"run","tenant":"ghost","config":`+string(rawC)+`}`,
+	)
+
+	tenants, err := ParseTenants([]byte("ka alpha 1\nkb beta 2\n")) // ghost deliberately absent
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Workers: 1, CacheDir: dir, Tenants: tenants})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(10 * time.Second)
+
+	hashes := map[string]string{"alpha": hashA, "beta": hashB, "ghost": hashC}
+	for _, hash := range hashes {
+		waitForCache(t, s, hash)
+	}
+
+	// Each recovered job landed in (and only in) its original tenant's queue.
+	for tenant, hash := range hashes {
+		views := s.pool.ListTenant(tenant)
+		if len(views) != 1 {
+			t.Fatalf("tenant %s has %d recovered jobs, want exactly 1: %+v", tenant, len(views), views)
+		}
+		if v := views[0]; v.Detail != hash || v.Tenant != tenant || v.State != JobDone {
+			t.Fatalf("tenant %s recovered job = %+v, want done run of %s", tenant, v, hash)
+		}
+	}
+
+	// Exactly once: one accepted and one done record per hash, each carrying
+	// the tenant it was journaled under.
+	accepted, done := map[string]int{}, map[string]int{}
+	tenantOf := map[string]string{}
+	for _, rec := range readJournal(t, dir) {
+		switch rec.Kind {
+		case RecAccepted:
+			accepted[rec.Hash]++
+			tenantOf[rec.Hash] = rec.Tenant
+		case RecDone:
+			done[rec.Hash]++
+		}
+	}
+	for tenant, hash := range hashes {
+		if accepted[hash] != 1 || done[hash] != 1 {
+			t.Errorf("hash %s: %d accepted / %d done records, want 1/1", hash, accepted[hash], done[hash])
+		}
+		if tenantOf[hash] != tenant {
+			t.Errorf("hash %s re-journaled under tenant %q, want %q", hash, tenantOf[hash], tenant)
+		}
+	}
+
+	// The per-tenant accounting survived the restart too.
+	for _, st := range s.pool.TenantStats() {
+		if _, ours := hashes[st.Name]; ours && st.Completed != 1 {
+			t.Errorf("tenant %s completed=%d after recovery, want 1", st.Name, st.Completed)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"mdworm/internal/core"
@@ -56,6 +57,12 @@ type Config struct {
 	// grow it unboundedly. 0 = 8 MiB; negative disables size-triggered
 	// compaction (restart compaction still applies).
 	JournalMaxBytes int64
+	// Tenants, when non-nil, turns on multi-tenant mode: every /v1 request
+	// must authenticate with "Authorization: Bearer <key>" against this set,
+	// jobs are scheduled on per-tenant weighted queues, and /metrics gains
+	// mdwd_tenant_* families. Nil preserves the single-tenant daemon exactly:
+	// no auth, one anonymous queue, unchanged responses.
+	Tenants *TenantSet
 }
 
 // DefaultJournalMaxBytes is the journal size threshold when
@@ -71,7 +78,16 @@ type Server struct {
 	journal *Journal // nil without a cache directory
 	mux     *http.ServeMux
 	start   time.Time
+
+	// tcMu guards tcache, the per-tenant result-cache accounting (only
+	// populated in multi-tenant mode; the Cache itself stays tenant-blind —
+	// results are content-addressed and shared).
+	tcMu   sync.Mutex
+	tcache map[string]*tenantCacheStats
 }
+
+// tenantCacheStats counts one tenant's result-cache outcomes.
+type tenantCacheStats struct{ hits, misses int64 }
 
 // New builds a server and starts its worker pool.
 func New(cfg Config) (*Server, error) {
@@ -89,13 +105,15 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		pool:  NewPool(cfg.Workers, cfg.Backlog),
-		cache: cache,
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		cfg:    cfg,
+		pool:   NewPool(cfg.Workers, cfg.Backlog),
+		cache:  cache,
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+		tcache: make(map[string]*tenantCacheStats),
 	}
 	s.pool.SetDeadline(cfg.JobDeadline)
+	s.pool.SetTenants(cfg.Tenants)
 	if cfg.CacheDir != "" {
 		if err := s.recover(); err != nil {
 			return nil, err
@@ -139,16 +157,23 @@ func writeErr(w http.ResponseWriter, status int, e apiError) {
 }
 
 // writeRejected maps a Submit failure to its backpressure response: 429
-// "busy" for a full backlog, 503 "draining" during shutdown (distinct codes,
-// so clients know whether to retry soon or find another daemon), both with a
-// Retry-After estimate in header and body.
-func (s *Server) writeRejected(w http.ResponseWriter, err error) {
-	secs := int(s.pool.RetryAfter().Round(time.Second).Seconds())
+// "quota" past the tenant's own queue cap, 429 "busy" for a full global
+// backlog, 503 "draining" during shutdown (distinct codes, so clients know
+// whether to retry soon or find another daemon), all with a Retry-After
+// estimate in header and body. The estimate is computed from the rejected
+// tenant's queue, not the global one: a quota-limited tenant is never told
+// to wait out other tenants' backlogs (with no tenants configured, the one
+// anonymous queue makes this the historical global estimate).
+func (s *Server) writeRejected(w http.ResponseWriter, err error, t *Tenant) {
+	secs := int(s.pool.RetryAfterTenant(t).Round(time.Second).Seconds())
 	if secs < 1 {
 		secs = 1
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	switch {
+	case errors.Is(err, ErrTenantQueueFull):
+		writeErr(w, http.StatusTooManyRequests, apiError{
+			Code: "quota", Message: err.Error(), RetryAfterSeconds: secs})
 	case errors.Is(err, ErrPoolFull):
 		writeErr(w, http.StatusTooManyRequests, apiError{
 			Code: "busy", Message: err.Error(), RetryAfterSeconds: secs})
@@ -158,6 +183,59 @@ func (s *Server) writeRejected(w http.ResponseWriter, err error) {
 	default:
 		writeErr(w, http.StatusServiceUnavailable, apiError{
 			Code: "unavailable", Message: err.Error(), RetryAfterSeconds: secs})
+	}
+}
+
+// tenantFor authenticates a request. With no tenants configured every
+// request belongs to the anonymous tenant; in multi-tenant mode the request
+// must present "Authorization: Bearer <key>" for a configured key, or it is
+// rejected with a structured 401 (the response is already written when ok is
+// false).
+func (s *Server) tenantFor(w http.ResponseWriter, r *http.Request) (t *Tenant, ok bool) {
+	if s.cfg.Tenants == nil {
+		return anonymous, true
+	}
+	h := r.Header.Get("Authorization")
+	if h == "" {
+		s.writeUnauthorized(w, `missing Authorization header (want "Bearer <key>")`)
+		return nil, false
+	}
+	scheme, key, found := strings.Cut(h, " ")
+	key = strings.TrimSpace(key)
+	if !found || !strings.EqualFold(scheme, "Bearer") || key == "" {
+		s.writeUnauthorized(w, `malformed Authorization header (want "Bearer <key>")`)
+		return nil, false
+	}
+	t = s.cfg.Tenants.LookupKey(key)
+	if t == nil {
+		s.writeUnauthorized(w, "unknown API key")
+		return nil, false
+	}
+	return t, true
+}
+
+func (s *Server) writeUnauthorized(w http.ResponseWriter, msg string) {
+	w.Header().Set("WWW-Authenticate", `Bearer realm="mdwd"`)
+	writeErr(w, http.StatusUnauthorized, apiError{Code: "unauthorized", Message: msg})
+}
+
+// tenantCacheHit records one tenant's result-cache outcome (multi-tenant
+// mode only; the cache itself is shared and content-addressed).
+func (s *Server) tenantCacheHit(t *Tenant, hit bool) {
+	if s.cfg.Tenants == nil {
+		return
+	}
+	s.tcMu.Lock()
+	defer s.tcMu.Unlock()
+	st := s.tcache[t.Name]
+	if st == nil {
+		st = &tenantCacheStats{}
+		s.tcache[t.Name] = st
+	}
+	if hit {
+		st.hits++
+	} else {
+		st.misses++
 	}
 }
 
@@ -211,6 +289,10 @@ func totalCycles(cfg core.Config) int64 {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
 	var req RunRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -248,12 +330,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if body, ok := s.cache.Get(hash); ok {
+		s.tenantCacheHit(tn, true)
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Mdwd-Cache", "hit")
 		w.Header().Set("X-Mdwd-Hash", hash)
 		w.Write(body)
 		return
 	}
+	s.tenantCacheHit(tn, false)
 
 	// Write-ahead: the job is journaled accepted (with its canonical config)
 	// before it is queued, so a crash at any later point can rebuild it.
@@ -262,11 +346,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, apiError{Code: "internal", Message: err.Error()})
 		return
 	}
-	s.journalAppend(JournalRec{Kind: recAccepted, Hash: hash, JobKind: "run", Config: canonJSON})
+	s.journalAppend(JournalRec{Kind: recAccepted, Hash: hash, JobKind: "run", Tenant: tn.Name, Config: canonJSON})
 
 	var body []byte
 	resume := req.Resume
-	job, err := s.pool.Submit("run", hash, func() (JobStats, error) {
+	job, err := s.pool.SubmitTenant("run", hash, tn, func() (JobStats, error) {
 		b, st, err := s.executeRun(hash, canon, resume)
 		body = b
 		return st, err
@@ -274,8 +358,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// The WAL entry must not outlive the rejection, or a restart would
 		// resurrect a job whose client was told to retry.
-		s.journalAppend(JournalRec{Kind: recFailed, Hash: hash, JobKind: "run", Error: err.Error()})
-		s.writeRejected(w, err)
+		s.journalAppend(JournalRec{Kind: recFailed, Hash: hash, JobKind: "run", Tenant: tn.Name, Error: err.Error()})
+		s.writeRejected(w, err, tn)
 		return
 	}
 
@@ -433,10 +517,10 @@ func (s *Server) recover() error {
 		j.SetMaxBytes(DefaultJournalMaxBytes)
 	}
 	s.pool.onStart = func(job *Job) {
-		s.journalAppend(JournalRec{Kind: recRunning, Hash: job.Detail, JobKind: job.Kind})
+		s.journalAppend(JournalRec{Kind: recRunning, Hash: job.Detail, JobKind: job.Kind, Tenant: job.Tenant})
 	}
 	s.pool.onFinish = func(job *Job, jerr error) {
-		rec := JournalRec{Kind: recDone, Hash: job.Detail, JobKind: job.Kind}
+		rec := JournalRec{Kind: recDone, Hash: job.Detail, JobKind: job.Kind, Tenant: job.Tenant}
 		if jerr != nil {
 			rec.Kind = recFailed
 			rec.Error = jerr.Error()
@@ -465,9 +549,9 @@ func (s *Server) recover() error {
 					Error: fmt.Sprintf("journaled config does not parse: %v", err)})
 				continue
 			}
-			s.journalAppend(JournalRec{Kind: recAccepted, Hash: p.Hash, JobKind: "run", Config: p.Config})
+			s.journalAppend(JournalRec{Kind: recAccepted, Hash: p.Hash, JobKind: "run", Tenant: p.Tenant, Config: p.Config})
 			hash, ckptFile := p.Hash, p.Checkpoint
-			s.pool.enqueueRecovered("run", hash, func() (JobStats, error) {
+			s.pool.enqueueRecovered("run", hash, p.Tenant, func() (JobStats, error) {
 				var resume []byte
 				if ckptFile != "" {
 					resume, _ = os.ReadFile(ckptFile) // absent blob → scratch re-run
@@ -544,6 +628,10 @@ type StreamEvent struct {
 }
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
 	var req ExperimentRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -585,8 +673,8 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	// Experiments are journaled too — not to re-run them (their stream dies
 	// with the client), but so a restart can report them failed instead of
 	// losing an accepted job without a trace.
-	s.journalAppend(JournalRec{Kind: recAccepted, Hash: req.ID, JobKind: "experiment"})
-	job, err := s.pool.Submit("experiment", req.ID, func() (JobStats, error) {
+	s.journalAppend(JournalRec{Kind: recAccepted, Hash: req.ID, JobKind: "experiment", Tenant: tn.Name})
+	job, err := s.pool.SubmitTenant("experiment", req.ID, tn, func() (JobStats, error) {
 		defer close(events)
 		observer := &obs.SweepObserver{SampleEvery: 256}
 		opts := experiments.Options{
@@ -626,8 +714,8 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		return jst, nil
 	})
 	if err != nil {
-		s.journalAppend(JournalRec{Kind: recFailed, Hash: req.ID, JobKind: "experiment", Error: err.Error()})
-		s.writeRejected(w, err)
+		s.journalAppend(JournalRec{Kind: recFailed, Hash: req.ID, JobKind: "experiment", Tenant: tn.Name, Error: err.Error()})
+		s.writeRejected(w, err, tn)
 		return
 	}
 
@@ -654,13 +742,29 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
+	views := s.pool.List()
+	if s.cfg.Tenants != nil {
+		// Multi-tenant mode scopes the listing: a tenant sees its own jobs
+		// only.
+		views = s.pool.ListTenant(tn.Name)
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string][]JobView{"jobs": s.pool.List()})
+	json.NewEncoder(w).Encode(map[string][]JobView{"jobs": views})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	v, ok := s.pool.Get(r.PathValue("id"))
+	tn, ok := s.tenantFor(w, r)
 	if !ok {
+		return
+	}
+	v, found := s.pool.Get(r.PathValue("id"))
+	if !found || (s.cfg.Tenants != nil && v.Tenant != tn.Name) {
+		// Another tenant's job is indistinguishable from a nonexistent one:
+		// job ids are sequential, and existence alone leaks traffic shape.
 		writeErr(w, http.StatusNotFound, apiError{Code: "unknown_job",
 			Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
 		return
@@ -677,6 +781,12 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // published result, or checkpointing disabled — and the mirroring client
 // treats it as a no-op.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	// In multi-tenant mode the mirror endpoint requires a valid key like the
+	// rest of /v1 (a cluster coordinator authenticates with its worker key);
+	// blobs are not tenant-scoped — they are keyed by content hash.
+	if _, ok := s.tenantFor(w, r); !ok {
+		return
+	}
 	hash := r.PathValue("hash")
 	if !validKey(hash) {
 		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_hash",
@@ -757,4 +867,60 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Gauge("mdwd_cycles_per_sec", "Simulated cycles per busy second.", cps)
 	p.Histogram("mdwd_job_seconds", "Job wall time in seconds.", jobSeconds)
 	p.Histogram("mdwd_run_occupancy", "Peak sampled buffer occupancy per job (CB chunks or IB flits).", runOccupancy)
+
+	// The mdwd_tenant_* families exist only in multi-tenant mode, keeping
+	// the single-tenant exposition byte-compatible with older daemons.
+	if s.cfg.Tenants != nil {
+		s.writeTenantMetrics(p)
+	}
+}
+
+// writeTenantMetrics renders the per-tenant families: one sample per
+// configured tenant (zeros before its first request), labelled by tenant
+// name.
+func (s *Server) writeTenantMetrics(p *obs.PromWriter) {
+	byName := make(map[string]TenantStat)
+	for _, st := range s.pool.TenantStats() {
+		byName[st.Name] = st
+	}
+	tenants := s.cfg.Tenants.Tenants()
+	sample := func(get func(t *Tenant, st TenantStat) float64) []obs.LabeledSample {
+		out := make([]obs.LabeledSample, 0, len(tenants))
+		for _, t := range tenants {
+			out = append(out, obs.LabeledSample{
+				Labels: [][2]string{{"tenant", t.Name}},
+				Value:  get(t, byName[t.Name]),
+			})
+		}
+		return out
+	}
+	s.tcMu.Lock()
+	cache := make(map[string]tenantCacheStats, len(s.tcache))
+	for name, st := range s.tcache {
+		cache[name] = *st
+	}
+	s.tcMu.Unlock()
+
+	p.LabeledGauge("mdwd_tenant_weight", "Configured fair-share weight per tenant.",
+		sample(func(t *Tenant, _ TenantStat) float64 { return float64(t.Weight) }))
+	p.LabeledGauge("mdwd_tenant_priority", "Configured priority class per tenant.",
+		sample(func(t *Tenant, _ TenantStat) float64 { return float64(t.Priority) }))
+	p.LabeledGauge("mdwd_tenant_jobs_queued", "Jobs waiting in each tenant's queue.",
+		sample(func(_ *Tenant, st TenantStat) float64 { return float64(st.Queued) }))
+	p.LabeledGauge("mdwd_tenant_jobs_running", "Jobs of each tenant running now.",
+		sample(func(_ *Tenant, st TenantStat) float64 { return float64(st.Running) }))
+	p.LabeledGauge("mdwd_tenant_jobs_completed", "Terminal jobs (done + failed) per tenant.",
+		sample(func(_ *Tenant, st TenantStat) float64 { return float64(st.Completed) }))
+	p.LabeledGauge("mdwd_tenant_jobs_failed", "Failed jobs per tenant.",
+		sample(func(_ *Tenant, st TenantStat) float64 { return float64(st.Failed) }))
+	p.LabeledGauge("mdwd_tenant_points_total", "Simulator runs resolved per tenant.",
+		sample(func(_ *Tenant, st TenantStat) float64 { return float64(st.Points) }))
+	p.LabeledGauge("mdwd_tenant_simulated_cycles_total", "Simulated cycles per tenant.",
+		sample(func(_ *Tenant, st TenantStat) float64 { return float64(st.Cycles) }))
+	p.LabeledGauge("mdwd_tenant_busy_seconds", "In-job wall time per tenant.",
+		sample(func(_ *Tenant, st TenantStat) float64 { return st.Busy.Seconds() }))
+	p.LabeledGauge("mdwd_tenant_cache_hits", "Result-cache hits per tenant.",
+		sample(func(t *Tenant, _ TenantStat) float64 { return float64(cache[t.Name].hits) }))
+	p.LabeledGauge("mdwd_tenant_cache_misses", "Result-cache misses per tenant.",
+		sample(func(t *Tenant, _ TenantStat) float64 { return float64(cache[t.Name].misses) }))
 }

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTenantsValid(t *testing.T) {
+	ts, err := ParseTenants([]byte(`
+# production tenants
+key-alpha alpha 1
+key-beta  beta  2 priority=3
+key-gamma gamma 4 max-queued=16 max-running=2 priority=1
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ts.Tenants()); got != 3 {
+		t.Fatalf("parsed %d tenants, want 3", got)
+	}
+	if tn := ts.LookupKey("key-beta"); tn == nil || tn.Name != "beta" || tn.Weight != 2 || tn.Priority != 3 {
+		t.Fatalf("key-beta resolved to %+v", tn)
+	}
+	if tn := ts.ByName("gamma"); tn == nil || tn.MaxQueued != 16 || tn.MaxRunning != 2 || tn.Priority != 1 {
+		t.Fatalf("gamma resolved to %+v", tn)
+	}
+	if tn := ts.LookupKey("nope"); tn != nil {
+		t.Fatalf("unknown key resolved to %+v", tn)
+	}
+	if got := strings.Join(ts.Names(), ","); got != "alpha,beta,gamma" {
+		t.Fatalf("Names() = %q", got)
+	}
+	// File order is the scheduling/display order.
+	if ts.Tenants()[0].Name != "alpha" || ts.Tenants()[2].Name != "gamma" {
+		t.Fatalf("file order not preserved: %v", ts.Names())
+	}
+}
+
+func TestParseTenantsErrors(t *testing.T) {
+	cases := []struct {
+		name, file string
+	}{
+		{"empty", ""},
+		{"comments-only", "# nothing here\n\n"},
+		{"too-few-fields", "key name\n"},
+		{"zero-weight", "key name 0\n"},
+		{"negative-weight", "key name -3\n"},
+		{"non-integer-weight", "key name heavy\n"},
+		{"duplicate-key", "k1 a 1\nk1 b 1\n"},
+		{"duplicate-name", "k1 a 1\nk2 a 1\n"},
+		{"unsafe-name", "k1 a/b 1\n"},
+		{"control-char-key", "k\x01 a 1\n"},
+		{"bad-option", "k1 a 1 fast\n"},
+		{"unknown-option", "k1 a 1 burst=4\n"},
+		{"non-integer-option", "k1 a 1 priority=high\n"},
+		{"priority-out-of-range", "k1 a 1 priority=10\n"},
+		{"negative-max-queued", "k1 a 1 max-queued=-1\n"},
+		{"negative-max-running", "k1 a 1 max-running=-1\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if ts, err := ParseTenants([]byte(c.file)); err == nil {
+				t.Fatalf("ParseTenants(%q) = %+v, want error", c.file, ts)
+			}
+		})
+	}
+}
+
+func TestNilTenantSetIsSafe(t *testing.T) {
+	var ts *TenantSet
+	if ts.LookupKey("k") != nil || ts.ByName("n") != nil || ts.Tenants() != nil || ts.Names() != nil {
+		t.Fatal("nil TenantSet lookups must all return nil")
+	}
+}
+
+// FuzzTenantConfig holds the parser to its contract on arbitrary input: never
+// panic, and never return a set with duplicate keys/names, zero weights, or
+// unsafe names.
+func FuzzTenantConfig(f *testing.F) {
+	f.Add([]byte("key-a alpha 1\nkey-b beta 2 priority=3\n"))
+	f.Add([]byte("k n 4 max-queued=8 max-running=1\n# comment\n"))
+	f.Add([]byte("k n 0\n"))
+	f.Add([]byte("k1 a 1\nk1 b 1\n"))
+	f.Add([]byte("k\x00 a 1\n"))
+	f.Add([]byte(strings.Repeat("x", 5000) + " big 1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ts, err := ParseTenants(data)
+		if err != nil {
+			return
+		}
+		keys := map[string]bool{}
+		names := map[string]bool{}
+		for _, tn := range ts.Tenants() {
+			if keys[tn.Key] {
+				t.Fatalf("duplicate key %q survived parsing", tn.Key)
+			}
+			if names[tn.Name] {
+				t.Fatalf("duplicate name %q survived parsing", tn.Name)
+			}
+			keys[tn.Key], names[tn.Name] = true, true
+			if !keySafe(tn.Key) {
+				t.Fatalf("unsafe key %q survived parsing", tn.Key)
+			}
+			if !labelSafe(tn.Name) {
+				t.Fatalf("unsafe name %q survived parsing", tn.Name)
+			}
+			if tn.Weight < 1 {
+				t.Fatalf("weight %d < 1 survived parsing", tn.Weight)
+			}
+			if tn.Priority < 0 || tn.Priority > 9 {
+				t.Fatalf("priority %d out of range survived parsing", tn.Priority)
+			}
+			if tn.MaxQueued < 0 || tn.MaxRunning < 0 {
+				t.Fatalf("negative quota survived parsing: %+v", tn)
+			}
+			if ts.LookupKey(tn.Key) != tn || ts.ByName(tn.Name) != tn {
+				t.Fatalf("lookup round-trip broken for %+v", tn)
+			}
+		}
+	})
+}
