@@ -52,6 +52,12 @@ func BenchmarkA8Barrier(b *testing.B)           { benchExperiment(b, "a8") }
 func BenchmarkA9Irregular(b *testing.B)         { benchExperiment(b, "a9") }
 func BenchmarkA10SyncReplication(b *testing.B)  { benchExperiment(b, "a10") }
 func BenchmarkA11BufferBandwidth(b *testing.B)  { benchExperiment(b, "a11") }
+func BenchmarkC1Barrier(b *testing.B)           { benchExperiment(b, "c1") }
+func BenchmarkC2Broadcast(b *testing.B)         { benchExperiment(b, "c2") }
+func BenchmarkC3AllReduce(b *testing.B)         { benchExperiment(b, "c3") }
+func BenchmarkC4ScatterGather(b *testing.B)     { benchExperiment(b, "c4") }
+func BenchmarkC5Skew(b *testing.B)              { benchExperiment(b, "c5") }
+func BenchmarkC6Background(b *testing.B)        { benchExperiment(b, "c6") }
 
 // BenchmarkRunAllQuick regenerates the entire quick-mode evaluation through
 // the shared worker pool — the end-to-end number behind BENCH_sweep.json.

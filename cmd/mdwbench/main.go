@@ -1,5 +1,6 @@
 // Command mdwbench regenerates the paper's evaluation: every figure/table
-// (e1..e8) and the design-choice ablations (a1..a11).
+// (e1..e8), the design-choice ablations (a1..a11), and the collective
+// experiments (c1..c6).
 //
 // Usage:
 //
@@ -7,6 +8,7 @@
 //	mdwbench -exp e1,e3      # run selected experiments
 //	mdwbench -exp ablation   # run a1..a11 only
 //	mdwbench -exp paper      # run e1..e8 only
+//	mdwbench -exp collective # run c1..c6 only
 //	mdwbench -quick          # shrunk windows and point counts
 //	mdwbench -workers 8      # sweep-point pool size (0 = GOMAXPROCS)
 //	mdwbench -bench-out f    # append batch timing stats to a JSON history
@@ -71,6 +73,7 @@ type benchReport struct {
 	Quick          bool     `json:"quick"`
 	Seed           uint64   `json:"seed"`
 	Experiments    []string `json:"experiments"`
+	Family         string   `json:"family,omitempty"`
 	Workers        int      `json:"workers"`
 	Points         int      `json:"points"`
 	SimulatedCycle int64    `json:"simulated_cycles"`
@@ -90,7 +93,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mdwbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		expFlag  = fs.String("exp", "all", "comma-separated experiment ids, or all|paper|ablation")
+		expFlag  = fs.String("exp", "all", "comma-separated experiment ids, or all|paper|ablation|collective")
 		quick    = fs.Bool("quick", false, "shrink windows and point counts")
 		format   = fs.String("format", "text", "output format: text, csv, or plot")
 		seed     = fs.Uint64("seed", 1, "random seed")
@@ -239,6 +242,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			Quick:          *quick,
 			Seed:           *seed,
 			Experiments:    ids,
+			Family:         batchFamily(ids),
 			Workers:        wkrs,
 			Points:         points,
 			SimulatedCycle: cycles,
@@ -450,15 +454,43 @@ func consumeStream(resp *http.Response, id string, verbose bool, stdout, stderr 
 	return points, cycles, wall, nil
 }
 
+// expFamily names the family an experiment id belongs to, by its registry
+// prefix: e = paper figures/tables, a = ablations, c = collectives.
+func expFamily(id string) string {
+	switch {
+	case strings.HasPrefix(id, "e"):
+		return "paper"
+	case strings.HasPrefix(id, "a"):
+		return "ablation"
+	case strings.HasPrefix(id, "c"):
+		return "collective"
+	}
+	return "unknown"
+}
+
+// batchFamily names the family a batch of ids shares, or "mixed".
+func batchFamily(ids []string) string {
+	if len(ids) == 0 {
+		return ""
+	}
+	f := expFamily(ids[0])
+	for _, id := range ids[1:] {
+		if expFamily(id) != f {
+			return "mixed"
+		}
+	}
+	return f
+}
+
 func expand(spec string) ([]string, error) {
 	all := mdworm.ExperimentIDs()
 	switch spec {
 	case "all":
 		return all, nil
-	case "paper", "ablation":
+	case "paper", "ablation", "collective":
 		var out []string
 		for _, id := range all {
-			if (spec == "paper") == strings.HasPrefix(id, "e") {
+			if expFamily(id) == spec {
 				out = append(out, id)
 			}
 		}

@@ -37,8 +37,39 @@ func TestExpandGroups(t *testing.T) {
 			t.Fatalf("ablation group contains %q", id)
 		}
 	}
-	if len(paper)+len(abl) != len(all) {
-		t.Fatalf("groups do not partition: %d + %d != %d", len(paper), len(abl), len(all))
+	coll, err := expand("collective")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coll) != 6 {
+		t.Fatalf("collective group %v, want c1..c6", coll)
+	}
+	for _, id := range coll {
+		if id[0] != 'c' {
+			t.Fatalf("collective group contains %q", id)
+		}
+	}
+	if len(paper)+len(abl)+len(coll) != len(all) {
+		t.Fatalf("groups do not partition: %d + %d + %d != %d",
+			len(paper), len(abl), len(coll), len(all))
+	}
+}
+
+func TestBatchFamily(t *testing.T) {
+	cases := []struct {
+		ids  []string
+		want string
+	}{
+		{[]string{"e1", "e3"}, "paper"},
+		{[]string{"a8"}, "ablation"},
+		{[]string{"c1", "c4", "c6"}, "collective"},
+		{[]string{"e1", "c1"}, "mixed"},
+		{nil, ""},
+	}
+	for _, c := range cases {
+		if got := batchFamily(c.ids); got != c.want {
+			t.Errorf("batchFamily(%v) = %q, want %q", c.ids, got, c.want)
+		}
 	}
 }
 
@@ -87,14 +118,15 @@ func TestBenchHistoryAppend(t *testing.T) {
 }
 
 // TestBenchHistoryMigratesLegacy: a pre-history single-object file becomes
-// the first entry of the array instead of being overwritten.
+// the first entry of the array instead of being overwritten, and entries
+// written before the family field stay decodable next to ones that have it.
 func TestBenchHistoryMigratesLegacy(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	legacy := `{"quick":false,"seed":1,"points":314,"wall_seconds":83.0}`
 	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	n, err := appendBenchHistory(path, benchReport{Timestamp: "now", Points: 7})
+	n, err := appendBenchHistory(path, benchReport{Timestamp: "now", Points: 7, Family: "collective"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,6 +140,12 @@ func TestBenchHistoryMigratesLegacy(t *testing.T) {
 	}
 	if hist[0].Points != 314 || hist[1].Points != 7 || hist[1].Timestamp != "now" {
 		t.Fatalf("history %+v", hist)
+	}
+	if hist[0].Family != "" || hist[1].Family != "collective" {
+		t.Fatalf("family fields %q, %q; want \"\", \"collective\"", hist[0].Family, hist[1].Family)
+	}
+	if strings.Contains(string(data), `"family":""`) {
+		t.Fatalf("pre-family entry grew an empty family field:\n%s", data)
 	}
 }
 
@@ -172,6 +210,9 @@ func TestDaemonModeBenchOut(t *testing.T) {
 	}
 	if len(hist) != 1 || hist[0].Points == 0 || hist[0].SimulatedCycle == 0 || hist[0].Timestamp == "" {
 		t.Fatalf("history %+v", hist)
+	}
+	if hist[0].Family != "ablation" {
+		t.Fatalf("family %q, want ablation", hist[0].Family)
 	}
 	if !strings.Contains(stderr.String(), "x=") {
 		t.Fatalf("-v produced no point lines:\n%s", stderr.String())

@@ -24,7 +24,10 @@
 // mode. See the README "Cluster mode" section.
 //
 // SIGINT/SIGTERM drain gracefully: new jobs are rejected, running jobs
-// finish (up to -drain-timeout), and the process exits 0.
+// finish (up to -drain-timeout), and the process exits 0. SIGHUP re-reads
+// the -tenants file in place: keys, weights, and quotas change without
+// dropping queued jobs, and an invalid file is rejected with a logged error
+// while the previous table stays live.
 package main
 
 import (
@@ -180,6 +183,17 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *tenantsFile != "" {
+		if rl, ok := srv.(tenantReloader); ok {
+			hup := make(chan os.Signal, 1)
+			signal.Notify(hup, syscall.SIGHUP)
+			defer signal.Stop(hup)
+			go hupLoop(ctx, hup, rl, *tenantsFile, stdout, stderr)
+		} else {
+			fmt.Fprintln(stderr, "mdwd: note: coordinator mode does not hot-reload -tenants on SIGHUP")
+		}
+	}
+
 	if *join != "" {
 		self := *advertise
 		if self == "" {
@@ -213,6 +227,36 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintln(stderr, "mdwd: drain deadline exceeded, abandoning remaining jobs")
 	}
 	return 0
+}
+
+// tenantReloader is the daemon capability behind SIGHUP: service.Server
+// implements it; the cluster coordinator (whose tenants gate dispatch, not
+// queues) does not yet.
+type tenantReloader interface {
+	ReloadTenants(*service.TenantSet) error
+}
+
+// hupLoop re-reads the tenants file on every SIGHUP. A file that fails to
+// parse (or validate) is rejected with a logged error and the previous table
+// stays live — a bad edit must never lock every client out.
+func hupLoop(ctx context.Context, hup <-chan os.Signal, rl tenantReloader, path string, stdout, stderr io.Writer) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-hup:
+			ts, err := service.LoadTenants(path)
+			if err != nil {
+				fmt.Fprintf(stderr, "mdwd: tenants reload rejected, keeping previous table: %v\n", err)
+				continue
+			}
+			if err := rl.ReloadTenants(ts); err != nil {
+				fmt.Fprintf(stderr, "mdwd: tenants reload rejected: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(stdout, "mdwd: tenants reloaded from %s (%d tenants)\n", path, len(ts.Tenants()))
+		}
+	}
 }
 
 // advertiseURL derives a dialable base URL from the bound listen address: a

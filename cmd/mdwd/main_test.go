@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -154,4 +156,115 @@ func TestCacheDirFlag(t *testing.T) {
 		t.Fatalf("after restart: cache %q, want hit (%s)", got, fmt.Sprint(resp.StatusCode))
 	}
 	stop(exit, out)
+}
+
+// syncBuffer is a bytes.Buffer safe to read while the daemon's goroutines
+// (the SIGHUP reload loop) are still writing log lines to it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestTenantsSIGHUP: SIGHUP re-reads the -tenants file in place — new keys
+// authenticate, removed keys stop, and an invalid rewrite is rejected with a
+// logged error while the previous table stays live.
+func TestTenantsSIGHUP(t *testing.T) {
+	dir := t.TempDir()
+	tf := dir + "/tenants"
+	if err := os.WriteFile(tf, []byte("key-old alpha 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out syncBuffer
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-tenants", tf, "-drain-timeout", "10s"},
+			&out, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case code := <-exit:
+		t.Fatalf("daemon exited early: %d\n%s", code, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	get := func(key string) int {
+		req, err := http.NewRequest(http.MethodGet, base+"/v1/jobs", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer "+key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("key-old"); got != http.StatusOK {
+		t.Fatalf("key-old before reload: %d", got)
+	}
+
+	// Rewrite and reload: key-new replaces key-old.
+	if err := os.WriteFile(tf, []byte("key-new alpha 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for get("key-new") != http.StatusOK {
+		if time.Now().After(deadline) {
+			t.Fatalf("key-new never authenticated after SIGHUP:\n%s", out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := get("key-old"); got != http.StatusUnauthorized {
+		t.Fatalf("removed key-old after reload: %d", got)
+	}
+
+	// An invalid rewrite is rejected; the live table is untouched.
+	if err := os.WriteFile(tf, []byte("not a valid line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for !strings.Contains(out.String(), "tenants reload rejected") {
+		if time.Now().After(deadline) {
+			t.Fatalf("invalid reload never logged:\n%s", out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := get("key-new"); got != http.StatusOK {
+		t.Fatalf("key-new after rejected reload: %d", got)
+	}
+
+	syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit %d\n%s", code, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("no exit after SIGTERM")
+	}
 }

@@ -72,6 +72,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		reps     = fs.Int("reps", 1, "replicate the run over this many consecutive seeds")
 		workers  = fs.Int("workers", 0, "concurrent replicas when -reps > 1 (0 = GOMAXPROCS)")
 		faultArg = fs.String("faults", "", "fault plan spec like 'link-down@1000:sw3.p2;nic-stall@500+200:n5', or @file holding one")
+		collKind = fs.String("collective", "", "drive a phase-structured collective: barrier, broadcast, all-reduce, all-reduce-gather, scatter, gather")
+		collPay  = fs.Int("coll-payload", 64, "collective payload flits per step (per node for scatter/gather)")
+		collReps = fs.Int("coll-reps", 10, "collective repetitions")
+		collSkew = fs.Int64("coll-skew", 0, "max per-node collective arrival skew in cycles (deterministic draws)")
+		collGap  = fs.Int64("coll-gap", 100, "idle cycles between collective repetitions")
+		collRoot = fs.Int("coll-root", 0, "collective root node")
 		strict   = fs.Bool("strict", false, "upgrade model-invariant violations to hard run failures")
 		ckptFile = fs.String("checkpoint", "", "write a resumable snapshot to this file (atomic replace) every -checkpoint-every cycles")
 		ckptEv   = fs.Int64("checkpoint-every", 0, "checkpoint period in simulated cycles (0 with -checkpoint = 100000)")
@@ -135,6 +141,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		cfg.Faults = plan
+	}
+	if *collKind != "" {
+		kind, err := mdworm.ParseCollectiveKind(*collKind)
+		if err != nil {
+			fmt.Fprintln(stderr, "mdwsim:", err)
+			return 2
+		}
+		cfg.Collective = mdworm.CollectiveSpec{
+			Kind:         kind,
+			Root:         *collRoot,
+			PayloadFlits: *collPay,
+			Reps:         *collReps,
+			SkewCycles:   *collSkew,
+			GapCycles:    *collGap,
+		}
 	}
 	cfg.StrictInvariants = *strict
 
@@ -320,6 +341,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "unicast: ops=%d/%d\n", res.Unicast.OpsCompleted, res.Unicast.OpsGenerated)
 	fmt.Fprintf(stdout, "  latency: %v\n", res.Unicast.LastArrival)
 	fmt.Fprintf(stdout, "  delivered payload: %.4f flits/node/cycle\n\n", res.Unicast.DeliveredPayloadPerNodeCycle)
+	// The collective report appears only when a collective was driven, so
+	// plain runs keep their historical output byte-identical.
+	if c := res.Collective; c != nil {
+		fmt.Fprintf(stdout, "collective %s: reps=%d/%d degraded=%d\n",
+			c.Kind, c.Completed, c.Started, c.Degraded)
+		fmt.Fprintf(stdout, "  last-arrival latency: %v\n", c.LastArrival)
+		fmt.Fprintf(stdout, "  final-phase arrival skew: %v\n", c.Skew)
+		for i, p := range c.Phases {
+			fmt.Fprintf(stdout, "  phase %d latency: %v\n", i+1, p)
+		}
+		fmt.Fprintln(stdout)
+	}
 	fmt.Fprintf(stdout, "raw delivered flits (headers included): %.4f /node/cycle\n", res.DeliveredFlitsPerNodeCycle)
 	fmt.Fprintf(stdout, "drain: %d cycles\n", res.DrainCycles)
 	// The fault report appears only for fault-injected runs, so fault-free

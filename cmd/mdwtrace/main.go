@@ -72,6 +72,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if code := printCriticalPath(stdout, stderr, tr, *opID); code != 0 {
 		return code
 	}
+	if code := printCollectives(stdout, stderr, tr); code != 0 {
+		return code
+	}
 	printPhaseSummary(stdout, tr)
 	printOccupancy(stdout, tr)
 
@@ -185,6 +188,41 @@ func printPhaseTotals(w io.Writer, totals map[obs.Phase]int64, denom int64) {
 		}
 		fmt.Fprintf(w, "  %-14s %10d cycles  %5.1f%%\n", ph, v, pct)
 	}
+}
+
+// printCollectives lists every collective rep in the trace with its
+// per-phase latency attribution, and validates the tiling invariant: for
+// every complete rep the phase latencies must sum exactly to the rep's
+// end-to-end last-arrival latency. A violation is an analyzer error.
+func printCollectives(w, stderr io.Writer, tr *obs.Trace) int {
+	colls := tr.Collectives()
+	if len(colls) == 0 {
+		return 0
+	}
+	kind := colls[0].Kind
+	fmt.Fprintf(w, "\ncollective %s: %d rep(s)\n", kind, len(colls))
+	fmt.Fprintf(w, "%6s %10s %10s %10s %9s  %s\n",
+		"rep", "start", "latency", "skew", "degraded", "phase latencies")
+	complete := 0
+	for _, c := range colls {
+		if !c.Done {
+			fmt.Fprintf(w, "%6d %10d %10s %10s %9s  (incomplete at end of trace)\n",
+				c.Rep, c.Start, "-", "-", "-")
+			continue
+		}
+		complete++
+		fmt.Fprintf(w, "%6d %10d %10d %10d %9v  %v\n",
+			c.Rep, c.Start, c.Latency, c.Skew, c.Degraded, c.PhaseLatencies())
+		if !c.Tiles() {
+			fmt.Fprintf(stderr, "mdwtrace: collective rep %d: phase latencies %v do not tile latency %d\n",
+				c.Rep, c.PhaseLatencies(), c.Latency)
+			return 1
+		}
+	}
+	if complete > 0 {
+		fmt.Fprintf(w, "phase tiling: exact across %d complete rep(s)\n", complete)
+	}
+	return 0
 }
 
 func printPhaseSummary(w io.Writer, tr *obs.Trace) {

@@ -96,6 +96,13 @@ type Config struct {
 	// experiments that call InjectOp directly).
 	Traffic traffic.Spec
 
+	// Collective describes a phase-structured collective workload (barrier,
+	// broadcast, all-reduce, scatter/gather) driven alongside — or, with
+	// Traffic.OpRate zero, instead of — the stochastic load. The zero value
+	// disables it. Multicast steps are realized through Scheme, so the same
+	// spec runs in hardware-multidestination or software-tree mode.
+	Collective collective.Spec
+
 	// WarmupCycles, MeasureCycles, and DrainCycles delimit the run.
 	WarmupCycles  int64
 	MeasureCycles int64
@@ -215,6 +222,25 @@ func (c *Config) normalize(net *topology.Network) error {
 	}
 	maxHeader := c.maxHeaderFlits(net)
 	maxPacket := c.maxPacketFlits(net)
+
+	if c.Collective.Enabled() {
+		if err := c.Collective.Normalize(net.N); err != nil {
+			return err
+		}
+		sched, err := collective.BuildSchedule(c.Collective, net.N, c.Scheme.Hardware())
+		if err != nil {
+			return err
+		}
+		// Software scatter/gather steps carry whole subtrees of payload;
+		// the packet bound must cover the largest of them.
+		if p := sched.MaxPayload() + maxHeader; p > maxPacket {
+			maxPacket = p
+		}
+	} else {
+		// Canonicalize every disabled spec to the zero value so stray
+		// fields cannot split the result cache.
+		c.Collective = collective.Spec{}
+	}
 
 	c.CB.InFIFOFlits = max(c.CB.InFIFOFlits, maxHeader)
 	c.CB.MaxPacketFlits = max(c.CB.MaxPacketFlits, maxPacket)

@@ -47,6 +47,9 @@ type Simulator struct {
 	backlog  int
 	drainEnd int64
 	fdrv     *faultDriver
+	// cdrv drives the configured collective workload, if any (its per-rep
+	// progress is part of a checkpoint).
+	cdrv *collectiveDriver
 
 	// userTracer and capture are composed into the engine's single tracer
 	// slot: SetTracer and Observe may both be in effect on one run.
@@ -182,6 +185,21 @@ func (s *Simulator) build() {
 		s.fdrv = newFaultDriver(s, cfg.Faults)
 		s.sim.AddComponent(s.fdrv)
 		s.sim.DeclareEventDriven(s.fdrv)
+	}
+
+	// Collective driver, event-driven like the fault driver: it sleeps on
+	// its own timetable (rep starts, post-dependency launch times) and is
+	// re-armed by op completions. The schedule is a pure function of the
+	// (normalized) configuration, so it is rebuilt — never serialized — on
+	// restore. normalize validated the build already.
+	if cfg.Collective.Enabled() {
+		sched, err := collective.BuildSchedule(cfg.Collective, s.net.N, cfg.Scheme.Hardware())
+		if err != nil {
+			panic(fmt.Sprintf("core: collective schedule invalid after normalize: %v", err))
+		}
+		s.cdrv = newCollectiveDriver(s, cfg.Collective, sched)
+		s.sim.AddComponent(s.cdrv)
+		s.sim.DeclareEventDriven(s.cdrv)
 	}
 
 	// Switches. Declaring the input links makes a switch eligible for
@@ -391,6 +409,14 @@ func (s *Simulator) opCompleted(op *flit.Op) {
 		s.sim.Emit(engine.TraceEvent{Kind: engine.TraceOpDone, Actor: "core", Op: op.ID,
 			Detail: fmt.Sprintf("latency=%d msgs=%d dropped=%d", op.LastLatency(), op.MessagesSent, op.Dropped)})
 	}
+	// Collective steps are measured by the collective driver (per-rep
+	// last-arrival and phase tiling), not as windowed class samples.
+	if s.cdrv != nil {
+		if idx, ok := s.cdrv.opStep[op.ID]; ok {
+			s.cdrv.onOpDone(idx, op, s.sim.Now)
+			return
+		}
+	}
 	if s.col.InWindow(op.Created) {
 		cc := s.col.Class(op.Class == flit.ClassMulticast)
 		cc.OpsCompleted++
@@ -451,6 +477,37 @@ func (s *Simulator) startOpScheme(scheme collective.Scheme, src int, dests []int
 	if s.sim.Tracing() {
 		s.sim.Emit(engine.TraceEvent{Kind: engine.TraceOpStart, Actor: "core", Op: op.ID,
 			Detail: fmt.Sprintf("src=%d dests=%v scheme=%v", src, dests, scheme)})
+	}
+	return op, nil
+}
+
+// startCollectiveStep injects one collective schedule step as an op at the
+// current cycle. Unlike startOpScheme it attributes nothing to the windowed
+// class collectors: collective steps are measured per rep by the driver.
+func (s *Simulator) startCollectiveStep(st collective.Step) (*flit.Op, error) {
+	now := s.sim.Now
+	class := flit.ClassUnicast
+	if st.Multicast {
+		class = flit.ClassMulticast
+	}
+	op := s.ops.New(s.ids.Next(), class, st.Src, len(st.Dests), now)
+	fac := &factory{cfg: &s.cfg, net: s.net, ids: &s.ids}
+	var msgs []*flit.Message
+	if st.Multicast {
+		var err error
+		msgs, err = collective.Plan(s.cfg.Scheme, s.net, fac, st.Src, st.Dests, st.Payload, op, now)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		op.Phases = 1
+		msgs = []*flit.Message{fac.NewMessage(st.Src, append([]int(nil), st.Dests...), class, st.Payload, op, nil, now)}
+	}
+	s.nics[st.Src].Submit(msgs...)
+	s.outstanding++
+	if s.sim.Tracing() {
+		s.sim.Emit(engine.TraceEvent{Kind: engine.TraceOpStart, Actor: "core", Op: op.ID,
+			Detail: fmt.Sprintf("src=%d dests=%v scheme=%v", st.Src, st.Dests, s.cfg.Scheme)})
 	}
 	return op, nil
 }
@@ -561,7 +618,8 @@ func (s *Simulator) RunCheckpointed(every int64, sink func(data []byte, cycle in
 	drained := false
 	if s.phase == phaseDrain {
 		pred := func() bool {
-			return s.outstanding == 0 && s.sim.Quiesced()
+			return s.outstanding == 0 && s.sim.Quiesced() &&
+				(s.cdrv == nil || s.cdrv.finished())
 		}
 		if s.cfg.DrainCycles <= 0 {
 			// Delegate to RunUntil for the identical budget-rejection error.
@@ -593,7 +651,8 @@ func (s *Simulator) RunCheckpointed(every int64, sink func(data []byte, cycle in
 	} else {
 		// Finalizing from a checkpoint taken at phaseDone (possible only
 		// through direct API use) re-evaluates the predicate.
-		drained = s.outstanding == 0 && s.sim.Quiesced()
+		drained = s.outstanding == 0 && s.sim.Quiesced() &&
+			(s.cdrv == nil || s.cdrv.finished())
 	}
 
 	maxQ := 0
@@ -638,8 +697,11 @@ func (s *Simulator) RunOp(src int, dests []int, multicast bool, payload int, bud
 // progress); exposed for fine-grained tests.
 func (s *Simulator) Step() { s.sim.Step() }
 
-// Quiesced reports whether the whole system is idle.
-func (s *Simulator) Quiesced() bool { return s.outstanding == 0 && s.sim.Quiesced() }
+// Quiesced reports whether the whole system is idle (including a configured
+// collective workload having run to completion).
+func (s *Simulator) Quiesced() bool {
+	return s.outstanding == 0 && s.sim.Quiesced() && (s.cdrv == nil || s.cdrv.finished())
+}
 
 // Drain runs with generation off until the system is idle.
 func (s *Simulator) Drain(budget int64) (bool, error) {

@@ -32,6 +32,8 @@ const (
 	// inside the section); blobs that predate it restore with every
 	// component woken, which re-derives the queue from link and timer state.
 	secEvents = "events"
+	// secCollective holds the collective driver's per-rep progress.
+	secCollective = "collective"
 )
 
 // Snapshot serializes the simulator's complete mutable state. It must be
@@ -67,6 +69,9 @@ func (s *Simulator) Snapshot() ([]byte, error) {
 	}
 	for _, n := range s.nics {
 		n.CollectState(g)
+	}
+	if s.cdrv != nil {
+		s.cdrv.CollectState(g)
 	}
 
 	w := ckpt.NewWriter()
@@ -112,6 +117,10 @@ func (s *Simulator) Snapshot() ([]byte, error) {
 		fd := w.Section(secFaults)
 		fd.Int(s.fdrv.next)
 		fd.I64(s.fdrv.activeUntil)
+	}
+
+	if s.cdrv != nil {
+		s.cdrv.EncodeState(w.Section(secCollective), g)
 	}
 
 	return w.Finish(), nil
@@ -250,6 +259,16 @@ func (s *Simulator) restoreInto(r *ckpt.Reader) error {
 		}
 	} else if r.Has(secFaults) {
 		return fmt.Errorf("%w: checkpoint has a faults section but the configuration has no fault plan", ckpt.ErrCorrupt)
+	}
+
+	if s.cdrv != nil {
+		if err := withSection(r, secCollective, func(d *ckpt.Dec) {
+			s.cdrv.DecodeState(d, g)
+		}); err != nil {
+			return err
+		}
+	} else if r.Has(secCollective) {
+		return fmt.Errorf("%w: checkpoint has a collective section but the configuration drives no collective", ckpt.ErrCorrupt)
 	}
 
 	return nil

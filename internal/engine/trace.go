@@ -29,6 +29,13 @@ const (
 	TraceGrant
 	// TraceDrop marks destinations abandoned because of an injected fault.
 	TraceDrop
+	// TraceCollStart marks the start of one collective rep.
+	TraceCollStart
+	// TraceCollPhase marks the completion of one phase of a collective rep.
+	TraceCollPhase
+	// TraceCollDone marks the completion of a collective rep (its last
+	// final-phase delivery).
+	TraceCollDone
 
 	// traceKindCount counts the kinds above; keep it last so the name table
 	// below is forced to cover every constant.
@@ -38,16 +45,19 @@ const (
 // traceKindNames is indexed by kind; a kind added without a name here yields
 // "" and is caught by the exhaustiveness test.
 var traceKindNames = [traceKindCount]string{
-	TraceOpStart: "op-start",
-	TraceOpDone:  "op-done",
-	TraceInject:  "inject",
-	TraceDeliver: "deliver",
-	TraceForward: "forward",
-	TraceDecode:  "decode",
-	TraceReserve: "reserve",
-	TraceAdmit:   "admit",
-	TraceGrant:   "grant",
-	TraceDrop:    "drop",
+	TraceOpStart:   "op-start",
+	TraceOpDone:    "op-done",
+	TraceInject:    "inject",
+	TraceDeliver:   "deliver",
+	TraceForward:   "forward",
+	TraceDecode:    "decode",
+	TraceReserve:   "reserve",
+	TraceAdmit:     "admit",
+	TraceGrant:     "grant",
+	TraceDrop:      "drop",
+	TraceCollStart: "coll-start",
+	TraceCollPhase: "coll-phase",
+	TraceCollDone:  "coll-done",
 }
 
 // String names the kind.

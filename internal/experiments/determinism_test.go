@@ -73,6 +73,21 @@ func checkpointConfig(id string) core.Config {
 		cfg.Scheme = collective.SoftwareSeparate
 	case "a11": // buffer bandwidth ablation
 		cfg.CB.PortBandwidth = 1
+	case "c1": // barrier, hardware release worm
+		cfg.Collective = collective.Spec{Kind: collective.Barrier, PayloadFlits: 1, Reps: 40, GapCycles: 15}
+	case "c2": // broadcast, software tree alongside background unicasts
+		cfg.Scheme = collective.SoftwareBinomial
+		cfg.Collective = collective.Spec{Kind: collective.Broadcast, PayloadFlits: 32, Reps: 25, GapCycles: 20}
+	case "c3": // all-reduce, combine tree with skewed arrivals
+		cfg.Collective = collective.Spec{Kind: collective.AllReduce, PayloadFlits: 8, Reps: 20, SkewCycles: 30, GapCycles: 15}
+	case "c4": // scatter on the input-buffer architecture
+		cfg.Arch = core.InputBuffer
+		cfg.Collective = collective.Spec{Kind: collective.Scatter, PayloadFlits: 6, Reps: 25, GapCycles: 15}
+	case "c5": // gather to a non-zero root, software tree
+		cfg.Scheme = collective.SoftwareBinomial
+		cfg.Collective = collective.Spec{Kind: collective.Gather, Root: 5, PayloadFlits: 6, Reps: 25, GapCycles: 15}
+	case "c6": // direct-gather all-reduce converging on the root ejection link
+		cfg.Collective = collective.Spec{Kind: collective.AllReduceGather, PayloadFlits: 4, Reps: 20, SkewCycles: 10, GapCycles: 25}
 	}
 
 	// Mid-run faults stress the fault-driver cursor and link failure state

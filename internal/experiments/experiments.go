@@ -348,8 +348,9 @@ func register(id string, r Runner) {
 }
 
 // The registry is populated here, in one place, so that definition order is
-// explicit: the paper's figures e1–e8 first, then the ablations a1–a11.
-// IDs, RunAll, and mdwbench's listing all follow this order.
+// explicit: the paper's figures e1–e8 first, then the ablations a1–a11, then
+// the collective experiments c1–c6. IDs, RunAll, and mdwbench's listing all
+// follow this order.
 func init() {
 	register("e1", E1MultipleMulticastLatency)
 	register("e2", E2MultipleMulticastThroughput)
@@ -370,10 +371,16 @@ func init() {
 	register("a9", A9Irregular)
 	register("a10", A10SyncReplication)
 	register("a11", A11BufferBandwidth)
+	register("c1", C1BarrierSize)
+	register("c2", C2BroadcastLength)
+	register("c3", C3AllReduce)
+	register("c4", C4ScatterGather)
+	register("c5", C5Skew)
+	register("c6", C6Background)
 }
 
-// IDs returns all experiment ids in definition order (e1..e8, a1..a11) —
-// the same order RunAll executes.
+// IDs returns all experiment ids in definition order (e1..e8, a1..a11,
+// c1..c6) — the same order RunAll executes.
 func IDs() []string {
 	return append([]string(nil), registryOrder...)
 }

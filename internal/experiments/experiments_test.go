@@ -8,9 +8,11 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	// Definition order: the paper's figures first, then the ablations.
+	// Definition order: the paper's figures first, then the ablations,
+	// then the collective experiments.
 	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8",
-		"a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10", "a11"}
+		"a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10", "a11",
+		"c1", "c2", "c3", "c4", "c5", "c6"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %v", ids)
 	}

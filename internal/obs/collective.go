@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"sort"
+
+	"mdworm/internal/engine"
+)
+
+// CollectiveSpan reconstructs one collective rep from its coll-start,
+// coll-phase, and coll-done trace events: when it ran, how long each phase
+// took, and whether the per-phase attribution tiles the end-to-end latency.
+type CollectiveSpan struct {
+	Rep    int
+	Kind   string
+	Steps  int
+	Phases int
+
+	// Start and End are the rep's boundary cycles; End is zero while the
+	// rep is still open at the end of the trace.
+	Start int64
+	End   int64
+	// Latency and Skew are the driver's own measurements from the done
+	// event (Latency == End-Start; Skew is the final phase's arrival
+	// spread). Degraded marks reps that lost destinations to faults.
+	Latency  int64
+	Skew     int64
+	Degraded bool
+	Done     bool
+
+	// PhaseEnd maps phase number (1-based index p+1) to its last completion
+	// cycle; -1 for phases with no completion event in the trace.
+	PhaseEnd []int64
+}
+
+// PhaseLatencies attributes the rep's latency to its phases cumulatively:
+// T_0 is the rep start and T_p = max(T_{p-1}, last completion of phase p),
+// so the returned slice sums exactly to End-Start for a complete rep.
+func (c *CollectiveSpan) PhaseLatencies() []int64 {
+	out := make([]int64, len(c.PhaseEnd))
+	t := c.Start
+	for p, end := range c.PhaseEnd {
+		if end < t {
+			end = t
+		}
+		out[p] = end - t
+		t = end
+	}
+	return out
+}
+
+// Tiles reports whether the per-phase attribution sums exactly to the
+// driver-reported end-to-end latency (it must, for every complete rep).
+func (c *CollectiveSpan) Tiles() bool {
+	if !c.Done {
+		return false
+	}
+	sum := int64(0)
+	for _, l := range c.PhaseLatencies() {
+		sum += l
+	}
+	return sum == c.Latency
+}
+
+// Collectives reconstructs every collective rep recorded in the trace, in
+// rep order.
+func (t *Trace) Collectives() []*CollectiveSpan {
+	byRep := map[int]*CollectiveSpan{}
+	get := func(rep int) *CollectiveSpan {
+		c := byRep[rep]
+		if c == nil {
+			c = &CollectiveSpan{Rep: rep}
+			byRep[rep] = c
+		}
+		return c
+	}
+	for _, e := range t.Events {
+		rep, ok := detailInt(e.Detail, "rep")
+		if !ok {
+			continue
+		}
+		switch e.Kind {
+		case engine.TraceCollStart:
+			c := get(int(rep))
+			c.Start = e.Cycle
+			if s, ok := detailString(e.Detail, "kind"); ok {
+				c.Kind = s
+			}
+			if v, ok := detailInt(e.Detail, "steps"); ok {
+				c.Steps = int(v)
+			}
+			if v, ok := detailInt(e.Detail, "phases"); ok {
+				c.Phases = int(v)
+				c.PhaseEnd = make([]int64, v)
+				for p := range c.PhaseEnd {
+					c.PhaseEnd[p] = -1
+				}
+			}
+		case engine.TraceCollPhase:
+			c := get(int(rep))
+			ph, ok := detailInt(e.Detail, "phase")
+			if !ok || ph < 1 {
+				continue
+			}
+			for int64(len(c.PhaseEnd)) < ph {
+				c.PhaseEnd = append(c.PhaseEnd, -1)
+			}
+			if end, ok := detailInt(e.Detail, "end"); ok {
+				c.PhaseEnd[ph-1] = end
+			} else {
+				c.PhaseEnd[ph-1] = e.Cycle
+			}
+		case engine.TraceCollDone:
+			c := get(int(rep))
+			c.End = e.Cycle
+			c.Done = true
+			if v, ok := detailInt(e.Detail, "latency"); ok {
+				c.Latency = v
+			}
+			if v, ok := detailInt(e.Detail, "skew"); ok {
+				c.Skew = v
+			}
+			if s, ok := detailString(e.Detail, "degraded"); ok {
+				c.Degraded = s == "true"
+			}
+		}
+	}
+	out := make([]*CollectiveSpan, 0, len(byRep))
+	for _, c := range byRep {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rep < out[j].Rep })
+	return out
+}

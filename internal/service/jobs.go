@@ -214,6 +214,39 @@ func (p *Pool) SetTenants(ts *TenantSet) {
 	p.mu.Unlock()
 }
 
+// UpdateTenants re-points the pool at a reloaded tenant table. Existing
+// queues take their tenant's new scheduling parameters in place — queued jobs
+// are never dropped or reordered. Queues of removed tenants keep draining
+// under their old parameters until idle, at which point they are deleted
+// (along with their cumulative accounting); queues of added tenants appear
+// lazily on their first submission, as always.
+func (p *Pool) UpdateTenants(ts *TenantSet) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tenants = ts
+	for _, t := range ts.Tenants() {
+		if q, ok := p.queues[t.Name]; ok {
+			q.weight = max(t.Weight, 1)
+			q.priority = t.Priority
+			q.maxQueued = t.MaxQueued
+			q.maxRunning = t.MaxRunning
+		}
+	}
+	keep := p.queueList[:0]
+	for _, q := range p.queueList {
+		// The anonymous queue is structural, not configured; it stays.
+		if q.name != "" && ts.ByName(q.name) == nil && len(q.jobs) == 0 && q.running == 0 {
+			delete(p.queues, q.name)
+			continue
+		}
+		keep = append(keep, q)
+	}
+	p.queueList = keep
+	// A raised max-running cap or priority change can make a queue
+	// dispatchable right now.
+	p.cond.Broadcast()
+}
+
 // queueFor returns (creating if needed) the tenant's queue. Caller holds the
 // lock.
 func (p *Pool) queueFor(t *Tenant) *tenantQueue {

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestPoolUpdateTenantsKeepsQueuedJobs: a tenant-table reload updates
+// scheduling parameters in place and never drops a queued job — including
+// jobs of a tenant the new table removed.
+func TestPoolUpdateTenantsKeepsQueuedJobs(t *testing.T) {
+	p := NewPool(1, 16)
+	defer p.Drain(10 * time.Second)
+	alpha := &Tenant{Key: "ka", Name: "alpha", Weight: 1, MaxQueued: 4}
+	beta := &Tenant{Key: "kb", Name: "beta", Weight: 1}
+
+	gate := make(chan struct{})
+	noop := func() (JobStats, error) { return JobStats{}, nil }
+	var jobs []*Job
+	blocker, err := p.SubmitTenant("run", "blocker", alpha, func() (JobStats, error) {
+		<-gate
+		return JobStats{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs = append(jobs, blocker)
+	// With the lone worker pinned, everything below stays queued.
+	for i := 0; i < 3; i++ {
+		j, err := p.SubmitTenant("run", "queued-alpha", alpha, noop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	bj, err := p.SubmitTenant("run", "queued-beta", beta, noop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs = append(jobs, bj)
+
+	// Reload: alpha's weight and quota change, beta disappears, gamma is new.
+	ts, err := ParseTenants([]byte("ka alpha 5 max-queued=8 priority=2\nkc gamma 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.UpdateTenants(ts)
+
+	if got := len(p.List()); got != len(jobs) {
+		t.Fatalf("reload dropped jobs: %d listed, want %d", got, len(jobs))
+	}
+	var alphaStat *TenantStat
+	for _, st := range p.TenantStats() {
+		st := st
+		if st.Name == "alpha" {
+			alphaStat = &st
+		}
+	}
+	if alphaStat == nil || alphaStat.Weight != 5 || alphaStat.Priority != 2 {
+		t.Fatalf("alpha queue did not take new parameters: %+v", alphaStat)
+	}
+
+	close(gate)
+	for _, j := range jobs {
+		select {
+		case <-j.Done():
+		case <-time.After(10 * time.Second):
+			t.Fatalf("job %s (%s) never finished after reload", j.ID, j.Detail)
+		}
+	}
+	for _, j := range jobs {
+		if v, ok := p.Get(j.ID); !ok || v.State != JobDone {
+			t.Fatalf("job %s ended %v, want done", j.ID, v.State)
+		}
+	}
+
+	// Beta's queue outlived the reload to drain its backlog; the next reload
+	// finds it idle and unconfigured and garbage-collects it.
+	p.UpdateTenants(ts)
+	for _, st := range p.TenantStats() {
+		if st.Name == "beta" {
+			t.Fatalf("removed tenant's idle queue survived reload: %+v", st)
+		}
+	}
+}
+
+// TestServerReloadTenants: after ReloadTenants, new keys authenticate, a
+// removed key is rejected, and degenerate reloads (empty table, enabling
+// tenants on a single-tenant daemon) are refused.
+func TestServerReloadTenants(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, Tenants: testTenants(t)})
+
+	// Old table: key-a in, key-z out.
+	if resp, _ := authedDo(t, http.MethodGet, ts.URL+"/v1/jobs", "key-a", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("key-a before reload: %d", resp.StatusCode)
+	}
+	if resp, _ := authedDo(t, http.MethodGet, ts.URL+"/v1/jobs", "key-z", ""); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("key-z before reload: %d", resp.StatusCode)
+	}
+
+	next, err := ParseTenants([]byte("key-z zeta 3\nkey-a alpha 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReloadTenants(next); err != nil {
+		t.Fatal(err)
+	}
+
+	// New table: key-z now works, removed key-b does not, key-a survives.
+	if resp, _ := authedDo(t, http.MethodGet, ts.URL+"/v1/jobs", "key-z", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("key-z after reload: %d", resp.StatusCode)
+	}
+	if resp, body := authedDo(t, http.MethodGet, ts.URL+"/v1/jobs", "key-b", ""); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("removed key-b after reload: %d (%s)", resp.StatusCode, body)
+	}
+	if resp, _ := authedDo(t, http.MethodGet, ts.URL+"/v1/jobs", "key-a", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("key-a after reload: %d", resp.StatusCode)
+	}
+
+	if err := s.ReloadTenants(nil); err == nil {
+		t.Fatal("reload accepted a nil table")
+	}
+
+	single, sts := newTestServer(t, Config{Workers: 1})
+	defer sts.Close()
+	if err := single.ReloadTenants(next); err == nil {
+		t.Fatal("single-tenant daemon accepted a tenant reload")
+	}
+}

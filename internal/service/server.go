@@ -84,6 +84,40 @@ type Server struct {
 	// results are content-addressed and shared).
 	tcMu   sync.Mutex
 	tcache map[string]*tenantCacheStats
+
+	// tenMu guards ten, the live tenant table. It starts as cfg.Tenants and
+	// is swapped whole by ReloadTenants (SIGHUP); requests resolve keys
+	// against whichever table was live when they arrived.
+	tenMu sync.RWMutex
+	ten   *TenantSet
+}
+
+// tenants returns the live tenant table (nil in single-tenant mode).
+func (s *Server) tenants() *TenantSet {
+	s.tenMu.RLock()
+	defer s.tenMu.RUnlock()
+	return s.ten
+}
+
+// ReloadTenants atomically replaces the tenant table with a reloaded one:
+// new keys authenticate immediately, removed keys stop authenticating,
+// and existing queues take their new weights, priorities, and quotas in
+// place without dropping a single queued job. Multi-tenant mode itself is
+// fixed at startup — a daemon started without tenants cannot gain them (nor
+// vice versa), because flipping auth on or off under live clients is never
+// what a reload means.
+func (s *Server) ReloadTenants(ts *TenantSet) error {
+	if ts == nil || len(ts.Tenants()) == 0 {
+		return fmt.Errorf("service: refusing to reload an empty tenant table")
+	}
+	s.tenMu.Lock()
+	defer s.tenMu.Unlock()
+	if s.ten == nil {
+		return fmt.Errorf("service: daemon started single-tenant; cannot enable tenants at runtime")
+	}
+	s.ten = ts
+	s.pool.UpdateTenants(ts)
+	return nil
 }
 
 // tenantCacheStats counts one tenant's result-cache outcomes.
@@ -111,6 +145,7 @@ func New(cfg Config) (*Server, error) {
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
 		tcache: make(map[string]*tenantCacheStats),
+		ten:    cfg.Tenants,
 	}
 	s.pool.SetDeadline(cfg.JobDeadline)
 	s.pool.SetTenants(cfg.Tenants)
@@ -192,7 +227,8 @@ func (s *Server) writeRejected(w http.ResponseWriter, err error, t *Tenant) {
 // rejected with a structured 401 (the response is already written when ok is
 // false).
 func (s *Server) tenantFor(w http.ResponseWriter, r *http.Request) (t *Tenant, ok bool) {
-	if s.cfg.Tenants == nil {
+	ts := s.tenants()
+	if ts == nil {
 		return anonymous, true
 	}
 	h := r.Header.Get("Authorization")
@@ -206,7 +242,7 @@ func (s *Server) tenantFor(w http.ResponseWriter, r *http.Request) (t *Tenant, o
 		s.writeUnauthorized(w, `malformed Authorization header (want "Bearer <key>")`)
 		return nil, false
 	}
-	t = s.cfg.Tenants.LookupKey(key)
+	t = ts.LookupKey(key)
 	if t == nil {
 		s.writeUnauthorized(w, "unknown API key")
 		return nil, false
@@ -222,7 +258,7 @@ func (s *Server) writeUnauthorized(w http.ResponseWriter, msg string) {
 // tenantCacheHit records one tenant's result-cache outcome (multi-tenant
 // mode only; the cache itself is shared and content-addressed).
 func (s *Server) tenantCacheHit(t *Tenant, hit bool) {
-	if s.cfg.Tenants == nil {
+	if s.tenants() == nil {
 		return
 	}
 	s.tcMu.Lock()
@@ -747,7 +783,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	views := s.pool.List()
-	if s.cfg.Tenants != nil {
+	if s.tenants() != nil {
 		// Multi-tenant mode scopes the listing: a tenant sees its own jobs
 		// only.
 		views = s.pool.ListTenant(tn.Name)
@@ -762,7 +798,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v, found := s.pool.Get(r.PathValue("id"))
-	if !found || (s.cfg.Tenants != nil && v.Tenant != tn.Name) {
+	if !found || (s.tenants() != nil && v.Tenant != tn.Name) {
 		// Another tenant's job is indistinguishable from a nonexistent one:
 		// job ids are sequential, and existence alone leaks traffic shape.
 		writeErr(w, http.StatusNotFound, apiError{Code: "unknown_job",
@@ -870,7 +906,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	// The mdwd_tenant_* families exist only in multi-tenant mode, keeping
 	// the single-tenant exposition byte-compatible with older daemons.
-	if s.cfg.Tenants != nil {
+	if s.tenants() != nil {
 		s.writeTenantMetrics(p)
 	}
 }
@@ -883,7 +919,7 @@ func (s *Server) writeTenantMetrics(p *obs.PromWriter) {
 	for _, st := range s.pool.TenantStats() {
 		byName[st.Name] = st
 	}
-	tenants := s.cfg.Tenants.Tenants()
+	tenants := s.tenants().Tenants()
 	sample := func(get func(t *Tenant, st TenantStat) float64) []obs.LabeledSample {
 		out := make([]obs.LabeledSample, 0, len(tenants))
 		for _, t := range tenants {

@@ -16,6 +16,7 @@ func (c *Collector) EncodeState(e *ckpt.Enc) {
 	e.I64(c.OpsDegraded)
 	e.I64(c.DestsDropped)
 	e.I64(c.OpsDropped)
+	encodeCollective(e, &c.Coll)
 }
 
 // DecodeState restores the collector.
@@ -28,6 +29,52 @@ func (c *Collector) DecodeState(d *ckpt.Dec) {
 	c.OpsDegraded = d.I64()
 	c.DestsDropped = d.I64()
 	c.OpsDropped = d.I64()
+	// Blobs that predate the collective collector end here; they restore
+	// with an inactive collector, matching their configurations (which
+	// cannot describe a collective workload).
+	if d.Err() == nil && d.Remaining() > 0 {
+		decodeCollective(d, &c.Coll)
+	}
+}
+
+func encodeCollective(e *ckpt.Enc, cc *CollectiveCollector) {
+	e.Bool(cc.Active)
+	e.String(cc.Kind)
+	e.Int(cc.NumPhases)
+	e.I64(cc.Started)
+	e.I64(cc.Completed)
+	e.I64(cc.Degraded)
+	encodeFloats(e, cc.LastArrival)
+	encodeFloats(e, cc.Skew)
+	e.Int(len(cc.Phases))
+	for _, ph := range cc.Phases {
+		encodeFloats(e, ph)
+	}
+}
+
+func decodeCollective(d *ckpt.Dec, cc *CollectiveCollector) {
+	cc.Active = d.Bool()
+	cc.Kind = d.String()
+	cc.NumPhases = d.Int()
+	cc.Started = d.I64()
+	cc.Completed = d.I64()
+	cc.Degraded = d.I64()
+	cc.LastArrival = decodeFloats(d)
+	cc.Skew = decodeFloats(d)
+	n := d.Count(1)
+	if d.Err() != nil {
+		return
+	}
+	if n != cc.NumPhases {
+		d.Fail("collective phase sample count %d != %d phases", n, cc.NumPhases)
+		return
+	}
+	if n > 0 {
+		cc.Phases = make([][]float64, n)
+		for i := range cc.Phases {
+			cc.Phases[i] = decodeFloats(d)
+		}
+	}
 }
 
 func encodeClass(e *ckpt.Enc, cc *ClassCollector) {

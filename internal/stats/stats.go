@@ -122,6 +122,33 @@ type ClassCollector struct {
 	DeliveredPayloadFlits int64
 }
 
+// CollectiveCollector accumulates per-rep measurements of a phase-structured
+// collective workload (barrier, broadcast, ...). Degraded reps (any step lost
+// destinations to a fault) complete but yield no latency samples. Per-phase
+// samples tile exactly: for every healthy rep the per-phase latencies sum to
+// the rep's end-to-end last-arrival latency.
+type CollectiveCollector struct {
+	// Active marks a run with a collective workload; Kind and NumPhases
+	// describe its schedule.
+	Active    bool
+	Kind      string
+	NumPhases int
+
+	Started   int64 // reps begun
+	Completed int64 // reps whose every step finished
+	Degraded  int64 // completed reps that lost destinations to faults
+
+	// LastArrival is the rep's end-to-end latency: rep start to the last
+	// delivery of the final phase. Skew is the arrival spread across the
+	// destinations of the final phase (release/broadcast fan-out).
+	LastArrival []float64
+	Skew        []float64
+	// Phases[p] holds per-rep latencies attributed to phase p+1, defined
+	// cumulatively (T_p = max(T_{p-1}, last completion of phase p+1)) so
+	// they tile LastArrival exactly.
+	Phases [][]float64
+}
+
 // Collector gathers everything a run reports.
 type Collector struct {
 	// WarmupEnd and MeasureEnd delimit the measurement window in cycles;
@@ -131,6 +158,9 @@ type Collector struct {
 
 	Unicast   ClassCollector
 	Multicast ClassCollector
+
+	// Coll accumulates the collective workload, when one is configured.
+	Coll CollectiveCollector
 
 	// DeliveredFlits counts every flit arriving at a NIC in the window
 	// (headers included), for raw network throughput.
@@ -174,6 +204,24 @@ type ClassResults struct {
 	DeliveredPayloadPerNodeCycle float64
 }
 
+// CollectiveResults summarizes a run's collective workload.
+type CollectiveResults struct {
+	// Kind names the collective (barrier, broadcast, all-reduce, ...).
+	Kind string
+	// Started, Completed, and Degraded count reps (degraded reps finished
+	// but lost destinations to faults and yield no latency samples).
+	Started   int64
+	Completed int64
+	Degraded  int64
+	// LastArrival is the end-to-end per-rep latency; Skew the arrival
+	// spread across the final phase's destinations.
+	LastArrival Summary
+	Skew        Summary
+	// Phases holds per-phase latency summaries; for every rep the phase
+	// samples sum exactly to that rep's LastArrival sample.
+	Phases []Summary
+}
+
 // Results is the full outcome of a run.
 type Results struct {
 	Cycles    int64 // measurement window length
@@ -191,6 +239,9 @@ type Results struct {
 	// DrainCycles is how long the post-measurement drain took (0 if the
 	// run was cut off instead of drained).
 	DrainCycles int64
+
+	// Collective summarizes the collective workload, if one was configured.
+	Collective *CollectiveResults `json:",omitempty"`
 
 	// Fault-degradation and verification outcome of the run. Degraded ops
 	// completed with some destinations accounted as dropped (they yield no
@@ -230,6 +281,21 @@ func (c *Collector) Finalize(n int, maxSendQueue int) Results {
 	}
 	r.Unicast = class(&c.Unicast)
 	r.Multicast = class(&c.Multicast)
+	if c.Coll.Active {
+		cr := &CollectiveResults{
+			Kind:        c.Coll.Kind,
+			Started:     c.Coll.Started,
+			Completed:   c.Coll.Completed,
+			Degraded:    c.Coll.Degraded,
+			LastArrival: Summarize(c.Coll.LastArrival),
+			Skew:        Summarize(c.Coll.Skew),
+			Phases:      make([]Summary, len(c.Coll.Phases)),
+		}
+		for p, samples := range c.Coll.Phases {
+			cr.Phases[p] = Summarize(samples)
+		}
+		r.Collective = cr
+	}
 	if w > 0 {
 		r.DeliveredFlitsPerNodeCycle = float64(c.DeliveredFlits) / w / float64(n)
 	}

@@ -132,3 +132,21 @@ func pickOther(rng *engine.RNG, n, self int) int {
 	}
 	return d
 }
+
+// Skew deterministically staggers the entry of collective participants: a
+// stateless function of (seed, rep, node), so checkpoints need not carry it
+// and any replica computes the identical stagger. At returns a delay in
+// [0, Max] cycles; a zero or negative Max disables skew entirely.
+type Skew struct {
+	Seed uint64
+	Max  int64
+}
+
+// At returns the entry delay of the node in the given rep.
+func (k Skew) At(rep, node int) int64 {
+	if k.Max <= 0 {
+		return 0
+	}
+	rng := engine.NewRNG(k.Seed).Fork(uint64(rep)).Fork(uint64(node))
+	return int64(rng.Uint64() % uint64(k.Max+1))
+}

@@ -104,6 +104,40 @@ const (
 	SoftwareSeparate = collective.SoftwareSeparate
 )
 
+// CollectiveSpec describes a phase-structured collective workload driven
+// alongside (or instead of) stochastic traffic; set it on Config.Collective.
+// The zero value disables the driver.
+type CollectiveSpec = collective.Spec
+
+// CollectiveKind selects which collective a CollectiveSpec runs.
+type CollectiveKind = collective.Kind
+
+// Collective kinds.
+const (
+	// CollectiveBarrier combines single-flit tokens up a binomial tree and
+	// releases with one multidestination worm (hw) or a unicast tree (sw).
+	CollectiveBarrier = collective.Barrier
+	// CollectiveBroadcast moves one payload from the root to all.
+	CollectiveBroadcast = collective.Broadcast
+	// CollectiveAllReduce reduces up a combine tree, then broadcasts.
+	CollectiveAllReduce = collective.AllReduce
+	// CollectiveAllReduceGather reduces by direct gather worms converging on
+	// the root, then broadcasts.
+	CollectiveAllReduceGather = collective.AllReduceGather
+	// CollectiveScatter distributes personalized payloads from the root.
+	CollectiveScatter = collective.Scatter
+	// CollectiveGather collects personalized payloads at the root.
+	CollectiveGather = collective.Gather
+)
+
+// CollectiveKinds lists every collective kind name in declaration order.
+func CollectiveKinds() []string { return collective.Kinds() }
+
+// ParseCollectiveKind parses a kind name as printed by CollectiveKind.String
+// ("barrier", "broadcast", "all-reduce", "all-reduce-gather", "scatter",
+// "gather").
+func ParseCollectiveKind(s string) (CollectiveKind, error) { return collective.ParseKind(s) }
+
 // Up-port selection policies.
 const (
 	// UpHash spreads messages across parents by hashing message identity.
@@ -224,8 +258,8 @@ type ExperimentOptions = experiments.Options
 type SweepStats = experiments.SweepStats
 
 // ExperimentIDs lists the available experiment identifiers in definition
-// order: e1..e8 for the paper's figures and tables, then a1..a11 for the
-// design-choice ablations.
+// order: e1..e8 for the paper's figures and tables, a1..a11 for the
+// design-choice ablations, then c1..c6 for the collective experiments.
 func ExperimentIDs() []string { return experiments.IDs() }
 
 // RunExperiment reproduces one experiment by id.

@@ -58,7 +58,7 @@ func TestPublicSchemesAndArchs(t *testing.T) {
 
 func TestPublicExperimentList(t *testing.T) {
 	ids := mdworm.ExperimentIDs()
-	if len(ids) != 19 {
+	if len(ids) != 25 {
 		t.Fatalf("experiment ids: %v", ids)
 	}
 	tab, err := mdworm.RunExperiment("e8", mdworm.ExperimentOptions{Quick: true, Seed: 1})
