@@ -311,25 +311,14 @@ type remoteOpts struct {
 // runRemote drives each experiment on an mdwd daemon via POST /v1/experiment,
 // consuming the chunked JSON-lines stream: point events go to stderr under
 // -v, rendered tables to stdout, and the done event carries the batch cost.
+// A stream cut mid-sweep (daemon restart, network fault) is resumed: the
+// reconnect carries the stream token from the start event and the highest
+// delivered seq as the cursor, so no completed point is re-delivered.
 func runRemote(ctx context.Context, base string, ids []string, o remoteOpts, stdout, stderr io.Writer) (points int, cycles int64, wall float64, err error) {
 	base = strings.TrimRight(base, "/")
 	client := &http.Client{} // no timeout: experiments stream for minutes
 	for _, id := range ids {
-		reqBody, err := json.Marshal(service.ExperimentRequest{
-			ID: id, Quick: o.Quick, Seed: o.Seed, Workers: o.Workers,
-		})
-		if err != nil {
-			return points, cycles, wall, err
-		}
-		resp, err := postWithRetry(ctx, client, base+"/v1/experiment", string(reqBody), o.APIKey, o.Retries, o.Verbose, stderr)
-		if err != nil {
-			if ctx.Err() != nil {
-				return points, cycles, wall, ctx.Err()
-			}
-			return points, cycles, wall, fmt.Errorf("%s: %w", id, err)
-		}
-		p, c, w, err := consumeStream(resp, id, o.Verbose, stdout, stderr)
-		resp.Body.Close()
+		p, c, w, err := runExperiment(ctx, client, base, id, o, stdout, stderr)
 		if err != nil {
 			if ctx.Err() != nil {
 				return points, cycles, wall, ctx.Err()
@@ -341,6 +330,53 @@ func runRemote(ctx context.Context, base string, ids []string, o remoteOpts, std
 		wall += w
 	}
 	return points, cycles, wall, nil
+}
+
+// runExperiment streams one experiment to its done event, reconnecting with
+// the resume cursor when the stream is cut or the daemon reports a retryable
+// error. Reconnect backoff doubles from 1s, capped at a minute, jittered,
+// and honors ctx cancellation.
+func runExperiment(ctx context.Context, client *http.Client, base, id string, o remoteOpts, stdout, stderr io.Writer) (points int, cycles int64, wall float64, err error) {
+	req := service.ExperimentRequest{ID: id, Quick: o.Quick, Seed: o.Seed, Workers: o.Workers}
+	backoff := time.Second
+	for resumes := 0; ; resumes++ {
+		reqBody, err := json.Marshal(req)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		resp, err := postWithRetry(ctx, client, base+"/v1/experiment", string(reqBody), o.APIKey, o.Retries, o.Verbose, stderr)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("%s: %w", id, err)
+		}
+		st := consumeStream(resp, id, &req, o.Verbose, stdout, stderr)
+		resp.Body.Close()
+		if st.done {
+			return st.points, st.cycles, st.wall, nil
+		}
+		// Resume only when it can help: the interruption must be transient,
+		// the server must have issued a stream token, and the attempt budget
+		// must not be spent.
+		if !st.retryable || req.Stream == "" || resumes >= o.Retries || ctx.Err() != nil {
+			if st.err == nil {
+				st.err = fmt.Errorf("%s: stream ended without a done event", id)
+			}
+			return 0, 0, 0, st.err
+		}
+		wait := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		if o.Verbose {
+			fmt.Fprintf(stderr, "mdwbench: %s: stream interrupted (%v), resuming after seq %d in %s (attempt %d/%d)\n",
+				id, st.err, req.AfterSeq, wait.Round(time.Millisecond), resumes+1, o.Retries)
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return 0, 0, 0, ctx.Err()
+		}
+		backoff *= 2
+		if backoff > time.Minute {
+			backoff = time.Minute
+		}
+	}
 }
 
 // postWithRetry posts body to url, retrying an unreachable daemon
@@ -367,12 +403,7 @@ func postWithRetry(ctx context.Context, client *http.Client, url, body, apiKey s
 			}
 			wait = backoff
 		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
-			wait = backoff
-			if ra := resp.Header.Get("Retry-After"); ra != "" {
-				if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
-					wait = time.Duration(secs) * time.Second
-				}
-			}
+			wait = retryWait(resp.Header.Get("Retry-After"), backoff)
 			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 			resp.Body.Close()
 		default:
@@ -403,15 +434,44 @@ func postWithRetry(ctx context.Context, client *http.Client, url, body, apiKey s
 	}
 }
 
-// consumeStream reads one /v1/experiment JSON-lines response to completion.
-func consumeStream(resp *http.Response, id string, verbose bool, stdout, stderr io.Writer) (points int, cycles int64, wall float64, err error) {
+// retryWait picks the pause before a retry: the server's Retry-After hint
+// when present, otherwise the client's own backoff — either way capped at a
+// minute, so a confused (or hostile) server cannot park the client for an
+// hour.
+func retryWait(retryAfter string, backoff time.Duration) time.Duration {
+	wait := backoff
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+			wait = time.Duration(secs) * time.Second
+		}
+	}
+	return min(wait, time.Minute)
+}
+
+// streamState is one consumeStream outcome: either done (the stream reached
+// its done event, stats valid), or interrupted (retryable says whether a
+// reconnect with the updated cursor in req can finish the job).
+type streamState struct {
+	points    int
+	cycles    int64
+	wall      float64
+	done      bool
+	retryable bool
+	err       error
+}
+
+// consumeStream reads one /v1/experiment JSON-lines response, advancing the
+// resume cursor in req as events arrive: the start event's stream token and
+// each point's seq are recorded before the event is acted on, so a cut at
+// any byte resumes without re-delivering a consumed point.
+func consumeStream(resp *http.Response, id string, req *service.ExperimentRequest, verbose bool, stdout, stderr io.Writer) streamState {
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return 0, 0, 0, fmt.Errorf("%s: daemon returned %s: %s", id, resp.Status, strings.TrimSpace(string(body)))
+		return streamState{err: fmt.Errorf("%s: daemon returned %s: %s", id, resp.Status, strings.TrimSpace(string(body)))}
 	}
+	var st streamState
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024) // tables are one line each
-	done := false
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
@@ -419,14 +479,22 @@ func consumeStream(resp *http.Response, id string, verbose bool, stdout, stderr 
 		}
 		var ev service.StreamEvent
 		if err := json.Unmarshal([]byte(line), &ev); err != nil {
-			return points, cycles, wall, fmt.Errorf("%s: bad stream line %q: %w", id, line, err)
+			st.err = fmt.Errorf("%s: bad stream line %q: %w", id, line, err)
+			st.retryable = true // a truncated line is a cut connection
+			return st
 		}
 		switch ev.Type {
 		case "start":
+			if ev.Stream != "" {
+				req.Stream = ev.Stream
+			}
 			if verbose {
 				fmt.Fprintf(stderr, "%s: job %s started\n", id, ev.Job)
 			}
 		case "point":
+			if ev.Seq > req.AfterSeq {
+				req.AfterSeq = ev.Seq
+			}
 			if verbose {
 				if ev.Err != "" {
 					fmt.Fprintf(stderr, "%s: ERROR: %s\n", ev.Tag, ev.Err)
@@ -439,19 +507,21 @@ func consumeStream(resp *http.Response, id string, verbose bool, stdout, stderr 
 			fmt.Fprint(stdout, ev.Text)
 			fmt.Fprintln(stdout)
 		case "done":
-			points, cycles, wall = ev.Points, ev.Cycles, ev.WallSeconds
-			done = true
+			st.points, st.cycles, st.wall = ev.Points, ev.Cycles, ev.WallSeconds
+			st.done = true
 		case "error":
-			return points, cycles, wall, fmt.Errorf("%s: daemon: %s", id, ev.Err)
+			st.err = fmt.Errorf("%s: daemon: %s", id, ev.Err)
+			st.retryable = ev.Retryable
+			return st
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return points, cycles, wall, fmt.Errorf("%s: stream: %w", id, err)
+		st.err = fmt.Errorf("%s: stream: %w", id, err)
+		st.retryable = !st.done
+	} else if !st.done {
+		st.retryable = true // clean EOF mid-stream: the server went away
 	}
-	if !done {
-		return points, cycles, wall, fmt.Errorf("%s: stream ended without a done event", id)
-	}
-	return points, cycles, wall, nil
+	return st
 }
 
 // expFamily names the family an experiment id belongs to, by its registry

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mdworm/internal/service"
+)
+
+func TestRetryWaitCapsHint(t *testing.T) {
+	cases := []struct {
+		ra      string
+		backoff time.Duration
+		want    time.Duration
+	}{
+		{"", 2 * time.Second, 2 * time.Second},
+		{"3", time.Second, 3 * time.Second},
+		{"3600", time.Second, time.Minute}, // hostile hint capped
+		{"", 5 * time.Minute, time.Minute}, // runaway backoff capped
+		{"garbage", 2 * time.Second, 2 * time.Second},
+		{"-5", 2 * time.Second, 2 * time.Second},
+	}
+	for _, c := range cases {
+		if got := retryWait(c.ra, c.backoff); got != c.want {
+			t.Errorf("retryWait(%q, %s) = %s, want %s", c.ra, c.backoff, got, c.want)
+		}
+	}
+}
+
+// flakyDaemon fakes an mdwd /v1/experiment endpoint that cuts the stream
+// after two points on the first connection, then serves the remainder on a
+// resumed connection — recording every request so the test can verify the
+// client's cursor.
+type flakyDaemon struct {
+	mu       sync.Mutex
+	requests []service.ExperimentRequest
+}
+
+const flakyToken = "00112233445566778899aabbccddeeff"
+
+func (d *flakyDaemon) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var req service.ExperimentRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	d.mu.Lock()
+	d.requests = append(d.requests, req)
+	n := len(d.requests)
+	d.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	fl := w.(http.Flusher)
+	emit := func(ev service.StreamEvent) {
+		enc.Encode(ev)
+		fl.Flush()
+	}
+	point := func(seq int64) service.StreamEvent {
+		return service.StreamEvent{Type: "point", Seq: seq, Tag: fmt.Sprintf("p%d", seq), X: float64(seq)}
+	}
+	emit(service.StreamEvent{Type: "start", ID: req.ID, Stream: flakyToken, Job: "j1"})
+	if n == 1 {
+		// First connection: two points, then the connection dies mid-stream.
+		emit(point(1))
+		emit(point(2))
+		panic(http.ErrAbortHandler)
+	}
+	// Resumed connection: only what the cursor asks for.
+	for seq := req.AfterSeq + 1; seq <= 4; seq++ {
+		emit(point(seq))
+	}
+	emit(service.StreamEvent{Type: "table", ID: req.ID, Text: "TABLE"})
+	emit(service.StreamEvent{Type: "done", ID: req.ID, Points: 4, Cycles: 100, WallSeconds: 0.1})
+}
+
+// TestStreamResumeNoDuplicates: a stream cut mid-sweep reconnects with the
+// stream token and the last delivered seq, and the union of both connections
+// delivers every point exactly once.
+func TestStreamResumeNoDuplicates(t *testing.T) {
+	d := &flakyDaemon{}
+	ts := httptest.NewServer(d)
+	defer ts.Close()
+
+	var stdout, stderr bytes.Buffer
+	o := remoteOpts{Retries: 3, Verbose: true}
+	client := &http.Client{}
+	points, cycles, _, err := runExperiment(context.Background(), client, ts.URL, "e1", o, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("runExperiment: %v\nstderr: %s", err, stderr.String())
+	}
+	if points != 4 || cycles != 100 {
+		t.Fatalf("done stats: points=%d cycles=%d, want 4/100", points, cycles)
+	}
+
+	d.mu.Lock()
+	reqs := append([]service.ExperimentRequest(nil), d.requests...)
+	d.mu.Unlock()
+	if len(reqs) != 2 {
+		t.Fatalf("daemon saw %d requests, want 2 (initial + resume)", len(reqs))
+	}
+	if reqs[0].Stream != "" || reqs[0].AfterSeq != 0 {
+		t.Fatalf("first request carried a cursor: %+v", reqs[0])
+	}
+	if reqs[1].Stream != flakyToken {
+		t.Fatalf("resume request stream = %q, want the token from the start event", reqs[1].Stream)
+	}
+	if reqs[1].AfterSeq != 2 {
+		t.Fatalf("resume request after_seq = %d, want 2 (last delivered point)", reqs[1].AfterSeq)
+	}
+
+	// Every point was printed to -v stderr exactly once.
+	for seq := 1; seq <= 4; seq++ {
+		tag := fmt.Sprintf("p%d:", seq)
+		if got := strings.Count(stderr.String(), tag); got != 1 {
+			t.Errorf("point p%d delivered %d times, want exactly once\nstderr: %s", seq, got, stderr.String())
+		}
+	}
+	if !strings.Contains(stdout.String(), "TABLE") {
+		t.Errorf("tables missing from stdout: %q", stdout.String())
+	}
+}
+
+// TestStreamResumeHonorsContext: cancellation during the reconnect backoff
+// returns promptly instead of sleeping out the window.
+func TestStreamResumeHonorsContext(t *testing.T) {
+	// Every connection dies after the start event, so the client loops.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		json.NewEncoder(w).Encode(service.StreamEvent{Type: "start", ID: "e1", Stream: flakyToken})
+		w.(http.Flusher).Flush()
+		panic(http.ErrAbortHandler)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		cancel()
+	}()
+	var stdout, stderr bytes.Buffer
+	start := time.Now()
+	_, _, _, err := runExperiment(ctx, &http.Client{}, ts.URL, "e1", remoteOpts{Retries: 10}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("canceled resume loop returned nil error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %s to take effect", elapsed)
+	}
+}
+
+// TestStreamNonRetryableErrorStops: a terminal error event (retryable=false)
+// fails immediately without burning the resume budget.
+func TestStreamNonRetryableErrorStops(t *testing.T) {
+	var hits int
+	var mu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits++
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		enc.Encode(service.StreamEvent{Type: "start", ID: "e1", Stream: flakyToken})
+		enc.Encode(service.StreamEvent{Type: "error", ID: "e1", Err: "bad config", Retryable: false})
+	}))
+	defer ts.Close()
+
+	var stdout, stderr bytes.Buffer
+	_, _, _, err := runExperiment(context.Background(), &http.Client{}, ts.URL, "e1", remoteOpts{Retries: 5}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "bad config") {
+		t.Fatalf("err = %v, want the daemon's terminal error", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hits != 1 {
+		t.Fatalf("daemon hit %d times, want 1 (no retry on a non-retryable error)", hits)
+	}
+}

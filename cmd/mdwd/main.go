@@ -46,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"mdworm/internal/chaos"
 	"mdworm/internal/cluster"
 	"mdworm/internal/service"
 )
@@ -88,6 +89,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		advertise   = fs.String("advertise", "", "base URL the coordinator should dial this worker at (default http://127.0.0.1:<port>)")
 		heartbeat   = fs.Duration("heartbeat", time.Second, "peer health-probe and join-announce period")
 		hedgeAfter  = fs.Duration("hedge-after", 0, "coordinator: race one extra attempt for a shard still unresolved after this long (0 = off)")
+
+		chaosSpec   = fs.String("chaos", "", `inject seeded network faults: semicolon-separated "kind@at[+dur]:target[*param]" events (kinds: latency, partition, drop, slow-close, corrupt; target: label, "a-b" pair, or "*")`)
+		chaosSeed   = fs.Int64("chaos-seed", 1, "seed for chaos fault decisions and breaker jitter (same seed = same schedule)")
+		chaosLabel  = fs.String("chaos-label", "", `this node's label in -chaos targets (default "coordinator" or "worker"; a coordinator labels its -peers "worker1".."workerN" in order)`)
+		deadlineCPS = fs.Float64("deadline-cycles-per-sec", 0, "convert a client deadline_ms into a deterministic simulated-cycle budget at this rate (0 = deadlines only bound the wall-clock wait)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -104,6 +110,24 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	if *workerKey != "" && !*coordinator {
 		fmt.Fprintln(stderr, "mdwd: -worker-key only applies to -coordinator (workers accept keys via -tenants)")
 		return 2
+	}
+
+	var inj *chaos.Injector
+	if *chaosSpec != "" {
+		label := *chaosLabel
+		if label == "" {
+			if *coordinator {
+				label = "coordinator"
+			} else {
+				label = "worker"
+			}
+		}
+		in, err := chaos.NewFromSpec(*chaosSpec, *chaosSeed, label)
+		if err != nil {
+			fmt.Fprintln(stderr, "mdwd:", err)
+			return 2
+		}
+		inj = in
 	}
 
 	var tenants *service.TenantSet
@@ -127,6 +151,21 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 				peerList = append(peerList, p)
 			}
 		}
+		// Under -chaos, the coordinator's outbound transport is the fault
+		// surface: its -peers are labeled worker1..workerN in flag order, so
+		// specs like "partition@1s+3s:coordinator-worker1" name real links.
+		var transport http.RoundTripper
+		if inj != nil {
+			byHost := make(map[string]string, len(peerList))
+			for i, p := range peerList {
+				if u := strings.TrimPrefix(strings.TrimPrefix(p, "http://"), "https://"); u != "" {
+					byHost[u] = fmt.Sprintf("worker%d", i+1)
+				}
+			}
+			transport = inj.Transport(nil, func(r *http.Request) string {
+				return byHost[r.URL.Host]
+			})
+		}
 		coord, err := cluster.New(cluster.Config{
 			Peers:           peerList,
 			CacheDir:        *cacheDir,
@@ -136,6 +175,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			JournalMaxBytes: *journalMax,
 			Tenants:         tenants,
 			WorkerKey:       *workerKey,
+			Transport:       transport,
+			Seed:            *chaosSeed,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "mdwd:", err)
@@ -146,16 +187,17 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		mode = fmt.Sprintf("coordinator, peers=%d", len(peerList))
 	} else {
 		s, err := service.New(service.Config{
-			Workers:         *workers,
-			Backlog:         *backlog,
-			CacheEntries:    *cacheEntries,
-			CacheDir:        *cacheDir,
-			MaxCycles:       *maxCycles,
-			RunTimeout:      *runTimeout,
-			CheckpointEvery: *ckptEvery,
-			JobDeadline:     *jobDeadline,
-			JournalMaxBytes: *journalMax,
-			Tenants:         tenants,
+			Workers:              *workers,
+			Backlog:              *backlog,
+			CacheEntries:         *cacheEntries,
+			CacheDir:             *cacheDir,
+			MaxCycles:            *maxCycles,
+			RunTimeout:           *runTimeout,
+			CheckpointEvery:      *ckptEvery,
+			JobDeadline:          *jobDeadline,
+			JournalMaxBytes:      *journalMax,
+			Tenants:              tenants,
+			DeadlineCyclesPerSec: *deadlineCPS,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "mdwd:", err)
@@ -173,6 +215,15 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "mdwd:", err)
 		return 1
+	}
+	if inj != nil {
+		if !*coordinator {
+			// Workers take chaos at the accept side: every inbound conn is
+			// subject to events targeting this node's label.
+			ln = inj.Listener(ln)
+		}
+		fmt.Fprintf(stdout, "mdwd: chaos enabled (label=%s, seed=%d): %s\n",
+			inj.Label(), *chaosSeed, *chaosSpec)
 	}
 	fmt.Fprintf(stdout, "mdwd: listening on %s (%s, cache=%d entries, dir=%q)\n",
 		ln.Addr(), mode, *cacheEntries, *cacheDir)

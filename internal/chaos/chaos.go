@@ -1,0 +1,348 @@
+// Package chaos defines deterministic, seeded network-fault plans for the
+// service layer: a list of timed events (added latency, partitions, dropped
+// responses, slow closes, corrupted bytes) applied to the real HTTP traffic
+// between mdwd processes — the coordinator↔worker shard dispatch path and
+// the client-facing front door. It is the service-layer sibling of
+// internal/faults, which injects faults into the *simulated* fabric; chaos
+// injects them into the fabric the service itself runs on.
+//
+// Plans use a compact one-line spec mirroring the faults grammar
+// (ParseSpec/Spec), with wall-clock offsets instead of cycles:
+//
+//	latency@5s+10s:worker1*250ms;partition@8s+2s:coordinator-worker2;drop@1s+4s:*
+//
+// Each event is kind@at[+dur]:target[*param]. Targets are process labels
+// (assigned at injector construction — conventionally "coordinator",
+// "worker1", "worker2", ...), "*" for every peer, or an unordered pair
+// "a-b" scoping the event to traffic between two specific processes. The
+// optional *param is a duration argument: the added delay for latency and
+// the close delay for slow-close.
+//
+// A plan is applied through an Injector (see inject.go), which wraps an
+// http.RoundTripper on the client side and a net.Listener on the server
+// side. All randomness derives from the injector seed, so a given
+// (plan, seed) pair perturbs a run's timing identically across replays;
+// the service layer's retry, dedup, and integrity machinery is what turns
+// that perturbed timing back into byte-identical results.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the network-fault classes.
+type Kind uint8
+
+const (
+	// Latency delays matching requests by the event's Param (default
+	// 200ms) before they are sent, honoring request-context cancellation.
+	Latency Kind = iota
+	// Partition severs matching traffic for the event window: client-side
+	// requests fail immediately with a connection-style error, server-side
+	// accepted connections are closed before any byte is served.
+	Partition
+	// Drop lets a matching request reach the server (side effects happen)
+	// but discards the response, so the client sees a connection error.
+	// This is the event that exercises at-least-once dedup.
+	Drop
+	// SlowClose delays closing matching response bodies/connections by the
+	// event's Param (default 200ms), holding sockets open past their
+	// useful life.
+	SlowClose
+	// Corrupt deterministically flips bytes in matching response bodies.
+	// End-to-end integrity checks (X-Mdwd-Body-SHA256) must detect the
+	// damage and retry.
+	Corrupt
+)
+
+var kindNames = [...]string{"latency", "partition", "drop", "slow-close", "corrupt"}
+
+// String returns the spec-grammar name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseKind maps a spec-grammar name back to its Kind.
+func ParseKind(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if s == n {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("chaos: unknown kind %q (want %s)", s, strings.Join(kindNames[:], ", "))
+}
+
+// Event is one timed network fault.
+type Event struct {
+	Kind Kind
+	// At is the wall-clock offset from injector start at which the event
+	// becomes active.
+	At time.Duration
+	// Duration bounds the event window; 0 means active forever.
+	Duration time.Duration
+	// A and B are the target labels. B is empty for single-label targets;
+	// A is "*" for events matching every peer. A pair is unordered:
+	// "coordinator-worker2" matches traffic in both directions.
+	A, B string
+	// Param is the duration argument for Latency (added delay) and
+	// SlowClose (close delay); 0 means the 200ms default. Other kinds
+	// reject a param.
+	Param time.Duration
+}
+
+// DefaultParam is the delay used by Latency and SlowClose events that do
+// not carry an explicit *param.
+const DefaultParam = 200 * time.Millisecond
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the event's internal consistency.
+func (e Event) Validate() error {
+	if int(e.Kind) >= len(kindNames) {
+		return fmt.Errorf("chaos: unknown kind %d", uint8(e.Kind))
+	}
+	if e.At < 0 {
+		return fmt.Errorf("chaos: %s at negative offset %s", e.Kind, e.At)
+	}
+	if e.Duration < 0 {
+		return fmt.Errorf("chaos: %s with negative duration %s", e.Kind, e.Duration)
+	}
+	if e.Param < 0 {
+		return fmt.Errorf("chaos: %s with negative param %s", e.Kind, e.Param)
+	}
+	switch {
+	case e.A == "*":
+		if e.B != "" {
+			return fmt.Errorf("chaos: %s target '*' cannot be part of a pair", e.Kind)
+		}
+	case !validLabel(e.A):
+		return fmt.Errorf("chaos: %s has bad target label %q (want [a-zA-Z0-9_]+ or '*')", e.Kind, e.A)
+	case e.B != "":
+		if !validLabel(e.B) {
+			return fmt.Errorf("chaos: %s has bad target label %q (want [a-zA-Z0-9_]+)", e.Kind, e.B)
+		}
+		if e.A == e.B {
+			return fmt.Errorf("chaos: %s pair names the same label %q twice", e.Kind, e.A)
+		}
+	}
+	switch e.Kind {
+	case Latency, SlowClose:
+	default:
+		if e.Param != 0 {
+			return fmt.Errorf("chaos: %s does not take a *param", e.Kind)
+		}
+	}
+	return nil
+}
+
+// ActiveAt reports whether the event window covers the given offset from
+// injector start.
+func (e Event) ActiveAt(now time.Duration) bool {
+	if now < e.At {
+		return false
+	}
+	return e.Duration == 0 || now < e.At+e.Duration
+}
+
+// Matches reports whether the event targets traffic between self and peer.
+// peer may be empty when unknown (a raw accepted connection on the server
+// side); then single labels and pairs match on self alone.
+func (e Event) Matches(self, peer string) bool {
+	if e.A == "*" {
+		return true
+	}
+	if e.B == "" {
+		return e.A == self || (peer != "" && e.A == peer)
+	}
+	if peer == "" {
+		return e.A == self || e.B == self
+	}
+	return (e.A == self && e.B == peer) || (e.A == peer && e.B == self)
+}
+
+// param returns the event's duration argument, defaulted.
+func (e Event) param() time.Duration {
+	if e.Param > 0 {
+		return e.Param
+	}
+	return DefaultParam
+}
+
+// spec renders the event in the compact grammar.
+func (e Event) spec() string {
+	var b strings.Builder
+	b.WriteString(e.Kind.String())
+	fmt.Fprintf(&b, "@%s", e.At)
+	if e.Duration > 0 {
+		fmt.Fprintf(&b, "+%s", e.Duration)
+	}
+	b.WriteByte(':')
+	b.WriteString(e.A)
+	if e.B != "" {
+		b.WriteByte('-')
+		b.WriteString(e.B)
+	}
+	if e.Param > 0 {
+		fmt.Fprintf(&b, "*%s", e.Param)
+	}
+	return b.String()
+}
+
+// Plan is a deterministic schedule of network-fault events. The zero Plan
+// injects nothing.
+type Plan struct {
+	Events []Event
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool { return len(p.Events) == 0 }
+
+// Validate checks every event.
+func (p Plan) Validate() error {
+	for i, e := range p.Events {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// less orders events canonically: by time, then kind, then target.
+func less(a, b Event) bool {
+	switch {
+	case a.At != b.At:
+		return a.At < b.At
+	case a.Kind != b.Kind:
+		return a.Kind < b.Kind
+	case a.A != b.A:
+		return a.A < b.A
+	case a.B != b.B:
+		return a.B < b.B
+	case a.Duration != b.Duration:
+		return a.Duration < b.Duration
+	default:
+		return a.Param < b.Param
+	}
+}
+
+// Normalized returns a copy of the plan with pair labels and events in
+// canonical order, so plans listing the same events any way round render
+// (Spec) identically.
+func (p Plan) Normalized() Plan {
+	if len(p.Events) == 0 {
+		return Plan{}
+	}
+	ev := append([]Event(nil), p.Events...)
+	for i := range ev {
+		if ev[i].B != "" && ev[i].B < ev[i].A {
+			ev[i].A, ev[i].B = ev[i].B, ev[i].A
+		}
+	}
+	sort.SliceStable(ev, func(i, j int) bool { return less(ev[i], ev[j]) })
+	return Plan{Events: ev}
+}
+
+// Spec renders the plan in the compact one-line grammar, in canonical
+// order. ParseSpec(p.Spec()) round-trips.
+func (p Plan) Spec() string {
+	n := p.Normalized()
+	parts := make([]string, len(n.Events))
+	for i, e := range n.Events {
+		parts[i] = e.spec()
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseSpec parses the compact grammar: semicolon-separated events of the
+// form kind@at[+dur]:target[*param], where at, dur, and param are Go
+// durations ("5s", "250ms"), and target is a label, "*", or an unordered
+// pair "a-b". Whitespace around events is ignored; an empty string is the
+// empty plan. The result is validated and normalized.
+func ParseSpec(s string) (Plan, error) {
+	var p Plan
+	for _, raw := range strings.Split(s, ";") {
+		part := strings.TrimSpace(raw)
+		if part == "" {
+			continue
+		}
+		e, err := parseEvent(part)
+		if err != nil {
+			return Plan{}, fmt.Errorf("chaos: %q: %w", part, err)
+		}
+		p.Events = append(p.Events, e)
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p.Normalized(), nil
+}
+
+func parseEvent(s string) (Event, error) {
+	kindStr, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("missing '@' (want kind@at[+dur]:target[*param])")
+	}
+	kind, err := ParseKind(kindStr)
+	if err != nil {
+		return Event{}, err
+	}
+	timing, target, ok := strings.Cut(rest, ":")
+	if !ok {
+		return Event{}, fmt.Errorf("missing ':' before target")
+	}
+	e := Event{Kind: kind}
+	atStr, durStr, hasDur := strings.Cut(timing, "+")
+	if e.At, err = time.ParseDuration(atStr); err != nil {
+		return Event{}, fmt.Errorf("bad offset %q (want a duration like 5s)", atStr)
+	}
+	if hasDur {
+		if e.Duration, err = time.ParseDuration(durStr); err != nil {
+			return Event{}, fmt.Errorf("bad duration %q", durStr)
+		}
+		if e.Duration == 0 {
+			return Event{}, fmt.Errorf("explicit duration must be > 0 (omit '+0s' for permanent)")
+		}
+	}
+	if target, rest, ok = cutParam(target); ok {
+		if e.Param, err = time.ParseDuration(rest); err != nil {
+			return Event{}, fmt.Errorf("bad param %q (want a duration like 250ms)", rest)
+		}
+		if e.Param == 0 {
+			return Event{}, fmt.Errorf("explicit param must be > 0 (omit '*0s' for the default)")
+		}
+	}
+	if a, b, pair := strings.Cut(target, "-"); pair {
+		e.A, e.B = a, b
+	} else {
+		e.A = target
+	}
+	return e, nil
+}
+
+// cutParam splits "target*param" on the last '*', leaving a bare "*"
+// target (match-all) intact.
+func cutParam(s string) (target, param string, ok bool) {
+	i := strings.LastIndexByte(s, '*')
+	if i <= 0 { // -1: no param; 0: the match-all target itself
+		return s, "", false
+	}
+	return s[:i], s[i+1:], true
+}

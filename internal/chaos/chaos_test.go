@@ -1,0 +1,338 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSpecRoundTrip: ParseSpec(p.Spec()) is the identity on normalized
+// plans, and label pairs canonicalize regardless of order.
+func TestSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		"latency@5s+10s:worker1*250ms",
+		"partition@8s:coordinator-worker2",
+		"drop@1s+4s:*",
+		"slow-close@0s:worker1",
+		"corrupt@2s+1s:worker2;latency@0s:*",
+		"",
+	}
+	for _, s := range specs {
+		p, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s, err)
+		}
+		p2, err := ParseSpec(p.Spec())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", p.Spec(), err)
+		}
+		if p2.Spec() != p.Spec() {
+			t.Errorf("round-trip of %q: %q != %q", s, p2.Spec(), p.Spec())
+		}
+	}
+	a, err := ParseSpec("partition@1s:worker2-coordinator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec("partition@1s:coordinator-worker2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Spec() != b.Spec() {
+		t.Errorf("pair order not canonical: %q vs %q", a.Spec(), b.Spec())
+	}
+}
+
+// TestSpecErrors: malformed specs are rejected with the offending part in
+// the message.
+func TestSpecErrors(t *testing.T) {
+	bad := []string{
+		"latency@5s",                // no target
+		"latency:worker1",           // no @
+		"teleport@1s:worker1",       // unknown kind
+		"latency@x:worker1",         // bad offset
+		"latency@1s+0s:worker1",     // zero duration
+		"latency@1s:worker1*0s",     // zero param
+		"drop@1s:worker1*250ms",     // param on drop
+		"partition@1s:w1-w1",        // pair of same label
+		"latency@1s:wo rker",        // bad label
+		"latency@-5s:worker1",       // negative offset
+		"partition@1s:*-worker1",    // '*' in a pair
+		"corrupt@1s:worker1*bogus*", // unparsable param
+	}
+	for _, s := range bad {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) = nil error, want failure", s)
+		}
+	}
+}
+
+// TestEventWindowAndMatch: ActiveAt honors the [At, At+Duration) window and
+// Matches honors labels, pairs, wildcard, and unknown peers.
+func TestEventWindowAndMatch(t *testing.T) {
+	e := Event{Kind: Latency, At: 2 * time.Second, Duration: 3 * time.Second, A: "worker1"}
+	for _, tc := range []struct {
+		at   time.Duration
+		want bool
+	}{{0, false}, {2 * time.Second, true}, {4 * time.Second, true}, {5 * time.Second, false}} {
+		if got := e.ActiveAt(tc.at); got != tc.want {
+			t.Errorf("ActiveAt(%s) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+	perm := Event{Kind: Drop, At: time.Second, A: "*"}
+	if !perm.ActiveAt(time.Hour) {
+		t.Error("permanent event expired")
+	}
+
+	single := Event{A: "worker1"}
+	pair := Event{A: "coordinator", B: "worker2"}
+	all := Event{A: "*"}
+	cases := []struct {
+		e          Event
+		self, peer string
+		want       bool
+	}{
+		{single, "worker1", "", true},
+		{single, "coordinator", "worker1", true},
+		{single, "coordinator", "worker2", false},
+		{pair, "coordinator", "worker2", true},
+		{pair, "worker2", "coordinator", true},
+		{pair, "coordinator", "worker1", false},
+		{pair, "worker2", "", true}, // unknown peer: match on self
+		{pair, "worker1", "", false},
+		{all, "anything", "", true},
+	}
+	for _, tc := range cases {
+		if got := tc.e.Matches(tc.self, tc.peer); got != tc.want {
+			t.Errorf("Matches(%+v, %q, %q) = %v, want %v", tc.e, tc.self, tc.peer, got, tc.want)
+		}
+	}
+}
+
+// clockAt pins an injector's plan clock for tests.
+func clockAt(in *Injector, at time.Duration) { in.SetClock(func() time.Duration { return at }) }
+
+func testServer(t *testing.T, body string, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits != nil {
+			hits.Add(1)
+		}
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, c *http.Client, url string) (string, error) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// TestTransportPartition: an active partition fails the request without it
+// reaching the server; outside the window traffic flows.
+func TestTransportPartition(t *testing.T) {
+	var hits atomic.Int64
+	srv := testServer(t, "ok", &hits)
+	in, err := NewFromSpec("partition@1s+2s:coordinator-worker1", 1, "coordinator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &http.Client{Transport: in.Transport(nil, func(*http.Request) string { return "worker1" })}
+
+	clockAt(in, 2*time.Second)
+	if _, err := get(t, c, srv.URL); err == nil {
+		t.Fatal("partitioned request succeeded")
+	} else if !strings.Contains(err.Error(), "partition") {
+		t.Fatalf("want partition error, got %v", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("partitioned request reached the server (%d hits)", hits.Load())
+	}
+
+	clockAt(in, 4*time.Second) // window closed
+	if body, err := get(t, c, srv.URL); err != nil || body != "ok" {
+		t.Fatalf("healed request: %q, %v", body, err)
+	}
+}
+
+// TestTransportDrop: a dropped response still executes server side effects
+// but surfaces as a retryable connection-style error.
+func TestTransportDrop(t *testing.T) {
+	var hits atomic.Int64
+	srv := testServer(t, "ok", &hits)
+	in, err := NewFromSpec("drop@0s:worker1", 7, "coordinator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &http.Client{Transport: in.Transport(nil, func(*http.Request) string { return "worker1" })}
+	clockAt(in, time.Second)
+	_, err = get(t, c, srv.URL)
+	if err == nil || !strings.Contains(err.Error(), "dropped") {
+		t.Fatalf("want dropped-response error, got %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server hits = %d, want 1 (drop must not suppress the request)", hits.Load())
+	}
+	var pe *PartitionError
+	if !asPartition(err, &pe) || !pe.Timeout() {
+		t.Fatalf("drop error should be a timeout-reporting PartitionError, got %T", err)
+	}
+}
+
+func asPartition(err error, out **PartitionError) bool {
+	for err != nil {
+		if pe, ok := err.(*PartitionError); ok {
+			*out = pe
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// TestTransportLatency: latency delays the request by roughly the param.
+func TestTransportLatency(t *testing.T) {
+	srv := testServer(t, "ok", nil)
+	in, err := NewFromSpec("latency@0s:worker1*150ms", 1, "coordinator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &http.Client{Transport: in.Transport(nil, func(*http.Request) string { return "worker1" })}
+	clockAt(in, time.Second)
+	start := time.Now()
+	if body, err := get(t, c, srv.URL); err != nil || body != "ok" {
+		t.Fatalf("latency request: %q, %v", body, err)
+	}
+	if d := time.Since(start); d < 140*time.Millisecond {
+		t.Fatalf("request took %s, want >= ~150ms of injected latency", d)
+	}
+}
+
+// TestTransportCorruptDeterministic: corruption damages the body, the
+// damage is identical across replays with the same seed, and differs
+// across seeds.
+func TestTransportCorruptDeterministic(t *testing.T) {
+	body := strings.Repeat("abcdefgh", 256) // 2KiB: several corrupt blocks
+	srv := testServer(t, body, nil)
+	read := func(seed int64) string {
+		in, err := NewFromSpec("corrupt@0s:worker1", seed, "coordinator")
+		if err != nil {
+			t.Fatal(err)
+		}
+		clockAt(in, time.Second)
+		c := &http.Client{Transport: in.Transport(nil, func(*http.Request) string { return "worker1" })}
+		got, err := get(t, c, srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b, c := read(42), read(42), read(43)
+	if a == body {
+		t.Fatal("corrupt event left the body intact")
+	}
+	if a != b {
+		t.Fatal("same seed produced different corruption")
+	}
+	if a == c {
+		t.Fatal("different seeds produced identical corruption")
+	}
+}
+
+// TestListenerPartition: an active server-side partition kills accepted
+// connections; after the window the listener serves normally.
+func TestListenerPartition(t *testing.T) {
+	in, err := NewFromSpec("partition@1s+2s:worker1", 1, "worker1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})}
+	go srv.Serve(in.Listener(ln))
+	defer srv.Close()
+	url := "http://" + ln.Addr().String()
+
+	clockAt(in, 2*time.Second)
+	c := &http.Client{Timeout: 2 * time.Second}
+	if _, err := get(t, c, url); err == nil {
+		t.Fatal("request through partitioned listener succeeded")
+	}
+
+	clockAt(in, 4*time.Second)
+	// The client may need a fresh conn after the killed one.
+	c.CloseIdleConnections()
+	if body, err := get(t, c, url); err != nil || body != "ok" {
+		t.Fatalf("healed listener: %q, %v", body, err)
+	}
+}
+
+// TestCorruptHelperDeterministic: the block-flip primitive is a pure
+// function of (seed, offset) — chunking the stream differently flips the
+// same bytes.
+func TestCorruptHelperDeterministic(t *testing.T) {
+	in := New(Plan{}, 99, "x")
+	orig := bytes.Repeat([]byte{0xAA}, 4096)
+
+	whole := append([]byte(nil), orig...)
+	in.corrupt(whole, 0)
+
+	chunked := append([]byte(nil), orig...)
+	for off := 0; off < len(chunked); off += 100 {
+		end := off + 100
+		if end > len(chunked) {
+			end = len(chunked)
+		}
+		in.corrupt(chunked[off:end], int64(off))
+	}
+	if !bytes.Equal(whole, chunked) {
+		t.Fatal("corruption depends on read chunking")
+	}
+	if bytes.Equal(whole, orig) {
+		t.Fatal("corrupt flipped nothing over 8 blocks")
+	}
+}
+
+// FuzzChaosSpec: any spec that parses must round-trip through Spec, and
+// the parser must never panic.
+func FuzzChaosSpec(f *testing.F) {
+	f.Add("latency@5s+10s:worker1*250ms")
+	f.Add("partition@8s:coordinator-worker2")
+	f.Add("drop@1s+4s:*;corrupt@0s:w1")
+	f.Add("slow-close@1h:a-b*1ms")
+	f.Add(";;;")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		p2, err := ParseSpec(p.Spec())
+		if err != nil {
+			t.Fatalf("canonical spec %q failed to re-parse: %v", p.Spec(), err)
+		}
+		if p2.Spec() != p.Spec() {
+			t.Fatalf("spec not stable: %q -> %q", p.Spec(), p2.Spec())
+		}
+	})
+}

@@ -1,0 +1,292 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Injector applies a Plan to real traffic. One injector represents one
+// process, identified by its label; it wraps the process's outbound HTTP
+// transport (Transport) and/or its inbound listener (Listener). The clock
+// starts at New, so event offsets are relative to process start.
+type Injector struct {
+	plan  Plan
+	seed  uint64
+	self  string
+	ctr   atomic.Uint64
+	clock atomic.Pointer[func() time.Duration]
+}
+
+// New builds an injector for the process labeled self. The plan is
+// normalized; the seed drives every byte-level decision (corruption
+// positions, sever offsets) so a (plan, seed) pair replays identically.
+func New(plan Plan, seed int64, self string) *Injector {
+	in := &Injector{
+		plan: plan.Normalized(),
+		seed: uint64(seed),
+		self: self,
+	}
+	start := time.Now()
+	in.SetClock(func() time.Duration { return time.Since(start) })
+	return in
+}
+
+// SetClock replaces the plan clock — the offset from process start that
+// event windows are evaluated against. Tests pin or advance it; the
+// default is wall time since New. Safe to call while traffic is flowing.
+func (in *Injector) SetClock(elapsed func() time.Duration) {
+	in.clock.Store(&elapsed)
+}
+
+// Elapsed returns the current plan-clock offset.
+func (in *Injector) Elapsed() time.Duration { return (*in.clock.Load())() }
+
+// NewFromSpec is New over ParseSpec.
+func NewFromSpec(spec string, seed int64, self string) (*Injector, error) {
+	p, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(p, seed, self), nil
+}
+
+// Label returns the injector's own process label.
+func (in *Injector) Label() string { return in.self }
+
+// active returns the events currently in their window that match traffic
+// between self and peer (peer may be empty for raw connections).
+func (in *Injector) active(peer string) []Event {
+	now := in.Elapsed()
+	var out []Event
+	for _, e := range in.plan.Events {
+		if e.ActiveAt(now) && e.Matches(in.self, peer) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// decide maps a decision index to a deterministic 64-bit value
+// (splitmix64 over seed+n).
+func (in *Injector) decide(n uint64) uint64 {
+	z := in.seed + n*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// corruptBlock is the granularity of Corrupt events: one deterministic
+// byte flip per corruptBlock bytes of stream.
+const corruptBlock = 512
+
+// corrupt flips the plan's deterministic byte positions inside p, which
+// holds stream bytes [off, off+len(p)).
+func (in *Injector) corrupt(p []byte, off int64) {
+	end := off + int64(len(p))
+	for b := off / corruptBlock; b*corruptBlock < end; b++ {
+		pos := b*corruptBlock + int64(in.decide(uint64(b))%corruptBlock)
+		if pos >= off && pos < end {
+			p[pos-off] ^= 0x20
+		}
+	}
+}
+
+// PartitionError is the error returned for requests suppressed by an
+// active partition or drop event; it reports as a timeout so HTTP clients
+// treat it like a connection failure rather than a protocol error.
+type PartitionError struct{ msg string }
+
+func (e *PartitionError) Error() string   { return e.msg }
+func (e *PartitionError) Timeout() bool   { return true }
+func (e *PartitionError) Temporary() bool { return true }
+
+// Transport wraps base (nil means http.DefaultTransport) with the
+// injector's plan. peer maps each request to the label of the process it
+// targets; a nil peer (or an empty label) matches single-label and pair
+// events on self alone.
+func (in *Injector) Transport(base http.RoundTripper, peer func(*http.Request) string) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &roundTripper{in: in, base: base, peer: peer}
+}
+
+type roundTripper struct {
+	in   *Injector
+	base http.RoundTripper
+	peer func(*http.Request) string
+}
+
+func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	label := ""
+	if rt.peer != nil {
+		label = rt.peer(req)
+	}
+	events := rt.in.active(label)
+	var drop, corrupt bool
+	var slow time.Duration
+	for _, e := range events {
+		switch e.Kind {
+		case Partition:
+			return nil, &PartitionError{msg: fmt.Sprintf("chaos: partition %s->%s", rt.in.self, label)}
+		case Latency:
+			select {
+			case <-time.After(e.param()):
+			case <-req.Context().Done():
+				return nil, req.Context().Err()
+			}
+		case Drop:
+			drop = true
+		case Corrupt:
+			corrupt = true
+		case SlowClose:
+			slow = e.param()
+		}
+	}
+	resp, err := rt.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if drop {
+		// The request reached the server — its side effects happened —
+		// but the client never learns the outcome.
+		resp.Body.Close()
+		return nil, &PartitionError{msg: fmt.Sprintf("chaos: dropped response %s->%s", rt.in.self, label)}
+	}
+	if corrupt {
+		resp.Body = &corruptBody{in: rt.in, rc: resp.Body}
+	}
+	if slow > 0 {
+		resp.Body = &slowCloseBody{rc: resp.Body, delay: slow}
+	}
+	return resp, nil
+}
+
+type corruptBody struct {
+	in  *Injector
+	rc  io.ReadCloser
+	off int64
+}
+
+func (b *corruptBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	if n > 0 {
+		b.in.corrupt(p[:n], b.off)
+		b.off += int64(n)
+	}
+	return n, err
+}
+
+func (b *corruptBody) Close() error { return b.rc.Close() }
+
+type slowCloseBody struct {
+	rc    io.ReadCloser
+	delay time.Duration
+}
+
+func (b *slowCloseBody) Read(p []byte) (int, error) { return b.rc.Read(p) }
+
+func (b *slowCloseBody) Close() error {
+	time.Sleep(b.delay)
+	return b.rc.Close()
+}
+
+// Listener wraps ln with the injector's plan. Accepted connections have no
+// peer label, so events match on the injector's own label (and "*").
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	return &listener{in: in, Listener: ln}
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &conn{Conn: c, in: l.in, severAt: -1}, nil
+}
+
+// conn applies server-side chaos per operation, so an event whose window
+// opens mid-connection still bites.
+type conn struct {
+	net.Conn
+	in *Injector
+
+	delayed bool  // latency applied to the first read
+	written int64 // bytes written, for drop/corrupt offsets
+	severAt int64 // drop: sever the conn at this write offset (-1 unset)
+}
+
+func (c *conn) kinds() (partition, latency, drop, corrupt bool, slow, delay time.Duration) {
+	for _, e := range c.in.active("") {
+		switch e.Kind {
+		case Partition:
+			partition = true
+		case Latency:
+			latency, delay = true, e.param()
+		case Drop:
+			drop = true
+		case Corrupt:
+			corrupt = true
+		case SlowClose:
+			slow = e.param()
+		}
+	}
+	return
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	partition, latency, _, _, _, delay := c.kinds()
+	if partition {
+		c.Conn.Close()
+		return 0, &PartitionError{msg: "chaos: partitioned (server)"}
+	}
+	if latency && !c.delayed {
+		c.delayed = true
+		time.Sleep(delay)
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	partition, _, drop, corrupt, _, _ := c.kinds()
+	if partition {
+		c.Conn.Close()
+		return 0, &PartitionError{msg: "chaos: partitioned (server)"}
+	}
+	if drop {
+		if c.severAt < 0 {
+			c.severAt = c.written + int64(256+c.in.decide(c.in.ctr.Add(1))%4096)
+		}
+		if c.written >= c.severAt {
+			c.Conn.Close()
+			return 0, &PartitionError{msg: "chaos: response severed (server)"}
+		}
+	}
+	if corrupt {
+		buf := append([]byte(nil), p...)
+		c.in.corrupt(buf, c.written)
+		n, err := c.Conn.Write(buf)
+		c.written += int64(n)
+		return n, err
+	}
+	n, err := c.Conn.Write(p)
+	c.written += int64(n)
+	return n, err
+}
+
+func (c *conn) Close() error {
+	_, _, _, _, slow, _ := c.kinds()
+	if slow > 0 {
+		time.Sleep(slow)
+	}
+	return c.Conn.Close()
+}

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker automaton.
+type breakerState int32
+
+const (
+	brClosed   breakerState = iota // traffic flows, failures counted
+	brOpen                         // traffic blocked until openUntil
+	brHalfOpen                     // one trial request probes recovery
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case brClosed:
+		return "closed"
+	case brOpen:
+		return "open"
+	case brHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breakerConfig tunes a breaker. Zero values take the defaults.
+type breakerConfig struct {
+	// Threshold is the consecutive-failure count that trips a closed
+	// breaker open. Default 3.
+	Threshold int
+	// BaseDelay is the first open window; each consecutive re-open
+	// doubles it up to MaxDelay. Defaults 500ms and 30s.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (c breakerConfig) withDefaults() breakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 500 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 30 * time.Second
+	}
+	return c
+}
+
+// breaker is a per-peer circuit breaker guarding shard dispatch and
+// checkpoint mirroring. Closed: requests flow and consecutive failures are
+// counted; Threshold trips it open. Open: requests are refused until the
+// backoff window (exponential with ±25% seeded jitter) elapses, then one
+// half-open trial is admitted. A trial success closes the breaker and
+// resets the backoff; a trial failure re-opens it with a doubled window.
+//
+// Only *infrastructure* failures (connection errors, 5xx, integrity
+// mismatches) should be fed to Failure — a 429 busy peer is healthy, just
+// loaded, and must not trip the breaker.
+type breaker struct {
+	mu        sync.Mutex
+	cfg       breakerConfig
+	state     breakerState
+	failures  int           // consecutive failures while closed
+	backoff   time.Duration // current open window
+	openUntil time.Time
+	trial     bool // half-open probe in flight
+	opens     uint64
+	rng       *rand.Rand
+	now       func() time.Time // test hook
+}
+
+// newBreaker builds a breaker whose jitter stream is seeded, so tests and
+// chaos replays see the same windows.
+func newBreaker(cfg breakerConfig, seed int64) *breaker {
+	return &breaker{
+		cfg: cfg.withDefaults(),
+		rng: rand.New(rand.NewSource(seed)),
+		now: time.Now,
+	}
+}
+
+// Allow reports whether a request may proceed. An open breaker whose
+// window has elapsed transitions to half-open and admits exactly one
+// trial; further requests are refused until that trial reports.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brClosed:
+		return true
+	case brOpen:
+		if b.now().Before(b.openUntil) {
+			return false
+		}
+		b.state = brHalfOpen
+		b.trial = true
+		return true
+	default: // half-open
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+// Success reports a request that completed against the peer; it closes
+// the breaker and resets the backoff ladder.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = brClosed
+	b.failures = 0
+	b.backoff = 0
+	b.trial = false
+}
+
+// Failure reports an infrastructure failure. A closed breaker trips after
+// Threshold consecutive failures; a half-open trial failure re-opens with
+// a doubled window.
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brClosed:
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.open()
+		}
+	case brHalfOpen:
+		b.open()
+	case brOpen:
+		// Stragglers from before the trip; the window is already set.
+	}
+}
+
+// open transitions to the open state, doubling the previous window.
+// Callers hold b.mu.
+func (b *breaker) open() {
+	if b.backoff == 0 {
+		b.backoff = b.cfg.BaseDelay
+	} else {
+		b.backoff *= 2
+		if b.backoff > b.cfg.MaxDelay {
+			b.backoff = b.cfg.MaxDelay
+		}
+	}
+	// ±25% jitter decorrelates peers that failed together.
+	jittered := b.backoff/4*3 + time.Duration(b.rng.Int63n(int64(b.backoff)/2+1))
+	b.state = brOpen
+	b.trial = false
+	b.failures = 0
+	b.opens++
+	b.openUntil = b.now().Add(jittered)
+}
+
+// State returns the current automaton state (for metrics and tests).
+func (b *breaker) State() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Surface the would-be transition so metrics don't report "open"
+	// forever on an idle peer whose window has long elapsed.
+	if b.state == brOpen && !b.now().Before(b.openUntil) {
+		return brHalfOpen
+	}
+	return b.state
+}
+
+// Opens returns how many times the breaker has tripped open.
+func (b *breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

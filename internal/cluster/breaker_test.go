@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock pins a breaker's clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testBreaker(cfg breakerConfig) (*breaker, *fakeClock) {
+	b := newBreaker(cfg, 1)
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = c.now
+	return b, c
+}
+
+// TestBreakerTripAndRecover: threshold consecutive failures trip the
+// breaker, the open window refuses traffic, then exactly one half-open
+// trial is admitted and its success closes the breaker.
+func TestBreakerTripAndRecover(t *testing.T) {
+	b, c := testBreaker(breakerConfig{Threshold: 3, BaseDelay: time.Second, MaxDelay: 8 * time.Second})
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != brClosed {
+		t.Fatalf("state after 2 failures = %s, want closed", b.State())
+	}
+	b.Failure() // third: trips
+	if b.State() != brOpen {
+		t.Fatalf("state after threshold = %s, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside the window")
+	}
+
+	c.advance(2 * time.Second) // base 1s, jitter <= 1.25s
+	if !b.Allow() {
+		t.Fatal("elapsed breaker refused the half-open trial")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+	b.Success()
+	if b.State() != brClosed || !b.Allow() {
+		t.Fatal("trial success did not close the breaker")
+	}
+}
+
+// TestBreakerBackoffDoubles: a failed half-open trial re-opens with a
+// doubled window, capped at MaxDelay; a success resets the ladder.
+func TestBreakerBackoffDoubles(t *testing.T) {
+	b, c := testBreaker(breakerConfig{Threshold: 1, BaseDelay: time.Second, MaxDelay: 4 * time.Second})
+	windows := []time.Duration{}
+	for i := 0; i < 4; i++ {
+		b.Failure() // threshold 1: trips (or re-opens the half-open trial)
+		b.mu.Lock()
+		windows = append(windows, b.backoff)
+		b.mu.Unlock()
+		c.advance(10 * time.Second)
+		if !b.Allow() {
+			t.Fatalf("round %d: elapsed breaker refused trial", i)
+		}
+	}
+	want := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 4 * time.Second}
+	for i := range want {
+		if windows[i] != want[i] {
+			t.Fatalf("backoff ladder = %v, want %v", windows, want)
+		}
+	}
+	b.Success()
+	b.Failure()
+	b.mu.Lock()
+	reset := b.backoff
+	b.mu.Unlock()
+	if reset != time.Second {
+		t.Fatalf("backoff after success+failure = %s, want base 1s", reset)
+	}
+}
+
+// TestBreakerJitterBounds: every open window stays within [0.75, 1.25] of
+// the nominal backoff.
+func TestBreakerJitterBounds(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		b := newBreaker(breakerConfig{Threshold: 1, BaseDelay: time.Second, MaxDelay: time.Second}, seed)
+		c := &fakeClock{t: time.Unix(0, 0)}
+		b.now = c.now
+		b.Failure()
+		b.mu.Lock()
+		window := b.openUntil.Sub(c.t)
+		b.mu.Unlock()
+		if window < 750*time.Millisecond || window > 1250*time.Millisecond+time.Millisecond {
+			t.Fatalf("seed %d: window %s outside jitter bounds", seed, window)
+		}
+	}
+}
+
+// TestBreakerBusyNotCounted documents the integration contract: vRetry
+// verdicts (429 busy) must not call Failure. The breaker itself cannot
+// enforce that, but a Success after partial failures must fully reset.
+func TestBreakerFailureResetOnSuccess(t *testing.T) {
+	b, _ := testBreaker(breakerConfig{Threshold: 3})
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != brClosed {
+		t.Fatal("success did not reset the consecutive-failure count")
+	}
+}

@@ -73,6 +73,23 @@ type Config struct {
 	// workers themselves may run with -tenants (the coordinator then occupies
 	// one configured tenant slot there, typically high-weight).
 	WorkerKey string
+	// Transport, when non-nil, underlies every outbound request — dispatch,
+	// checkpoint mirror, health probe. It is the chaos-injection seam: wrap
+	// it with internal/chaos to subject the coordinator's view of the fleet
+	// to seeded faults. Nil = http.DefaultTransport.
+	Transport http.RoundTripper
+	// Seed feeds the per-peer breaker jitter PRNGs (each peer's stream is
+	// Seed xor a hash of its URL), making backoff schedules reproducible.
+	Seed int64
+	// BreakerThreshold is the consecutive dispatch failures that open a
+	// peer's circuit breaker (0 = 3); BreakerBaseDelay is the first open
+	// window (0 = 500ms), doubling per failed half-open trial up to
+	// BreakerMaxDelay (0 = 30s).
+	BreakerThreshold int
+	BreakerBaseDelay time.Duration
+	BreakerMaxDelay  time.Duration
+	// ProbeTimeout bounds one peer health probe (0 = 2s).
+	ProbeTimeout time.Duration
 }
 
 // Coordinator is the cluster front end: the same /v1 API surface as a
@@ -114,11 +131,18 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	peers := NewPeerSet(nil)
+	peers.ConfigureBreakers(breakerConfig{Threshold: cfg.BreakerThreshold,
+		BaseDelay: cfg.BreakerBaseDelay, MaxDelay: cfg.BreakerMaxDelay}, cfg.Seed)
+	peers.SetProbeTimeout(cfg.ProbeTimeout)
+	for _, u := range cfg.Peers {
+		peers.Join(u)
+	}
 	c := &Coordinator{
 		cfg:      cfg,
-		peers:    NewPeerSet(cfg.Peers),
+		peers:    peers,
 		cache:    cache,
-		client:   &http.Client{},
+		client:   &http.Client{Transport: cfg.Transport},
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		baseCtx:  ctx,
@@ -198,8 +222,11 @@ func (c *Coordinator) journalAppend(rec service.JournalRec) {
 // recover replays the coordinator's journal and closes out what the previous
 // process left behind: pending run jobs are re-dispatched in the background
 // (worker caches make a re-dispatch of finished-but-unjournaled work a cheap
-// cache hit), pending experiments are failed — their streaming clients died
-// with the old process and their points live in worker caches anyway.
+// cache hit), and pending experiments whose accepted record carries the full
+// request are re-resolved headlessly — the sweep re-runs against warm worker
+// caches and its completion is journaled, so a client that reconnects with
+// the stream token resumes against finished work instead of a failed job.
+// Only legacy records with no replayable request are failed outright.
 func (c *Coordinator) recover() error {
 	pending, err := service.ReplayJournal(c.cfg.CacheDir)
 	if err != nil {
@@ -220,8 +247,20 @@ func (c *Coordinator) recover() error {
 	for _, p := range pending {
 		switch {
 		case p.JobKind == "experiment":
-			c.journalAppend(service.JournalRec{Kind: service.RecFailed, Hash: p.Hash,
-				JobKind: p.JobKind, Error: "interrupted by coordinator restart"})
+			var req service.ExperimentRequest
+			if len(p.Config) == 0 || json.Unmarshal(p.Config, &req) != nil || req.ID == "" {
+				c.journalAppend(service.JournalRec{Kind: service.RecFailed, Hash: p.Hash,
+					JobKind: p.JobKind, Error: "interrupted by coordinator restart"})
+				continue
+			}
+			c.journalAppend(service.JournalRec{Kind: service.RecAccepted, Hash: p.Hash,
+				JobKind: "experiment", Config: p.Config})
+			c.jobs.Add(1)
+			go func() {
+				defer c.jobs.Done()
+				_, _, err := c.runSweep(c.baseCtx, req, func(service.StreamEvent) {})
+				c.finishJob(req.ID, "experiment", err)
+			}()
 		case len(p.Config) == 0:
 			c.journalAppend(service.JournalRec{Kind: service.RecFailed, Hash: p.Hash,
 				JobKind: p.JobKind, Error: "journal carries no configuration for this job"})
@@ -238,7 +277,7 @@ func (c *Coordinator) recover() error {
 			c.jobs.Add(1)
 			go func() {
 				defer c.jobs.Done()
-				_, err := c.resolveShard(c.baseCtx, hash, canon)
+				_, err := c.resolveShard(c.baseCtx, hash, canon, 0)
 				c.finishJob(hash, "run", err)
 			}()
 		}
@@ -263,6 +302,10 @@ type apiError struct {
 	Message           string `json:"message"`
 	Job               string `json:"job,omitempty"`
 	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
+	// Retryable tells clients whether repeating the identical request can
+	// succeed — true for infrastructure weather (dead peers, deadlines,
+	// draining), false for properties of the request itself.
+	Retryable bool `json:"retryable,omitempty"`
 }
 
 func writeErr(w http.ResponseWriter, status int, e apiError) {
@@ -275,7 +318,8 @@ func writeErr(w http.ResponseWriter, status int, e apiError) {
 func rejectDraining(w http.ResponseWriter) {
 	w.Header().Set("Retry-After", "1")
 	writeErr(w, http.StatusServiceUnavailable, apiError{
-		Code: "draining", Message: "coordinator is draining", RetryAfterSeconds: 1})
+		Code: "draining", Message: "coordinator is draining", RetryAfterSeconds: 1,
+		Retryable: true})
 }
 
 // tenantCounters is one tenant's request accounting at the coordinator
@@ -366,6 +410,7 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Mdwd-Cache", "hit")
 		w.Header().Set("X-Mdwd-Hash", hash)
+		w.Header().Set("X-Mdwd-Body-SHA256", service.BodySHA(body))
 		w.Write(body)
 		return
 	}
@@ -380,7 +425,16 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 	defer c.jobs.Done()
 	c.journalAppend(service.JournalRec{Kind: service.RecAccepted, Hash: hash,
 		JobKind: "run", Tenant: tn.Name, Config: canonJSON})
-	res, err := c.resolveShard(r.Context(), hash, canon)
+	// The client's deadline bounds how long this handler waits; the original
+	// (not remaining) budget is forwarded to workers, where it can become a
+	// deterministic cycle budget.
+	waitCtx := r.Context()
+	if req.DeadlineMillis > 0 {
+		var cancel context.CancelFunc
+		waitCtx, cancel = context.WithTimeout(waitCtx, time.Duration(req.DeadlineMillis)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := c.resolveShard(waitCtx, hash, canon, req.DeadlineMillis)
 	if err != nil {
 		if r.Context().Err() != nil {
 			// Client gone; the shard continues and its completion will be
@@ -389,14 +443,24 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 			// re-dispatch — both cache hits.
 			return
 		}
+		if waitCtx.Err() != nil {
+			// The client's deadline expired but the shard continues
+			// server-side; re-asking eventually lands a cache hit.
+			writeErr(w, http.StatusGatewayTimeout, apiError{Code: "timeout",
+				Message: fmt.Sprintf("deadline of %dms elapsed; job continues, retry for the cached result", req.DeadlineMillis),
+				Retryable: true})
+			return
+		}
 		c.finishJob(hash, "run", err)
-		writeErr(w, http.StatusUnprocessableEntity, apiError{Code: "run_failed", Message: err.Error()})
+		writeErr(w, http.StatusUnprocessableEntity, apiError{Code: "run_failed",
+			Message: err.Error(), Retryable: IsRetryable(err)})
 		return
 	}
 	c.finishJob(hash, "run", nil)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Mdwd-Cache", "miss")
 	w.Header().Set("X-Mdwd-Hash", hash)
+	w.Header().Set("X-Mdwd-Body-SHA256", service.BodySHA(res.body))
 	w.Write(res.body)
 }
 
@@ -439,21 +503,51 @@ func (c *Coordinator) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	if req.Seed == 0 {
 		req.Seed = 1
 	}
+	if req.Stream != "" && !service.ValidStreamToken(req.Stream) {
+		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_stream",
+			Message: fmt.Sprintf("%q is not a stream token", req.Stream)})
+		return
+	}
+	if req.AfterSeq < 0 {
+		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_cursor",
+			Message: "after_seq must be >= 0"})
+		return
+	}
+	if req.Stream == "" {
+		req.Stream = service.NewStreamToken()
+		req.AfterSeq = 0
+	}
 
 	c.countTenant(tn, func(tc *tenantCounters) { tc.experiments++ })
 	c.jobs.Add(1)
 	defer c.jobs.Done()
-	c.journalAppend(service.JournalRec{Kind: service.RecAccepted, Hash: req.ID, JobKind: "experiment", Tenant: tn.Name})
+	reqJSON, _ := json.Marshal(req)
+	c.journalAppend(service.JournalRec{Kind: service.RecAccepted, Hash: req.ID,
+		JobKind: "experiment", Tenant: tn.Name, Config: reqJSON})
 
 	// The sweep runs on this handler goroutine's pool; only this goroutine
 	// writes the response. Events flow: shard completion (any order) →
-	// reorder buffer (table order) → ndjson stream.
-	ctx := r.Context()
+	// reorder buffer (table order, 1-based seq) → ndjson stream, with
+	// seq <= after_seq filtered out on a resume. The sweep itself runs on the
+	// coordinator's context, not the client's: a dropped connection stops the
+	// stream but the shards keep resolving into caches and the job is still
+	// journaled done, so the client's reconnect (same stream token, its last
+	// seq as after_seq) replays only what it missed — from cache, cheaply.
+	clientCtx := r.Context()
+	sweepCtx := c.baseCtx
+	if req.DeadlineMillis > 0 {
+		var cancel context.CancelFunc
+		sweepCtx, cancel = context.WithTimeout(sweepCtx, time.Duration(req.DeadlineMillis)*time.Millisecond)
+		defer cancel()
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	var wmu sync.Mutex
 	emitEvent := func(ev service.StreamEvent) {
+		if clientCtx.Err() != nil {
+			return // client gone: the sweep outlives the stream
+		}
 		wmu.Lock()
 		defer wmu.Unlock()
 		enc.Encode(ev)
@@ -461,12 +555,14 @@ func (c *Coordinator) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
-	emitEvent(service.StreamEvent{Type: "start", ID: req.ID, Job: fmt.Sprintf("c%d", c.jobSeq.Add(1))})
+	emitEvent(service.StreamEvent{Type: "start", ID: req.ID, Stream: req.Stream,
+		Job: fmt.Sprintf("c%d", c.jobSeq.Add(1))})
 
-	st, tables, err := c.runSweep(ctx, req, emitEvent)
+	st, tables, err := c.runSweep(sweepCtx, req, emitEvent)
 	if err != nil {
 		c.finishJob(req.ID, "experiment", err)
-		emitEvent(service.StreamEvent{Type: "error", ID: req.ID, Err: err.Error()})
+		emitEvent(service.StreamEvent{Type: "error", ID: req.ID, Err: err.Error(),
+			Retryable: IsRetryable(err)})
 		return
 	}
 	for _, t := range tables {
@@ -482,37 +578,18 @@ func (c *Coordinator) handleExperiment(w http.ResponseWriter, r *http.Request) {
 // runSweep plans one experiment, resolves its standard points through the
 // cluster (custom-harness points run locally; see experiments.Options
 // .Resolver), and emits point events in deterministic table order through
-// the reorder buffer.
+// the shared reorder buffer — the same one the single-node daemon streams
+// through, so cluster and single-node streams are byte-identical. Points
+// with seq <= req.AfterSeq are suppressed: a resumed stream re-runs the
+// sweep (cache hits) but re-delivers only what the client has not seen.
 func (c *Coordinator) runSweep(ctx context.Context, req service.ExperimentRequest,
 	emitEvent func(service.StreamEvent)) (experiments.SweepStats, []*experiments.Table, error) {
-	// rb is installed after Plan (PlannedTags needs the planned tables);
-	// events only fire during Finish, after the assignment below.
-	var rb *reorder
-	opts := experiments.Options{
-		Quick:   req.Quick,
-		Seed:    req.Seed,
-		Workers: c.sweepWorkers(),
-		Context: ctx,
-		OnPoint: func(ev experiments.PointEvent) { rb.add(ev) },
-		Resolver: func(cfg core.Config, tag string) (stats.Results, int64, error) {
-			hash, canon, err := service.Hash(cfg)
-			if err != nil {
-				return stats.Results{}, 0, err
-			}
-			res, err := c.resolveShard(ctx, hash, canon)
-			if err != nil {
-				return stats.Results{}, 0, err
-			}
-			return res.res, res.cycles, nil
-		},
-	}
-	tables, err := experiments.Plan([]string{req.ID}, opts)
-	if err != nil {
-		return experiments.SweepStats{}, nil, err
-	}
-	rb = newReorder(experiments.PlannedTags(tables), func(ev experiments.PointEvent) {
+	ro := service.NewReorder(nil, func(seq int64, ev experiments.PointEvent) {
+		if seq > 0 && seq <= req.AfterSeq {
+			return
+		}
 		out := service.StreamEvent{
-			Type: "point", Tag: ev.Tag, X: ev.X,
+			Type: "point", Seq: seq, Tag: ev.Tag, X: ev.X,
 			McastLat: ev.McastLatency, UniLat: ev.UniLatency,
 			Throughput: ev.Throughput, Saturated: ev.Saturated,
 			Dropped: ev.DestsDropped, Violations: ev.Violations,
@@ -523,8 +600,33 @@ func (c *Coordinator) runSweep(ctx context.Context, req service.ExperimentReques
 		}
 		emitEvent(out)
 	})
+	opts := experiments.Options{
+		Quick:   req.Quick,
+		Seed:    req.Seed,
+		Workers: c.sweepWorkers(),
+		Context: ctx,
+		OnPoint: func(ev experiments.PointEvent) { ro.Add(ev) },
+		Resolver: func(cfg core.Config, tag string) (stats.Results, int64, error) {
+			hash, canon, err := service.Hash(cfg)
+			if err != nil {
+				return stats.Results{}, 0, err
+			}
+			res, err := c.resolveShard(ctx, hash, canon, req.DeadlineMillis)
+			if err != nil {
+				return stats.Results{}, 0, err
+			}
+			return res.res, res.cycles, nil
+		},
+	}
+	tables, err := experiments.Plan([]string{req.ID}, opts)
+	if err != nil {
+		return experiments.SweepStats{}, nil, err
+	}
+	// Points only resolve during Finish, so installing the planned order here
+	// — between Plan and Finish — races nothing.
+	ro.Reindex(experiments.PlannedTags(tables))
 	st, err := experiments.Finish([]string{req.ID}, tables, opts)
-	rb.flush()
+	ro.Flush()
 	return st, tables, err
 }
 

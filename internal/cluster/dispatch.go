@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -65,12 +66,33 @@ func (m *mirror) get() []byte {
 	return m.blob
 }
 
+// retryableError marks a shard failure as infrastructure-transient:
+// repeating the identical request (after peers heal or breakers close) can
+// succeed. Config-level failures (deadlock, invariant violation, budget)
+// are never wrapped in it.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// IsRetryable reports whether err represents a transient cluster condition
+// (dead peers, exhausted attempt budgets, timeouts) rather than a property
+// of the request itself.
+func IsRetryable(err error) bool {
+	var re *retryableError
+	return errors.As(err, &re) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
 // resolveShard resolves one canonical config through the cluster: cache,
 // then singleflight, then dispatch. ctx is the requesting client's context —
 // it bounds this caller's wait, never the shard itself, which (like a
 // single-node job whose client hung up) runs to completion and populates the
-// cache and journal for whoever asks next.
-func (c *Coordinator) resolveShard(ctx context.Context, hash string, canon core.Config) (shardResult, error) {
+// cache and journal for whoever asks next. deadlineMillis, when > 0, is the
+// originating client's total budget, forwarded verbatim to workers (where
+// it can become a deterministic cycle budget); under singleflight the first
+// caller's value rides the shard.
+func (c *Coordinator) resolveShard(ctx context.Context, hash string, canon core.Config, deadlineMillis int64) (shardResult, error) {
 	if body, ok := c.cache.Get(hash); ok {
 		return decodeShard(body)
 	}
@@ -89,7 +111,7 @@ func (c *Coordinator) resolveShard(ctx context.Context, hash string, canon core.
 	c.mu.Unlock()
 
 	go func() {
-		cl.res, cl.err = c.runShard(hash, canon)
+		cl.res, cl.err = c.runShard(hash, canon, deadlineMillis)
 		c.mu.Lock()
 		delete(c.inflight, hash)
 		c.mu.Unlock()
@@ -108,7 +130,7 @@ func (c *Coordinator) resolveShard(ctx context.Context, hash string, canon core.
 // HedgeAfter without a result, first success wins. Exactly one done (or
 // failed) journal record is written per shard, here and only here — attempt
 // sequences write only RecShard dispatch-audit records.
-func (c *Coordinator) runShard(hash string, canon core.Config) (shardResult, error) {
+func (c *Coordinator) runShard(hash string, canon core.Config, deadlineMillis int64) (shardResult, error) {
 	c.shardsInflight.Add(1)
 	defer c.shardsInflight.Add(-1)
 
@@ -120,7 +142,7 @@ func (c *Coordinator) runShard(hash string, canon core.Config) (shardResult, err
 	results := make(chan outcome, 2)
 	launch := func(start int) {
 		go func() {
-			res, err := c.attemptFrom(hash, canon, start, m)
+			res, err := c.attemptFrom(hash, canon, start, m, deadlineMillis)
 			results <- outcome{res, err}
 		}()
 	}
@@ -180,37 +202,58 @@ const (
 // attemptFrom walks the shard's candidate sequence starting at the given
 // ring-successor offset, retrying transient rejections on the same peer and
 // migrating past dead peers with the latest mirrored checkpoint attached.
-// With no healthy peer left it degrades to running the shard locally on the
-// coordinator — never a wrong answer, only a colder cache.
-func (c *Coordinator) attemptFrom(hash string, canon core.Config, start int, m *mirror) (shardResult, error) {
+// Every candidate passes two gates: the health mark (probe liveness) and
+// the circuit breaker (dispatch outcomes). A healthy peer behind an open
+// breaker is waited out, not routed around permanently — its window will
+// admit a half-open trial. With no healthy peer left the shard degrades to
+// running locally on the coordinator — never a wrong answer, only a colder
+// cache.
+func (c *Coordinator) attemptFrom(hash string, canon core.Config, start int, m *mirror, deadlineMillis int64) (shardResult, error) {
 	cands := c.peers.Candidates(hash)
 	idx := start
 	budget := 2*len(cands) + 6 // attempts, not peers: bounded even with retries
 	var lastErr error
 	for attempt := 0; attempt < budget; attempt++ {
 		peer := ""
+		healthyButOpen := false
 		for k := 0; k < len(cands); k++ {
 			p := cands[(idx+k)%max(len(cands), 1)]
-			if c.peers.Healthy(p) {
-				peer = p
-				idx = idx + k
-				break
+			if !c.peers.Healthy(p) {
+				continue
 			}
+			if !c.peers.AllowDispatch(p) {
+				healthyButOpen = true
+				continue
+			}
+			peer = p
+			idx = idx + k
+			break
 		}
 		if peer == "" {
-			return c.runLocal(hash, canon)
+			if !healthyButOpen {
+				return c.runLocal(hash, canon)
+			}
+			// Every healthy candidate is breaker-blocked: wait a beat for a
+			// window to elapse instead of burning the budget or running
+			// local (the peers are alive — their windows will open).
+			lastErr = fmt.Errorf("all healthy peers breaker-open")
+			time.Sleep(c.retryDelay())
+			continue
 		}
-		res, v, err := c.attempt(peer, hash, canon, m)
+		res, v, err := c.attempt(peer, hash, canon, m, deadlineMillis)
 		switch v {
 		case vOK:
 			c.peers.markHealth(peer, true)
+			c.peers.ReportDispatch(peer, true)
 			return res, nil
 		case vRetry:
+			// Busy is not an infrastructure failure; the breaker stays as-is.
 			lastErr = err
 			time.Sleep(c.retryDelay())
 		case vMigrate:
 			lastErr = err
 			c.peers.markHealth(peer, false)
+			c.peers.ReportDispatch(peer, false)
 			c.migrations.Add(1)
 			c.journalAppend(service.JournalRec{Kind: recShardDispatch, Hash: hash,
 				JobKind: "shard", Peer: peer, Error: "migrate: " + err.Error()})
@@ -220,9 +263,9 @@ func (c *Coordinator) attemptFrom(hash string, canon core.Config, start int, m *
 		}
 	}
 	if lastErr == nil {
-		lastErr = fmt.Errorf("cluster: shard %s: attempt budget exhausted", hash)
+		lastErr = fmt.Errorf("attempt budget exhausted")
 	}
-	return shardResult{}, fmt.Errorf("cluster: shard %s: %w", hash, lastErr)
+	return shardResult{}, &retryableError{err: fmt.Errorf("cluster: shard %s: %w", hash, lastErr)}
 }
 
 // retryDelay is the pause before re-asking a busy peer.
@@ -236,7 +279,7 @@ func (c *Coordinator) retryDelay() time.Duration {
 // attempt dispatches the shard to one peer and classifies the outcome. While
 // the request is in flight, the peer's checkpoint blob for this hash is
 // polled into the mirror so a later migration can resume mid-run.
-func (c *Coordinator) attempt(peer, hash string, canon core.Config, m *mirror) (shardResult, verdict, error) {
+func (c *Coordinator) attempt(peer, hash string, canon core.Config, m *mirror, deadlineMillis int64) (shardResult, verdict, error) {
 	c.journalAppend(service.JournalRec{Kind: recShardDispatch, Hash: hash, JobKind: "shard", Peer: peer})
 	release := c.peers.beginShard(peer)
 	defer release()
@@ -246,7 +289,8 @@ func (c *Coordinator) attempt(peer, hash string, canon core.Config, m *mirror) (
 	defer close(mirrorDone)
 	go c.mirrorLoop(peer, hash, m, mirrorDone)
 
-	reqBody, err := json.Marshal(service.RunRequest{RawConfig: &canon, Resume: m.get()})
+	reqBody, err := json.Marshal(service.RunRequest{RawConfig: &canon, Resume: m.get(),
+		DeadlineMillis: deadlineMillis})
 	if err != nil {
 		return shardResult{}, vFatal, err
 	}
@@ -271,6 +315,13 @@ func (c *Coordinator) attempt(peer, hash string, canon core.Config, m *mirror) (
 	}
 	switch {
 	case resp.StatusCode == http.StatusOK:
+		// End-to-end integrity: the worker stamps a body digest; a mismatch
+		// means the path corrupted bytes in flight (or an imposter answered),
+		// and the same request is retried elsewhere. Corruption that still
+		// parses as valid JSON must not poison the cache.
+		if want := resp.Header.Get("X-Mdwd-Body-SHA256"); want != "" && want != service.BodySHA(body) {
+			return shardResult{}, vMigrate, fmt.Errorf("peer %s: body integrity mismatch", peer)
+		}
 		res, err := decodeShard(body)
 		if err != nil {
 			return shardResult{}, vMigrate, fmt.Errorf("peer %s: %w", peer, err)
@@ -307,6 +358,11 @@ func (c *Coordinator) mirrorLoop(peer, hash string, m *mirror, done <-chan struc
 		case <-c.baseCtx.Done():
 			return
 		case <-t.C:
+			if c.peers.BreakerOpen(peer) {
+				// The peer's dispatch path is failing; skip the poll rather
+				// than consume its half-open trial on a checkpoint fetch.
+				continue
+			}
 			ctx, cancel := context.WithTimeout(c.baseCtx, every)
 			req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 				peer+"/v1/cluster/checkpoint/"+hash, nil)

@@ -34,6 +34,8 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	healthy := make([]obs.LabeledSample, 0, len(views))
 	inflight := make([]obs.LabeledSample, 0, len(views))
 	dispatched := make([]obs.LabeledSample, 0, len(views))
+	brState := make([]obs.LabeledSample, 0, len(views))
+	brOpens := make([]obs.LabeledSample, 0, len(views))
 	for _, v := range views {
 		labels := [][2]string{{"peer", v.URL}}
 		h := 0.0
@@ -43,10 +45,21 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		healthy = append(healthy, obs.LabeledSample{Labels: labels, Value: h})
 		inflight = append(inflight, obs.LabeledSample{Labels: labels, Value: float64(v.Inflight)})
 		dispatched = append(dispatched, obs.LabeledSample{Labels: labels, Value: float64(v.Dispatched)})
+		s := 0.0
+		switch v.Breaker {
+		case "open":
+			s = 1
+		case "half-open":
+			s = 2
+		}
+		brState = append(brState, obs.LabeledSample{Labels: labels, Value: s})
+		brOpens = append(brOpens, obs.LabeledSample{Labels: labels, Value: float64(v.BreakerOpens)})
 	}
 	p.LabeledGauge("mdwd_peer_healthy", "Per-peer health mark (1 healthy, 0 down).", healthy)
 	p.LabeledGauge("mdwd_peer_shards_inflight", "Shards currently dispatched to the peer.", inflight)
 	p.LabeledGauge("mdwd_peer_shards_dispatched", "Shards dispatched to the peer over the coordinator's lifetime.", dispatched)
+	p.LabeledGauge("mdwd_peer_breaker_state", "Per-peer circuit-breaker state (0 closed, 1 open, 2 half-open).", brState)
+	p.LabeledGauge("mdwd_peer_breaker_opens_total", "Circuit-breaker trips per peer over the coordinator's lifetime.", brOpens)
 
 	// Per-tenant front-door accounting, multi-tenant mode only (the
 	// single-tenant exposition stays byte-compatible).

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"hash/fnv"
 	"net/http"
 	"sync"
 	"time"
@@ -17,6 +18,10 @@ type peerState struct {
 	// counts them over the coordinator's lifetime.
 	Inflight   int
 	Dispatched int64
+	// br is the peer's circuit breaker: health marks say whether the peer
+	// answers probes, the breaker says whether dispatching *work* to it
+	// has been failing. Both gates must open for a dispatch.
+	br *breaker
 }
 
 // PeerView is the read-only snapshot of one peer for /v1/cluster/status and
@@ -27,17 +32,27 @@ type PeerView struct {
 	LastSeen   time.Time `json:"last_seen"`
 	Inflight   int       `json:"inflight"`
 	Dispatched int64     `json:"dispatched"`
+	// Breaker is the peer's circuit-breaker state ("closed", "open",
+	// "half-open"); BreakerOpens counts its trips over the coordinator's
+	// lifetime.
+	Breaker      string `json:"breaker,omitempty"`
+	BreakerOpens uint64 `json:"breaker_opens,omitempty"`
 }
 
-// PeerSet tracks cluster membership, health, and per-peer dispatch load,
-// and owns the consistent-hash ring. The ring holds every member — healthy
-// or not — so shard ownership is stable across a peer's brief outage
-// (membership changes remap keys, health changes only reroute around the
-// owner via ring successors).
+// PeerSet tracks cluster membership, health, per-peer dispatch load, and
+// per-peer circuit breakers, and owns the consistent-hash ring. The ring
+// holds every member — healthy or not — so shard ownership is stable
+// across a peer's brief outage (membership changes remap keys, health
+// changes only reroute around the owner via ring successors).
 type PeerSet struct {
 	mu    sync.Mutex
 	peers map[string]*peerState
 	ring  *Ring
+
+	brCfg  breakerConfig
+	brSeed int64
+	// probeTimeout bounds one health probe (0 = 2s).
+	probeTimeout time.Duration
 }
 
 // NewPeerSet builds a peer set over the given worker base URLs, all
@@ -50,6 +65,23 @@ func NewPeerSet(urls []string) *PeerSet {
 	return ps
 }
 
+// ConfigureBreakers sets the breaker tuning and jitter seed for peers that
+// join from now on — call it before the first Join (peers already present
+// keep their existing breakers).
+func (ps *PeerSet) ConfigureBreakers(cfg breakerConfig, seed int64) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.brCfg = cfg
+	ps.brSeed = seed
+}
+
+// SetProbeTimeout bounds one peer health probe (0 restores the 2s default).
+func (ps *PeerSet) SetProbeTimeout(d time.Duration) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.probeTimeout = d
+}
+
 // Join adds a peer (idempotent) and marks it healthy — a joining worker just
 // proved it is alive.
 func (ps *PeerSet) Join(url string) {
@@ -60,7 +92,9 @@ func (ps *PeerSet) Join(url string) {
 	defer ps.mu.Unlock()
 	p, ok := ps.peers[url]
 	if !ok {
-		p = &peerState{URL: url}
+		h := fnv.New64a()
+		h.Write([]byte(url))
+		p = &peerState{URL: url, br: newBreaker(ps.brCfg, ps.brSeed^int64(h.Sum64()))}
 		ps.peers[url] = p
 		ps.ring.Add(url)
 	}
@@ -107,6 +141,46 @@ func (ps *PeerSet) Healthy(url string) bool {
 	return ok && p.Healthy
 }
 
+// AllowDispatch consults the peer's circuit breaker: false means dispatch
+// has been failing and the backoff window is still open (an elapsed window
+// admits exactly one half-open trial). Callers must report the attempt's
+// outcome through ReportDispatch.
+func (ps *PeerSet) AllowDispatch(url string) bool {
+	ps.mu.Lock()
+	p, ok := ps.peers[url]
+	ps.mu.Unlock()
+	if !ok {
+		return false
+	}
+	return p.br.Allow()
+}
+
+// ReportDispatch feeds a dispatch outcome to the peer's breaker. Only
+// infrastructure failures count as false — a busy (429) peer is healthy.
+func (ps *PeerSet) ReportDispatch(url string, ok bool) {
+	ps.mu.Lock()
+	p, found := ps.peers[url]
+	ps.mu.Unlock()
+	if !found {
+		return
+	}
+	if ok {
+		p.br.Success()
+	} else {
+		p.br.Failure()
+	}
+}
+
+// BreakerOpen reports whether the peer's breaker is open with its window
+// still running — the cheap check the mirror loop uses to skip polls
+// without consuming a half-open trial.
+func (ps *PeerSet) BreakerOpen(url string) bool {
+	ps.mu.Lock()
+	p, ok := ps.peers[url]
+	ps.mu.Unlock()
+	return ok && p.br.State() == brOpen
+}
+
 // Candidates returns the shard's failover sequence — the key's ring owner
 // first, then its distinct ring successors — over all members, healthy or
 // not. The dispatcher walks it skipping unhealthy peers, so ownership stays
@@ -125,7 +199,8 @@ func (ps *PeerSet) Views() []PeerView {
 	for _, u := range ps.ring.Peers() {
 		p := ps.peers[u]
 		out = append(out, PeerView{URL: p.URL, Healthy: p.Healthy, LastSeen: p.LastSeen,
-			Inflight: p.Inflight, Dispatched: p.Dispatched})
+			Inflight: p.Inflight, Dispatched: p.Dispatched,
+			Breaker: p.br.State().String(), BreakerOpens: p.br.Opens()})
 	}
 	return out
 }
@@ -145,8 +220,11 @@ func (ps *PeerSet) HealthyCount() int {
 
 // probe checks one peer's /healthz. A draining worker answers 503, which
 // counts as unhealthy for new shards without removing it from the ring.
-func probe(ctx context.Context, client *http.Client, url string) bool {
-	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+func probe(ctx context.Context, client *http.Client, url string, timeout time.Duration) bool {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
 	if err != nil {
@@ -164,8 +242,9 @@ func probe(ctx context.Context, client *http.Client, url string) bool {
 func (ps *PeerSet) ProbeAll(ctx context.Context, client *http.Client) {
 	ps.mu.Lock()
 	urls := ps.ring.Peers()
+	timeout := ps.probeTimeout
 	ps.mu.Unlock()
 	for _, u := range urls {
-		ps.markHealth(u, probe(ctx, client, u))
+		ps.markHealth(u, probe(ctx, client, u, timeout))
 	}
 }

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestProbeTimeout: a peer whose /healthz hangs must be marked unhealthy
+// within the configured probe timeout, not the transport's (absent) one.
+func TestProbeTimeout(t *testing.T) {
+	hang := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-hang
+	}))
+	defer ts.Close()
+	defer close(hang) // LIFO: unblock the handler before Close waits on it
+
+	ps := NewPeerSet(nil)
+	ps.SetProbeTimeout(100 * time.Millisecond)
+	ps.Join(ts.URL)
+
+	start := time.Now()
+	ps.ProbeAll(context.Background(), &http.Client{})
+	elapsed := time.Since(start)
+	if elapsed > 2*time.Second {
+		t.Fatalf("probe of a hung peer took %s, want ~100ms", elapsed)
+	}
+	if ps.Healthy(ts.URL) {
+		t.Fatal("hung peer still marked healthy after a timed-out probe")
+	}
+}
+
+// TestProbeFlappingPeer: health marks follow the peer through down→up→down
+// transitions, and mere probe failures never touch the dispatch breaker —
+// a flapping /healthz must not eat the breaker's half-open trial budget.
+func TestProbeFlappingPeer(t *testing.T) {
+	var up atomic.Bool
+	up.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !up.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	}))
+	defer ts.Close()
+
+	ps := NewPeerSet([]string{ts.URL})
+	client := &http.Client{}
+	for i, want := range []bool{true, false, true, false} {
+		up.Store(want)
+		ps.ProbeAll(context.Background(), client)
+		if got := ps.Healthy(ts.URL); got != want {
+			t.Fatalf("flap %d: Healthy = %v, want %v", i, got, want)
+		}
+		if !ps.AllowDispatch(ts.URL) {
+			t.Fatalf("flap %d: probe outcomes leaked into the dispatch breaker", i)
+		}
+		ps.ReportDispatch(ts.URL, true) // close out the Allow
+		if views := ps.Views(); views[0].Breaker != "closed" || views[0].BreakerOpens != 0 {
+			t.Fatalf("flap %d: breaker %s (opens=%d), want closed/0",
+				i, views[0].Breaker, views[0].BreakerOpens)
+		}
+	}
+}
+
+// TestProbeRacesDispatch: health probes running concurrently with dispatch
+// accounting, breaker traffic, membership changes, and snapshots must be
+// race-free (the -race harness is the assertion) and leave counters sane.
+func TestProbeRacesDispatch(t *testing.T) {
+	var flip atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if flip.Add(1)%3 == 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	}))
+	defer ts.Close()
+
+	ps := NewPeerSet([]string{ts.URL})
+	ps.SetProbeTimeout(500 * time.Millisecond)
+	client := &http.Client{}
+
+	var probes, dispatchers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		probes.Add(1)
+		go func() {
+			defer probes.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					ps.ProbeAll(context.Background(), client)
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		dispatchers.Add(1)
+		go func(g int) {
+			defer dispatchers.Done()
+			for i := 0; i < 200; i++ {
+				if ps.AllowDispatch(ts.URL) {
+					release := ps.beginShard(ts.URL)
+					ps.ReportDispatch(ts.URL, i%5 != 0)
+					release()
+				}
+				ps.Healthy(ts.URL)
+				ps.Views()
+				ps.Candidates("k")
+				if i%50 == 0 {
+					ps.Join(ts.URL) // idempotent re-join mid-traffic
+				}
+			}
+		}(g)
+	}
+	dispatchers.Wait()
+	close(stop)
+	probes.Wait()
+
+	views := ps.Views()
+	if len(views) != 1 {
+		t.Fatalf("peer set grew to %d entries from idempotent joins", len(views))
+	}
+	if views[0].Inflight != 0 {
+		t.Fatalf("inflight = %d after all dispatches released", views[0].Inflight)
+	}
+	if views[0].Dispatched == 0 {
+		t.Fatal("no dispatch was admitted during the race")
+	}
+}

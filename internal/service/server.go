@@ -1,6 +1,9 @@
 package service
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -63,6 +66,14 @@ type Config struct {
 	// mdwd_tenant_* families. Nil preserves the single-tenant daemon exactly:
 	// no auth, one anonymous queue, unchanged responses.
 	Tenants *TenantSet
+	// DeadlineCyclesPerSec, when > 0, converts a request's deadline_ms
+	// into a deterministic cycle budget (deadline seconds × this rate,
+	// the daemon's calibrated simulation speed): a run that cannot fit
+	// its client's deadline is rejected up front with the structured
+	// cycle_budget_exceeded error instead of burning workers on a result
+	// nobody will wait for. 0 leaves deadlines as wall-clock wait bounds
+	// only.
+	DeadlineCyclesPerSec float64
 }
 
 // DefaultJournalMaxBytes is the journal size threshold when
@@ -183,6 +194,11 @@ type apiError struct {
 	// RetryAfterSeconds mirrors the Retry-After header on 429/503 rejections
 	// so structured clients need not parse headers.
 	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+	// Retryable tells clients whether repeating the identical request can
+	// succeed: true for transient conditions (busy, quota, draining,
+	// timeout), false for properties of the request itself (bad config,
+	// deadlock, exceeded cycle budget).
+	Retryable bool `json:"retryable,omitempty"`
 }
 
 func writeErr(w http.ResponseWriter, status int, e apiError) {
@@ -208,16 +224,16 @@ func (s *Server) writeRejected(w http.ResponseWriter, err error, t *Tenant) {
 	switch {
 	case errors.Is(err, ErrTenantQueueFull):
 		writeErr(w, http.StatusTooManyRequests, apiError{
-			Code: "quota", Message: err.Error(), RetryAfterSeconds: secs})
+			Code: "quota", Message: err.Error(), RetryAfterSeconds: secs, Retryable: true})
 	case errors.Is(err, ErrPoolFull):
 		writeErr(w, http.StatusTooManyRequests, apiError{
-			Code: "busy", Message: err.Error(), RetryAfterSeconds: secs})
+			Code: "busy", Message: err.Error(), RetryAfterSeconds: secs, Retryable: true})
 	case errors.Is(err, ErrDraining):
 		writeErr(w, http.StatusServiceUnavailable, apiError{
-			Code: "draining", Message: err.Error(), RetryAfterSeconds: secs})
+			Code: "draining", Message: err.Error(), RetryAfterSeconds: secs, Retryable: true})
 	default:
 		writeErr(w, http.StatusServiceUnavailable, apiError{
-			Code: "unavailable", Message: err.Error(), RetryAfterSeconds: secs})
+			Code: "unavailable", Message: err.Error(), RetryAfterSeconds: secs, Retryable: true})
 	}
 }
 
@@ -304,6 +320,13 @@ type RunRequest struct {
 	// hash to this request's config hash, or it is ignored and the run
 	// starts from scratch (determinism makes the result identical).
 	Resume []byte `json:"resume,omitempty"`
+	// DeadlineMillis, when > 0, is how long the client is willing to wait
+	// for this response, propagated from the front door (a coordinator
+	// forwards its client's remaining budget on every dispatch). It
+	// tightens the handler's wait below RunTimeout, and — when the server
+	// configures DeadlineCyclesPerSec — converts into a deterministic
+	// cycle-budget cap checked up front.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
 }
 
 // RunResponse is the body of a successful POST /v1/run. Cache hits return
@@ -356,6 +379,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if req.CycleBudget > 0 && (budget == 0 || req.CycleBudget < budget) {
 		budget = req.CycleBudget
 	}
+	if req.DeadlineMillis > 0 && s.cfg.DeadlineCyclesPerSec > 0 {
+		// The client's wall-clock deadline becomes a deterministic cycle
+		// cap: same config, same deadline, same verdict, on any replica.
+		derived := int64(s.cfg.DeadlineCyclesPerSec * float64(req.DeadlineMillis) / 1000)
+		if derived < 1 {
+			derived = 1
+		}
+		if budget == 0 || derived < budget {
+			budget = derived
+		}
+	}
 	if budget > 0 && totalCycles(canon) > budget {
 		writeErr(w, http.StatusUnprocessableEntity, apiError{
 			Code: "cycle_budget_exceeded",
@@ -370,6 +404,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Mdwd-Cache", "hit")
 		w.Header().Set("X-Mdwd-Hash", hash)
+		w.Header().Set("X-Mdwd-Body-SHA256", BodySHA(body))
 		w.Write(body)
 		return
 	}
@@ -399,7 +434,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	timeout := time.NewTimer(s.cfg.RunTimeout)
+	wait := s.cfg.RunTimeout
+	if d := time.Duration(req.DeadlineMillis) * time.Millisecond; req.DeadlineMillis > 0 && d < wait {
+		wait = d
+	}
+	timeout := time.NewTimer(wait)
 	defer timeout.Stop()
 	select {
 	case <-job.Done():
@@ -408,9 +447,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	case <-timeout.C:
 		writeErr(w, http.StatusGatewayTimeout, apiError{
-			Code: "timeout", Job: job.ID,
+			Code: "timeout", Job: job.ID, Retryable: true,
 			Message: fmt.Sprintf("run exceeded the %s wait deadline; it continues in the background (poll /v1/jobs/%s, then repeat the request for a cache hit)",
-				s.cfg.RunTimeout, job.ID),
+				wait, job.ID),
 		})
 		return
 	}
@@ -422,7 +461,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Mdwd-Cache", "miss")
 	w.Header().Set("X-Mdwd-Hash", hash)
 	w.Header().Set("X-Mdwd-Job", job.ID)
+	w.Header().Set("X-Mdwd-Body-SHA256", BodySHA(body))
 	w.Write(body)
+}
+
+// BodySHA is the end-to-end integrity digest travelling in the
+// X-Mdwd-Body-SHA256 header of /v1/run responses. The coordinator verifies
+// the bytes it read against it, so response corruption anywhere on the
+// path (proxies, chaos injection, flaky NICs) is detected and retried
+// instead of silently merged into a sweep.
+func BodySHA(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
 }
 
 // checkpointPath returns where a run job's checkpoint blob lives; the hash
@@ -631,11 +681,25 @@ type ExperimentRequest struct {
 	// Workers bounds the sweep's internal parallelism; it is capped at
 	// the server's worker budget. 0 = that budget.
 	Workers int `json:"workers,omitempty"`
+	// Stream resumes an interrupted stream: the token the start event of
+	// the earlier attempt carried. The rest of the request must repeat
+	// the original parameters (the sweep is deterministic, so the server
+	// re-resolves and re-streams the identical event sequence).
+	Stream string `json:"stream,omitempty"`
+	// AfterSeq is the resume cursor: the highest seq the client has
+	// already durably consumed. Points with seq <= AfterSeq are not
+	// re-delivered. Only meaningful with Stream.
+	AfterSeq int64 `json:"after_seq,omitempty"`
+	// DeadlineMillis, when > 0, bounds the whole sweep: past it the
+	// stream ends with a structured, retryable error event instead of
+	// hanging.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
 }
 
 // StreamEvent is one chunked JSON line of a POST /v1/experiment response:
-// "start", then one "point" per completed measurement (in completion
-// order), one "table" per rendered table, and finally "done" — or "error".
+// "start", then one "point" per planned measurement (in planned table
+// order, each carrying its seq cursor), one "table" per rendered table,
+// and finally "done" — or "error".
 type StreamEvent struct {
 	Type string `json:"type"`
 
@@ -643,6 +707,15 @@ type StreamEvent struct {
 	ID  string `json:"id,omitempty"`
 	Job string `json:"job,omitempty"`
 	Err string `json:"error,omitempty"`
+	// Stream (start only) is the resume token for this logical stream.
+	Stream string `json:"stream,omitempty"`
+	// Retryable (error only) tells the client whether reconnecting with
+	// the same request (plus the stream cursor) can succeed.
+	Retryable bool `json:"retryable,omitempty"`
+
+	// Seq (point only) is the 1-based planned-order position — the resume
+	// cursor a reconnecting client passes back as after_seq.
+	Seq int64 `json:"seq,omitempty"`
 
 	// point
 	Tag        string  `json:"tag,omitempty"`
@@ -693,17 +766,41 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	if req.Workers <= 0 || req.Workers > s.cfg.Workers {
 		req.Workers = s.cfg.Workers
 	}
+	if req.Stream != "" && !ValidStreamToken(req.Stream) {
+		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_stream",
+			Message: fmt.Sprintf("%q is not a stream token", req.Stream)})
+		return
+	}
+	if req.AfterSeq < 0 {
+		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_cursor",
+			Message: "after_seq must be >= 0"})
+		return
+	}
+	stream := req.Stream
+	if stream == "" {
+		stream = NewStreamToken()
+		req.AfterSeq = 0
+	}
 
 	// The worker goroutine runs the sweep and feeds events through a
 	// channel; this handler goroutine alone touches the ResponseWriter.
 	// The request context doubles as the sweep's context, so a client
-	// disconnect cancels pending points instead of simulating for nobody.
+	// disconnect cancels pending points instead of simulating for nobody;
+	// a client deadline additionally bounds the sweep, and its expiry must
+	// still reach a connected client as an error event — hence the two
+	// contexts (emit escapes on client death only, never on deadline).
+	clientCtx := r.Context()
+	sweepCtx := clientCtx
+	if req.DeadlineMillis > 0 {
+		var cancel context.CancelFunc
+		sweepCtx, cancel = context.WithTimeout(clientCtx, time.Duration(req.DeadlineMillis)*time.Millisecond)
+		defer cancel()
+	}
 	events := make(chan StreamEvent, 64)
-	ctx := r.Context()
 	emit := func(ev StreamEvent) {
 		select {
 		case events <- ev:
-		case <-ctx.Done():
+		case <-clientCtx.Done():
 		}
 	}
 	// Experiments are journaled too — not to re-run them (their stream dies
@@ -713,31 +810,51 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	job, err := s.pool.SubmitTenant("experiment", req.ID, tn, func() (JobStats, error) {
 		defer close(events)
 		observer := &obs.SweepObserver{SampleEvery: 256}
+		// Points stream in planned table order (not completion order), so
+		// the event sequence is deterministic for any worker count — the
+		// property that makes both the seq resume cursor and cluster/
+		// single-node byte-identity work.
+		ro := NewReorder(nil, func(seq int64, ev experiments.PointEvent) {
+			if seq > 0 && seq <= req.AfterSeq {
+				return // the resuming client already consumed this point
+			}
+			out := StreamEvent{
+				Type: "point", Seq: seq, Tag: ev.Tag, X: ev.X,
+				McastLat: ev.McastLatency, UniLat: ev.UniLatency,
+				Throughput: ev.Throughput, Saturated: ev.Saturated,
+				Dropped: ev.DestsDropped, Violations: ev.Violations,
+				Cycles: ev.Cycles,
+			}
+			if ev.Err != nil {
+				out.Err = ev.Err.Error()
+			}
+			emit(out)
+		})
 		opts := experiments.Options{
 			Quick:    req.Quick,
 			Seed:     req.Seed,
 			Workers:  req.Workers,
-			Context:  ctx,
+			Context:  sweepCtx,
 			Observer: observer,
-			OnPoint: func(ev experiments.PointEvent) {
-				out := StreamEvent{
-					Type: "point", Tag: ev.Tag, X: ev.X,
-					McastLat: ev.McastLatency, UniLat: ev.UniLatency,
-					Throughput: ev.Throughput, Saturated: ev.Saturated,
-					Dropped: ev.DestsDropped, Violations: ev.Violations,
-					Cycles: ev.Cycles,
-				}
-				if ev.Err != nil {
-					out.Err = ev.Err.Error()
-				}
-				emit(out)
-			},
+			OnPoint:  ro.Add,
 		}
-		tables, st, err := experiments.RunIDs([]string{req.ID}, opts)
+		ids := []string{req.ID}
+		emitErr := func(err error) {
+			retryable := errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+			emit(StreamEvent{Type: "error", ID: req.ID, Err: err.Error(), Retryable: retryable})
+		}
+		tables, err := experiments.Plan(ids, opts)
+		if err != nil {
+			emitErr(err)
+			return JobStats{}, err
+		}
+		ro.Reindex(experiments.PlannedTags(tables))
+		st, err := experiments.Finish(ids, tables, opts)
+		ro.Flush()
 		jst := JobStats{Points: st.Points, Cycles: st.Cycles, Violations: st.Violations,
 			Occupancy: st.Occupancy.PeakOccupancy()}
 		if err != nil {
-			emit(StreamEvent{Type: "error", ID: req.ID, Err: err.Error()})
+			emitErr(err)
 			return jst, err
 		}
 		for _, t := range tables {
@@ -759,7 +876,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Mdwd-Job", job.ID)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	enc.Encode(StreamEvent{Type: "start", ID: req.ID, Job: job.ID})
+	enc.Encode(StreamEvent{Type: "start", ID: req.ID, Job: job.ID, Stream: stream})
 	if flusher != nil {
 		flusher.Flush()
 	}

@@ -10,8 +10,20 @@ cd "$(dirname "$0")/.."
 workdir=$(mktemp -d)
 trap 'kill -9 "${pid:-}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
-addr=127.0.0.1:18090
 go build -o "$workdir/mdwd" ./cmd/mdwd
+
+# Bind port 0 and recover the kernel-chosen address from the daemon's own
+# "listening on" log line, so parallel CI jobs never collide on a fixed port.
+wait_addr() { # pid logfile -> prints host:port
+    local p=$1 log=$2 a i
+    for i in $(seq 1 100); do
+        a=$(sed -n 's/^mdwd: listening on \([^ ]*\) .*/\1/p' "$log" | head -1)
+        if [ -n "$a" ]; then echo "$a"; return 0; fi
+        kill -0 "$p" 2>/dev/null || { echo "mdwd died at startup:" >&2; cat "$log" >&2; return 1; }
+        sleep 0.1
+    done
+    echo "mdwd never reported its listen address:" >&2; cat "$log" >&2; return 1
+}
 
 wait_healthy() {
     for i in $(seq 1 50); do
@@ -27,8 +39,9 @@ bodyA='{"config":{"stages":2,"degree":4,"warmup_cycles":1000,"measure_cycles":20
 bodyB='{"config":{"stages":2,"degree":4,"warmup_cycles":1000,"measure_cycles":2000000,"drain_cycles":200000,"op_rate":0.001,"seed":12}}'
 
 # Reference results from an undisturbed daemon.
-"$workdir/mdwd" -addr "$addr" -workers 2 >"$workdir/ref.log" 2>&1 &
+"$workdir/mdwd" -addr 127.0.0.1:0 -workers 2 >"$workdir/ref.log" 2>&1 &
 pid=$!
+addr=$(wait_addr "$pid" "$workdir/ref.log")
 wait_healthy "$workdir/ref.log"
 curl -fsS -D "$workdir/refhA" -o "$workdir/refA" -d "$bodyA" "http://$addr/v1/run"
 curl -fsS -D "$workdir/refhB" -o "$workdir/refB" -d "$bodyB" "http://$addr/v1/run"
@@ -40,9 +53,10 @@ kill -TERM "$pid"; wait "$pid" || true
 # Chaos daemon: one worker so job A runs while job B sits queued.
 cachedir="$workdir/cache"
 journal="$cachedir/journal.ndjson"
-"$workdir/mdwd" -addr "$addr" -workers 1 -cache-dir "$cachedir" -checkpoint-every 200000 \
+"$workdir/mdwd" -addr 127.0.0.1:0 -workers 1 -cache-dir "$cachedir" -checkpoint-every 200000 \
     >"$workdir/chaos.log" 2>&1 &
 pid=$!
+addr=$(wait_addr "$pid" "$workdir/chaos.log")
 wait_healthy "$workdir/chaos.log"
 # The clients die with the daemon at kill -9; their errors are expected noise.
 curl -s -o /dev/null -d "$bodyA" "http://$addr/v1/run" 2>/dev/null &
@@ -73,9 +87,10 @@ wait "$clientA" 2>/dev/null || true
 wait "$clientB" 2>/dev/null || true
 
 # Restart over the same directory: recovery must finish both jobs unprompted.
-"$workdir/mdwd" -addr "$addr" -workers 1 -cache-dir "$cachedir" -checkpoint-every 200000 \
+"$workdir/mdwd" -addr 127.0.0.1:0 -workers 1 -cache-dir "$cachedir" -checkpoint-every 200000 \
     >"$workdir/recover.log" 2>&1 &
 pid=$!
+addr=$(wait_addr "$pid" "$workdir/recover.log")
 wait_healthy "$workdir/recover.log"
 for i in $(seq 1 600); do
     [ -f "$cachedir/$hashA.json" ] && [ -f "$cachedir/$hashB.json" ] && break

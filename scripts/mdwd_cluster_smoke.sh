@@ -15,6 +15,19 @@ trap 'kill -9 $(jobs -p) 2>/dev/null; rm -rf "$workdir"' EXIT
 go build -o "$workdir/mdwd" ./cmd/mdwd
 go build -o "$workdir/mdwbench" ./cmd/mdwbench
 
+# Bind port 0 and recover each kernel-chosen address from the daemon's own
+# "listening on" log line, so parallel CI jobs never collide on fixed ports.
+wait_addr() { # pid logfile -> prints host:port
+    local p=$1 log=$2 a i
+    for i in $(seq 1 100); do
+        a=$(sed -n 's/^mdwd: listening on \([^ ]*\) .*/\1/p' "$log" | head -1)
+        if [ -n "$a" ]; then echo "$a"; return 0; fi
+        kill -0 "$p" 2>/dev/null || { echo "mdwd died at startup:" >&2; cat "$log" >&2; return 1; }
+        sleep 0.1
+    done
+    echo "mdwd never reported its listen address:" >&2; cat "$log" >&2; return 1
+}
+
 wait_healthy() { # addr logfile
     for i in $(seq 1 50); do
         curl -fsS "http://$1/healthz" >/dev/null 2>&1 && return 0
@@ -23,24 +36,25 @@ wait_healthy() { # addr logfile
     echo "daemon at $1 never became healthy:"; cat "$2"; return 1
 }
 
-single=127.0.0.1:18190
-w1=127.0.0.1:18191
-w2=127.0.0.1:18192
-coord=127.0.0.1:18193
-
 # Single-node reference: the byte-for-byte ground truth for the sweep.
-"$workdir/mdwd" -addr "$single" -workers 4 >"$workdir/single.log" 2>&1 &
+"$workdir/mdwd" -addr 127.0.0.1:0 -workers 4 >"$workdir/single.log" 2>&1 &
+single=$(wait_addr "$!" "$workdir/single.log")
 wait_healthy "$single" "$workdir/single.log"
 "$workdir/mdwbench" -daemon "http://$single" -exp e1,e2 -quick >"$workdir/ref.out"
 
 # The fleet: two workers with checkpointing (so the coordinator can mirror
 # mid-run state off them), one coordinator journaling to its own cache dir.
+# Workers come up first so the coordinator can be pointed at their ports.
 mkdir -p "$workdir/w1" "$workdir/w2" "$workdir/coord"
-"$workdir/mdwd" -addr "$w1" -workers 2 -cache-dir "$workdir/w1" -checkpoint-every 5000 >"$workdir/w1.log" 2>&1 &
-"$workdir/mdwd" -addr "$w2" -workers 2 -cache-dir "$workdir/w2" -checkpoint-every 5000 >"$workdir/w2.log" 2>&1 &
+"$workdir/mdwd" -addr 127.0.0.1:0 -workers 2 -cache-dir "$workdir/w1" -checkpoint-every 5000 >"$workdir/w1.log" 2>&1 &
+w1pid=$!
+"$workdir/mdwd" -addr 127.0.0.1:0 -workers 2 -cache-dir "$workdir/w2" -checkpoint-every 5000 >"$workdir/w2.log" 2>&1 &
 w2pid=$!
-"$workdir/mdwd" -addr "$coord" -coordinator -peers "http://$w1,http://$w2" \
+w1=$(wait_addr "$w1pid" "$workdir/w1.log")
+w2=$(wait_addr "$w2pid" "$workdir/w2.log")
+"$workdir/mdwd" -addr 127.0.0.1:0 -coordinator -peers "http://$w1,http://$w2" \
     -cache-dir "$workdir/coord" -heartbeat 250ms >"$workdir/coord.log" 2>&1 &
+coord=$(wait_addr "$!" "$workdir/coord.log")
 wait_healthy "$w1" "$workdir/w1.log"
 wait_healthy "$w2" "$workdir/w2.log"
 wait_healthy "$coord" "$workdir/coord.log"

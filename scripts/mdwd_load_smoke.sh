@@ -12,9 +12,21 @@ cd "$(dirname "$0")/.."
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
-addr=127.0.0.1:18084
 go build -o "$workdir/mdwd" ./cmd/mdwd
 go build -o "$workdir/mdwbench" ./cmd/mdwbench
+
+# Bind port 0 and recover the kernel-chosen address from the daemon's own
+# "listening on" log line, so parallel CI jobs never collide on a fixed port.
+wait_addr() { # pid logfile -> prints host:port
+    local p=$1 log=$2 a i
+    for i in $(seq 1 100); do
+        a=$(sed -n 's/^mdwd: listening on \([^ ]*\) .*/\1/p' "$log" | head -1)
+        if [ -n "$a" ]; then echo "$a"; return 0; fi
+        kill -0 "$p" 2>/dev/null || { echo "mdwd died at startup:" >&2; cat "$log" >&2; return 1; }
+        sleep 0.1
+    done
+    echo "mdwd never reported its listen address:" >&2; cat "$log" >&2; return 1
+}
 
 cat >"$workdir/tenants" <<'EOF'
 # load-smoke tenants: gold gets 4x the fair share of silver
@@ -22,8 +34,9 @@ smoke-key-gold   gold   4
 smoke-key-silver silver 1 max-queued=64
 EOF
 
-"$workdir/mdwd" -addr "$addr" -workers 2 -tenants "$workdir/tenants" >"$workdir/log" 2>&1 &
+"$workdir/mdwd" -addr 127.0.0.1:0 -workers 2 -tenants "$workdir/tenants" >"$workdir/log" 2>&1 &
 pid=$!
+addr=$(wait_addr "$pid" "$workdir/log")
 
 for i in $(seq 1 50); do
     curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break

@@ -9,10 +9,24 @@ cd "$(dirname "$0")/.."
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
-addr=127.0.0.1:18080
 go build -o "$workdir/mdwd" ./cmd/mdwd
-"$workdir/mdwd" -addr "$addr" -workers 2 >"$workdir/log" 2>&1 &
+
+# Bind port 0 and recover the kernel-chosen address from the daemon's own
+# "listening on" log line, so parallel CI jobs never collide on a fixed port.
+wait_addr() { # pid logfile -> prints host:port
+    local p=$1 log=$2 a i
+    for i in $(seq 1 100); do
+        a=$(sed -n 's/^mdwd: listening on \([^ ]*\) .*/\1/p' "$log" | head -1)
+        if [ -n "$a" ]; then echo "$a"; return 0; fi
+        kill -0 "$p" 2>/dev/null || { echo "mdwd died at startup:" >&2; cat "$log" >&2; return 1; }
+        sleep 0.1
+    done
+    echo "mdwd never reported its listen address:" >&2; cat "$log" >&2; return 1
+}
+
+"$workdir/mdwd" -addr 127.0.0.1:0 -workers 2 >"$workdir/log" 2>&1 &
 pid=$!
+addr=$(wait_addr "$pid" "$workdir/log")
 
 for i in $(seq 1 50); do
     curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
@@ -62,8 +76,9 @@ grep -q 'drained cleanly' "$workdir/log" || { echo "no clean drain reported:"; c
 # Restart over a persistent cache directory: results computed by one daemon
 # generation are served byte-identical (as hits) by the next.
 cachedir="$workdir/cache"
-"$workdir/mdwd" -addr "$addr" -workers 2 -cache-dir "$cachedir" >"$workdir/log2" 2>&1 &
+"$workdir/mdwd" -addr 127.0.0.1:0 -workers 2 -cache-dir "$cachedir" >"$workdir/log2" 2>&1 &
 pid=$!
+addr=$(wait_addr "$pid" "$workdir/log2")
 for i in $(seq 1 50); do
     curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
     kill -0 "$pid" 2>/dev/null || { echo "mdwd died at restart:"; cat "$workdir/log2"; exit 1; }
@@ -73,8 +88,9 @@ curl -fsS -o "$workdir/p1" -d "$body" "http://$addr/v1/run"
 kill -TERM "$pid"
 wait "$pid" || { code=$?; echo "mdwd exited $code after SIGTERM:"; cat "$workdir/log2"; exit 1; }
 
-"$workdir/mdwd" -addr "$addr" -workers 2 -cache-dir "$cachedir" >"$workdir/log3" 2>&1 &
+"$workdir/mdwd" -addr 127.0.0.1:0 -workers 2 -cache-dir "$cachedir" >"$workdir/log3" 2>&1 &
 pid=$!
+addr=$(wait_addr "$pid" "$workdir/log3")
 for i in $(seq 1 50); do
     curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
     kill -0 "$pid" 2>/dev/null || { echo "mdwd died at second restart:"; cat "$workdir/log3"; exit 1; }
