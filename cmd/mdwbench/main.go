@@ -339,6 +339,7 @@ func runRemote(ctx context.Context, base string, ids []string, o remoteOpts, std
 func runExperiment(ctx context.Context, client *http.Client, base, id string, o remoteOpts, stdout, stderr io.Writer) (points int, cycles int64, wall float64, err error) {
 	req := service.ExperimentRequest{ID: id, Quick: o.Quick, Seed: o.Seed, Workers: o.Workers}
 	backoff := time.Second
+	tablesPrinted := 0 // tables already written to stdout across resume attempts
 	for resumes := 0; ; resumes++ {
 		reqBody, err := json.Marshal(req)
 		if err != nil {
@@ -348,7 +349,7 @@ func runExperiment(ctx context.Context, client *http.Client, base, id string, o 
 		if err != nil {
 			return 0, 0, 0, fmt.Errorf("%s: %w", id, err)
 		}
-		st := consumeStream(resp, id, &req, o.Verbose, stdout, stderr)
+		st := consumeStream(resp, id, &req, &tablesPrinted, o.Verbose, stdout, stderr)
 		resp.Body.Close()
 		if st.done {
 			return st.points, st.cycles, st.wall, nil
@@ -463,13 +464,18 @@ type streamState struct {
 // consumeStream reads one /v1/experiment JSON-lines response, advancing the
 // resume cursor in req as events arrive: the start event's stream token and
 // each point's seq are recorded before the event is acted on, so a cut at
-// any byte resumes without re-delivering a consumed point.
-func consumeStream(resp *http.Response, id string, req *service.ExperimentRequest, verbose bool, stdout, stderr io.Writer) streamState {
+// any byte resumes without re-delivering a consumed point. tablesPrinted is
+// the cross-attempt cursor for table events, which carry no seq and are
+// re-streamed in full on a resume: the stream is deterministic, so the K-th
+// table of the resumed stream is the K-th table of the cut one, and only
+// tables past the cursor are printed.
+func consumeStream(resp *http.Response, id string, req *service.ExperimentRequest, tablesPrinted *int, verbose bool, stdout, stderr io.Writer) streamState {
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return streamState{err: fmt.Errorf("%s: daemon returned %s: %s", id, resp.Status, strings.TrimSpace(string(body)))}
 	}
 	var st streamState
+	tablesSeen := 0
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024) // tables are one line each
 	for sc.Scan() {
@@ -504,8 +510,12 @@ func consumeStream(resp *http.Response, id string, req *service.ExperimentReques
 				}
 			}
 		case "table":
-			fmt.Fprint(stdout, ev.Text)
-			fmt.Fprintln(stdout)
+			tablesSeen++
+			if tablesSeen > *tablesPrinted {
+				fmt.Fprint(stdout, ev.Text)
+				fmt.Fprintln(stdout)
+				*tablesPrinted = tablesSeen
+			}
 		case "done":
 			st.points, st.cycles, st.wall = ev.Points, ev.Cycles, ev.WallSeconds
 			st.done = true

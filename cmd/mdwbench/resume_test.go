@@ -129,6 +129,60 @@ func TestStreamResumeNoDuplicates(t *testing.T) {
 	}
 }
 
+// TestStreamResumeNoDuplicateTables: tables carry no seq cursor and are
+// re-streamed in full on a resume; a stream cut after some tables were
+// already printed must not print them again on the reconnect.
+func TestStreamResumeNoDuplicateTables(t *testing.T) {
+	var mu sync.Mutex
+	conns := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req service.ExperimentRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		conns++
+		conn := conns
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		fl := w.(http.Flusher)
+		emit := func(ev service.StreamEvent) {
+			enc.Encode(ev)
+			fl.Flush()
+		}
+		emit(service.StreamEvent{Type: "start", ID: req.ID, Stream: flakyToken, Job: "j1"})
+		for seq := req.AfterSeq + 1; seq <= 2; seq++ {
+			emit(service.StreamEvent{Type: "point", Seq: seq, Tag: fmt.Sprintf("p%d", seq)})
+		}
+		emit(service.StreamEvent{Type: "table", ID: req.ID, Text: "TABLE-A"})
+		if conn == 1 {
+			// Cut between the tables and the done event: the client has
+			// printed TABLE-A but must not trust the stream as complete.
+			panic(http.ErrAbortHandler)
+		}
+		emit(service.StreamEvent{Type: "table", ID: req.ID, Text: "TABLE-B"})
+		emit(service.StreamEvent{Type: "done", ID: req.ID, Points: 2, Cycles: 50, WallSeconds: 0.1})
+	}))
+	defer ts.Close()
+
+	var stdout, stderr bytes.Buffer
+	points, _, _, err := runExperiment(context.Background(), &http.Client{}, ts.URL, "e1",
+		remoteOpts{Retries: 3}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("runExperiment: %v\nstderr: %s", err, stderr.String())
+	}
+	if points != 2 {
+		t.Fatalf("done stats: points=%d, want 2", points)
+	}
+	for _, table := range []string{"TABLE-A", "TABLE-B"} {
+		if got := strings.Count(stdout.String(), table); got != 1 {
+			t.Errorf("%s printed %d times, want exactly once\nstdout: %s", table, got, stdout.String())
+		}
+	}
+}
+
 // TestStreamResumeHonorsContext: cancellation during the reconnect backoff
 // returns promptly instead of sleeping out the window.
 func TestStreamResumeHonorsContext(t *testing.T) {

@@ -120,6 +120,31 @@ func (b *breaker) Success() {
 	b.trial = false
 }
 
+// release hands back an admitted-but-unreported trial without judging the
+// peer: the dispatch died locally before touching the wire, so the attempt
+// carries no verdict. A half-open breaker gets its trial slot back so the
+// next dispatch can probe; other states are untouched (trial is already
+// false there).
+func (b *breaker) release() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trial = false
+}
+
+// windowRemaining returns how long the current open window still has to
+// run — zero when the breaker is not open or the window has elapsed.
+func (b *breaker) windowRemaining() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != brOpen {
+		return 0
+	}
+	if d := b.openUntil.Sub(b.now()); d > 0 {
+		return d
+	}
+	return 0
+}
+
 // Failure reports an infrastructure failure. A closed breaker trips after
 // Threshold consecutive failures; a half-open trial failure re-opens with
 // a doubled window.

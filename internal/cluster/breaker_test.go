@@ -101,6 +101,44 @@ func TestBreakerJitterBounds(t *testing.T) {
 	}
 }
 
+// TestBreakerReleaseReturnsTrial: an admitted half-open trial whose attempt
+// dies before reaching the wire is handed back via release, not left
+// consumed — a never-reported trial would pin the breaker half-open and
+// refuse the peer forever.
+func TestBreakerReleaseReturnsTrial(t *testing.T) {
+	b, c := testBreaker(breakerConfig{Threshold: 1, BaseDelay: time.Second, MaxDelay: time.Second})
+	b.Failure()
+	c.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("elapsed breaker refused the half-open trial")
+	}
+	if b.Allow() {
+		t.Fatal("second trial admitted while the first is unreported")
+	}
+	b.release()
+	if !b.Allow() {
+		t.Fatal("released trial not re-admitted: the breaker is wedged half-open")
+	}
+}
+
+// TestBreakerWindowRemaining: the remaining open window is positive and
+// jitter-bounded while the breaker is open, zero otherwise.
+func TestBreakerWindowRemaining(t *testing.T) {
+	b, c := testBreaker(breakerConfig{Threshold: 1, BaseDelay: 4 * time.Second, MaxDelay: 4 * time.Second})
+	if d := b.windowRemaining(); d != 0 {
+		t.Fatalf("closed breaker reports a running window (%s)", d)
+	}
+	b.Failure()
+	d := b.windowRemaining()
+	if d < 3*time.Second || d > 5*time.Second+time.Millisecond {
+		t.Fatalf("open window remaining = %s, want 4s ±25%%", d)
+	}
+	c.advance(d)
+	if d := b.windowRemaining(); d != 0 {
+		t.Fatalf("elapsed window still reports %s remaining", d)
+	}
+}
+
 // TestBreakerBusyNotCounted documents the integration contract: vRetry
 // verdicts (429 busy) must not call Failure. The breaker itself cannot
 // enforce that, but a Success after partial failures must fully reset.

@@ -213,6 +213,7 @@ func (c *Coordinator) attemptFrom(hash string, canon core.Config, start int, m *
 	idx := start
 	budget := 2*len(cands) + 6 // attempts, not peers: bounded even with retries
 	var lastErr error
+	breakerBlocked := false // last loop pass found only breaker-open peers
 	for attempt := 0; attempt < budget; attempt++ {
 		peer := ""
 		healthyButOpen := false
@@ -233,27 +234,40 @@ func (c *Coordinator) attemptFrom(hash string, canon core.Config, start int, m *
 			if !healthyButOpen {
 				return c.runLocal(hash, canon)
 			}
-			// Every healthy candidate is breaker-blocked: wait a beat for a
-			// window to elapse instead of burning the budget or running
-			// local (the peers are alive — their windows will open).
+			// Every healthy candidate is breaker-blocked: the peers are
+			// alive, so wait until the earliest window elapses (plus a tick,
+			// so the next pass is admitted a half-open trial) rather than
+			// burning the budget on blind fixed-delay retries. No running
+			// window means a trial is in flight elsewhere — poll for its
+			// verdict at the ordinary retry cadence.
 			lastErr = fmt.Errorf("all healthy peers breaker-open")
-			time.Sleep(c.retryDelay())
+			breakerBlocked = true
+			wait := c.peers.BreakerWait(cands)
+			if wait <= 0 {
+				wait = c.retryDelay()
+			}
+			select {
+			case <-time.After(wait + time.Millisecond):
+			case <-c.baseCtx.Done():
+				return shardResult{}, &retryableError{err: c.baseCtx.Err()}
+			}
 			continue
 		}
+		breakerBlocked = false
+		// attempt() reports the dispatch outcome to the peer's breaker on
+		// every verdict; only health marks are maintained here.
 		res, v, err := c.attempt(peer, hash, canon, m, deadlineMillis)
 		switch v {
 		case vOK:
 			c.peers.markHealth(peer, true)
-			c.peers.ReportDispatch(peer, true)
 			return res, nil
 		case vRetry:
-			// Busy is not an infrastructure failure; the breaker stays as-is.
+			// Busy is not an infrastructure failure; the breaker stays closed.
 			lastErr = err
 			time.Sleep(c.retryDelay())
 		case vMigrate:
 			lastErr = err
 			c.peers.markHealth(peer, false)
-			c.peers.ReportDispatch(peer, false)
 			c.migrations.Add(1)
 			c.journalAppend(service.JournalRec{Kind: recShardDispatch, Hash: hash,
 				JobKind: "shard", Peer: peer, Error: "migrate: " + err.Error()})
@@ -261,6 +275,12 @@ func (c *Coordinator) attemptFrom(hash string, canon core.Config, start int, m *
 		case vFatal:
 			return shardResult{}, err
 		}
+	}
+	if breakerBlocked {
+		// The budget ran out with live peers still behind open breakers.
+		// Degrade to a local run — never a wrong answer, only a colder
+		// cache — instead of failing a shard mid-sweep over backoff timing.
+		return c.runLocal(hash, canon)
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("attempt budget exhausted")
@@ -279,7 +299,25 @@ func (c *Coordinator) retryDelay() time.Duration {
 // attempt dispatches the shard to one peer and classifies the outcome. While
 // the request is in flight, the peer's checkpoint blob for this hash is
 // polled into the mirror so a later migration can resume mid-run.
-func (c *Coordinator) attempt(peer, hash string, canon core.Config, m *mirror, deadlineMillis int64) (shardResult, verdict, error) {
+//
+// Every AllowDispatch admission is answered here, exactly once, before
+// attempt returns — otherwise a consumed half-open trial would pin the
+// breaker half-open and wedge the peer out of dispatch forever. The mapping:
+// an answered request — vOK, vRetry (429/504: busy is healthy), or vFatal
+// (an authoritative 4xx) — is breaker Success; vMigrate is Failure; a local
+// error before the wire releases the admission without a verdict.
+func (c *Coordinator) attempt(peer, hash string, canon core.Config, m *mirror, deadlineMillis int64) (res shardResult, v verdict, err error) {
+	answered := false // the peer produced an HTTP response
+	defer func() {
+		switch {
+		case v == vMigrate:
+			c.peers.ReportDispatch(peer, false)
+		case answered:
+			c.peers.ReportDispatch(peer, true)
+		default:
+			c.peers.ReleaseDispatch(peer)
+		}
+	}()
 	c.journalAppend(service.JournalRec{Kind: recShardDispatch, Hash: hash, JobKind: "shard", Peer: peer})
 	release := c.peers.beginShard(peer)
 	defer release()
@@ -308,6 +346,7 @@ func (c *Coordinator) attempt(peer, hash string, canon core.Config, m *mirror, d
 	if err != nil {
 		return shardResult{}, vMigrate, fmt.Errorf("peer %s: %w", peer, err)
 	}
+	answered = true
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
@@ -317,9 +356,15 @@ func (c *Coordinator) attempt(peer, hash string, canon core.Config, m *mirror, d
 	case resp.StatusCode == http.StatusOK:
 		// End-to-end integrity: the worker stamps a body digest; a mismatch
 		// means the path corrupted bytes in flight (or an imposter answered),
-		// and the same request is retried elsewhere. Corruption that still
-		// parses as valid JSON must not poison the cache.
-		if want := resp.Header.Get("X-Mdwd-Body-SHA256"); want != "" && want != service.BodySHA(body) {
+		// and the same request is retried elsewhere. The header is mandatory
+		// on a 200: in-flight corruption can mangle the header name itself,
+		// and a missing digest must read as "unverifiable", never "verified" —
+		// corruption that still parses as valid JSON must not poison the cache.
+		want := resp.Header.Get("X-Mdwd-Body-SHA256")
+		if want == "" {
+			return shardResult{}, vMigrate, fmt.Errorf("peer %s: missing body digest header", peer)
+		}
+		if want != service.BodySHA(body) {
 			return shardResult{}, vMigrate, fmt.Errorf("peer %s: body integrity mismatch", peer)
 		}
 		res, err := decodeShard(body)

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mdworm/internal/core"
+	"mdworm/internal/service"
+)
+
+// resolveTiny resolves the tinyRunBody config for the given seed.
+func resolveTiny(t *testing.T, seed uint64) (string, core.Config) {
+	t.Helper()
+	var req service.RunRequest
+	if err := json.Unmarshal([]byte(tinyRunBody(seed)), &req); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := req.Config.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, canon, err := service.Hash(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hash, canon
+}
+
+// TestDispatchBreakerTrialAlwaysReported: a half-open trial admitted by
+// AllowDispatch must be reported back to the breaker whatever the attempt's
+// verdict. A 429/504 answer (vRetry) and an authoritative 4xx (vFatal) are
+// breaker successes — the peer answered; an unreported trial would pin the
+// breaker half-open and wedge the peer out of dispatch until restart.
+func TestDispatchBreakerTrialAlwaysReported(t *testing.T) {
+	var status atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		w.WriteHeader(int(status.Load()))
+	}))
+	t.Cleanup(ts.Close)
+
+	c, err := New(Config{
+		Peers:            []string{ts.URL},
+		RetryDelay:       time.Millisecond,
+		BreakerThreshold: 1,
+		BreakerBaseDelay: 10 * time.Millisecond,
+		BreakerMaxDelay:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	hash, canon := resolveTiny(t, 31)
+
+	for _, code := range []int{http.StatusTooManyRequests, http.StatusGatewayTimeout, http.StatusBadRequest} {
+		// Trip the breaker, wait out the window, and spend the half-open
+		// trial exactly as attemptFrom does: AllowDispatch, then attempt.
+		c.peers.ReportDispatch(ts.URL, false)
+		admitted := false
+		for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+			if c.peers.AllowDispatch(ts.URL) {
+				admitted = true
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if !admitted {
+			t.Fatalf("%d: breaker window never admitted the half-open trial", code)
+		}
+		status.Store(int64(code))
+		_, v, _ := c.attempt(ts.URL, hash, canon, &mirror{}, 0)
+		want := vRetry
+		if code == http.StatusBadRequest {
+			want = vFatal
+		}
+		if v != want {
+			t.Fatalf("%d: verdict = %d, want %d", code, v, want)
+		}
+		if !c.peers.AllowDispatch(ts.URL) {
+			t.Fatalf("%d: breaker wedged half-open after the trial's verdict", code)
+		}
+		c.peers.ReportDispatch(ts.URL, true) // close out the probe Allow
+	}
+}
+
+// TestClusterMissingDigestMigrates: a 200 whose body-digest header is absent
+// (corruption can mangle the header name itself) must read as unverifiable
+// and migrate, never be accepted — even when the body still parses as JSON.
+func TestClusterMissingDigestMigrates(t *testing.T) {
+	imposter := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		// Parseable RunResponse, no X-Mdwd-Body-SHA256 header.
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"hash":"deadbeef","results":{}}`)
+	}))
+	t.Cleanup(imposter.Close)
+	_, live := startWorker(t, service.Config{})
+	c, coord := startCoordinator(t, Config{Peers: []string{imposter.URL, live.URL}})
+
+	seed, _ := seedOwnedBy(t, imposter.URL, []string{imposter.URL, live.URL})
+	resp, direct := postRun(t, live.URL, tinyRunBody(seed))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("direct run: %s: %s", resp.Status, direct)
+	}
+	resp, merged := postRun(t, coord.URL, tinyRunBody(seed))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("coordinated run: %s: %s", resp.Status, merged)
+	}
+	if !bytes.Equal(direct, merged) {
+		t.Fatalf("undigested imposter body was accepted:\n%s\nvs\n%s", merged, direct)
+	}
+	if c.migrations.Load() == 0 {
+		t.Error("no migration recorded: the missing digest was not treated as unverifiable")
+	}
+}
+
+// TestDispatchWaitsOutOpenBreaker: a shard arriving while every healthy
+// peer sits behind an open breaker waits for the earliest window to elapse
+// (or degrades to a local run) instead of burning its attempt budget on
+// blind retries and failing the shard while peers are known-alive.
+func TestDispatchWaitsOutOpenBreaker(t *testing.T) {
+	_, w1 := startWorker(t, service.Config{})
+	c, coord := startCoordinator(t, Config{
+		Peers:            []string{w1.URL},
+		RetryDelay:       time.Millisecond,
+		BreakerThreshold: 1,
+		BreakerBaseDelay: 300 * time.Millisecond,
+		BreakerMaxDelay:  300 * time.Millisecond,
+	})
+
+	resp, direct := postRun(t, w1.URL, tinyRunBody(61))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("direct run: %s: %s", resp.Status, direct)
+	}
+	c.peers.ReportDispatch(w1.URL, false) // trip: open for ~300ms
+	resp, merged := postRun(t, coord.URL, tinyRunBody(61))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run during open breaker window: %s: %s", resp.Status, merged)
+	}
+	if !bytes.Equal(direct, merged) {
+		t.Fatalf("breaker-delayed shard result differs from direct result")
+	}
+}

@@ -171,6 +171,43 @@ func (ps *PeerSet) ReportDispatch(url string, ok bool) {
 	}
 }
 
+// ReleaseDispatch hands back a breaker admission that was never reported:
+// the dispatch failed locally before reaching the wire, so the attempt says
+// nothing about the peer. Without it a consumed half-open trial would pin
+// the breaker half-open forever, wedging the peer out of dispatch.
+func (ps *PeerSet) ReleaseDispatch(url string) {
+	ps.mu.Lock()
+	p, ok := ps.peers[url]
+	ps.mu.Unlock()
+	if ok {
+		p.br.release()
+	}
+}
+
+// BreakerWait returns the time until the earliest open breaker window among
+// the given peers (healthy ones only) elapses — the productive pause when
+// every healthy candidate is breaker-blocked. Zero means no healthy peer has
+// a running open window (some breaker already admits, or a half-open trial
+// is in flight elsewhere).
+func (ps *PeerSet) BreakerWait(urls []string) time.Duration {
+	ps.mu.Lock()
+	peers := make([]*peerState, 0, len(urls))
+	for _, u := range urls {
+		if p, ok := ps.peers[u]; ok && p.Healthy {
+			peers = append(peers, p)
+		}
+	}
+	ps.mu.Unlock()
+	var wait time.Duration
+	for _, p := range peers {
+		d := p.br.windowRemaining()
+		if d > 0 && (wait == 0 || d < wait) {
+			wait = d
+		}
+	}
+	return wait
+}
+
 // BreakerOpen reports whether the peer's breaker is open with its window
 // still running — the cheap check the mirror loop uses to skip polls
 // without consuming a half-open trial.
